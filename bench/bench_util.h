@@ -1,0 +1,120 @@
+// Shared plumbing for the experiment harnesses: build a peer network,
+// run a distributed cover session, and collect timing/traffic numbers.
+
+#ifndef HYPERION_BENCH_BENCH_UTIL_H_
+#define HYPERION_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "p2p/network.h"
+#include "p2p/peer.h"
+#include "workload/bio_network.h"
+
+namespace hyperion {
+namespace bench_util {
+
+/// Virtual-time calibration: measured host compute is scaled by this
+/// factor so the simulated peers process mappings at roughly the rate of
+/// the paper's 2003 testbed (their 12k-row paths took 15–26 s end to
+/// end).  Shapes are unaffected; absolute "Time" columns become
+/// comparable to the paper's.
+constexpr double kPaper2003ComputeScale = 30.0;
+
+/// \brief Network options with the 2003-testbed calibration applied.
+inline SimNetwork::Options PaperCalibratedOptions() {
+  SimNetwork::Options options;
+  options.compute_scale = kPaper2003ComputeScale;
+  return options;
+}
+
+/// \brief A wired-up network of peers ready to run sessions.
+struct LiveNetwork {
+  std::unique_ptr<SimNetwork> net;
+  std::vector<std::unique_ptr<PeerNode>> peers;
+  std::map<std::string, PeerNode*> by_id;
+};
+
+/// \brief Attaches `peers` to a fresh SimNetwork.
+inline LiveNetwork Wire(std::vector<std::unique_ptr<PeerNode>> peers,
+                        SimNetwork::Options options = SimNetwork::Options()) {
+  LiveNetwork live;
+  live.net = std::make_unique<SimNetwork>(options);
+  live.peers = std::move(peers);
+  for (auto& p : live.peers) {
+    Status s = p->Attach(live.net.get());
+    if (!s.ok()) {
+      std::cerr << "attach failed: " << s << "\n";
+      std::exit(1);
+    }
+    live.by_id[p->id()] = p.get();
+  }
+  return live;
+}
+
+struct SessionOutcome {
+  const SessionResult* result = nullptr;
+  double wall_ms = 0;             // host wall-clock of the whole run
+  double virtual_total_ms = 0;    // complete_us - start_us
+  double virtual_first_row_ms = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+/// \brief Runs one cover session to completion and reports timings.
+/// Exits the process on failure (benches want loud errors).
+inline SessionOutcome RunCoverSession(LiveNetwork* live,
+                                      const std::vector<std::string>& path,
+                                      std::vector<Attribute> x_attrs,
+                                      std::vector<Attribute> y_attrs,
+                                      const SessionOptions& opts) {
+  live->net->ResetStats();
+  auto wall_start = std::chrono::steady_clock::now();
+  auto session = live->by_id.at(path.front())
+                     ->StartCoverSession(path, std::move(x_attrs),
+                                         std::move(y_attrs), opts);
+  if (!session.ok()) {
+    std::cerr << "session start failed: " << session.status() << "\n";
+    std::exit(1);
+  }
+  auto run = live->net->Run();
+  if (!run.ok()) {
+    std::cerr << "network run failed: " << run.status() << "\n";
+    std::exit(1);
+  }
+  auto result = live->by_id.at(path.front())->GetResult(session.value());
+  if (!result.ok() || !result.value()->done || !result.value()->error.ok()) {
+    std::cerr << "session failed: "
+              << (result.ok() ? result.value()->error.ToString()
+                              : result.status().ToString())
+              << "\n";
+    std::exit(1);
+  }
+  SessionOutcome out;
+  out.result = result.value();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  const SessionStats& stats = out.result->stats;
+  out.virtual_total_ms = (stats.complete_us - stats.start_us) / 1000.0;
+  out.virtual_first_row_ms = (stats.first_row_us - stats.start_us) / 1000.0;
+  out.messages = live->net->stats().messages_sent;
+  out.bytes = live->net->stats().bytes_sent;
+  return out;
+}
+
+/// \brief argv[n] as size_t, or `fallback`.
+inline size_t ArgOr(int argc, char** argv, int n, size_t fallback) {
+  if (argc > n) return std::strtoul(argv[n], nullptr, 10);
+  return fallback;
+}
+
+}  // namespace bench_util
+}  // namespace hyperion
+
+#endif  // HYPERION_BENCH_BENCH_UTIL_H_

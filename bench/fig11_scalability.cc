@@ -1,0 +1,77 @@
+// Reproduces Figure 11 of the paper: scalability in path length and
+// mapping-table size.  Three Hugo->MIM paths of lengths 3, 4 and 5 are
+// timed while the average number of mappings per table grows; the paper's
+// shape is near-linear growth in table size with longer paths uniformly
+// slower.
+//
+//   $ ./bench/fig11_scalability [max_entities]   (default 20000)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/bio_network.h"
+
+using namespace hyperion;               // NOLINT — bench brevity
+using namespace hyperion::bench_util;   // NOLINT
+
+int main(int argc, char** argv) {
+  size_t max_entities = ArgOr(argc, argv, 1, 20000);
+  const std::vector<std::vector<std::string>> kPaths = {
+      {"Hugo", "GDB", "MIM"},                        // length 3
+      {"Hugo", "GDB", "SwissProt", "MIM"},           // length 4
+      {"Hugo", "Locus", "GDB", "SwissProt", "MIM"},  // length 5
+  };
+  std::printf("=== Figure 11: running time vs avg table size, for path "
+              "lengths 3/4/5 ===\n");
+  std::printf("%9s %12s | %10s %10s %10s\n", "entities", "avg rows",
+              "len3 (s)", "len4 (s)", "len5 (s)");
+
+  for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    size_t entities = static_cast<size_t>(frac * max_entities);
+    if (entities == 0) continue;
+    BioConfig config;
+    config.num_entities = entities;
+    config.coverage_noise = 0.12;
+    // The paper isolates path length with paths producing "about the same
+    // number of computed mappings"; uniform coverage gives every table the
+    // same size so the only variable is the number of hops.
+    for (const char* m : {"m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8",
+                          "m9", "m10", "m11"}) {
+      config.coverage[m] = 0.55;
+    }
+    auto workload = BioWorkload::Generate(config);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    size_t total_rows = 0;
+    for (const auto& [name, table] : workload.value().tables()) {
+      (void)name;
+      total_rows += table->size();
+    }
+    size_t avg_rows = total_rows / workload.value().tables().size();
+
+    double times[3] = {0, 0, 0};
+    for (size_t p = 0; p < kPaths.size(); ++p) {
+      // Best of three runs: measured compute is charged to the virtual
+      // clock, so host jitter shows up in single runs.
+      double best = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        LiveNetwork live = Wire(workload.value().BuildPeers().value(),
+                                PaperCalibratedOptions());
+        SessionOptions opts;
+        opts.cache_capacity = 64;
+        SessionOutcome outcome = RunCoverSession(
+            &live, kPaths[p], {Attribute::String("Hugo_id")},
+            {Attribute::String("MIM_id")}, opts);
+        double t = outcome.virtual_total_ms / 1000.0;
+        if (rep == 0 || t < best) best = t;
+      }
+      times[p] = best;
+    }
+    std::printf("%9zu %12zu | %10.2f %10.2f %10.2f\n", entities, avg_rows,
+                times[0], times[1], times[2]);
+  }
+  return 0;
+}

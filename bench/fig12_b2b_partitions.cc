@@ -1,0 +1,82 @@
+// Reproduces Figure 12 of the paper: per-partition execution time in the
+// B2B domain as the number of mappings grows.  P1's two partitions — the
+// names partition (m1, m5; variables and identity rows) and the address
+// partition (m2, m3, m4, m6) — are timed separately; the paper's shape is
+// approximately linear scaling despite the richer variable semantics,
+// with near-instant first results.
+//
+//   $ ./bench/fig12_b2b_partitions [max_rows_per_table]   (default 8000)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/b2b_network.h"
+
+using namespace hyperion;               // NOLINT — bench brevity
+using namespace hyperion::bench_util;   // NOLINT
+
+namespace {
+
+// Locates a partition in the session result by one of its keep names.
+int PartitionWith(const SessionResult& result, const std::string& attr) {
+  for (size_t i = 0; i < result.partition_keep_names.size(); ++i) {
+    for (const std::string& n : result.partition_keep_names[i]) {
+      if (n == attr) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t max_rows = ArgOr(argc, argv, 1, 8000);
+  std::printf("=== Figure 12: per-partition execution time, B2B domain "
+              "===\n");
+  std::printf("%9s | %14s %14s | %14s %14s | %10s\n", "rows", "names rows",
+              "names time(s)", "addr rows", "addr time(s)", "first(ms)");
+
+  for (double frac : {0.125, 0.25, 0.5, 0.75, 1.0}) {
+    size_t rows = static_cast<size_t>(frac * max_rows);
+    if (rows == 0) continue;
+    B2bConfig config;
+    config.rows_per_table = rows;
+    auto workload = B2bWorkload::Generate(config);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    LiveNetwork live =
+        Wire(workload.value().BuildPeers().value(), PaperCalibratedOptions());
+    SessionOptions opts;
+    opts.cache_capacity = 64;
+    // Figure 12 reports per-partition results; the combined cover is a
+    // Cartesian product of the three partitions and is not materialized.
+    opts.combine_partitions = false;
+    SessionOutcome outcome =
+        RunCoverSession(&live, {"P1", "P2", "P3"}, workload.value().XAttrs(),
+                        workload.value().YAttrs(), opts);
+
+    const SessionResult& result = *outcome.result;
+    int names = PartitionWith(result, "FName");
+    int addresses = PartitionWith(result, "Street");
+    if (names < 0 || addresses < 0) {
+      std::fprintf(stderr, "unexpected partition structure\n");
+      return 1;
+    }
+    const SessionStats& stats = result.stats;
+    auto partition_seconds = [&](int p) {
+      auto it = stats.partition_complete_us.find(static_cast<size_t>(p));
+      if (it == stats.partition_complete_us.end()) return 0.0;
+      return (it->second - stats.start_us) / 1e6;
+    };
+    std::printf("%9zu | %14zu %14.2f | %14zu %14.2f | %10.1f\n", rows,
+                result.partition_covers[names].size(),
+                partition_seconds(names),
+                result.partition_covers[addresses].size(),
+                partition_seconds(addresses),
+                outcome.virtual_first_row_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Regenerates Figure 9 of the paper: the inventory of mapping tables
+// between the six biological databases, plus the acquaintance graph's
+// seven indirect Hugo→MIM paths that Figure 10 visits.
+//
+//   $ ./bench/fig9_network_summary [entities]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "p2p/discovery.h"
+#include "workload/bio_network.h"
+
+using namespace hyperion;               // NOLINT — bench brevity
+using namespace hyperion::bench_util;   // NOLINT
+
+int main(int argc, char** argv) {
+  BioConfig config;
+  config.num_entities = ArgOr(argc, argv, 1, 20000);
+  auto workload = BioWorkload::Generate(config);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Figure 9: biological mapping tables (%zu entities) "
+              "===\n",
+              config.num_entities);
+  size_t total = 0;
+  size_t smallest = SIZE_MAX;
+  size_t largest = 0;
+  for (const auto& [name, table] : workload.value().tables()) {
+    std::printf("  %-4s %-12s -> %-12s %7zu mappings\n", name.c_str(),
+                table->x_schema().attr(0).name().c_str(),
+                table->y_schema().attr(0).name().c_str(), table->size());
+    total += table->size();
+    smallest = std::min(smallest, table->size());
+    largest = std::max(largest, table->size());
+  }
+  std::printf("\n%zu tables; sizes %zu..%zu, average %zu (paper: "
+              "7k..28k, average 13k)\n",
+              workload.value().tables().size(), smallest, largest,
+              total / workload.value().tables().size());
+
+  auto peers = workload.value().BuildPeers();
+  if (!peers.ok()) return 1;
+  std::vector<const PeerNode*> raw;
+  for (const auto& p : peers.value()) raw.push_back(p.get());
+  AcquaintanceGraph graph = AcquaintanceGraph::FromPeers(raw);
+  std::printf("\nIndirect acquaintance paths Hugo -> MIM (Figure 10's "
+              "seven):\n");
+  size_t index = 0;
+  for (const auto& path : graph.EnumeratePaths("Hugo", "MIM")) {
+    if (path.size() == 2) continue;  // the direct table itself
+    std::printf("  %zu. ", ++index);
+    for (size_t i = 0; i < path.size(); ++i) {
+      std::printf("%s%s", i ? " -> " : "", path[i].c_str());
+    }
+    std::printf("  (%zu peers)\n", path.size());
+  }
+  return 0;
+}

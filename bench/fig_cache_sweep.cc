@@ -1,0 +1,51 @@
+// Reproduces the cache-size study described in §7's text: sweeping the
+// per-peer mapping cache on a long path.  The paper reports that (a) for
+// larger paths a bigger cache first helps, (b) past a point the total
+// time rises again because peers batch instead of streaming, and (c) the
+// arrival of the FIRST mapping is increasingly delayed as the cache
+// grows; 64–128 mappings was their sweet spot.
+//
+//   $ ./bench/fig_cache_sweep [entities]   (default 10000)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/bio_network.h"
+
+using namespace hyperion;               // NOLINT — bench brevity
+using namespace hyperion::bench_util;   // NOLINT
+
+int main(int argc, char** argv) {
+  BioConfig config;
+  config.num_entities = ArgOr(argc, argv, 1, 10000);
+  config.coverage_noise = 0.12;
+  auto workload = BioWorkload::Generate(config);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> kPath = {"Hugo", "Locus", "GDB",
+                                          "SwissProt", "MIM"};
+  std::printf("=== Cache-size sweep on the 5-peer path (%zu entities) "
+              "===\n",
+              config.num_entities);
+  std::printf("%7s | %10s %13s %10s %10s\n", "cache", "total(s)",
+              "first-row(s)", "messages", "KiB");
+
+  for (size_t cache : {2, 8, 16, 32, 64, 128, 256, 1024, 4096, 100000}) {
+    LiveNetwork live =
+        Wire(workload.value().BuildPeers().value(), PaperCalibratedOptions());
+    SessionOptions opts;
+    opts.cache_capacity = cache;
+    SessionOutcome outcome =
+        RunCoverSession(&live, kPath, {Attribute::String("Hugo_id")},
+                        {Attribute::String("MIM_id")}, opts);
+    std::printf("%7zu | %10.2f %13.2f %10llu %10llu\n", cache,
+                outcome.virtual_total_ms / 1000.0,
+                outcome.virtual_first_row_ms / 1000.0,
+                static_cast<unsigned long long>(outcome.messages),
+                static_cast<unsigned long long>(outcome.bytes / 1024));
+  }
+  return 0;
+}

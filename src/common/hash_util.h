@@ -1,0 +1,30 @@
+// Hash-combining helpers (boost-style) used by the core value types.
+
+#ifndef HYPERION_COMMON_HASH_UTIL_H_
+#define HYPERION_COMMON_HASH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace hyperion {
+
+/// \brief Mixes `value`'s hash into `seed` (64-bit variant of boost's
+/// hash_combine).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  size_t h = std::hash<T>{}(value);
+  *seed ^= h + uint64_t{0x9e3779b97f4a7c15} + (*seed << 12) + (*seed >> 4);
+}
+
+/// \brief Hashes a range of elements into one value.
+template <typename It>
+size_t HashRange(It first, It last) {
+  size_t seed = 0;
+  for (; first != last; ++first) HashCombine(&seed, *first);
+  return seed;
+}
+
+}  // namespace hyperion
+
+#endif  // HYPERION_COMMON_HASH_UTIL_H_

@@ -1,0 +1,69 @@
+// Seeded random utilities used by the workload generators.
+
+#ifndef HYPERION_COMMON_RANDOM_H_
+#define HYPERION_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hyperion {
+
+/// \brief Deterministic PRNG wrapper: all workload generators draw from a
+/// Rng so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// \brief Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// \brief Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// \brief Samples `k` distinct indices from [0, n) (k <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Zipf(s) sampler over ranks {0, ..., n-1}; rank 0 is most likely.
+///
+/// Precomputes the CDF once; each draw is a binary search.  Used to give
+/// identifier popularity a realistic skew in the biological workload.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_COMMON_RANDOM_H_

@@ -1,0 +1,149 @@
+// Error handling primitives for the Hyperion mapping-table library.
+//
+// The library does not use C++ exceptions.  Fallible operations return a
+// Status, or a Result<T> when they also produce a value, in the style of
+// Arrow / RocksDB.
+
+#ifndef HYPERION_COMMON_STATUS_H_
+#define HYPERION_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hyperion {
+
+// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // a named entity does not exist
+  kAlreadyExists = 3,     // a named entity exists and may not be replaced
+  kFailedPrecondition = 4,  // object state does not allow the operation
+  kUnimplemented = 5,     // feature intentionally not supported
+  kInternal = 6,          // invariant violation inside the library
+  kIoError = 7,           // filesystem / serialization failure
+  kInconsistent = 8,      // a set of mapping constraints is inconsistent
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation that produces no value.
+///
+/// A Status is either OK or carries a code plus a message.  Statuses are
+/// cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Outcome of a fallible operation that produces a T on success.
+///
+/// Result is a tagged union of a value and a non-OK Status.  Accessing the
+/// value of a failed Result aborts (assert) — callers must check ok() or use
+/// the HYP_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: lets `return some_t;` and `return SomeStatus();`
+  // both convert, which keeps call sites readable.
+  Result(T value) : value_(std::move(value)) {}   // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagates a non-OK Status from the evaluated expression.
+#define HYP_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::hyperion::Status _hyp_status = (expr);     \
+    if (!_hyp_status.ok()) return _hyp_status;   \
+  } while (false)
+
+// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+// on failure returns the Status.  `lhs` may include a declaration.
+#define HYP_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                              \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+#define HYP_ASSIGN_OR_CONCAT(a, b) a##b
+#define HYP_ASSIGN_OR_NAME(a, b) HYP_ASSIGN_OR_CONCAT(a, b)
+#define HYP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HYP_ASSIGN_OR_RETURN_IMPL(HYP_ASSIGN_OR_NAME(_hyp_result_, __LINE__), lhs, rexpr)
+
+}  // namespace hyperion
+
+#endif  // HYPERION_COMMON_STATUS_H_

@@ -1,0 +1,136 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace hyperion {
+
+std::vector<std::string> SplitString(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      return out;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitStringTopLevel(std::string_view input,
+                                             char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  bool escaped = false;
+  for (char c : input) {
+    if (escaped) {
+      current.push_back(c);
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      current.push_back(c);
+      escaped = true;
+      continue;
+    }
+    if (c == '{') ++depth;
+    if (c == '}' && depth > 0) --depth;
+    if (c == sep && depth == 0) {
+      out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(std::move(current));
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view input) {
+  input = TrimWhitespace(input);
+  int64_t value = 0;
+  const char* first = input.data();
+  const char* last = input.data() + input.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || input.empty()) {
+    return Status::InvalidArgument("not an integer: '" + std::string(input) +
+                                   "'");
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string EscapeCell(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case ',':
+      case '{':
+      case '}':
+      case '\\':
+      case '|':
+        out.push_back('\\');
+        out.push_back(c);
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeCell(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    char c = escaped[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 >= escaped.size()) {
+      return Status::InvalidArgument("dangling escape in cell: '" +
+                                     std::string(escaped) + "'");
+    }
+    char next = escaped[++i];
+    out.push_back(next == 'n' ? '\n' : next);
+  }
+  return out;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,45 @@
+// Small string helpers shared across the library.
+
+#ifndef HYPERION_COMMON_STRING_UTIL_H_
+#define HYPERION_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperion {
+
+/// \brief Splits `input` at every occurrence of `sep`; keeps empty pieces.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// \brief Splits at `sep` but ignores separators nested inside `{...}`.
+///
+/// Used by the mapping-table text format, where an exclusion set
+/// `?v-{a,b}` contains commas of its own.
+std::vector<std::string> SplitStringTopLevel(std::string_view input, char sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// \brief Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// \brief Parses a base-10 signed integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// \brief True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief Escapes `,` `{` `}` `\` and newline for the table text format.
+std::string EscapeCell(std::string_view raw);
+
+/// \brief Inverse of EscapeCell.
+Result<std::string> UnescapeCell(std::string_view escaped);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_COMMON_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+#include "core/cell.h"
+
+#include <sstream>
+
+#include "common/hash_util.h"
+
+namespace hyperion {
+
+std::string Cell::ToString() const {
+  if (is_constant_) return value_.ToString();
+  std::ostringstream os;
+  os << "?" << var_;
+  if (!exclusions().empty()) {
+    os << "-{";
+    bool first = true;
+    for (const Value& v : exclusions()) {
+      if (!first) os << ",";
+      first = false;
+      os << v;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+size_t Cell::Hash() const {
+  size_t seed = is_constant_ ? 1 : 2;
+  if (is_constant_) {
+    HashCombine(&seed, value_);
+  } else {
+    HashCombine(&seed, var_);
+    for (const Value& v : exclusions()) HashCombine(&seed, v);
+  }
+  return seed;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,515 @@
+#include "core/compose.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/unify.h"
+
+namespace hyperion {
+
+namespace {
+
+// Highest variable id used by `m`, plus one (0 when ground).
+VarId VarSpan(const Mapping& m) {
+  VarId span = 0;
+  for (const Cell& c : m.cells()) {
+    if (c.is_variable()) span = std::max(span, c.var() + 1);
+  }
+  return span;
+}
+
+// Registers every variable occurrence of `m` (positioned in `schema`,
+// with var ids shifted by `offset`) into `u`.
+void RegisterOccurrences(const Mapping& m, const Schema& schema,
+                         VarId offset, Unifier* u) {
+  for (size_t i = 0; i < m.arity(); ++i) {
+    const Cell& c = m.cell(i);
+    if (c.is_variable()) {
+      u->AddOccurrence(c.var() + offset, schema.attr(i).domain().get(),
+                       c.exclusions_ptr());
+    }
+  }
+}
+
+// Resolves `cell` (with var ids shifted by `offset`) through the unifier:
+// constants pass through, constant-bound classes become constants, live
+// classes get a dense output var id carrying the class exclusions.
+Cell ResolveCell(const Cell& cell, VarId offset, Unifier* u,
+                 std::unordered_map<VarId, VarId>* out_vars) {
+  if (cell.is_constant()) return cell;
+  VarId shifted = cell.var() + offset;
+  if (auto constant = u->ConstantOf(shifted)) {
+    return Cell::Constant(*constant);
+  }
+  VarId root = u->Find(shifted);
+  auto [it, inserted] =
+      out_vars->emplace(root, static_cast<VarId>(out_vars->size()));
+  (void)inserted;
+  return Cell::Variable(it->second, u->MergedExclusionsOf(shifted));
+}
+
+}  // namespace
+
+bool FreeTable::AddRow(Mapping row) {
+  assert(row.arity() == schema_.arity());
+  Mapping normalized = row.Normalized();
+  if (!normalized.IsSatisfiable(schema_)) return false;
+  if (row_set_.count(normalized)) return false;
+  row_set_.insert(normalized);
+  rows_.push_back(std::move(normalized));
+  return true;
+}
+
+bool FreeTable::MatchesGround(const Tuple& t) const {
+  for (const Mapping& row : rows_) {
+    if (row.MatchesGround(t, schema_)) return true;
+  }
+  return false;
+}
+
+FreeTable FreeTable::FromMappingTable(const MappingTable& table) {
+  FreeTable out(table.schema());
+  for (const Mapping& row : table.rows()) out.AddRow(row);
+  return out;
+}
+
+Result<MappingTable> FreeTable::ToMappingTable(
+    const std::vector<std::string>& x_names, std::string name) const {
+  HYP_ASSIGN_OR_RETURN(std::vector<size_t> x_positions,
+                       schema_.PositionsOf(x_names));
+  std::vector<bool> is_x(schema_.arity(), false);
+  for (size_t p : x_positions) is_x[p] = true;
+  std::vector<size_t> y_positions;
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    if (!is_x[i]) y_positions.push_back(i);
+  }
+  HYP_ASSIGN_OR_RETURN(
+      MappingTable table,
+      MappingTable::Create(schema_.Project(x_positions),
+                           schema_.Project(y_positions), std::move(name)));
+  std::vector<size_t> order = x_positions;
+  order.insert(order.end(), y_positions.begin(), y_positions.end());
+  for (const Mapping& row : rows_) {
+    HYP_RETURN_IF_ERROR(table.AddRow(row.Project(order)));
+  }
+  return table;
+}
+
+Result<FreeTable> FreeTable::NaturalJoin(const FreeTable& other,
+                                         const ComposeOptions& opts) const {
+  // Shared attribute positions: (position here, position there).
+  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> other_private;  // positions unique to `other`
+  for (size_t j = 0; j < other.schema_.arity(); ++j) {
+    auto here = schema_.IndexOf(other.schema_.attr(j).name());
+    if (here) {
+      shared.emplace_back(*here, j);
+    } else {
+      other_private.push_back(j);
+    }
+  }
+  if (shared.empty()) {
+    return Status::InvalidArgument(
+        "NaturalJoin: schemas " + schema_.ToString() + " and " +
+        other.schema_.ToString() + " share no attributes");
+  }
+  Schema out_schema = schema_;
+  if (!other_private.empty()) {
+    HYP_ASSIGN_OR_RETURN(out_schema,
+                         schema_.Concat(other.schema_.Project(other_private)));
+  }
+  FreeTable out(out_schema);
+
+  // Hash index on `other` rows whose shared cells are all constants.
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> ground_index;
+  std::vector<size_t> variable_rows;
+  for (size_t r = 0; r < other.rows_.size(); ++r) {
+    Tuple key;
+    key.reserve(shared.size());
+    bool ground = true;
+    for (const auto& [pi, pj] : shared) {
+      (void)pi;
+      const Cell& c = other.rows_[r].cell(pj);
+      if (!c.is_constant()) {
+        ground = false;
+        break;
+      }
+      key.push_back(c.value());
+    }
+    if (ground) {
+      ground_index[std::move(key)].push_back(r);
+    } else {
+      variable_rows.push_back(r);
+    }
+  }
+
+  auto join_pair = [&](const Mapping& a, const Mapping& b) {
+    VarId offset = VarSpan(a);
+    Unifier u;
+    RegisterOccurrences(a, schema_, /*offset=*/0, &u);
+    RegisterOccurrences(b, other.schema_, offset, &u);
+    for (const auto& [pi, pj] : shared) {
+      Cell bc = b.cell(pj);
+      if (bc.is_variable()) {
+        bc = Cell::Variable(bc.var() + offset, bc.exclusions_ptr());
+      }
+      u.UnifyCells(a.cell(pi), bc);
+      if (u.failed()) return;
+    }
+    if (!u.Satisfiable()) return;
+    std::unordered_map<VarId, VarId> out_vars;
+    std::vector<Cell> cells;
+    cells.reserve(out_schema.arity());
+    for (size_t i = 0; i < a.arity(); ++i) {
+      cells.push_back(ResolveCell(a.cell(i), 0, &u, &out_vars));
+    }
+    for (size_t pj : other_private) {
+      cells.push_back(ResolveCell(b.cell(pj), offset, &u, &out_vars));
+    }
+    out.AddRow(Mapping(std::move(cells)));
+  };
+
+  for (const Mapping& a : rows_) {
+    // When this row's shared cells are ground we can probe the index.
+    Tuple key;
+    key.reserve(shared.size());
+    bool ground = true;
+    for (const auto& [pi, pj] : shared) {
+      (void)pj;
+      const Cell& c = a.cell(pi);
+      if (!c.is_constant()) {
+        ground = false;
+        break;
+      }
+      key.push_back(c.value());
+    }
+    if (ground) {
+      auto it = ground_index.find(key);
+      if (it != ground_index.end()) {
+        for (size_t r : it->second) join_pair(a, other.rows_[r]);
+      }
+      for (size_t r : variable_rows) join_pair(a, other.rows_[r]);
+    } else {
+      for (const Mapping& b : other.rows_) join_pair(a, b);
+    }
+    if (out.size() > opts.max_result_rows) {
+      return Status::InvalidArgument("NaturalJoin: result exceeds max rows");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// State for exact projection of one row: classes that need materialization
+// are expanded value-by-value.
+struct ClassPlan {
+  std::vector<size_t> kept_positions;   // positions of the class we keep
+  std::vector<Value> values;            // nonempty => materialize
+  std::set<Value> exclusions;           // class-combined exclusion set
+};
+
+Status ExpandRow(const Mapping& row, const std::vector<size_t>& keep,
+                 const std::vector<ClassPlan>& plans, size_t plan_idx,
+                 std::vector<std::optional<Value>>* chosen,
+                 const ComposeOptions& opts, FreeTable* out) {
+  if (plan_idx == plans.size()) {
+    // Emit: kept constants pass through; variable cells take either the
+    // chosen materialized value or a class variable with merged exclusions.
+    std::unordered_map<VarId, VarId> out_vars;
+    std::unordered_map<VarId, size_t> class_of_var;
+    for (size_t ci = 0; ci < plans.size(); ++ci) {
+      for (size_t p : plans[ci].kept_positions) {
+        class_of_var[row.cell(p).var()] = ci;
+      }
+    }
+    std::vector<Cell> cells;
+    cells.reserve(keep.size());
+    for (size_t p : keep) {
+      const Cell& c = row.cell(p);
+      if (c.is_constant()) {
+        cells.push_back(c);
+        continue;
+      }
+      size_t ci = class_of_var.at(c.var());
+      if ((*chosen)[ci]) {
+        cells.push_back(Cell::Constant(*(*chosen)[ci]));
+      } else {
+        auto [it, inserted] = out_vars.emplace(
+            c.var(), static_cast<VarId>(out_vars.size()));
+        (void)inserted;
+        cells.push_back(Cell::Variable(it->second, plans[ci].exclusions));
+      }
+    }
+    if (out->size() >= opts.max_result_rows) {
+      return Status::InvalidArgument("ProjectOnto: result exceeds max rows");
+    }
+    out->AddRow(Mapping(std::move(cells)));
+    return Status::OK();
+  }
+  const ClassPlan& plan = plans[plan_idx];
+  if (plan.values.empty()) {
+    (*chosen)[plan_idx] = std::nullopt;
+    return ExpandRow(row, keep, plans, plan_idx + 1, chosen, opts, out);
+  }
+  for (const Value& v : plan.values) {
+    (*chosen)[plan_idx] = v;
+    HYP_RETURN_IF_ERROR(
+        ExpandRow(row, keep, plans, plan_idx + 1, chosen, opts, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FreeTable> FreeTable::ProjectOnto(const std::vector<std::string>& names,
+                                         const ComposeOptions& opts) const {
+  HYP_ASSIGN_OR_RETURN(std::vector<size_t> keep, schema_.PositionsOf(names));
+  std::vector<bool> kept(schema_.arity(), false);
+  for (size_t p : keep) kept[p] = true;
+  FreeTable out(schema_.Project(keep));
+
+  for (const Mapping& row : rows_) {
+    bool row_ok = true;
+    std::vector<ClassPlan> plans;
+    for (const auto& [var, positions] : row.VariableClasses()) {
+      (void)var;
+      ClassPlan plan;
+      std::vector<const Domain*> domains;
+      bool dropped_finite = false;
+      for (size_t p : positions) {
+        domains.push_back(schema_.attr(p).domain().get());
+        const auto& ex = row.cell(p).exclusions();
+        plan.exclusions.insert(ex.begin(), ex.end());
+        if (kept[p]) {
+          plan.kept_positions.push_back(p);
+        } else if (schema_.attr(p).domain()->is_finite()) {
+          dropped_finite = true;
+        }
+      }
+      if (plan.kept_positions.empty()) {
+        // Class disappears: rows are satisfiable on insert, so the class
+        // has a value; nothing to do.
+        continue;
+      }
+      if (dropped_finite) {
+        // Enumerate the admissible values of the class (finite because some
+        // occurrence domain is finite).
+        const Domain* finite = nullptr;
+        for (const Domain* d : domains) {
+          if (d->is_finite() && (finite == nullptr || d->size() < finite->size())) {
+            finite = d;
+          }
+        }
+        assert(finite != nullptr);
+        for (const Value& v : finite->values()) {
+          if (plan.exclusions.count(v)) continue;
+          bool in_all = true;
+          for (const Domain* d : domains) {
+            if (!d->Contains(v)) {
+              in_all = false;
+              break;
+            }
+          }
+          if (in_all) plan.values.push_back(v);
+        }
+        if (plan.values.size() > opts.materialize_limit) {
+          return Status::InvalidArgument(
+              "ProjectOnto: class materialization exceeds limit");
+        }
+        if (plan.values.empty()) {
+          row_ok = false;  // class admits no value: row is empty
+        }
+      }
+      plans.push_back(std::move(plan));
+      if (!row_ok) break;
+    }
+    if (!row_ok) continue;
+    std::vector<std::optional<Value>> chosen(plans.size());
+    HYP_RETURN_IF_ERROR(
+        ExpandRow(row, keep, plans, 0, &chosen, opts, &out));
+  }
+  return out;
+}
+
+Result<FreeTable> FreeTable::CartesianProduct(
+    const FreeTable& other, const ComposeOptions& opts) const {
+  HYP_ASSIGN_OR_RETURN(Schema out_schema, schema_.Concat(other.schema_));
+  FreeTable out(std::move(out_schema));
+  for (const Mapping& a : rows_) {
+    VarId offset = VarSpan(a);
+    for (const Mapping& b : other.rows_) {
+      Mapping shifted = b.WithVarOffset(offset);
+      std::vector<Cell> cells = a.cells();
+      cells.insert(cells.end(), shifted.cells().begin(),
+                   shifted.cells().end());
+      if (out.size() >= opts.max_result_rows) {
+        return Status::InvalidArgument(
+            "CartesianProduct: result exceeds max rows");
+      }
+      out.AddRow(Mapping(std::move(cells)));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> FreeTable::EnumerateExtension(size_t limit) const {
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> out;
+  for (const Mapping& row : rows_) {
+    HYP_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                         row.EnumerateExtension(schema_, limit));
+    for (Tuple& t : tuples) {
+      if (out.size() >= limit) {
+        return Status::InvalidArgument("extension exceeds enumeration limit");
+      }
+      if (seen.insert(t).second) out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+std::string FreeTable::ToString() const {
+  std::ostringstream os;
+  os << "FreeTable " << schema_.ToString() << " [" << rows_.size()
+     << " rows]\n";
+  size_t shown = 0;
+  for (const Mapping& row : rows_) {
+    if (shown++ >= 20) {
+      os << "  ... (" << rows_.size() - 20 << " more)\n";
+      break;
+    }
+    os << "  " << row.ToString() << "\n";
+  }
+  return os.str();
+}
+
+Result<FreeTable> JoinOrProduct(const FreeTable& a, const FreeTable& b,
+                                const ComposeOptions& opts) {
+  if (a.schema().ToSet().Overlaps(b.schema().ToSet())) {
+    return a.NaturalJoin(b, opts);
+  }
+  return a.CartesianProduct(b, opts);
+}
+
+Result<FreeTable> SemiJoinReduce(const FreeTable& table,
+                                 const FreeTable& reducer) {
+  // Shared positions: (position in table, position in reducer).
+  std::vector<std::pair<size_t, size_t>> shared;
+  for (size_t i = 0; i < table.schema().arity(); ++i) {
+    auto j = reducer.schema().IndexOf(table.schema().attr(i).name());
+    if (j) shared.emplace_back(i, *j);
+  }
+  if (shared.empty()) {
+    return Status::InvalidArgument(
+        "SemiJoinReduce: schemas share no attributes");
+  }
+
+  // Whether rows a (of table) and b (of reducer) admit a common value
+  // assignment on the shared attributes.
+  auto unifiable = [&](const Mapping& a, const Mapping& b) {
+    VarId offset = VarSpan(a);
+    Unifier u;
+    RegisterOccurrences(a, table.schema(), /*offset=*/0, &u);
+    RegisterOccurrences(b, reducer.schema(), offset, &u);
+    for (const auto& [pi, pj] : shared) {
+      Cell bc = b.cell(pj);
+      if (bc.is_variable()) {
+        bc = Cell::Variable(bc.var() + offset, bc.exclusions_ptr());
+      }
+      u.UnifyCells(a.cell(pi), bc);
+      if (u.failed()) return false;
+    }
+    return u.Satisfiable();
+  };
+
+  // Hash index of the reducer's ground shared projections.
+  std::unordered_set<Tuple, TupleHash> ground_keys;
+  std::vector<const Mapping*> variable_rows;
+  for (const Mapping& b : reducer.rows()) {
+    Tuple key;
+    key.reserve(shared.size());
+    bool ground = true;
+    for (const auto& [pi, pj] : shared) {
+      (void)pi;
+      if (!b.cell(pj).is_constant()) {
+        ground = false;
+        break;
+      }
+      key.push_back(b.cell(pj).value());
+    }
+    if (ground) {
+      ground_keys.insert(std::move(key));
+    } else {
+      variable_rows.push_back(&b);
+    }
+  }
+
+  FreeTable out(table.schema());
+  for (const Mapping& a : table.rows()) {
+    Tuple key;
+    key.reserve(shared.size());
+    bool ground = true;
+    for (const auto& [pi, pj] : shared) {
+      (void)pj;
+      if (!a.cell(pi).is_constant()) {
+        ground = false;
+        break;
+      }
+      key.push_back(a.cell(pi).value());
+    }
+    bool keep = false;
+    if (ground) {
+      keep = ground_keys.count(key) > 0;
+      if (!keep) {
+        for (const Mapping* b : variable_rows) {
+          if (unifiable(a, *b)) {
+            keep = true;
+            break;
+          }
+        }
+      }
+    } else {
+      for (const Mapping& b : reducer.rows()) {
+        if (unifiable(a, b)) {
+          keep = true;
+          break;
+        }
+      }
+    }
+    if (keep) out.AddRow(a);
+  }
+  return out;
+}
+
+Result<MappingTable> ComposeConstraints(const MappingConstraint& a,
+                                        const MappingConstraint& b,
+                                        const ComposeOptions& opts) {
+  FreeTable fa = FreeTable::FromMappingTable(a.table());
+  FreeTable fb = FreeTable::FromMappingTable(b.table());
+  HYP_ASSIGN_OR_RETURN(FreeTable joined, fa.NaturalJoin(fb, opts));
+  // Keep a's X side plus b's Y side (dropping the shared middle).
+  std::vector<std::string> keep;
+  for (const Attribute& attr : a.x_schema().attrs()) {
+    keep.push_back(attr.name());
+  }
+  for (const Attribute& attr : b.y_schema().attrs()) {
+    if (std::find(keep.begin(), keep.end(), attr.name()) == keep.end()) {
+      keep.push_back(attr.name());
+    }
+  }
+  HYP_ASSIGN_OR_RETURN(FreeTable projected, joined.ProjectOnto(keep, opts));
+  std::vector<std::string> x_names;
+  for (const Attribute& attr : a.x_schema().attrs()) {
+    x_names.push_back(attr.name());
+  }
+  std::string name = a.name().empty() || b.name().empty()
+                         ? ""
+                         : a.name() + "*" + b.name();
+  return projected.ToMappingTable(x_names, std::move(name));
+}
+
+}  // namespace hyperion

@@ -1,0 +1,131 @@
+// FreeTable and the relational algebra of free-tuple tables: natural join,
+// projection and Cartesian product.  These three operations implement the
+// cover computation of §6: the cover of a conjunction of mapping
+// constraints is the projection of the natural join of their tables onto
+// the endpoint attributes.
+//
+// ext(table) = ⋃ over rows of ext(row) (rows are variable-disjoint), and
+// join/projection distribute over that union, so row-pairwise unification
+// (see unify.h) computes exact results.
+
+#ifndef HYPERION_CORE_COMPOSE_H_
+#define HYPERION_CORE_COMPOSE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/constraint.h"
+#include "core/mapping.h"
+#include "core/mapping_table.h"
+#include "core/schema.h"
+
+namespace hyperion {
+
+/// \brief Tuning knobs for free-table operations.
+struct ComposeOptions {
+  /// Projection of a variable class with a finite domain on a dropped
+  /// position must enumerate ("materialize") the class; this bounds how
+  /// many values a single class may expand to.
+  size_t materialize_limit = 4096;
+  /// Hard cap on the number of rows any single result may hold (fail with
+  /// InvalidArgument instead of exhausting memory; combined covers are
+  /// Cartesian products of per-partition covers and can explode).
+  size_t max_result_rows = 2'000'000;
+};
+
+/// \brief A set of free tuples over one schema — a mapping table without
+/// the X|Y split.  Intermediate results of cover computation live here.
+class FreeTable {
+ public:
+  FreeTable() = default;
+  explicit FreeTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Mapping>& rows() const { return rows_; }
+
+  /// \brief Adds `row` (normalized, deduplicated).  Unsatisfiable rows are
+  /// silently dropped — they denote the empty set.  Returns whether the
+  /// row was actually inserted (false for duplicates and empty rows).
+  bool AddRow(Mapping row);
+
+  bool ContainsRow(const Mapping& row) const {
+    return row_set_.count(row.Normalized()) > 0;
+  }
+
+  /// \brief Whether a valuation makes some row match the ground tuple.
+  bool MatchesGround(const Tuple& t) const;
+
+  /// \brief View of a mapping table as a free table (same rows).
+  static FreeTable FromMappingTable(const MappingTable& table);
+
+  /// \brief Splits the schema into the `x_names` attributes and the rest
+  /// to produce a mapping table.  Fails when a name is missing or when
+  /// either side would be empty.  Rows are reordered to X ++ Y.
+  Result<MappingTable> ToMappingTable(const std::vector<std::string>& x_names,
+                                      std::string name = "") const;
+
+  /// \brief Natural join on attributes shared by name.  The output schema
+  /// is this schema followed by `other`'s non-shared attributes.  The two
+  /// schemas must agree on shared attributes' domains by name.
+  Result<FreeTable> NaturalJoin(const FreeTable& other,
+                                const ComposeOptions& opts = {}) const;
+
+  /// \brief Projection onto `names` (in that order).  Exact: variable
+  /// classes spanning kept and dropped positions keep their accumulated
+  /// exclusions, and classes restricted by finite domains on dropped
+  /// positions are materialized.
+  Result<FreeTable> ProjectOnto(const std::vector<std::string>& names,
+                                const ComposeOptions& opts = {}) const;
+
+  /// \brief Cartesian product; schemas must be disjoint.
+  Result<FreeTable> CartesianProduct(const FreeTable& other,
+                                     const ComposeOptions& opts = {}) const;
+
+  /// \brief Whether ext(table) is nonempty.  Rows are satisfiable by
+  /// construction, so this is just non-emptiness.
+  bool IsSatisfiable() const { return !rows_.empty(); }
+
+  /// \brief Brute-force extension for finite domains (test oracle).
+  Result<std::vector<Tuple>> EnumerateExtension(size_t limit = 100000) const;
+
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Mapping> rows_;
+  std::unordered_set<Mapping, MappingHash> row_set_;
+};
+
+/// \brief NaturalJoin when the schemas overlap, CartesianProduct when they
+/// are disjoint.  Convenience for joining the members of a partition in an
+/// arbitrary order.
+Result<FreeTable> JoinOrProduct(const FreeTable& a, const FreeTable& b,
+                                const ComposeOptions& opts = {});
+
+/// \brief Semi-join reduction: the rows of `table` that can unify with at
+/// least one row of `reducer` on their shared attributes — exactly the
+/// rows that can contribute to table ⋈ reducer.  Classic distributed-join
+/// preprocessing: reducing tables before the expensive join (or before
+/// shipping them) never changes the join result, proven by the oracle
+/// tests.  Ground shared-cells probe a hash index of `reducer`; rows with
+/// variables in shared positions fall back to pairwise unification tests.
+Result<FreeTable> SemiJoinReduce(const FreeTable& table,
+                                 const FreeTable& reducer);
+
+/// \brief One step of cover computation: composes a: X --ma--> Y with
+/// b: Y' --mb--> Z into the cover X --m--> Z of {a, b}, joining on every
+/// attribute a's and b's schemas share and projecting onto X ∪ Z.
+///
+/// Requires a's and b's schemas to overlap (otherwise there is nothing to
+/// compose — use CartesianProduct) and X ∪ Z to be nonempty on both sides.
+Result<MappingTable> ComposeConstraints(const MappingConstraint& a,
+                                        const MappingConstraint& b,
+                                        const ComposeOptions& opts = {});
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_COMPOSE_H_

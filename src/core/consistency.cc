@@ -1,0 +1,239 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace hyperion {
+
+Schema FormulaSchema(const Mcf& formula) {
+  AttributeSet attrs = formula.Attributes();
+  return Schema(attrs.attrs());  // AttributeSet keeps attributes sorted
+}
+
+namespace {
+
+// Three-valued partial evaluation: leaves whose attributes are not all
+// assigned evaluate to "unknown" (nullopt).
+Result<std::optional<bool>> EvaluatePartial(
+    const Mcf& node, const Tuple& t, const Schema& schema,
+    const std::vector<bool>& assigned,
+    const std::unordered_map<const Mcf*, std::vector<size_t>>& leaf_positions) {
+  switch (node.kind()) {
+    case Mcf::Kind::kConstraint: {
+      const std::vector<size_t>& positions = leaf_positions.at(&node);
+      for (size_t p : positions) {
+        if (!assigned[p]) return std::optional<bool>(std::nullopt);
+      }
+      HYP_ASSIGN_OR_RETURN(bool v, node.constraint().SatisfiedBy(t, schema));
+      return std::optional<bool>(v);
+    }
+    case Mcf::Kind::kNot: {
+      HYP_ASSIGN_OR_RETURN(
+          std::optional<bool> v,
+          EvaluatePartial(*node.left(), t, schema, assigned, leaf_positions));
+      if (!v) return std::optional<bool>(std::nullopt);
+      return std::optional<bool>(!*v);
+    }
+    case Mcf::Kind::kAnd: {
+      HYP_ASSIGN_OR_RETURN(
+          std::optional<bool> l,
+          EvaluatePartial(*node.left(), t, schema, assigned, leaf_positions));
+      if (l && !*l) return std::optional<bool>(false);
+      HYP_ASSIGN_OR_RETURN(
+          std::optional<bool> r,
+          EvaluatePartial(*node.right(), t, schema, assigned, leaf_positions));
+      if (r && !*r) return std::optional<bool>(false);
+      if (l && r) return std::optional<bool>(*l && *r);
+      return std::optional<bool>(std::nullopt);
+    }
+    case Mcf::Kind::kOr: {
+      HYP_ASSIGN_OR_RETURN(
+          std::optional<bool> l,
+          EvaluatePartial(*node.left(), t, schema, assigned, leaf_positions));
+      if (l && *l) return std::optional<bool>(true);
+      HYP_ASSIGN_OR_RETURN(
+          std::optional<bool> r,
+          EvaluatePartial(*node.right(), t, schema, assigned, leaf_positions));
+      if (r && *r) return std::optional<bool>(true);
+      if (l && r) return std::optional<bool>(*l || *r);
+      return std::optional<bool>(std::nullopt);
+    }
+  }
+  return Status::Internal("corrupt MCF node");
+}
+
+void IndexLeafPositions(
+    const Mcf& node, const Schema& schema,
+    std::unordered_map<const Mcf*, std::vector<size_t>>* out) {
+  switch (node.kind()) {
+    case Mcf::Kind::kConstraint: {
+      std::vector<size_t> positions;
+      for (const Attribute& a :
+           node.constraint().table().schema().attrs()) {
+        auto idx = schema.IndexOf(a.name());
+        if (idx) positions.push_back(*idx);
+      }
+      (*out)[&node] = std::move(positions);
+      return;
+    }
+    case Mcf::Kind::kNot:
+      IndexLeafPositions(*node.left(), schema, out);
+      return;
+    case Mcf::Kind::kAnd:
+    case Mcf::Kind::kOr:
+      IndexLeafPositions(*node.left(), schema, out);
+      IndexLeafPositions(*node.right(), schema, out);
+      return;
+  }
+}
+
+struct SearchContext {
+  const Mcf* formula;
+  const Schema* schema;
+  std::vector<std::vector<Value>> candidates;  // per attribute position
+  std::unordered_map<const Mcf*, std::vector<size_t>> leaf_positions;
+  size_t budget;
+};
+
+Result<bool> Search(SearchContext* ctx, size_t pos, Tuple* t,
+                    std::vector<bool>* assigned) {
+  if (pos == ctx->schema->arity()) {
+    if (ctx->budget == 0) {
+      return Status::InvalidArgument(
+          "consistency search exceeded its assignment budget");
+    }
+    --ctx->budget;
+    HYP_ASSIGN_OR_RETURN(
+        std::optional<bool> v,
+        EvaluatePartial(*ctx->formula, *t, *ctx->schema, *assigned,
+                        ctx->leaf_positions));
+    return v.value_or(false);
+  }
+  for (const Value& candidate : ctx->candidates[pos]) {
+    (*t)[pos] = candidate;
+    (*assigned)[pos] = true;
+    // Prune: if the formula is already definitely false, skip the subtree.
+    HYP_ASSIGN_OR_RETURN(
+        std::optional<bool> partial,
+        EvaluatePartial(*ctx->formula, *t, *ctx->schema, *assigned,
+                        ctx->leaf_positions));
+    if (partial && !*partial) {
+      (*assigned)[pos] = false;
+      continue;
+    }
+    if (ctx->budget == 0) {
+      return Status::InvalidArgument(
+          "consistency search exceeded its assignment budget");
+    }
+    --ctx->budget;
+    HYP_ASSIGN_OR_RETURN(bool found, Search(ctx, pos + 1, t, assigned));
+    if (found) return true;
+    (*assigned)[pos] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::optional<Tuple>> FindSatisfyingTuple(
+    const Mcf& formula, const ConsistencyOptions& opts) {
+  Schema schema = FormulaSchema(formula);
+  if (schema.arity() == 0) {
+    return Status::InvalidArgument("formula mentions no attributes");
+  }
+
+  std::vector<MappingConstraint> leaves;
+  formula.CollectLeaves(&leaves);
+
+  // Constants mentioned at each attribute, and globally (for freshness).
+  std::map<std::string, std::set<Value>> per_attr;
+  std::set<Value> all_mentioned;
+  for (const MappingConstraint& leaf : leaves) {
+    const MappingTable& table = leaf.table();
+    for (const Mapping& row : table.rows()) {
+      for (size_t i = 0; i < row.arity(); ++i) {
+        const std::string& attr = table.schema().attr(i).name();
+        const Cell& c = row.cell(i);
+        if (c.is_constant()) {
+          per_attr[attr].insert(c.value());
+          all_mentioned.insert(c.value());
+        } else {
+          per_attr[attr].insert(c.exclusions().begin(), c.exclusions().end());
+          all_mentioned.insert(c.exclusions().begin(), c.exclusions().end());
+        }
+      }
+    }
+  }
+
+  // Fresh pools per value type: |U| distinct values avoiding everything
+  // mentioned, so any equality pattern among "new" values is realizable.
+  std::map<ValueType, std::vector<Value>> fresh_pool;
+  auto pool_for = [&](const DomainPtr& domain) -> const std::vector<Value>& {
+    ValueType type = domain->value_type();
+    auto it = fresh_pool.find(type);
+    if (it != fresh_pool.end()) return it->second;
+    std::vector<Value> pool;
+    std::set<Value> avoid = all_mentioned;
+    for (size_t i = 0; i < schema.arity(); ++i) {
+      auto v = domain->PickOutside(avoid, i);
+      if (!v) break;
+      avoid.insert(*v);
+      pool.push_back(*v);
+    }
+    return fresh_pool.emplace(type, std::move(pool)).first->second;
+  };
+
+  SearchContext ctx;
+  ctx.formula = &formula;
+  ctx.schema = &schema;
+  ctx.budget = opts.max_assignments;
+  ctx.candidates.resize(schema.arity());
+  IndexLeafPositions(formula, schema, &ctx.leaf_positions);
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    const Attribute& attr = schema.attr(i);
+    std::set<Value> cand;
+    if (attr.domain()->is_finite()) {
+      // Finite domain: every value is a candidate.
+      cand.insert(attr.domain()->values().begin(),
+                  attr.domain()->values().end());
+    } else {
+      for (const Value& v : per_attr[attr.name()]) {
+        if (attr.domain()->Contains(v)) cand.insert(v);
+      }
+      for (const Value& v : pool_for(attr.domain())) cand.insert(v);
+    }
+    if (cand.empty()) {
+      return Status::Internal("no candidate values for attribute '" +
+                              attr.name() + "'");
+    }
+    ctx.candidates[i].assign(cand.begin(), cand.end());
+  }
+
+  Tuple t(schema.arity());
+  std::vector<bool> assigned(schema.arity(), false);
+  HYP_ASSIGN_OR_RETURN(bool found, Search(&ctx, 0, &t, &assigned));
+  if (!found) return std::optional<Tuple>(std::nullopt);
+  return std::optional<Tuple>(std::move(t));
+}
+
+Result<bool> IsConsistent(const Mcf& formula, const ConsistencyOptions& opts) {
+  HYP_ASSIGN_OR_RETURN(std::optional<Tuple> witness,
+                       FindSatisfyingTuple(formula, opts));
+  return witness.has_value();
+}
+
+Result<bool> ConjunctionConsistent(
+    const std::vector<MappingConstraint>& constraints,
+    const ConsistencyOptions& opts) {
+  std::vector<McfPtr> leaves;
+  leaves.reserve(constraints.size());
+  for (const MappingConstraint& c : constraints) {
+    leaves.push_back(Mcf::Leaf(c));
+  }
+  HYP_ASSIGN_OR_RETURN(McfPtr formula, Mcf::AndAll(leaves));
+  return IsConsistent(*formula, opts);
+}
+
+}  // namespace hyperion

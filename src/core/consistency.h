@@ -1,0 +1,50 @@
+// Consistency of mapping-constraint formulas (paper §5).
+//
+// A formula φ over attributes U is consistent iff some nonempty relation
+// over U satisfies it; since satisfaction is tuple-wise, that is iff some
+// single U-tuple satisfies φ.  The problem is NP-complete (Theorem 11) and
+// this solver is accordingly exponential in |U| in the worst case: it
+// enumerates a small-model candidate space (constants mentioned at each
+// attribute plus enough fresh values to realize any equality pattern) with
+// three-valued pruning.  For conjunctions forming a path, prefer the
+// polynomial cover engine (cover_engine.h) — see Theorem 13 for why the
+// path restriction matters.
+
+#ifndef HYPERION_CORE_CONSISTENCY_H_
+#define HYPERION_CORE_CONSISTENCY_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/mcf.h"
+
+namespace hyperion {
+
+struct ConsistencyOptions {
+  /// Hard budget on examined candidate assignments.
+  size_t max_assignments = 10'000'000;
+};
+
+/// \brief The schema over which `formula` is interpreted: the union of its
+/// leaves' attributes, ordered by name.
+Schema FormulaSchema(const Mcf& formula);
+
+/// \brief Searches for a U-tuple satisfying `formula`; nullopt when the
+/// formula is inconsistent.  Exact (see header comment); fails only when
+/// the assignment budget is exhausted.
+Result<std::optional<Tuple>> FindSatisfyingTuple(
+    const Mcf& formula, const ConsistencyOptions& opts = {});
+
+/// \brief Whether `formula` is consistent (§5.1).
+Result<bool> IsConsistent(const Mcf& formula,
+                          const ConsistencyOptions& opts = {});
+
+/// \brief Whether the conjunction of `constraints` is consistent — the
+/// restriction studied in Theorem 12.
+Result<bool> ConjunctionConsistent(
+    const std::vector<MappingConstraint>& constraints,
+    const ConsistencyOptions& opts = {});
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_CONSISTENCY_H_

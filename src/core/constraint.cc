@@ -1,0 +1,50 @@
+#include "core/constraint.h"
+
+#include <sstream>
+
+namespace hyperion {
+
+Result<bool> MappingConstraint::SatisfiedBy(const Tuple& t,
+                                            const Schema& schema) const {
+  if (t.size() != schema.arity()) {
+    return Status::InvalidArgument("tuple arity does not match schema");
+  }
+  std::vector<std::string> names;
+  names.reserve(table_->schema().arity());
+  for (const Attribute& a : table_->schema().attrs()) {
+    names.push_back(a.name());
+  }
+  HYP_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                       schema.PositionsOf(names));
+  return table_->SatisfiesTuple(ProjectTuple(t, positions));
+}
+
+Result<bool> MappingConstraint::SatisfiedBy(const Relation& r) const {
+  for (const Tuple& t : r.tuples()) {
+    HYP_ASSIGN_OR_RETURN(bool ok, SatisfiedBy(t, r.schema()));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string MappingConstraint::ToString() const {
+  std::ostringstream os;
+  std::vector<std::string> x_names;
+  for (const Attribute& a : x_schema().attrs()) x_names.push_back(a.name());
+  std::vector<std::string> y_names;
+  for (const Attribute& a : y_schema().attrs()) y_names.push_back(a.name());
+  os << "[";
+  for (size_t i = 0; i < x_names.size(); ++i) {
+    if (i) os << ",";
+    os << x_names[i];
+  }
+  os << " --" << (name().empty() ? "m" : name()) << "--> ";
+  for (size_t i = 0; i < y_names.size(); ++i) {
+    if (i) os << ",";
+    os << y_names[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hyperion

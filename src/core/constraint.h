@@ -1,0 +1,58 @@
+// MappingConstraint: a mapping table read as a constraint X --m--> Y on the
+// exchange of tuples between peers (Definition 7).
+//
+// The constraint is a cheap, shareable handle over an immutable table.  All
+// constraints are interpreted under the CC-world semantics; CO-world tables
+// are translated first (see semantics.h), mirroring §4.1 of the paper.
+
+#ifndef HYPERION_CORE_CONSTRAINT_H_
+#define HYPERION_CORE_CONSTRAINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mapping_table.h"
+
+namespace hyperion {
+
+/// \brief The constraint X --m--> Y induced by mapping table m.
+class MappingConstraint {
+ public:
+  MappingConstraint() = default;
+  explicit MappingConstraint(MappingTable table)
+      : table_(std::make_shared<const MappingTable>(std::move(table))) {}
+  explicit MappingConstraint(std::shared_ptr<const MappingTable> table)
+      : table_(std::move(table)) {}
+
+  bool valid() const { return table_ != nullptr; }
+  const MappingTable& table() const { return *table_; }
+  const std::shared_ptr<const MappingTable>& table_ptr() const {
+    return table_;
+  }
+
+  const std::string& name() const { return table_->name(); }
+  const Schema& x_schema() const { return table_->x_schema(); }
+  const Schema& y_schema() const { return table_->y_schema(); }
+  /// \brief X ∪ Y as an attribute set.
+  AttributeSet Attributes() const { return table_->schema().ToSet(); }
+
+  /// \brief Definition 7: t ⊨ X --m--> Y iff t[Y] ∈ Y_m(t[X]).
+  ///
+  /// `t` must be over `schema` which contains all of X ∪ Y; extra
+  /// attributes are ignored.
+  Result<bool> SatisfiedBy(const Tuple& t, const Schema& schema) const;
+
+  /// \brief Whether every tuple of `r` satisfies the constraint.
+  Result<bool> SatisfiedBy(const Relation& r) const;
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const MappingTable> table_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_CONSTRAINT_H_

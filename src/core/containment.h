@@ -1,0 +1,83 @@
+// Extension containment: ext(m) ⊆ ext(m') (§6, Condition 2 of the cover
+// definition — the primitive behind inference checking).
+//
+// Ground rows reduce to indexed membership.  Rows with variables use a
+// small-model candidate search: a counterexample tuple exists iff one
+// exists where every variable class takes either a constant mentioned in
+// the right-hand side at the class's positions or a fresh value; the
+// search is therefore exact.  It is exponential only in the number of
+// variable classes of a single left-hand row (tables in practice have at
+// most a couple of variable rows, each with one or two classes).
+
+#ifndef HYPERION_CORE_CONTAINMENT_H_
+#define HYPERION_CORE_CONTAINMENT_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/compose.h"
+#include "core/mapping_table.h"
+
+namespace hyperion {
+
+/// \brief Limits for the candidate search.
+struct ContainmentOptions {
+  /// Cap on the total number of candidate combinations per left row.
+  size_t max_combinations = 10'000'000;
+};
+
+/// \brief Precomputed probe structure over one table: ground rows go into
+/// a hash set so repeated membership checks are O(1) plus a scan of the
+/// (typically few) variable rows.  Holds a reference — the table must
+/// outlive the matcher.
+class TableMatcher {
+ public:
+  explicit TableMatcher(const FreeTable& table);
+
+  const FreeTable& table() const { return *table_; }
+
+  /// \brief Whether some row of the table matches the ground tuple.
+  bool MatchesGround(const Tuple& t) const;
+
+ private:
+  const FreeTable* table_;
+  std::unordered_set<Tuple, TupleHash> ground_rows_;
+  std::vector<const Mapping*> variable_rows_;
+};
+
+/// \brief Whether ext(row) ⊆ ext(rhs); `row` is over rhs's schema.
+Result<bool> RowContainedInTable(const Mapping& row, const FreeTable& rhs,
+                                 const ContainmentOptions& opts = {});
+
+/// \brief As above against a prebuilt matcher (for repeated probes).
+Result<bool> RowContainedInTable(const Mapping& row,
+                                 const TableMatcher& rhs,
+                                 const ContainmentOptions& opts = {});
+
+/// \brief Whether ext(lhs) ⊆ ext(rhs).  The schemas must contain the same
+/// attribute names (order may differ; rows are aligned by name).
+Result<bool> ExtensionContained(const FreeTable& lhs, const FreeTable& rhs,
+                                const ContainmentOptions& opts = {});
+
+/// \brief Containment over mapping tables (same attribute names; the X|Y
+/// split does not have to agree).
+Result<bool> TableContained(const MappingTable& lhs, const MappingTable& rhs,
+                            const ContainmentOptions& opts = {});
+
+/// \brief Mutual containment.
+Result<bool> TablesEquivalent(const MappingTable& lhs,
+                              const MappingTable& rhs,
+                              const ContainmentOptions& opts = {});
+
+/// \brief Removes rows whose extension is covered by a single other row
+/// (pairwise subsumption).  O(n²) row pairs — intended for small covers;
+/// `max_rows` guards against accidental quadratic blowups (tables larger
+/// than that are returned unchanged).
+Result<FreeTable> RemoveSubsumedRows(const FreeTable& table,
+                                     size_t max_rows = 2000,
+                                     const ContainmentOptions& opts = {});
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_CONTAINMENT_H_

@@ -1,0 +1,86 @@
+// Curator operations on mapping tables (paper §5: "curators edit, copy,
+// or merge mapping tables that come from a variety of sources and it can
+// be a cumbersome task to ensure that the mapping constraints of one
+// table do not invalidate those expressed by another").
+//
+// Merging follows Example 8's two policies: a curator who trusts both
+// sources takes the union (μ1 ∨ μ2); one who wants doubly-validated
+// mappings takes the intersection (μ1 ∧ μ2).  Diffing and dead-row
+// detection support the paper's expectation that "automated inference and
+// consistency checks will help a curator understand whether a default
+// semantics is appropriate".
+
+#ifndef HYPERION_CORE_CURATOR_H_
+#define HYPERION_CORE_CURATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/consistency.h"
+#include "core/containment.h"
+#include "core/mapping_table.h"
+#include "core/mcf.h"
+
+namespace hyperion {
+
+/// \brief Union merge (Example 8's μ1 ∨ μ2): a tuple is allowed when
+/// either table allows it.  Tables must have the same attribute names and
+/// X|Y split; rows of `b` are reordered to `a`'s column order.
+Result<MappingTable> MergeUnion(const MappingTable& a, const MappingTable& b,
+                                std::string name = "merged");
+
+/// \brief Intersection merge (Example 8's μ1 ∧ μ2): a tuple is allowed
+/// only when both tables allow it.  Computed exactly by unifying rows
+/// pairwise (a natural join over ALL columns), so variable rows narrow
+/// correctly — identity ∧ ground = the ground rows, etc.
+Result<MappingTable> MergeIntersect(const MappingTable& a,
+                                    const MappingTable& b,
+                                    std::string name = "merged",
+                                    const ComposeOptions& opts = {});
+
+/// \brief Rows of one table not implied by the other — what a curator
+/// reviews before adopting someone else's table.
+struct TableDiff {
+  std::vector<Mapping> only_in_a;  // rows of a not covered by b
+  std::vector<Mapping> only_in_b;  // rows of b not covered by a
+  bool equivalent() const {
+    return only_in_a.empty() && only_in_b.empty();
+  }
+};
+
+Result<TableDiff> DiffTables(const MappingTable& a, const MappingTable& b,
+                             const ContainmentOptions& opts = {});
+
+/// \brief Rows of `constraints[target]` that can never participate in any
+/// exchanged tuple because the OTHER constraints contradict them — the
+/// row-level refinement of the Figure 2 inconsistency.  A table whose
+/// every row is dead makes the conjunction inconsistent.
+///
+/// Uses the general consistency solver per row (exponential in the number
+/// of attributes; intended for curated tables, not 10k-row ones — cap the
+/// work with `opts`).
+Result<std::vector<Mapping>> DeadRows(
+    const std::vector<MappingConstraint>& constraints, size_t target,
+    const ConsistencyOptions& opts = {});
+
+/// \brief The paper's §9 future work: a peer that discovered alternative
+/// paths folds the covers computed along them into its direct table
+/// (union merge of everything).
+Result<MappingTable> AugmentFromPathCovers(
+    const MappingTable& direct, const std::vector<MappingTable>& covers);
+
+/// \brief Compiles a NEGATION-FREE formula whose leaves all describe the
+/// same mapping (same attributes, same X|Y split) into one equivalent
+/// mapping table: ∧ becomes the exact intersection, ∨ the union.  The
+/// result can then be stored, shipped and composed like any other table.
+///
+/// Negation is rejected: ¬μ excludes whole tuples, which single tables
+/// cannot express (the paper's Example 10 introduces MCFs for exactly
+/// that reason).
+Result<MappingTable> MaterializeFormula(const Mcf& formula,
+                                        std::string name = "materialized",
+                                        const ComposeOptions& opts = {});
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_CURATOR_H_

@@ -1,0 +1,136 @@
+#include "core/domain.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperion {
+
+DomainPtr Domain::AllStrings(std::string name) {
+  return DomainPtr(
+      new Domain(Kind::kAllStrings, std::move(name), ValueType::kString, {}));
+}
+
+DomainPtr Domain::AllInts(std::string name) {
+  return DomainPtr(
+      new Domain(Kind::kAllInts, std::move(name), ValueType::kInt, {}));
+}
+
+DomainPtr Domain::Enumerated(std::string name, std::vector<Value> values) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  ValueType type = values.front().type();
+  for (const Value& v : values) {
+    assert(v.type() == type && "enumerated domain mixes value types");
+    (void)v;
+  }
+  return DomainPtr(
+      new Domain(Kind::kEnumerated, std::move(name), type, std::move(values)));
+}
+
+bool Domain::Contains(const Value& v) const {
+  switch (kind_) {
+    case Kind::kAllStrings:
+      return v.is_string();
+    case Kind::kAllInts:
+      return v.is_int();
+    case Kind::kEnumerated:
+      return std::binary_search(values_.begin(), values_.end(), v);
+  }
+  return false;
+}
+
+bool Domain::HasValueOutside(const std::set<Value>& excluded) const {
+  if (!is_finite()) return true;
+  if (excluded.size() < values_.size()) return true;
+  for (const Value& v : values_) {
+    if (!excluded.count(v)) return true;
+  }
+  return false;
+}
+
+std::optional<Value> Domain::PickOutside(const std::set<Value>& excluded,
+                                         uint64_t salt) const {
+  switch (kind_) {
+    case Kind::kAllStrings: {
+      // Values in the fresh namespace "\x01fresh..." cannot collide with
+      // application identifiers, but check against `excluded` anyway.
+      for (uint64_t i = salt;; ++i) {
+        Value candidate(std::string("\x01") + "fresh#" + std::to_string(i));
+        if (!excluded.count(candidate)) return candidate;
+      }
+    }
+    case Kind::kAllInts: {
+      // Start deep in the negative range where generators never allocate.
+      for (int64_t i = std::numeric_limits<int64_t>::min() +
+                       static_cast<int64_t>(salt);
+           ; ++i) {
+        Value candidate(i);
+        if (!excluded.count(candidate)) return candidate;
+      }
+    }
+    case Kind::kEnumerated: {
+      uint64_t skipped = 0;
+      for (const Value& v : values_) {
+        if (excluded.count(v)) continue;
+        if (skipped == salt) return v;
+        ++skipped;
+      }
+      // Fewer than salt+1 survivors: return the last one if any survived.
+      if (skipped > 0) {
+        for (auto it = values_.rbegin(); it != values_.rend(); ++it) {
+          if (!excluded.count(*it)) return *it;
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Domain::IntersectionHasValueOutside(
+    const std::vector<const Domain*>& domains,
+    const std::set<Value>& excluded) {
+  return PickInIntersectionOutside(domains, excluded).has_value();
+}
+
+std::optional<Value> Domain::PickInIntersectionOutside(
+    const std::vector<const Domain*>& domains,
+    const std::set<Value>& excluded, uint64_t salt) {
+  assert(!domains.empty());
+  // Value types must agree or the intersection is empty.
+  ValueType type = domains.front()->value_type();
+  for (const Domain* d : domains) {
+    if (d->value_type() != type) return std::nullopt;
+  }
+  // If any domain is finite, scan its values (cheapest complete approach).
+  const Domain* finite = nullptr;
+  for (const Domain* d : domains) {
+    if (d->is_finite() && (finite == nullptr || d->size() < finite->size())) {
+      finite = d;
+    }
+  }
+  if (finite != nullptr) {
+    uint64_t skipped = 0;
+    std::optional<Value> last;
+    for (const Value& v : finite->values()) {
+      if (excluded.count(v)) continue;
+      bool in_all = true;
+      for (const Domain* d : domains) {
+        if (!d->Contains(v)) {
+          in_all = false;
+          break;
+        }
+      }
+      if (!in_all) continue;
+      last = v;
+      if (skipped == salt) return v;
+      ++skipped;
+    }
+    return last;  // best effort when salt exceeds survivor count
+  }
+  // All infinite with equal value type: intersection is the whole type.
+  return domains.front()->PickOutside(excluded, salt);
+}
+
+}  // namespace hyperion

@@ -1,0 +1,106 @@
+// Domain: the set of values an attribute ranges over (paper §3, dom(A)).
+//
+// The satisfiability of a restricted variable `v - S` depends on whether the
+// domain has any value outside S, so domains must answer membership and
+// "pick a value avoiding this exclusion set" queries.  Realistic identifier
+// domains are unbounded (all strings); tests also use small finite domains
+// so brute-force oracles can enumerate every tuple.
+
+#ifndef HYPERION_CORE_DOMAIN_H_
+#define HYPERION_CORE_DOMAIN_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace hyperion {
+
+class Domain;
+using DomainPtr = std::shared_ptr<const Domain>;
+
+/// \brief An immutable value domain.  Create via the factory functions;
+/// share via DomainPtr.
+class Domain {
+ public:
+  enum class Kind {
+    kAllStrings,   // every std::string
+    kAllInts,      // every int64_t
+    kEnumerated,   // an explicit finite set of values
+  };
+
+  /// \brief The unbounded domain of all strings.
+  static DomainPtr AllStrings(std::string name = "string");
+  /// \brief The domain of all 64-bit integers (effectively unbounded).
+  static DomainPtr AllInts(std::string name = "int");
+  /// \brief A finite domain with exactly the given values (deduplicated,
+  /// sorted).  All values must share one ValueType.
+  static DomainPtr Enumerated(std::string name, std::vector<Value> values);
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  ValueType value_type() const { return value_type_; }
+
+  bool Contains(const Value& v) const;
+
+  /// \brief True when the domain has finitely many values.
+  bool is_finite() const { return kind_ == Kind::kEnumerated; }
+
+  /// \brief Number of values for finite domains; a huge sentinel otherwise.
+  uint64_t size() const {
+    return is_finite() ? values_.size()
+                       : std::numeric_limits<uint64_t>::max();
+  }
+
+  /// \brief The values of a finite domain (sorted). Requires is_finite().
+  const std::vector<Value>& values() const { return values_; }
+
+  /// \brief Whether any domain value lies outside `excluded`.
+  ///
+  /// This decides the satisfiability of a `v - S` cell: infinite domains
+  /// always say true; finite domains compare cardinalities.
+  bool HasValueOutside(const std::set<Value>& excluded) const;
+
+  /// \brief Returns some domain value not in `excluded`, or nullopt when
+  /// none exists.  `salt` perturbs the choice for infinite domains so
+  /// callers can request several distinct fresh values.
+  std::optional<Value> PickOutside(const std::set<Value>& excluded,
+                                   uint64_t salt = 0) const;
+
+  /// \brief Whether the intersection of `domains` contains a value outside
+  /// `excluded`.  `domains` must be nonempty.
+  ///
+  /// Valuations map a variable to the intersection of the domains of the
+  /// attributes it appears in (Definition 5), so cross-attribute variables
+  /// need this query.
+  static bool IntersectionHasValueOutside(
+      const std::vector<const Domain*>& domains,
+      const std::set<Value>& excluded);
+
+  /// \brief Like PickOutside, over the intersection of `domains`.
+  static std::optional<Value> PickInIntersectionOutside(
+      const std::vector<const Domain*>& domains,
+      const std::set<Value>& excluded, uint64_t salt = 0);
+
+ private:
+  Domain(Kind kind, std::string name, ValueType value_type,
+         std::vector<Value> values)
+      : kind_(kind),
+        name_(std::move(name)),
+        value_type_(value_type),
+        values_(std::move(values)) {}
+
+  Kind kind_;
+  std::string name_;
+  ValueType value_type_;
+  std::vector<Value> values_;  // only for kEnumerated
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_DOMAIN_H_

@@ -1,0 +1,64 @@
+#include "core/infer.h"
+
+namespace hyperion {
+
+Result<bool> PathImplies(const ConstraintPath& path,
+                         const MappingConstraint& target,
+                         const InferenceOptions& opts) {
+  std::vector<std::string> x_names;
+  for (const Attribute& a : target.x_schema().attrs()) {
+    x_names.push_back(a.name());
+  }
+  std::vector<std::string> y_names;
+  for (const Attribute& a : target.y_schema().attrs()) {
+    y_names.push_back(a.name());
+  }
+  CoverEngine engine(opts.cover);
+  HYP_ASSIGN_OR_RETURN(MappingTable cover,
+                       engine.ComputeCover(path, x_names, y_names));
+  return TableContained(cover, target.table(), opts.containment);
+}
+
+Result<bool> FormulaImplies(const std::vector<McfPtr>& sigma,
+                            const McfPtr& phi,
+                            const InferenceOptions& opts) {
+  if (phi == nullptr) {
+    return Status::InvalidArgument("FormulaImplies: null formula");
+  }
+  McfPtr combined = Mcf::Not(phi);
+  for (const McfPtr& s : sigma) {
+    if (s == nullptr) {
+      return Status::InvalidArgument("FormulaImplies: null premise");
+    }
+    combined = Mcf::And(combined, s);
+  }
+  HYP_ASSIGN_OR_RETURN(bool consistent,
+                       IsConsistent(*combined, opts.consistency));
+  return !consistent;
+}
+
+Result<std::vector<Mapping>> RowsNotContained(const MappingTable& computed,
+                                              const MappingTable& existing,
+                                              const ContainmentOptions& opts) {
+  // Align the existing table to the computed table's column order.
+  std::vector<std::string> names;
+  for (const Attribute& a : computed.schema().attrs()) {
+    names.push_back(a.name());
+  }
+  HYP_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                       existing.schema().PositionsOf(names));
+  FreeTable aligned(existing.schema().Project(positions));
+  for (const Mapping& row : existing.rows()) {
+    aligned.AddRow(row.Project(positions));
+  }
+  TableMatcher matcher(aligned);
+  std::vector<Mapping> out;
+  for (const Mapping& row : computed.rows()) {
+    HYP_ASSIGN_OR_RETURN(bool contained,
+                         RowContainedInTable(row, matcher, opts));
+    if (!contained) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,50 @@
+// The inference problem (paper §5.1): does a set of mapping constraints
+// imply another one?
+//
+// Two routes, mirroring the paper:
+//  * PathImplies — for constraints forming a path, compute the cover and
+//    check ext(cover) ⊆ ext(target) (§6; polynomial under the paper's
+//    assumptions).
+//  * FormulaImplies — the general reduction Σ ⊨ φ iff ¬φ ∧ ⋀Σ is
+//    inconsistent (§5.1), answered by the NP-complete consistency solver.
+
+#ifndef HYPERION_CORE_INFER_H_
+#define HYPERION_CORE_INFER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/consistency.h"
+#include "core/containment.h"
+#include "core/cover_engine.h"
+#include "core/mcf.h"
+
+namespace hyperion {
+
+struct InferenceOptions {
+  CoverEngineOptions cover;
+  ContainmentOptions containment;
+  ConsistencyOptions consistency;
+};
+
+/// \brief Whether the path's constraint set implies `target`, whose X must
+/// lie in the first peer and Y in the last.
+Result<bool> PathImplies(const ConstraintPath& path,
+                         const MappingConstraint& target,
+                         const InferenceOptions& opts = {});
+
+/// \brief General inference over formulas: Σ ⊨ φ iff ¬φ ∧ ⋀Σ is
+/// inconsistent.  Exponential in the number of attributes (Theorem 11).
+Result<bool> FormulaImplies(const std::vector<McfPtr>& sigma,
+                            const McfPtr& phi,
+                            const InferenceOptions& opts = {});
+
+/// \brief Rows of `computed` that are not already implied by `existing`
+/// row-wise — the "new mappings" of the paper's Figure 10 experiment.
+Result<std::vector<Mapping>> RowsNotContained(
+    const MappingTable& computed, const MappingTable& existing,
+    const ContainmentOptions& opts = {});
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_INFER_H_

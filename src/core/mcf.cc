@@ -1,0 +1,230 @@
+#include "core/mcf.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hyperion {
+
+McfPtr Mcf::Leaf(MappingConstraint constraint) {
+  auto node = std::shared_ptr<Mcf>(new Mcf(Kind::kConstraint));
+  node->constraint_ = std::move(constraint);
+  return node;
+}
+
+McfPtr Mcf::Not(McfPtr child) {
+  assert(child != nullptr);
+  auto node = std::shared_ptr<Mcf>(new Mcf(Kind::kNot));
+  node->left_ = std::move(child);
+  return node;
+}
+
+McfPtr Mcf::And(McfPtr left, McfPtr right) {
+  assert(left != nullptr && right != nullptr);
+  auto node = std::shared_ptr<Mcf>(new Mcf(Kind::kAnd));
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return node;
+}
+
+McfPtr Mcf::Or(McfPtr left, McfPtr right) {
+  assert(left != nullptr && right != nullptr);
+  auto node = std::shared_ptr<Mcf>(new Mcf(Kind::kOr));
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return node;
+}
+
+Result<McfPtr> Mcf::AndAll(const std::vector<McfPtr>& children) {
+  if (children.empty()) {
+    return Status::InvalidArgument("AndAll: empty conjunction");
+  }
+  McfPtr out = children.front();
+  for (size_t i = 1; i < children.size(); ++i) {
+    out = And(out, children[i]);
+  }
+  return out;
+}
+
+Result<bool> Mcf::EvaluateOn(const Tuple& t, const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kConstraint:
+      return constraint_.SatisfiedBy(t, schema);
+    case Kind::kNot: {
+      HYP_ASSIGN_OR_RETURN(bool v, left_->EvaluateOn(t, schema));
+      return !v;
+    }
+    case Kind::kAnd: {
+      HYP_ASSIGN_OR_RETURN(bool l, left_->EvaluateOn(t, schema));
+      if (!l) return false;
+      return right_->EvaluateOn(t, schema);
+    }
+    case Kind::kOr: {
+      HYP_ASSIGN_OR_RETURN(bool l, left_->EvaluateOn(t, schema));
+      if (l) return true;
+      return right_->EvaluateOn(t, schema);
+    }
+  }
+  return Status::Internal("corrupt MCF node");
+}
+
+AttributeSet Mcf::Attributes() const {
+  switch (kind_) {
+    case Kind::kConstraint:
+      return constraint_.Attributes();
+    case Kind::kNot:
+      return left_->Attributes();
+    case Kind::kAnd:
+    case Kind::kOr:
+      return left_->Attributes().Union(right_->Attributes());
+  }
+  return AttributeSet();
+}
+
+void Mcf::CollectLeaves(std::vector<MappingConstraint>* out) const {
+  switch (kind_) {
+    case Kind::kConstraint:
+      out->push_back(constraint_);
+      return;
+    case Kind::kNot:
+      left_->CollectLeaves(out);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      left_->CollectLeaves(out);
+      right_->CollectLeaves(out);
+      return;
+  }
+}
+
+std::string Mcf::ToString() const {
+  switch (kind_) {
+    case Kind::kConstraint:
+      return constraint_.name().empty() ? "m" : constraint_.name();
+    case Kind::kNot:
+      return "!" + (left_->kind() == Kind::kConstraint
+                        ? left_->ToString()
+                        : "(" + left_->ToString() + ")");
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+  }
+  return "?";
+}
+
+Result<Relation> Mcf::FilterRelation(const Relation& relation) const {
+  Relation out(relation.schema());
+  for (const Tuple& t : relation.tuples()) {
+    HYP_ASSIGN_OR_RETURN(bool keep, EvaluateOn(t, relation.schema()));
+    if (keep) out.AddUnchecked(t);
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over the grammar in the header.
+class McfParser {
+ public:
+  McfParser(std::string_view text,
+            const std::map<std::string, MappingConstraint>& env)
+      : text_(text), env_(env) {}
+
+  Result<McfPtr> Parse() {
+    HYP_ASSIGN_OR_RETURN(McfPtr node, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input in formula at offset " +
+                                     std::to_string(pos_));
+    }
+    return node;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<McfPtr> ParseOr() {
+    HYP_ASSIGN_OR_RETURN(McfPtr node, ParseAnd());
+    while (Eat('|')) {
+      HYP_ASSIGN_OR_RETURN(McfPtr rhs, ParseAnd());
+      node = Mcf::Or(node, rhs);
+    }
+    return node;
+  }
+
+  Result<McfPtr> ParseAnd() {
+    HYP_ASSIGN_OR_RETURN(McfPtr node, ParseUnary());
+    while (Eat('&')) {
+      HYP_ASSIGN_OR_RETURN(McfPtr rhs, ParseUnary());
+      node = Mcf::And(node, rhs);
+    }
+    return node;
+  }
+
+  Result<McfPtr> ParseUnary() {
+    if (Eat('!')) {
+      HYP_ASSIGN_OR_RETURN(McfPtr child, ParseUnary());
+      return Mcf::Not(child);
+    }
+    if (Eat('(')) {
+      HYP_ASSIGN_OR_RETURN(McfPtr node, ParseOr());
+      if (!Eat(')')) {
+        return Status::InvalidArgument("expected ')' at offset " +
+                                       std::to_string(pos_));
+      }
+      return node;
+    }
+    return ParseIdentifier();
+  }
+
+  Result<McfPtr> ParseIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected constraint name at offset " +
+                                     std::to_string(start));
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    auto it = env_.find(name);
+    if (it == env_.end()) {
+      return Status::NotFound("unknown mapping constraint '" + name + "'");
+    }
+    return Mcf::Leaf(it->second);
+  }
+
+  std::string_view text_;
+  const std::map<std::string, MappingConstraint>& env_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<McfPtr> Mcf::Parse(
+    std::string_view text,
+    const std::map<std::string, MappingConstraint>& env) {
+  return McfParser(text, env).Parse();
+}
+
+}  // namespace hyperion

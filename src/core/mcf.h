@@ -1,0 +1,87 @@
+// Mapping-constraint formulas (paper §4.2): boolean combinations of
+// mapping constraints with the tuple-level satisfaction of Definition 9.
+//
+// Formulas are immutable shared ASTs.  A small text syntax lets curators
+// write formulas over named constraints:
+//
+//   formula := or
+//   or      := and ( '|' and )*
+//   and     := unary ( '&' unary )*
+//   unary   := '!' unary | '(' formula ')' | identifier
+//
+// Identifiers resolve against a caller-provided environment of named
+// mapping constraints (e.g. "m1 & !(m2 | m3)").
+
+#ifndef HYPERION_CORE_MCF_H_
+#define HYPERION_CORE_MCF_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/constraint.h"
+
+namespace hyperion {
+
+class Mcf;
+using McfPtr = std::shared_ptr<const Mcf>;
+
+/// \brief A node of a mapping-constraint formula.
+class Mcf {
+ public:
+  enum class Kind { kConstraint, kNot, kAnd, kOr };
+
+  static McfPtr Leaf(MappingConstraint constraint);
+  static McfPtr Not(McfPtr child);
+  static McfPtr And(McfPtr left, McfPtr right);
+  static McfPtr Or(McfPtr left, McfPtr right);
+
+  /// \brief Conjunction of a whole set (right-nested); empty input is
+  /// rejected.
+  static Result<McfPtr> AndAll(const std::vector<McfPtr>& children);
+
+  Kind kind() const { return kind_; }
+  /// \brief Leaf payload; requires kind() == kConstraint.
+  const MappingConstraint& constraint() const { return constraint_; }
+  const McfPtr& left() const { return left_; }    // kNot uses left only
+  const McfPtr& right() const { return right_; }
+
+  /// \brief Definition 9: whether the U-tuple `t` (over `schema`, which
+  /// must contain every leaf's attributes) satisfies the formula.
+  Result<bool> EvaluateOn(const Tuple& t, const Schema& schema) const;
+
+  /// \brief Union of the attributes of every leaf constraint.
+  AttributeSet Attributes() const;
+
+  /// \brief All leaf constraints, left to right.
+  void CollectLeaves(std::vector<MappingConstraint>* out) const;
+
+  /// \brief Renders the formula using constraint names ("m" when unnamed).
+  std::string ToString() const;
+
+  /// \brief Parses the text syntax above; identifiers resolve via `env`.
+  static Result<McfPtr> Parse(
+      std::string_view text,
+      const std::map<std::string, MappingConstraint>& env);
+
+  /// \brief Filters `relation` to the tuples satisfying this formula —
+  /// §4.1's Cartesian-product filtering generalized from a single table
+  /// to boolean combinations.  The relation's schema must contain every
+  /// leaf's attributes.
+  Result<Relation> FilterRelation(const Relation& relation) const;
+
+ private:
+  explicit Mcf(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  MappingConstraint constraint_;  // kConstraint
+  McfPtr left_;
+  McfPtr right_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_MCF_H_

@@ -1,0 +1,103 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace hyperion {
+
+namespace {
+
+// Minimal union-find over item indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<size_t>> GroupByAttributeOverlap(
+    const std::vector<AttributeSet>& sets) {
+  UnionFind uf(sets.size());
+  // Attribute name -> first item that used it; later users union with it.
+  std::map<std::string, size_t> owner;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (const Attribute& a : sets[i].attrs()) {
+      auto [it, inserted] = owner.emplace(a.name(), i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    groups[uf.Find(i)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) {
+    (void)root;
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+std::vector<Partition> ComputePartitions(
+    const std::vector<MappingConstraint>& constraints) {
+  std::vector<AttributeSet> sets;
+  sets.reserve(constraints.size());
+  for (const MappingConstraint& c : constraints) {
+    sets.push_back(c.Attributes());
+  }
+  std::vector<Partition> out;
+  for (const std::vector<size_t>& group : GroupByAttributeOverlap(sets)) {
+    Partition p;
+    p.constraint_indices = group;
+    for (size_t i : group) p.attributes = p.attributes.Union(sets[i]);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<InferredPartition> ComputeInferredPartitions(
+    const std::vector<std::vector<MappingConstraint>>& per_hop) {
+  std::vector<ConstraintRef> refs;
+  std::vector<AttributeSet> sets;
+  for (size_t h = 0; h < per_hop.size(); ++h) {
+    for (size_t i = 0; i < per_hop[h].size(); ++i) {
+      refs.push_back(ConstraintRef{h, i});
+      sets.push_back(per_hop[h][i].Attributes());
+    }
+  }
+  std::vector<InferredPartition> out;
+  for (const std::vector<size_t>& group : GroupByAttributeOverlap(sets)) {
+    InferredPartition p;
+    p.first_hop = refs[group.front()].hop;
+    p.last_hop = refs[group.front()].hop;
+    for (size_t i : group) {
+      p.members.push_back(refs[i]);
+      p.attributes = p.attributes.Union(sets[i]);
+      p.first_hop = std::min(p.first_hop, refs[i].hop);
+      p.last_hop = std::max(p.last_hop, refs[i].hop);
+    }
+    std::sort(p.members.begin(), p.members.end());
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace hyperion

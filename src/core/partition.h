@@ -1,0 +1,69 @@
+// Partitions of constraint sets (paper §6.2).
+//
+// For the constraints between two peers, build a graph with one vertex per
+// constraint and an edge between constraints whose attribute sets overlap;
+// each connected component is a *partition*.  Across a path, partitions of
+// consecutive hops whose attributes overlap merge into *inferred
+// partitions* (§6.3.1).  Partitions are what lets the cover computation
+// proceed independently — and in parallel — per component.
+
+#ifndef HYPERION_CORE_PARTITION_H_
+#define HYPERION_CORE_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/constraint.h"
+#include "core/schema.h"
+
+namespace hyperion {
+
+/// \brief Groups items by connectivity of attribute overlap: items i and j
+/// end up in one group iff a chain of pairwise-overlapping attribute sets
+/// connects them.  Returns groups of item indices (each sorted; groups
+/// ordered by smallest member).
+std::vector<std::vector<size_t>> GroupByAttributeOverlap(
+    const std::vector<AttributeSet>& sets);
+
+/// \brief A partition of the constraints between two peers.
+struct Partition {
+  std::vector<size_t> constraint_indices;  // indices into the input list
+  AttributeSet attributes;                 // union of members' attributes
+};
+
+/// \brief Partitions of one hop's constraint set (connected components of
+/// the attribute-overlap graph of §6.2).
+std::vector<Partition> ComputePartitions(
+    const std::vector<MappingConstraint>& constraints);
+
+/// \brief A member of an inferred partition: constraint `index` of hop
+/// `hop` (hop h spans peers P_{h+1} → P_{h+2} in paper numbering).
+struct ConstraintRef {
+  size_t hop;
+  size_t index;
+
+  friend bool operator==(const ConstraintRef& a, const ConstraintRef& b) {
+    return a.hop == b.hop && a.index == b.index;
+  }
+  friend bool operator<(const ConstraintRef& a, const ConstraintRef& b) {
+    return a.hop != b.hop ? a.hop < b.hop : a.index < b.index;
+  }
+};
+
+/// \brief An inferred partition across a path (§6.3.1): a connected
+/// component over ALL constraints of the path.
+struct InferredPartition {
+  std::vector<ConstraintRef> members;  // sorted
+  AttributeSet attributes;
+  size_t first_hop = 0;  // sub-path span [first_hop, last_hop]
+  size_t last_hop = 0;
+};
+
+/// \brief Inferred partitions of a whole path, `per_hop[h]` being the
+/// constraints between peers h and h+1.
+std::vector<InferredPartition> ComputeInferredPartitions(
+    const std::vector<std::vector<MappingConstraint>>& per_hop);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_PARTITION_H_

@@ -1,0 +1,95 @@
+#include "core/path.h"
+
+#include <sstream>
+
+namespace hyperion {
+
+Result<ConstraintPath> ConstraintPath::Create(
+    std::vector<AttributeSet> peer_attrs,
+    std::vector<std::vector<MappingConstraint>> hop_constraints,
+    std::vector<std::string> peer_names) {
+  if (peer_attrs.size() < 2) {
+    return Status::InvalidArgument("a path needs at least two peers");
+  }
+  if (hop_constraints.size() != peer_attrs.size() - 1) {
+    return Status::InvalidArgument(
+        "a path over n peers needs exactly n-1 hop constraint lists");
+  }
+  if (!peer_names.empty() && peer_names.size() != peer_attrs.size()) {
+    return Status::InvalidArgument("peer_names size mismatch");
+  }
+  for (size_t i = 0; i < peer_attrs.size(); ++i) {
+    if (peer_attrs[i].empty()) {
+      return Status::InvalidArgument("peer " + std::to_string(i + 1) +
+                                     " has no attributes");
+    }
+    for (size_t j = i + 1; j < peer_attrs.size(); ++j) {
+      if (peer_attrs[i].Overlaps(peer_attrs[j])) {
+        return Status::InvalidArgument(
+            "peer attribute sets must be pairwise disjoint; peers " +
+            std::to_string(i + 1) + " and " + std::to_string(j + 1) +
+            " share " +
+            peer_attrs[i].Intersect(peer_attrs[j]).ToString());
+      }
+    }
+  }
+  for (size_t h = 0; h < hop_constraints.size(); ++h) {
+    for (const MappingConstraint& c : hop_constraints[h]) {
+      AttributeSet x = c.x_schema().ToSet();
+      AttributeSet y = c.y_schema().ToSet();
+      if (!peer_attrs[h].ContainsAll(x)) {
+        return Status::InvalidArgument(
+            "constraint " + c.ToString() + " at hop " + std::to_string(h) +
+            ": X not contained in left peer attributes " +
+            peer_attrs[h].ToString());
+      }
+      if (!peer_attrs[h + 1].ContainsAll(y)) {
+        return Status::InvalidArgument(
+            "constraint " + c.ToString() + " at hop " + std::to_string(h) +
+            ": Y not contained in right peer attributes " +
+            peer_attrs[h + 1].ToString());
+      }
+    }
+  }
+  ConstraintPath path;
+  path.peer_attrs_ = std::move(peer_attrs);
+  path.hop_constraints_ = std::move(hop_constraints);
+  path.peer_names_ = std::move(peer_names);
+  return path;
+}
+
+std::string ConstraintPath::peer_name(size_t i) const {
+  if (i < peer_names_.size() && !peer_names_[i].empty()) {
+    return peer_names_[i];
+  }
+  return "P" + std::to_string(i + 1);
+}
+
+std::vector<MappingConstraint> ConstraintPath::AllConstraints() const {
+  std::vector<MappingConstraint> out;
+  for (const auto& hop : hop_constraints_) {
+    out.insert(out.end(), hop.begin(), hop.end());
+  }
+  return out;
+}
+
+AttributeSet ConstraintPath::AllAttributes() const {
+  AttributeSet out;
+  for (const AttributeSet& peer : peer_attrs_) out = out.Union(peer);
+  return out;
+}
+
+std::string ConstraintPath::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < peer_attrs_.size(); ++i) {
+    if (i != 0) os << " -> ";
+    os << peer_name(i);
+  }
+  os << " (";
+  size_t total = 0;
+  for (const auto& hop : hop_constraints_) total += hop.size();
+  os << total << " constraints)";
+  return os.str();
+}
+
+}  // namespace hyperion

@@ -1,0 +1,67 @@
+// ConstraintPath: a path θ = P1, ..., Pn of peers with the mapping
+// constraints stored along it (paper §5.2).
+//
+// A set Σ of mapping constraints over U "forms a path" when U splits into
+// pairwise-disjoint peer attribute sets U1, ..., Un such that every
+// constraint X --m--> Y has X ⊆ Ui and Y ⊆ U_{i+1} for some i.  This class
+// is the validated form: peers' attribute sets plus per-hop constraint
+// lists.
+
+#ifndef HYPERION_CORE_PATH_H_
+#define HYPERION_CORE_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/constraint.h"
+#include "core/schema.h"
+
+namespace hyperion {
+
+/// \brief A validated peer path with its mapping constraints.
+class ConstraintPath {
+ public:
+  /// \brief Builds a path from peer attribute sets (in path order) and the
+  /// hop constraint lists (`hop_constraints[i]` between peers i and i+1).
+  ///
+  /// Validates: at least two peers; peer attribute sets nonempty and
+  /// pairwise disjoint; every constraint's X inside its hop's left peer
+  /// and Y inside the right peer.
+  static Result<ConstraintPath> Create(
+      std::vector<AttributeSet> peer_attrs,
+      std::vector<std::vector<MappingConstraint>> hop_constraints,
+      std::vector<std::string> peer_names = {});
+
+  size_t num_peers() const { return peer_attrs_.size(); }
+  size_t num_hops() const { return hop_constraints_.size(); }
+
+  const AttributeSet& peer_attrs(size_t i) const { return peer_attrs_[i]; }
+  const std::vector<MappingConstraint>& hop_constraints(size_t h) const {
+    return hop_constraints_[h];
+  }
+  const std::vector<std::vector<MappingConstraint>>& all_hop_constraints()
+      const {
+    return hop_constraints_;
+  }
+
+  /// \brief Peer display name (falls back to "P<i+1>").
+  std::string peer_name(size_t i) const;
+
+  /// \brief Every constraint along the path, flattened in hop order.
+  std::vector<MappingConstraint> AllConstraints() const;
+
+  /// \brief Union of every peer's attributes (the path's U).
+  AttributeSet AllAttributes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AttributeSet> peer_attrs_;
+  std::vector<std::vector<MappingConstraint>> hop_constraints_;
+  std::vector<std::string> peer_names_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_PATH_H_

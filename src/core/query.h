@@ -1,0 +1,85 @@
+// Value-based selection queries and their translation through mapping
+// tables — the paper's motivating use (§1–§2): "the query 'retrieve all
+// information related to postal code X' in peer one becomes 'retrieve all
+// information related to the (area code, town) pair (Y, Z)' in peer two",
+// and §9's future work on query answering over mapping tables.
+//
+// A SelectionQuery asks for everything related to any of a set of key
+// tuples over some attributes.  Translating it through a mapping table
+// m : X → Y replaces each key x with its image Y_m(x).  Images can be
+// infinite when variable rows are involved (a CO-world catch-all maps an
+// unknown id to *anything*); translation then reports itself incomplete
+// rather than failing, since the bounded part is still useful.
+
+#ifndef HYPERION_CORE_QUERY_H_
+#define HYPERION_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mapping_table.h"
+#include "core/path.h"
+#include "core/tuple.h"
+
+namespace hyperion {
+
+/// \brief "Retrieve everything related to any of `keys`", where keys are
+/// tuples over the named attributes.
+struct SelectionQuery {
+  std::vector<std::string> attrs;
+  std::vector<Tuple> keys;  // duplicates allowed; treated as a set
+
+  std::string ToString() const;
+};
+
+/// \brief Result of translating a query through one or more tables.
+struct TranslationOutcome {
+  /// The translated query (over the target attributes).
+  SelectionQuery query;
+  /// False when some key's image was infinite (a variable row reached the
+  /// Y side); `query.keys` then holds only the enumerable part.
+  bool complete = true;
+  /// Keys whose image was empty: values the table cannot translate at
+  /// all.  CC-world semantics makes this common and meaningful.
+  std::vector<Tuple> untranslatable;
+};
+
+struct QueryTranslationOptions {
+  /// Cap on the number of translated keys (images can fan out:
+  /// many-to-many tables map one id to several).
+  size_t max_keys = 100'000;
+};
+
+/// \brief Translates `query` through `table`.  The query's attributes
+/// must be exactly the table's X attributes (any order).
+Result<TranslationOutcome> TranslateQuery(
+    const SelectionQuery& query, const MappingTable& table,
+    const QueryTranslationOptions& opts = {});
+
+/// \brief Translates hop by hop along a path whose hops each hold exactly
+/// one applicable table (keys flow X→Y through every hop).  Incomplete
+/// and untranslatable information accumulates across hops.
+Result<TranslationOutcome> TranslateAlongPath(
+    const SelectionQuery& query, const ConstraintPath& path,
+    const QueryTranslationOptions& opts = {});
+
+/// \brief Evaluates the query against a relation: tuples whose values at
+/// the query's attributes equal some key.  The relation must contain all
+/// query attributes.
+Result<Relation> EvaluateQuery(const SelectionQuery& query,
+                               const Relation& relation);
+
+/// \brief The data-exchange join of §4.1 / Figure 4, computed directly: the
+/// pairs (t, t') of `left` × `right` the mapping table permits, without
+/// materializing the Cartesian product.  `left` must contain the table's
+/// X attributes and `right` its Y attributes.  Ground rows drive a hash
+/// join; variable rows (identity, catch-alls) fall back to per-pair
+/// checks against the non-matching side.
+Result<Relation> JoinViaMapping(const Relation& left,
+                                const MappingTable& table,
+                                const Relation& right);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_QUERY_H_

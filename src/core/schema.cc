@@ -1,0 +1,153 @@
+#include "core/schema.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace hyperion {
+
+AttributeSet::AttributeSet(std::vector<Attribute> attrs)
+    : attrs_(std::move(attrs)) {
+  std::sort(attrs_.begin(), attrs_.end());
+  attrs_.erase(std::unique(attrs_.begin(), attrs_.end()), attrs_.end());
+}
+
+bool AttributeSet::Contains(const std::string& name) const {
+  return std::binary_search(attrs_.begin(), attrs_.end(),
+                            Attribute(name, nullptr));
+}
+
+bool AttributeSet::ContainsAll(const AttributeSet& other) const {
+  return std::includes(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                       other.attrs_.end());
+}
+
+bool AttributeSet::Overlaps(const AttributeSet& other) const {
+  auto a = attrs_.begin();
+  auto b = other.attrs_.begin();
+  while (a != attrs_.end() && b != other.attrs_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+AttributeSet AttributeSet::Union(const AttributeSet& other) const {
+  std::vector<Attribute> merged;
+  merged.reserve(attrs_.size() + other.attrs_.size());
+  std::set_union(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                 other.attrs_.end(), std::back_inserter(merged));
+  AttributeSet out;
+  out.attrs_ = std::move(merged);
+  return out;
+}
+
+AttributeSet AttributeSet::Intersect(const AttributeSet& other) const {
+  std::vector<Attribute> merged;
+  std::set_intersection(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                        other.attrs_.end(), std::back_inserter(merged));
+  AttributeSet out;
+  out.attrs_ = std::move(merged);
+  return out;
+}
+
+AttributeSet AttributeSet::Difference(const AttributeSet& other) const {
+  std::vector<Attribute> merged;
+  std::set_difference(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                      other.attrs_.end(), std::back_inserter(merged));
+  AttributeSet out;
+  out.attrs_ = std::move(merged);
+  return out;
+}
+
+std::vector<std::string> AttributeSet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const Attribute& a : attrs_) names.push_back(a.name());
+  return names;
+}
+
+std::string AttributeSet::ToString() const {
+  return "{" + JoinStrings(Names(), ", ") + "}";
+}
+
+bool operator==(const AttributeSet& a, const AttributeSet& b) {
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (size_t i = 0; i < a.attrs_.size(); ++i) {
+    if (!(a.attrs_[i] == b.attrs_[i])) return false;
+  }
+  return true;
+}
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(attrs_[i].name(), i);
+    (void)it;
+    assert(inserted && "duplicate attribute in schema");
+  }
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<Schema> Schema::Concat(const Schema& other) const {
+  std::vector<Attribute> merged = attrs_;
+  for (const Attribute& a : other.attrs_) {
+    if (index_.count(a.name())) {
+      return Status::InvalidArgument("schema concat: duplicate attribute '" +
+                                     a.name() + "'");
+    }
+    merged.push_back(a);
+  }
+  return Schema(std::move(merged));
+}
+
+Schema Schema::Project(const std::vector<size_t>& positions) const {
+  std::vector<Attribute> out;
+  out.reserve(positions.size());
+  for (size_t p : positions) {
+    assert(p < attrs_.size());
+    out.push_back(attrs_[p]);
+  }
+  return Schema(std::move(out));
+}
+
+Result<std::vector<size_t>> Schema::PositionsOf(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    auto idx = IndexOf(n);
+    if (!idx) {
+      return Status::NotFound("attribute '" + n + "' not in schema " +
+                              ToString());
+    }
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const Attribute& a : attrs_) names.push_back(a.name());
+  return "(" + JoinStrings(names, ", ") + ")";
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (size_t i = 0; i < a.attrs_.size(); ++i) {
+    if (!(a.attrs_[i] == b.attrs_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace hyperion

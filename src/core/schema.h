@@ -1,0 +1,129 @@
+// Attributes, attribute sets and positional schemas (paper §3).
+//
+// Attribute names are global across a peer network: the partition
+// construction of §6.2 connects constraints "if their attributes overlap",
+// which presumes a shared attribute namespace.  Two attributes are the same
+// attribute iff their names are equal; the attached Domain describes dom(A).
+
+#ifndef HYPERION_CORE_SCHEMA_H_
+#define HYPERION_CORE_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/domain.h"
+
+namespace hyperion {
+
+/// \brief A named attribute with its value domain.
+class Attribute {
+ public:
+  Attribute() : domain_(Domain::AllStrings()) {}
+  Attribute(std::string name, DomainPtr domain)
+      : name_(std::move(name)), domain_(std::move(domain)) {}
+
+  /// \brief Convenience: attribute over the unbounded string domain.
+  static Attribute String(std::string name) {
+    return Attribute(std::move(name), Domain::AllStrings());
+  }
+
+  const std::string& name() const { return name_; }
+  const DomainPtr& domain() const { return domain_; }
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name_ == b.name_;
+  }
+  friend bool operator<(const Attribute& a, const Attribute& b) {
+    return a.name_ < b.name_;
+  }
+
+ private:
+  std::string name_;
+  DomainPtr domain_;
+};
+
+/// \brief A set of attributes with set algebra (kept sorted by name).
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+  explicit AttributeSet(std::vector<Attribute> attrs);
+
+  static AttributeSet Of(std::initializer_list<Attribute> attrs) {
+    return AttributeSet(std::vector<Attribute>(attrs));
+  }
+
+  bool empty() const { return attrs_.empty(); }
+  size_t size() const { return attrs_.size(); }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  bool Contains(const std::string& name) const;
+  bool ContainsAll(const AttributeSet& other) const;
+  bool Overlaps(const AttributeSet& other) const;
+  bool IsDisjointFrom(const AttributeSet& other) const {
+    return !Overlaps(other);
+  }
+
+  AttributeSet Union(const AttributeSet& other) const;
+  AttributeSet Intersect(const AttributeSet& other) const;
+  AttributeSet Difference(const AttributeSet& other) const;
+
+  /// \brief Attribute names, sorted, for display/messages.
+  std::vector<std::string> Names() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const AttributeSet& a, const AttributeSet& b);
+
+ private:
+  std::vector<Attribute> attrs_;  // sorted by name, unique
+};
+
+/// \brief An ordered attribute list: the schema of tuples, relations and
+/// mapping tables.  Order matters (cells are positional).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+
+  static Schema Of(std::initializer_list<Attribute> attrs) {
+    return Schema(std::vector<Attribute>(attrs));
+  }
+
+  size_t arity() const { return attrs_.size(); }
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// \brief Position of the attribute named `name`, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// \brief The attributes as an (unordered) set.
+  AttributeSet ToSet() const { return AttributeSet(attrs_); }
+
+  /// \brief Concatenation; fails if the two schemas share an attribute.
+  Result<Schema> Concat(const Schema& other) const;
+
+  /// \brief Sub-schema with the attributes at `positions`, in that order.
+  Schema Project(const std::vector<size_t>& positions) const;
+
+  /// \brief Positions (in this schema) of each attribute of `names`,
+  /// in the given order; fails if any is missing.
+  Result<std::vector<size_t>> PositionsOf(
+      const std::vector<std::string>& names) const;
+
+  std::string ToString() const;
+
+  /// \brief Schemas are equal when the ordered attribute-name lists match.
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_SCHEMA_H_

@@ -1,0 +1,62 @@
+// Alternative open/closed-world semantics for mapping tables (paper §2,
+// Table 1, Example 4) and their translation into the CC-world form.
+//
+// A semantics is a pair of choices: how X-values PRESENT in the table are
+// treated (open: any Y-value; closed: only the indicated Y-values) and how
+// X-values MISSING from the table are treated (open: any Y-value; closed:
+// no Y-value).  Every table under any of the four semantics is equivalent
+// to some table under the closed-closed (CC) semantics, which is what the
+// reasoning machinery assumes (§4.1); TranslateToCc performs that
+// rewriting.
+
+#ifndef HYPERION_CORE_SEMANTICS_H_
+#define HYPERION_CORE_SEMANTICS_H_
+
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mapping_table.h"
+
+namespace hyperion {
+
+/// \brief The four open/closed-world semantics of §2.
+enum class WorldSemantics {
+  kOpenOpen,      // OO: any X with any Y — no practical interest
+  kOpenClosed,    // OC: present X-values map anywhere, missing ones nowhere
+  kClosedOpen,    // CO: partial knowledge — missing X-values unconstrained
+  kClosedClosed,  // CC: complete knowledge
+};
+
+const char* WorldSemanticsToString(WorldSemantics s);
+
+/// \brief Inverse of WorldSemanticsToString ("closed-open", ...).
+Result<WorldSemantics> WorldSemanticsFromString(std::string_view name);
+
+/// \brief Parses a mapping-table text that may carry a
+/// `semantics: <name>` header line and returns the table normalized to
+/// the CC-world semantics (the form every reasoning API assumes).  Plain
+/// CC tables pass through untouched.
+Result<MappingTable> ParseAndNormalize(std::string_view text);
+
+/// \brief Rewrites `table` (interpreted under `semantics`) into an
+/// equivalent table under the CC-world semantics, as in Example 4.
+///
+/// For CO and OC the "present X-values" are read off the table's X side,
+/// which must therefore be ground (all constants); a table with variables
+/// in its X part is rejected with InvalidArgument for those semantics.
+/// The complement of the present X-tuples is expressed as a union of free
+/// tuples (for one attribute: a single `v − S` row; for wider X: the
+/// standard rectangle decomposition, linear in rows × arity).
+Result<MappingTable> TranslateToCc(const MappingTable& table,
+                                   WorldSemantics semantics);
+
+/// \brief The rectangle decomposition of the complement of a finite set of
+/// ground tuples over `schema`: a set of free tuples whose extensions
+/// partition dom(schema) \ `tuples`.  Exposed for testing.
+std::vector<Mapping> ComplementOfTupleSet(const std::vector<Tuple>& tuples,
+                                          const Schema& schema);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_SEMANTICS_H_

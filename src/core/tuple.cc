@@ -1,0 +1,94 @@
+#include "core/tuple.h"
+
+#include <sstream>
+
+namespace hyperion {
+
+std::string TupleToString(const Tuple& t) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << t[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<size_t>& positions) {
+  Tuple out;
+  out.reserve(positions.size());
+  for (size_t p : positions) out.push_back(t[p]);
+  return out;
+}
+
+Status Relation::Add(Tuple t) {
+  if (t.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.size()) + " != schema arity " +
+        std::to_string(schema_.arity()));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!schema_.attr(i).domain()->Contains(t[i])) {
+      return Status::InvalidArgument("value " + t[i].ToString() +
+                                     " outside domain of attribute '" +
+                                     schema_.attr(i).name() + "'");
+    }
+  }
+  AddUnchecked(std::move(t));
+  return Status::OK();
+}
+
+void Relation::AddUnchecked(Tuple t) {
+  auto [it, inserted] = index_.insert(std::move(t));
+  if (inserted) tuples_.push_back(*it);
+}
+
+Result<Relation> Relation::Project(
+    const std::vector<std::string>& names) const {
+  HYP_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                       schema_.PositionsOf(names));
+  Relation out(schema_.Project(positions));
+  for (const Tuple& t : tuples_) {
+    out.AddUnchecked(ProjectTuple(t, positions));
+  }
+  return out;
+}
+
+Result<Relation> Relation::Select(const std::string& attr,
+                                  const Value& v) const {
+  auto idx = schema_.IndexOf(attr);
+  if (!idx) {
+    return Status::NotFound("attribute '" + attr + "' not in schema " +
+                            schema_.ToString());
+  }
+  Relation out(schema_);
+  for (const Tuple& t : tuples_) {
+    if (t[*idx] == v) out.AddUnchecked(t);
+  }
+  return out;
+}
+
+Result<Relation> Relation::CartesianProduct(const Relation& other) const {
+  HYP_ASSIGN_OR_RETURN(Schema merged, schema_.Concat(other.schema()));
+  Relation out(std::move(merged));
+  for (const Tuple& a : tuples_) {
+    for (const Tuple& b : other.tuples()) {
+      Tuple combined = a;
+      combined.insert(combined.end(), b.begin(), b.end());
+      out.AddUnchecked(std::move(combined));
+    }
+  }
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream os;
+  os << schema_.ToString() << " [" << tuples_.size() << " tuples]\n";
+  for (const Tuple& t : tuples_) {
+    os << "  " << TupleToString(t) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hyperion

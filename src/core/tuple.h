@@ -1,0 +1,74 @@
+// Ground tuples and relations (paper §3).
+//
+// Tuples are positional value vectors; the schema lives on the Relation (or
+// is passed alongside).  Relations are duplicate-free, insertion-ordered.
+
+#ifndef HYPERION_CORE_TUPLE_H_
+#define HYPERION_CORE_TUPLE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash_util.h"
+#include "common/status.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace hyperion {
+
+/// \brief A ground tuple: one Value per schema position.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return HashRange(t.begin(), t.end());
+  }
+};
+
+/// \brief Renders a tuple as "(v1, v2, ...)".
+std::string TupleToString(const Tuple& t);
+
+/// \brief Projects `t` onto the given positions, in that order.
+Tuple ProjectTuple(const Tuple& t, const std::vector<size_t>& positions);
+
+/// \brief A duplicate-free set of tuples over one schema.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// \brief Inserts `t` unless already present; checks arity and domains.
+  Status Add(Tuple t);
+
+  /// \brief Inserts without domain checks (hot path for generators).
+  /// Requires t.size() == schema().arity().
+  void AddUnchecked(Tuple t);
+
+  bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
+
+  /// \brief Projection onto the named attributes (duplicates collapse).
+  Result<Relation> Project(const std::vector<std::string>& names) const;
+
+  /// \brief Tuples whose value at `attr` equals `v` (selection σ).
+  Result<Relation> Select(const std::string& attr, const Value& v) const;
+
+  /// \brief Cartesian product; fails when schemas share attributes.
+  Result<Relation> CartesianProduct(const Relation& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> index_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_TUPLE_H_

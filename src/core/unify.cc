@@ -1,0 +1,171 @@
+#include "core/unify.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperion {
+
+size_t Unifier::Slot(VarId var) {
+  if (var_to_slot_.size() <= var) var_to_slot_.resize(var + 1);
+  if (!var_to_slot_[var]) {
+    var_to_slot_[var] = parent_.size();
+    parent_.push_back(parent_.size());
+    state_.emplace_back();
+    slot_to_var_.push_back(var);
+  }
+  return *var_to_slot_[var];
+}
+
+size_t Unifier::FindSlot(size_t slot) {
+  while (parent_[slot] != slot) {
+    parent_[slot] = parent_[parent_[slot]];  // path halving
+    slot = parent_[slot];
+  }
+  return slot;
+}
+
+void Unifier::MergeSlots(size_t a, size_t b) {
+  a = FindSlot(a);
+  b = FindSlot(b);
+  if (a == b) return;
+  // Merge b into a.
+  ClassState& sa = state_[a];
+  ClassState& sb = state_[b];
+  if (sb.constant) {
+    if (sa.constant) {
+      if (!(*sa.constant == *sb.constant)) {
+        failed_ = true;
+        return;
+      }
+    } else {
+      sa.constant = sb.constant;
+    }
+  }
+  for (ExclusionSetPtr& s : sb.exclusion_sets) {
+    if (std::find(sa.exclusion_sets.begin(), sa.exclusion_sets.end(), s) ==
+        sa.exclusion_sets.end()) {
+      sa.exclusion_sets.push_back(std::move(s));
+    }
+  }
+  sa.domains.insert(sa.domains.end(), sb.domains.begin(), sb.domains.end());
+  sa.has_finite_domain = sa.has_finite_domain || sb.has_finite_domain;
+  parent_[b] = a;
+  CheckClass(a);
+}
+
+void Unifier::CheckClass(size_t root) {
+  ClassState& s = state_[root];
+  if (!s.constant) return;
+  if (s.Excludes(*s.constant)) {
+    failed_ = true;
+    return;
+  }
+  for (const Domain* d : s.domains) {
+    if (!d->Contains(*s.constant)) {
+      failed_ = true;
+      return;
+    }
+  }
+}
+
+void Unifier::AddOccurrence(VarId var, const Domain* domain,
+                            const ExclusionSetPtr& exclusions) {
+  size_t root = FindSlot(Slot(var));
+  ClassState& s = state_[root];
+  s.domains.push_back(domain);
+  s.has_finite_domain = s.has_finite_domain || domain->is_finite();
+  if (exclusions != nullptr && !exclusions->empty() &&
+      std::find(s.exclusion_sets.begin(), s.exclusion_sets.end(),
+                exclusions) == s.exclusion_sets.end()) {
+    s.exclusion_sets.push_back(exclusions);
+  }
+  CheckClass(root);
+}
+
+void Unifier::BindConstant(VarId var, const Value& v) {
+  size_t root = FindSlot(Slot(var));
+  ClassState& s = state_[root];
+  if (s.constant) {
+    if (!(*s.constant == v)) failed_ = true;
+    return;
+  }
+  s.constant = v;
+  CheckClass(root);
+}
+
+void Unifier::UnifyVars(VarId a, VarId b) { MergeSlots(Slot(a), Slot(b)); }
+
+void Unifier::UnifyCells(const Cell& c1, const Cell& c2) {
+  if (failed_) return;
+  if (c1.is_constant() && c2.is_constant()) {
+    if (!(c1.value() == c2.value())) failed_ = true;
+    return;
+  }
+  if (c1.is_constant()) {
+    // c2 variable: its occurrence (domain/exclusions) was registered.
+    BindConstant(c2.var(), c1.value());
+    return;
+  }
+  if (c2.is_constant()) {
+    BindConstant(c1.var(), c2.value());
+    return;
+  }
+  UnifyVars(c1.var(), c2.var());
+}
+
+bool Unifier::Satisfiable() {
+  if (failed_) return false;
+  for (size_t slot = 0; slot < parent_.size(); ++slot) {
+    if (FindSlot(slot) != slot) continue;  // not a root
+    ClassState& s = state_[slot];
+    if (s.constant) continue;  // CheckClass validated it already
+    if (s.domains.empty()) continue;  // never occurred anywhere concrete
+    if (s.exclusion_sets.empty()) {
+      if (!Domain::IntersectionHasValueOutside(s.domains, {})) {
+        failed_ = true;
+        return false;
+      }
+    } else if (s.exclusion_sets.size() == 1) {
+      if (!Domain::IntersectionHasValueOutside(s.domains,
+                                               *s.exclusion_sets[0])) {
+        failed_ = true;
+        return false;
+      }
+    } else {
+      std::set<Value> merged;
+      for (const ExclusionSetPtr& set : s.exclusion_sets) {
+        merged.insert(set->begin(), set->end());
+      }
+      if (!Domain::IntersectionHasValueOutside(s.domains, merged)) {
+        failed_ = true;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<Value> Unifier::ConstantOf(VarId var) {
+  return state_[FindSlot(Slot(var))].constant;
+}
+
+VarId Unifier::Find(VarId var) {
+  return slot_to_var_[FindSlot(Slot(var))];
+}
+
+ExclusionSetPtr Unifier::MergedExclusionsOf(VarId var) {
+  ClassState& s = state_[FindSlot(Slot(var))];
+  if (s.exclusion_sets.empty()) return nullptr;
+  if (s.exclusion_sets.size() == 1) return s.exclusion_sets[0];
+  auto merged = std::make_shared<std::set<Value>>();
+  for (const ExclusionSetPtr& set : s.exclusion_sets) {
+    merged->insert(set->begin(), set->end());
+  }
+  return merged;
+}
+
+bool Unifier::HasFiniteDomain(VarId var) {
+  return state_[FindSlot(Slot(var))].has_finite_domain;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,108 @@
+// Variable unification for free tuples (the engine behind §6's cover
+// computation).
+//
+// Joining two mappings on shared attributes means deciding, cell pair by
+// cell pair, whether a common value can exist, and propagating the
+// consequences (constant bindings, merged exclusion sets, domain
+// restrictions) through shared variables.  The Unifier is a union–find over
+// variable ids whose roots carry that state.
+//
+// Exclusion sets are tracked as shared pointers into the source cells so
+// unifying against a catch-all row with a huge `v - S` never copies S;
+// unions are materialized only when a surviving variable needs them.
+
+#ifndef HYPERION_CORE_UNIFY_H_
+#define HYPERION_CORE_UNIFY_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cell.h"
+#include "core/domain.h"
+#include "core/mapping.h"
+#include "core/schema.h"
+
+namespace hyperion {
+
+/// \brief Union–find over variables with per-class constant bindings,
+/// exclusion sets and domain restrictions.
+///
+/// Usage: register every variable occurrence with AddOccurrence, then apply
+/// UnifyCells for each joined position pair, then call Satisfiable().  Any
+/// operation may discover a contradiction, after which failed() is true and
+/// the unification as a whole denotes the empty set.
+class Unifier {
+ public:
+  Unifier() = default;
+
+  bool failed() const { return failed_; }
+
+  /// \brief Registers that `var` occurs at a position with the given
+  /// domain and cell-level exclusion set (shared handle; may be null).
+  void AddOccurrence(VarId var, const Domain* domain,
+                     const ExclusionSetPtr& exclusions);
+
+  /// \brief Forces `var`'s class to the constant `v`.
+  void BindConstant(VarId var, const Value& v);
+
+  /// \brief Merges the classes of `a` and `b` (they must denote one value).
+  void UnifyVars(VarId a, VarId b);
+
+  /// \brief Unifies two cells that must take the same value.  Variable
+  /// occurrences must have been registered beforehand.
+  void UnifyCells(const Cell& c1, const Cell& c2);
+
+  /// \brief Whether every class still admits a value.  Also final check
+  /// for classes never touched by UnifyCells.
+  bool Satisfiable();
+
+  /// \brief Constant the class of `var` is bound to, if any.
+  std::optional<Value> ConstantOf(VarId var);
+
+  /// \brief Canonical representative of `var`'s class.
+  VarId Find(VarId var);
+
+  /// \brief Union of the exclusion sets accumulated on `var`'s class
+  /// (shared when a single source set suffices; null when empty).
+  ExclusionSetPtr MergedExclusionsOf(VarId var);
+
+  /// \brief True when some occurrence of the class has a finite domain —
+  /// the signal that projection must materialize the class (see
+  /// compose.cc).
+  bool HasFiniteDomain(VarId var);
+
+ private:
+  struct ClassState {
+    std::optional<Value> constant;
+    // Distinct source exclusion sets (non-empty, deduplicated by pointer).
+    std::vector<ExclusionSetPtr> exclusion_sets;
+    std::vector<const Domain*> domains;
+    bool has_finite_domain = false;
+
+    bool Excludes(const Value& v) const {
+      for (const ExclusionSetPtr& s : exclusion_sets) {
+        if (s->count(v)) return true;
+      }
+      return false;
+    }
+  };
+
+  // Ensures `var` has a slot; returns its index.
+  size_t Slot(VarId var);
+  size_t FindSlot(size_t slot);
+  void MergeSlots(size_t a, size_t b);
+  // Re-checks the class constant against accumulated state.
+  void CheckClass(size_t root);
+
+  std::vector<size_t> parent_;        // union–find forest over slots
+  std::vector<ClassState> state_;     // valid at roots only
+  std::vector<VarId> slot_to_var_;    // slot -> original VarId
+  std::vector<std::optional<size_t>> var_to_slot_;  // dense VarId -> slot
+  bool failed_ = false;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_CORE_UNIFY_H_

@@ -1,0 +1,20 @@
+#include "core/value.h"
+
+namespace hyperion {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kString:
+      return "string";
+    case ValueType::kInt:
+      return "int";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_string()) return AsString();
+  return std::to_string(AsInt());
+}
+
+}  // namespace hyperion

@@ -1,0 +1,103 @@
+// Value: a single domain element appearing in relations and mapping tables.
+//
+// The paper's mapping tables relate identifier-like values across peers
+// (gene ids, protein ids, postal codes...).  We support the two relational
+// primitive types those identifiers use in practice: strings and 64-bit
+// integers.  Values are ordered and hashable so they can key indexes.
+
+#ifndef HYPERION_CORE_VALUE_H_
+#define HYPERION_CORE_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/hash_util.h"
+
+namespace hyperion {
+
+enum class ValueType {
+  kString = 0,
+  kInt = 1,
+};
+
+/// \brief Returns a stable name ("string"/"int") for a value type.
+const char* ValueTypeToString(ValueType type);
+
+/// \brief An immutable domain element: either a string or an int64.
+///
+/// Comparison across types orders all strings before all ints (the order is
+/// total but only meaningful within one type; mapping tables never mix types
+/// inside one attribute).
+class Value {
+ public:
+  Value() : rep_(std::string()) {}  // empty string
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+  explicit Value(int64_t i) : rep_(i) {}
+
+  ValueType type() const {
+    return std::holds_alternative<std::string>(rep_) ? ValueType::kString
+                                                     : ValueType::kInt;
+  }
+
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_int() const { return type() == ValueType::kInt; }
+
+  /// \brief String payload; requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  /// \brief Integer payload; requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+
+  /// \brief Human-readable rendering (ints in base 10, strings verbatim).
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b) {
+    if (a.rep_.index() != b.rep_.index()) {
+      return a.rep_.index() <=> b.rep_.index();
+    }
+    if (a.is_string()) {
+      int c = a.AsString().compare(b.AsString());
+      return c <=> 0;
+    }
+    return a.AsInt() <=> b.AsInt();
+  }
+
+  size_t Hash() const {
+    size_t seed = rep_.index();
+    if (is_string()) {
+      HashCombine(&seed, AsString());
+    } else {
+      HashCombine(&seed, AsInt());
+    }
+    return seed;
+  }
+
+ private:
+  std::variant<std::string, int64_t> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace hyperion
+
+namespace std {
+template <>
+struct hash<hyperion::Value> {
+  size_t operator()(const hyperion::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // HYPERION_CORE_VALUE_H_

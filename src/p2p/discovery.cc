@@ -1,0 +1,131 @@
+#include "p2p/discovery.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hyperion {
+
+AcquaintanceGraph AcquaintanceGraph::FromPeers(
+    const std::vector<const PeerNode*>& peers) {
+  AcquaintanceGraph g;
+  for (const PeerNode* peer : peers) {
+    g.adjacency_[peer->id()];  // register even if isolated
+    for (const std::string& neighbor : peer->Acquaintances()) {
+      g.AddEdge(peer->id(), neighbor);
+    }
+  }
+  return g;
+}
+
+void AcquaintanceGraph::AddEdge(const std::string& from,
+                                const std::string& to) {
+  adjacency_[from].insert(to);
+  adjacency_[to];  // make sure the target exists as a node
+}
+
+const std::set<std::string>& AcquaintanceGraph::Neighbors(
+    const std::string& peer) const {
+  static const std::set<std::string> kEmpty;
+  auto it = adjacency_.find(peer);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+namespace {
+
+void Dfs(const AcquaintanceGraph& g, const std::string& current,
+         const std::string& target, size_t max_peers,
+         std::vector<std::string>* stack, std::set<std::string>* visited,
+         std::vector<std::vector<std::string>>* out) {
+  if (current == target) {
+    out->push_back(*stack);
+    return;
+  }
+  if (stack->size() >= max_peers) return;
+  for (const std::string& next : g.Neighbors(current)) {
+    if (visited->count(next)) continue;
+    visited->insert(next);
+    stack->push_back(next);
+    Dfs(g, next, target, max_peers, stack, visited, out);
+    stack->pop_back();
+    visited->erase(next);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> AcquaintanceGraph::EnumeratePaths(
+    const std::string& from, const std::string& to, size_t max_peers) const {
+  std::vector<std::vector<std::string>> out;
+  if (max_peers < 2 || from == to) return out;
+  std::vector<std::string> stack = {from};
+  std::set<std::string> visited = {from};
+  Dfs(*this, from, to, max_peers, &stack, &visited, &out);
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  return out;
+}
+
+std::vector<std::string> AcquaintanceGraph::PeerIds() const {
+  std::vector<std::string> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [id, neighbors] : adjacency_) {
+    (void)neighbors;
+    out.push_back(id);
+  }
+  return out;
+}
+
+Result<TranslationOutcome> TranslateAcrossNetwork(
+    const std::vector<const PeerNode*>& peers, const std::string& from,
+    const std::string& to, const SelectionQuery& query, size_t max_peers) {
+  std::map<std::string, const PeerNode*> by_id;
+  for (const PeerNode* p : peers) by_id[p->id()] = p;
+  if (!by_id.count(from) || !by_id.count(to)) {
+    return Status::NotFound("unknown endpoint peer");
+  }
+  AcquaintanceGraph graph = AcquaintanceGraph::FromPeers(peers);
+
+  TranslationOutcome merged;
+  bool any_path = false;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const std::vector<std::string>& ids :
+       graph.EnumeratePaths(from, to, max_peers)) {
+    // Build the constraint path for this id sequence.
+    std::vector<AttributeSet> attrs;
+    std::vector<std::vector<MappingConstraint>> hops;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      attrs.push_back(by_id.at(ids[i])->attributes());
+      if (i + 1 < ids.size()) {
+        hops.push_back(by_id.at(ids[i])->ConstraintsTo(ids[i + 1]));
+      }
+    }
+    auto path = ConstraintPath::Create(std::move(attrs), std::move(hops));
+    if (!path.ok()) continue;  // malformed acquaintance; skip this path
+    auto outcome = TranslateAlongPath(query, path.value());
+    if (!outcome.ok()) continue;  // no applicable tables on this path
+
+    if (!any_path) {
+      merged.query.attrs = outcome.value().query.attrs;
+      any_path = true;
+    } else if (merged.query.attrs != outcome.value().query.attrs) {
+      // Paths targeting different attribute subsets of `to` cannot merge.
+      return Status::InvalidArgument(
+          "paths translate to different target attributes");
+    }
+    merged.complete = merged.complete && outcome.value().complete;
+    for (Tuple& key : outcome.value().query.keys) {
+      if (seen.insert(key).second) {
+        merged.query.keys.push_back(std::move(key));
+      }
+    }
+  }
+  if (!any_path) {
+    return Status::NotFound("no acquaintance path translates the query");
+  }
+  return merged;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,65 @@
+// Acquaintance graph and path discovery.
+//
+// Two peers are acquainted when one stores a mapping table whose Y
+// attributes belong to the other (§7: "we assumed two sources to be
+// acquainted if one contained a mapping table with attributes from the
+// other").  Edges are directed by the tables' X → Y orientation, which is
+// the direction covers compose along.  EnumeratePaths lists the simple
+// paths between two peers up to a hop bound — the paper caps paths of
+// interest at Gnutella's 7 hops.
+
+#ifndef HYPERION_P2P_DISCOVERY_H_
+#define HYPERION_P2P_DISCOVERY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "p2p/peer.h"
+
+namespace hyperion {
+
+/// \brief Directed acquaintance graph over peer ids.
+class AcquaintanceGraph {
+ public:
+  static constexpr size_t kGnutellaMaxHops = 7;
+
+  AcquaintanceGraph() = default;
+
+  /// \brief Builds the graph from the peers' stored constraints.
+  static AcquaintanceGraph FromPeers(const std::vector<const PeerNode*>& peers);
+
+  void AddEdge(const std::string& from, const std::string& to);
+
+  const std::set<std::string>& Neighbors(const std::string& peer) const;
+
+  /// \brief All simple directed paths `from` → ... → `to` with at most
+  /// `max_peers` peers, ordered by length then lexicographically.
+  std::vector<std::vector<std::string>> EnumeratePaths(
+      const std::string& from, const std::string& to,
+      size_t max_peers = kGnutellaMaxHops + 1) const;
+
+  std::vector<std::string> PeerIds() const;
+
+ private:
+  std::map<std::string, std::set<std::string>> adjacency_;
+};
+
+/// \brief Translates `query` (over attributes of peer `from`) along every
+/// acquaintance path from `from` to `to` of at most `max_peers` peers and
+/// merges the outcomes — the query-side analogue of Figure 10's
+/// multi-path inference: different paths may translate different keys.
+///
+/// Paths with no applicable tables are skipped; NotFound when no path
+/// translates at all.  The merged outcome is complete only when every
+/// contributing path's translation was exact.
+Result<TranslationOutcome> TranslateAcrossNetwork(
+    const std::vector<const PeerNode*>& peers, const std::string& from,
+    const std::string& to, const SelectionQuery& query,
+    size_t max_peers = AcquaintanceGraph::kGnutellaMaxHops + 1);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_P2P_DISCOVERY_H_

@@ -1,0 +1,117 @@
+#include "p2p/message.h"
+
+namespace hyperion {
+
+namespace {
+
+constexpr size_t kEnvelopeOverhead = 48;  // ids, type tag, lengths
+
+size_t EstimateSchemaBytes(const Schema& s) {
+  size_t bytes = 4;
+  for (const Attribute& a : s.attrs()) bytes += a.name().size() + 2;
+  return bytes;
+}
+
+size_t EstimateValueBytes(const Value& v) {
+  return v.is_string() ? v.AsString().size() + 1 : 8;
+}
+
+size_t EstimateSummaryBytes(const PartitionSummary& p) {
+  size_t bytes = 16;
+  for (const PartitionMemberRef& m : p.members) {
+    bytes += m.table_name.size() + 6;
+    for (const std::string& n : m.attr_names) bytes += n.size() + 2;
+  }
+  for (const std::string& n : p.attr_names) bytes += n.size() + 2;
+  return bytes;
+}
+
+size_t EstimateSpecBytes(const SessionSpec& spec) {
+  size_t bytes = 16;
+  for (const std::string& p : spec.path_peers) bytes += p.size() + 2;
+  for (const std::string& n : spec.x_names) bytes += n.size() + 2;
+  for (const std::string& n : spec.y_names) bytes += n.size() + 2;
+  return bytes;
+}
+
+}  // namespace
+
+size_t EstimateMappingBytes(const Mapping& m) {
+  size_t bytes = 2;
+  for (const Cell& c : m.cells()) {
+    if (c.is_constant()) {
+      bytes += 1 + EstimateValueBytes(c.value());
+    } else {
+      bytes += 5;  // tag + var id
+      for (const Value& v : c.exclusions()) bytes += EstimateValueBytes(v);
+    }
+  }
+  return bytes;
+}
+
+size_t Message::ByteSize() const {
+  size_t bytes = kEnvelopeOverhead + from.size() + to.size();
+  if (const auto* ping = std::get_if<PingMsg>(&payload)) {
+    bytes += 16 + ping->origin.size();
+  } else if (const auto* pong = std::get_if<PongMsg>(&payload)) {
+    bytes += 16 + pong->responder.size();
+  } else if (const auto* init = std::get_if<SessionInitMsg>(&payload)) {
+    bytes += EstimateSpecBytes(init->spec);
+    for (const PartitionSummary& p : init->partitions) {
+      bytes += EstimateSummaryBytes(p);
+    }
+    for (const auto& [attr, filter] : init->forward_filters) {
+      bytes += attr.size() + filter.ByteSize();
+    }
+  } else if (const auto* plan = std::get_if<ComputePlanMsg>(&payload)) {
+    bytes += EstimateSpecBytes(plan->spec);
+    for (const PartitionSummary& p : plan->partitions) {
+      bytes += EstimateSummaryBytes(p);
+    }
+  } else if (const auto* batch = std::get_if<CoverBatchMsg>(&payload)) {
+    bytes += 16 + EstimateSchemaBytes(batch->schema);
+    for (const Mapping& m : batch->rows) bytes += EstimateMappingBytes(m);
+  } else if (const auto* final_rows = std::get_if<FinalRowsMsg>(&payload)) {
+    bytes += 18 + EstimateSchemaBytes(final_rows->schema) +
+             final_rows->error.size();
+    for (const Mapping& m : final_rows->rows) {
+      bytes += EstimateMappingBytes(m);
+    }
+  } else if (const auto* search = std::get_if<SearchMsg>(&payload)) {
+    bytes += 24 + search->origin.size();
+    for (const std::string& a : search->query.attrs) bytes += a.size() + 2;
+    for (const Tuple& k : search->query.keys) {
+      for (const Value& v : k) bytes += EstimateValueBytes(v);
+    }
+  } else if (const auto* hit = std::get_if<SearchHitMsg>(&payload)) {
+    bytes += 16 + hit->responder.size() + EstimateSchemaBytes(hit->schema);
+    for (const Tuple& t : hit->tuples) {
+      for (const Value& v : t) bytes += EstimateValueBytes(v);
+    }
+  }
+  return bytes;
+}
+
+const char* Message::TypeName() const {
+  switch (payload.index()) {
+    case 0:
+      return "Ping";
+    case 1:
+      return "Pong";
+    case 2:
+      return "SessionInit";
+    case 3:
+      return "ComputePlan";
+    case 4:
+      return "CoverBatch";
+    case 5:
+      return "FinalRows";
+    case 6:
+      return "Search";
+    case 7:
+      return "SearchHit";
+  }
+  return "Unknown";
+}
+
+}  // namespace hyperion

@@ -1,0 +1,168 @@
+// Typed messages exchanged by peers.
+//
+// The system runs in one process, so payloads carry real objects rather
+// than wire bytes; ByteSize() estimates the serialized size so the
+// simulated network (network.h) can model transmission cost and report
+// traffic statistics.  Message kinds:
+//
+//  * Ping/Pong       — Gnutella-style discovery flooding (gnutella.h).
+//  * SessionInit     — the information-gathering phase (§6.3.1): travels
+//                      P1 → ... → P_{n-1} accumulating inferred-partition
+//                      summaries (attribute sets only; no mappings move).
+//  * ComputePlan     — the full inferred-partition plan, distributed by
+//                      P_{n-1} to every participant when gathering ends.
+//  * CoverBatch      — the computation phase (§6.3.2): a cache-sized batch
+//                      of partial-cover mappings streamed toward P1.
+//  * FinalRows       — per-partition cover rows delivered to the
+//                      initiator by the partition's terminal peer.
+
+#ifndef HYPERION_P2P_MESSAGE_H_
+#define HYPERION_P2P_MESSAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/mapping.h"
+#include "core/query.h"
+#include "core/value_filter.h"
+#include "core/schema.h"
+
+namespace hyperion {
+
+using SessionId = uint64_t;
+
+/// \brief Discovery ping, flooded along acquaintance edges with a TTL.
+struct PingMsg {
+  uint64_t ping_id = 0;
+  std::string origin;
+  int ttl = 0;
+  int hops = 0;
+};
+
+/// \brief Reply to a ping, routed back to the origin.
+struct PongMsg {
+  uint64_t ping_id = 0;
+  std::string responder;
+  int hops = 0;
+};
+
+/// \brief One constraint belonging to a partition: where it lives and
+/// which attributes it spans (attribute names are what downstream peers
+/// need to plan their projections).
+struct PartitionMemberRef {
+  size_t hop = 0;  // hop h spans peers h -> h+1
+  std::string table_name;
+  std::vector<std::string> attr_names;  // X ∪ Y of the constraint
+};
+
+/// \brief Summary of one (inferred) partition: its member constraints and
+/// the union of their attributes.  This is all the information the
+/// gathering phase moves — never the mappings themselves.
+struct PartitionSummary {
+  std::vector<PartitionMemberRef> members;
+  std::vector<std::string> attr_names;
+  size_t first_hop = 0;
+  size_t last_hop = 0;
+};
+
+/// \brief Session parameters every control message carries.
+struct SessionSpec {
+  SessionId id = 0;
+  std::vector<std::string> path_peers;  // P1 ... Pn
+  std::vector<std::string> x_names;     // endpoints of the cover
+  std::vector<std::string> y_names;
+  size_t cache_capacity = 64;           // per-peer mapping cache
+  // Compose limits every participant applies to its local joins (see
+  // ComposeOptions); exceeding them fails the session loudly instead of
+  // exhausting a peer's memory.
+  size_t materialize_limit = 4096;
+  size_t max_result_rows = 2'000'000;
+  /// Semi-join prefiltering: the gathering phase additionally ships, per
+  /// next-peer attribute, a Bloom filter of the values the sender's
+  /// (already reduced) tables can produce there; the receiver drops rows
+  /// that could never join before computing or streaming anything.
+  bool semijoin_filters = false;
+};
+
+/// \brief Information-gathering message (forward pass).
+struct SessionInitMsg {
+  SessionSpec spec;
+  std::vector<PartitionSummary> partitions;  // merged so far
+  /// With spec.semijoin_filters: per receiving-peer attribute, the values
+  /// the sender's hop tables can produce (see SessionSpec).
+  std::map<std::string, ValueFilter> forward_filters;
+};
+
+/// \brief The final plan, sent to each participating peer.
+struct ComputePlanMsg {
+  SessionSpec spec;
+  std::vector<PartitionSummary> partitions;
+};
+
+/// \brief A streamed batch of partial-cover rows for one partition,
+/// flowing from peer `from_hop+1`'s side toward P1.
+struct CoverBatchMsg {
+  SessionId session = 0;
+  size_t partition = 0;  // index into the plan's partitions
+  Schema schema;         // schema of `rows`
+  std::vector<Mapping> rows;
+  bool eos = false;      // no more batches for this partition
+};
+
+/// \brief Final per-partition cover rows, sent to the initiator.
+struct FinalRowsMsg {
+  SessionId session = 0;
+  size_t partition = 0;
+  Schema schema;
+  std::vector<Mapping> rows;
+  bool eos = false;
+  bool satisfiable = true;  // meaningful on eos (middle-only partitions)
+  std::string error;        // nonempty => the session failed at a peer
+};
+
+/// \brief Gnutella-style value search (§1–§2): a selection query flooded
+/// along acquaintance edges, with its keys TRANSLATED through each hop's
+/// mapping tables before forwarding.
+struct SearchMsg {
+  uint64_t search_id = 0;
+  std::string origin;
+  int ttl = 0;
+  SelectionQuery query;
+  /// False when some translation along the way had an infinite image.
+  bool complete = true;
+};
+
+/// \brief Data tuples a peer found for a search, routed to the origin.
+struct SearchHitMsg {
+  uint64_t search_id = 0;
+  std::string responder;
+  Schema schema;
+  std::vector<Tuple> tuples;
+  /// Whether the chain of translations that produced the responder's
+  /// query was exact (best effort: incomplete hit-less branches are not
+  /// reported — flooding has no global termination detection).
+  bool complete = true;
+};
+
+/// \brief Envelope delivered by the network.
+struct Message {
+  std::string from;
+  std::string to;
+  std::variant<PingMsg, PongMsg, SessionInitMsg, ComputePlanMsg,
+               CoverBatchMsg, FinalRowsMsg, SearchMsg, SearchHitMsg>
+      payload;
+
+  /// \brief Estimated wire size in bytes (headers + payload).
+  size_t ByteSize() const;
+  const char* TypeName() const;
+};
+
+/// \brief Estimated serialized size of one mapping.
+size_t EstimateMappingBytes(const Mapping& m);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_P2P_MESSAGE_H_

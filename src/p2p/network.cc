@@ -1,0 +1,102 @@
+#include "p2p/network.h"
+
+#include <chrono>
+
+namespace hyperion {
+
+namespace {
+
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SimNetwork::SimNetwork() : options_(Options()) {}
+
+Status SimNetwork::RegisterPeer(const std::string& id, Handler handler) {
+  if (id.empty()) {
+    return Status::InvalidArgument("peer id must be nonempty");
+  }
+  auto [it, inserted] = peers_.emplace(id, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("peer '" + id + "' already registered");
+  }
+  busy_until_[id] = 0;
+  return Status::OK();
+}
+
+int64_t SimNetwork::CurrentComputeMicros() const {
+  int64_t measured_us =
+      (WallNowNs() - handler_wall_start_ns_) / 1000;
+  return static_cast<int64_t>(
+             static_cast<double>(measured_us) * options_.compute_scale) +
+         handler_extra_charge_us_;
+}
+
+int64_t SimNetwork::now_us() const {
+  if (in_handler_) return handler_start_us_ + CurrentComputeMicros();
+  return clock_us_;
+}
+
+void SimNetwork::ChargeCompute(int64_t micros) {
+  if (in_handler_) handler_extra_charge_us_ += micros;
+}
+
+Status SimNetwork::Send(Message msg) {
+  if (!peers_.count(msg.to)) {
+    return Status::NotFound("unknown destination peer '" + msg.to + "'");
+  }
+  size_t bytes = msg.ByteSize();
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes;
+  stats_.messages_by_type[msg.TypeName()] += 1;
+
+  int64_t depart = now_us();
+  int64_t latency = options_.latency_us;
+  auto link_it = options_.link_latency_us.find({msg.from, msg.to});
+  if (link_it != options_.link_latency_us.end()) latency = link_it->second;
+  int64_t arrival =
+      depart + latency +
+      static_cast<int64_t>(static_cast<double>(bytes) * options_.us_per_byte);
+  // Keep per-link FIFO order.
+  auto link = std::make_pair(msg.from, msg.to);
+  auto it = last_arrival_.find(link);
+  if (it != last_arrival_.end() && arrival <= it->second) {
+    arrival = it->second + 1;
+  }
+  last_arrival_[link] = arrival;
+  queue_.push(Event{arrival, next_seq_++, std::move(msg)});
+  return Status::OK();
+}
+
+Result<int64_t> SimNetwork::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto peer_it = peers_.find(ev.msg.to);
+    if (peer_it == peers_.end()) {
+      return Status::Internal("event for unknown peer '" + ev.msg.to + "'");
+    }
+    int64_t start = std::max(ev.time, busy_until_[ev.msg.to]);
+    clock_us_ = start;
+    in_handler_ = true;
+    current_peer_ = ev.msg.to;
+    handler_start_us_ = start;
+    handler_wall_start_ns_ = WallNowNs();
+    handler_extra_charge_us_ = options_.per_message_overhead_us;
+
+    peer_it->second(ev.msg);
+
+    int64_t consumed = CurrentComputeMicros();
+    in_handler_ = false;
+    busy_until_[ev.msg.to] = start + consumed;
+    clock_us_ = std::max(clock_us_, start + consumed);
+  }
+  return clock_us_;
+}
+
+}  // namespace hyperion

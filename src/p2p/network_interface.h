@@ -1,0 +1,60 @@
+// The network abstraction peers run on.  Two implementations:
+//
+//  * SimNetwork (network.h) — single-threaded discrete-event simulation
+//    with a virtual clock; deterministic, models latency/bandwidth, and
+//    charges measured compute to the clock.  The default for tests and
+//    for the calibrated experiment harnesses.
+//  * ThreadedNetwork (threaded_network.h) — one worker thread per peer,
+//    real wall-clock time, real parallelism.  Demonstrates that the
+//    protocol tolerates true concurrency (per-peer state is only ever
+//    touched by the owning peer's thread).
+
+#ifndef HYPERION_P2P_NETWORK_INTERFACE_H_
+#define HYPERION_P2P_NETWORK_INTERFACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "p2p/message.h"
+
+namespace hyperion {
+
+/// \brief Aggregate traffic statistics.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  std::map<std::string, uint64_t> messages_by_type;
+};
+
+/// \brief Message transport between peers.
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  virtual ~Network() = default;
+
+  /// \brief Registers a peer; `handler` is invoked for each delivery.
+  /// Handlers for one peer never run concurrently with each other.
+  virtual Status RegisterPeer(const std::string& id, Handler handler) = 0;
+
+  /// \brief Queues `msg` for delivery.  Callable from inside handlers.
+  virtual Status Send(Message msg) = 0;
+
+  /// \brief Time in microseconds — virtual for SimNetwork, wall for
+  /// ThreadedNetwork.
+  virtual int64_t now_us() const = 0;
+
+  /// \brief Extra compute charge for the current handler's peer (no-op
+  /// where time is real).
+  virtual void ChargeCompute(int64_t micros) = 0;
+
+  /// \brief Snapshot of the traffic counters.
+  virtual NetworkStats stats() const = 0;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_P2P_NETWORK_INTERFACE_H_

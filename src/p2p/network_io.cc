@@ -1,0 +1,222 @@
+// Manifest grammar (one block per peer, blocks separated by blank lines):
+//
+//   peer GDB
+//   attrs GDB_id:string, GDB_entry:string
+//   data GDB__data0.csv
+//   constraint MIM GDB__m1.hmt
+//   constraint SwissProt GDB__m2.hmt
+
+#include "p2p/network_io.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace hyperion {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read '" + path.string() + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write '" + path.string() + "'");
+  out << content;
+  return out.good() ? Status::OK()
+                    : Status::IoError("write failed: " + path.string());
+}
+
+std::string AttrSpec(const AttributeSet& attrs) {
+  std::vector<std::string> parts;
+  for (const Attribute& a : attrs.attrs()) {
+    parts.push_back(a.name() + ":" +
+                    ValueTypeToString(a.domain()->value_type()));
+  }
+  return JoinStrings(parts, ", ");
+}
+
+Result<AttributeSet> ParseAttrSpec(std::string_view spec) {
+  std::vector<Attribute> attrs;
+  for (const std::string& piece : SplitString(spec, ',')) {
+    std::string_view p = TrimWhitespace(piece);
+    size_t colon = p.rfind(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("attr spec needs name:type: '" +
+                                     std::string(p) + "'");
+    }
+    std::string name(TrimWhitespace(p.substr(0, colon)));
+    std::string_view type = TrimWhitespace(p.substr(colon + 1));
+    if (type == "string") {
+      attrs.emplace_back(name, Domain::AllStrings());
+    } else if (type == "int") {
+      attrs.emplace_back(name, Domain::AllInts());
+    } else {
+      return Status::InvalidArgument("unknown attribute type '" +
+                                     std::string(type) + "'");
+    }
+  }
+  return AttributeSet(std::move(attrs));
+}
+
+// Conservative file-name token from a peer/table name.
+std::string Slug(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveNetwork(const std::vector<const PeerNode*>& peers,
+                   const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create '" + directory +
+                           "': " + ec.message());
+  }
+  std::ostringstream manifest;
+  manifest << "# hyperion network v1\n";
+  for (const PeerNode* peer : peers) {
+    manifest << "peer " << peer->id() << "\n";
+    manifest << "attrs " << AttrSpec(peer->attributes()) << "\n";
+    for (size_t i = 0; i < peer->data().size(); ++i) {
+      std::string file =
+          Slug(peer->id()) + "__data" + std::to_string(i) + ".csv";
+      HYP_RETURN_IF_ERROR(WriteFile(fs::path(directory) / file,
+                                    ExportRelationCsv(peer->data()[i])));
+      manifest << "data " << file << "\n";
+    }
+    for (const std::string& neighbor : peer->Acquaintances()) {
+      for (const MappingConstraint& c : peer->ConstraintsTo(neighbor)) {
+        std::string file =
+            Slug(peer->id()) + "__" + Slug(c.name()) + ".hmt";
+        HYP_RETURN_IF_ERROR(
+            WriteFile(fs::path(directory) / file, c.table().Serialize()));
+        manifest << "constraint " << neighbor << " " << file << "\n";
+      }
+    }
+    manifest << "\n";
+  }
+  return WriteFile(fs::path(directory) / "network.manifest",
+                   manifest.str());
+}
+
+Result<std::vector<std::unique_ptr<PeerNode>>> LoadNetwork(
+    const std::string& directory) {
+  HYP_ASSIGN_OR_RETURN(std::string manifest,
+                       ReadFile(fs::path(directory) / "network.manifest"));
+  std::vector<std::unique_ptr<PeerNode>> peers;
+  // Parse pass 1: create the peers; remember pending wiring.
+  struct PendingConstraint {
+    size_t peer_index;
+    std::string neighbor;
+    std::string file;
+  };
+  struct PendingData {
+    size_t peer_index;
+    std::string file;
+  };
+  std::vector<PendingConstraint> constraints;
+  std::vector<PendingData> data_files;
+  std::optional<std::string> current_id;
+  std::optional<AttributeSet> current_attrs;
+
+  auto flush_peer = [&]() -> Status {
+    if (!current_id) return Status::OK();
+    if (!current_attrs) {
+      return Status::InvalidArgument("peer '" + *current_id +
+                                     "' has no attrs line");
+    }
+    peers.push_back(
+        std::make_unique<PeerNode>(*current_id, *current_attrs));
+    current_id.reset();
+    current_attrs.reset();
+    return Status::OK();
+  };
+
+  for (const std::string& raw_line : SplitString(manifest, '\n')) {
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    if (StartsWith(line, "peer ")) {
+      HYP_RETURN_IF_ERROR(flush_peer());
+      current_id = std::string(TrimWhitespace(line.substr(5)));
+      continue;
+    }
+    if (!current_id && !peers.empty()) {
+      // Lines after a flushed peer belong to the previous one only if we
+      // have not started a new block; manifest blocks always start with
+      // "peer", so this is a format error.
+      return Status::InvalidArgument("manifest line outside a peer block: " +
+                                     std::string(line));
+    }
+    if (StartsWith(line, "attrs ")) {
+      HYP_ASSIGN_OR_RETURN(AttributeSet attrs,
+                           ParseAttrSpec(line.substr(6)));
+      current_attrs = std::move(attrs);
+    } else if (StartsWith(line, "data ")) {
+      // The peer is created on flush; defer the file read.
+      if (!current_id) {
+        return Status::InvalidArgument("data line outside a peer block");
+      }
+      data_files.push_back(
+          {peers.size(), std::string(TrimWhitespace(line.substr(5)))});
+    } else if (StartsWith(line, "constraint ")) {
+      if (!current_id) {
+        return Status::InvalidArgument(
+            "constraint line outside a peer block");
+      }
+      std::string rest(TrimWhitespace(line.substr(11)));
+      size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        return Status::InvalidArgument(
+            "constraint line needs '<neighbor> <file>': " + rest);
+      }
+      constraints.push_back(
+          {peers.size(), rest.substr(0, space),
+           std::string(TrimWhitespace(rest.substr(space + 1)))});
+    } else {
+      return Status::InvalidArgument("unrecognized manifest line: " +
+                                     std::string(line));
+    }
+  }
+  HYP_RETURN_IF_ERROR(flush_peer());
+
+  for (const PendingData& d : data_files) {
+    if (d.peer_index >= peers.size()) {
+      return Status::Internal("manifest data indexing error");
+    }
+    HYP_ASSIGN_OR_RETURN(std::string csv,
+                         ReadFile(fs::path(directory) / d.file));
+    HYP_ASSIGN_OR_RETURN(Relation relation, ImportRelationCsv(csv));
+    HYP_RETURN_IF_ERROR(peers[d.peer_index]->AddData(std::move(relation)));
+  }
+  for (const PendingConstraint& c : constraints) {
+    if (c.peer_index >= peers.size()) {
+      return Status::Internal("manifest constraint indexing error");
+    }
+    HYP_ASSIGN_OR_RETURN(std::string text,
+                         ReadFile(fs::path(directory) / c.file));
+    HYP_ASSIGN_OR_RETURN(MappingTable table, MappingTable::Parse(text));
+    HYP_RETURN_IF_ERROR(peers[c.peer_index]->AddConstraintTo(
+        c.neighbor, MappingConstraint(std::move(table))));
+  }
+  return peers;
+}
+
+}  // namespace hyperion

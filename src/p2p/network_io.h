@@ -1,0 +1,39 @@
+// Persistence for whole peer networks: a directory with one manifest,
+// one .hmt file per mapping table and one .csv per data relation, so a
+// deployment can be saved, shipped and reloaded (or hand-edited with the
+// CLI and a text editor).
+//
+// Layout:
+//   network.manifest       one "peer"/"attrs"/"data"/"constraint" block
+//                          per peer (see network_io.cc for the grammar)
+//   <peer>__<table>.hmt    mapping tables (mapping_table.cc text format)
+//   <peer>__data<i>.csv    data relations
+//
+// Domains round-trip as string/int; enumerated domains are not
+// serializable (they exist for test oracles).
+
+#ifndef HYPERION_P2P_NETWORK_IO_H_
+#define HYPERION_P2P_NETWORK_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "p2p/peer.h"
+
+namespace hyperion {
+
+/// \brief Writes the peers' attributes, constraints and data relations
+/// under `directory` (created if missing; existing files overwritten).
+Status SaveNetwork(const std::vector<const PeerNode*>& peers,
+                   const std::string& directory);
+
+/// \brief Reconstructs the peers saved by SaveNetwork.  The peers are
+/// fresh and unattached; wire them to a network with Attach().
+Result<std::vector<std::unique_ptr<PeerNode>>> LoadNetwork(
+    const std::string& directory);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_P2P_NETWORK_IO_H_

@@ -1,0 +1,211 @@
+// PeerNode: one autonomous peer — its attributes, its mapping tables to
+// acquainted peers, and its side of the distributed cover protocol.
+//
+// Mirrors the paper's implementation sketch (§6.1/§7): each peer has a
+// storage module (constraint store + mapping cache) and a networking
+// module (message handling over the Gnutella-like substrate).  A peer
+// only ever stores constraints between itself and its immediate
+// acquaintances; covers across longer paths emerge from the protocol.
+
+#ifndef HYPERION_P2P_PEER_H_
+#define HYPERION_P2P_PEER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/constraint.h"
+#include "core/cover_engine.h"
+#include "core/schema.h"
+#include "p2p/message.h"
+#include "p2p/network_interface.h"
+#include "p2p/protocol.h"
+#include "storage/mapping_cache.h"
+
+namespace hyperion {
+
+/// \brief A peer in the network.  Not thread-safe; driven by SimNetwork's
+/// single-threaded event loop.
+class PeerNode {
+ public:
+  PeerNode(std::string id, AttributeSet attributes);
+
+  const std::string& id() const { return id_; }
+  const AttributeSet& attributes() const { return attributes_; }
+
+  /// \brief Registers this peer's handler with `network` (either the
+  /// discrete-event SimNetwork or the real-thread ThreadedNetwork).  The
+  /// network must outlive the peer's use.
+  Status Attach(Network* network);
+
+  /// \brief Stores a mapping table from this peer to `neighbor` as a
+  /// constraint (X must be within this peer's attributes).  The table
+  /// must be named, uniquely per neighbor.
+  Status AddConstraintTo(const std::string& neighbor, MappingConstraint c);
+
+  /// \brief Constraints stored toward `neighbor` (empty when none).
+  const std::vector<MappingConstraint>& ConstraintsTo(
+      const std::string& neighbor) const;
+
+  /// \brief Acquainted peer ids (those this peer holds tables toward).
+  std::vector<std::string> Acquaintances() const;
+
+  /// \brief Peers that answered a discovery ping within `ttl` hops, with
+  /// their hop distance.  Must be called before network.Run(); results
+  /// are available afterwards via Ponged().
+  Status FloodPing(int ttl);
+  const std::map<std::string, int>& Ponged() const { return ponged_; }
+
+  /// \brief Stores a local data relation; value searches evaluate against
+  /// every stored relation whose schema contains the query attributes.
+  Status AddData(Relation relation);
+  const std::vector<Relation>& data() const { return data_; }
+
+  /// \brief Result of a value search started at this peer.
+  struct SearchState {
+    SelectionQuery query;
+    /// Hits by responder (merged, deduplicated per responder).
+    std::map<std::string, Relation> hits;
+    /// Whether every translation along every explored path was exact.
+    bool complete = true;
+    int64_t first_hit_us = -1;  // virtual time of the first hit
+  };
+
+  /// \brief Starts a Gnutella-style value search (§1–§2): the query is
+  /// evaluated locally, then flooded to acquaintances with its keys
+  /// translated through the stored mapping tables at every hop.  Returns
+  /// the search id; run the network, then read Search(id).
+  Result<uint64_t> StartValueSearch(SelectionQuery query, int ttl);
+
+  Result<const SearchState*> Search(uint64_t search_id) const;
+
+  /// \brief Starts a cover session along `path_peers` (this peer first).
+  /// `x_attrs` must be within this peer's attributes; `y_attrs` are the
+  /// target attributes in the last peer.  Returns the session id; drive
+  /// the network to completion, then fetch with GetResult().
+  Result<SessionId> StartCoverSession(std::vector<std::string> path_peers,
+                                      std::vector<Attribute> x_attrs,
+                                      std::vector<Attribute> y_attrs,
+                                      const SessionOptions& opts = {});
+
+  /// \brief Result of a completed session started at this peer.
+  Result<const SessionResult*> GetResult(SessionId session) const;
+
+  /// \brief Message entry point (wired by Attach).
+  void HandleMessage(const Message& msg);
+
+ private:
+  // ---- information-gathering phase ----
+  void OnSessionInit(const Message& msg);
+  // Merges upstream partition summaries with this peer's own hop
+  // partitions; `hop` is this peer's hop index.
+  std::vector<PartitionSummary> MergeSummaries(
+      const std::vector<PartitionSummary>& upstream, size_t hop,
+      const std::vector<MappingConstraint>& own);
+  void DistributePlan(const SessionSpec& spec,
+                      std::vector<PartitionSummary> partitions);
+
+  // ---- computation phase ----
+  struct PartState {
+    bool involved = false;     // this peer owns members of the partition
+    bool is_starter = false;   // my hop == partition's last hop
+    bool is_terminal = false;  // my hop == partition's first hop
+    std::vector<std::string> keep_names;    // endpoint attrs kept
+    std::vector<std::string> needed_names;  // what downstream-of-me needs
+    FreeTable local;           // join of my member tables
+    std::optional<FreeTable> emitted;  // dedup of rows already streamed
+    std::unique_ptr<MappingCache> cache;
+    bool any_rows = false;     // satisfiability witness seen
+    bool done = false;
+  };
+  struct ParticipantState {
+    SessionSpec spec;
+    std::vector<PartitionSummary> partitions;
+    size_t my_hop = 0;
+    std::map<size_t, PartState> parts;
+  };
+  struct InitiatorState {
+    SessionSpec spec;
+    std::vector<Attribute> x_attrs;
+    std::vector<Attribute> y_attrs;
+    SessionOptions opts;
+    SessionResult result;
+    std::vector<bool> partition_done;
+    bool plan_received = false;
+    // Final rows that raced ahead of the plan message.
+    std::vector<FinalRowsMsg> pending_final;
+  };
+
+  void OnComputePlan(const Message& msg);
+  void OnCoverBatch(const Message& msg);
+  void OnFinalRows(const Message& msg);
+  void OnPing(const Message& msg);
+  void OnPong(const Message& msg);
+  void OnSearch(const Message& msg);
+  void OnSearchHit(const Message& msg);
+
+  // Evaluates `search` against local data, replying to the origin, and
+  // forwards translated copies to acquaintances.
+  void HandleSearch(const SearchMsg& search, const std::string& from);
+
+  // ---- semi-join prefiltering (SessionSpec::semijoin_filters) ----
+  // Rows of `table` surviving the incoming per-attribute value filters
+  // (rows whose ground X cell at a filtered attribute cannot match any
+  // upstream value are dropped; sound by construction).
+  static std::vector<Mapping> ReducedRows(
+      const MappingTable& table,
+      const std::map<std::string, ValueFilter>& filters);
+  // Per-next-peer-attribute filters of the values `own`'s (reduced)
+  // tables can produce on their Y side.
+  std::map<std::string, ValueFilter> ComputeForwardFilters(
+      const std::vector<MappingConstraint>& own,
+      const std::map<std::string, ValueFilter>& incoming) const;
+
+  // Starts streaming for partitions whose last hop is this peer.
+  void StartPartitions(ParticipantState* state);
+  // Joins `incoming` with the local tables of partition `part_idx` and
+  // streams the results onward; pass nullptr for starter-originated rows.
+  Status ProcessRows(ParticipantState* state, size_t part_idx,
+                     const FreeTable* incoming, bool eos);
+  // Emits `rows` through the partition's cache toward the next peer (or
+  // the initiator when terminal).
+  Status EmitRows(ParticipantState* state, size_t part_idx,
+                  std::vector<Mapping> rows, bool eos);
+  Status SendBatch(ParticipantState* state, size_t part_idx,
+                   std::vector<Mapping> rows, bool eos);
+
+  // Initiator side: integrates final rows, finishes when all EOS'd.
+  void IntegrateFinalRows(const FinalRowsMsg& final_rows);
+  void FinishSession(InitiatorState* session);
+
+  // Fails the session (initiator notified out-of-band: same process).
+  void FailSession(SessionId id, const Status& status);
+
+  std::string id_;
+  AttributeSet attributes_;
+  Network* network_ = nullptr;
+  std::map<std::string, std::vector<MappingConstraint>> constraints_;
+  std::map<SessionId, ParticipantState> participant_sessions_;
+  std::map<SessionId, InitiatorState> initiator_sessions_;
+  // Cover batches that arrived before this peer's ComputePlan message.
+  std::map<SessionId, std::vector<Message>> pending_batches_;
+  // Per-session semi-join filters received during information gathering.
+  std::map<SessionId, std::map<std::string, ValueFilter>> incoming_filters_;
+  std::map<std::string, int> ponged_;
+  std::set<uint64_t> seen_pings_;
+  std::vector<Relation> data_;
+  std::map<uint64_t, SearchState> searches_;  // searches started here
+  // (search id, query fingerprint) pairs already processed — the same
+  // search can legitimately reach a peer twice with different translated
+  // keys via different paths.
+  std::set<std::pair<uint64_t, size_t>> seen_searches_;
+  uint64_t next_local_id_ = 1;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_P2P_PEER_H_

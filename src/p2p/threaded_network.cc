@@ -1,0 +1,123 @@
+#include "p2p/threaded_network.h"
+
+#include <chrono>
+
+namespace hyperion {
+
+ThreadedNetwork::~ThreadedNetwork() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (auto& [id, worker] : peers_) {
+      (void)id;
+      worker->cv.notify_all();
+    }
+  }
+  for (auto& [id, worker] : peers_) {
+    (void)id;
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+Status ThreadedNetwork::RegisterPeer(const std::string& id, Handler handler) {
+  if (id.empty()) {
+    return Status::InvalidArgument("peer id must be nonempty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return Status::FailedPrecondition(
+        "cannot register peers while the network is running");
+  }
+  auto worker = std::make_unique<PeerWorker>();
+  worker->handler = std::move(handler);
+  auto [it, inserted] = peers_.emplace(id, std::move(worker));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("peer '" + id + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status ThreadedNetwork::Send(Message msg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = peers_.find(msg.to);
+  if (it == peers_.end()) {
+    return Status::NotFound("unknown destination peer '" + msg.to + "'");
+  }
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += msg.ByteSize();
+  stats_.messages_by_type[msg.TypeName()] += 1;
+  ++outstanding_;
+  it->second->queue.push_back(std::move(msg));
+  it->second->cv.notify_one();
+  return Status::OK();
+}
+
+void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    worker->cv.wait(lock, [&] {
+      return stopping_ || !worker->queue.empty();
+    });
+    if (worker->queue.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    Message msg = std::move(worker->queue.front());
+    worker->queue.pop_front();
+    lock.unlock();
+    worker->handler(msg);  // may Send(), re-locking mutex_
+    lock.lock();
+    if (--outstanding_ == 0) quiescent_cv_.notify_all();
+  }
+}
+
+Result<int64_t> ThreadedNetwork::Run() {
+  auto start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::FailedPrecondition("Run() is not reentrant");
+    }
+    running_ = true;
+    stopping_ = false;
+  }
+  for (auto& [id, worker] : peers_) {
+    (void)id;
+    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    quiescent_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    stopping_ = true;
+    for (auto& [id, worker] : peers_) {
+      (void)id;
+      worker->cv.notify_all();
+    }
+  }
+  for (auto& [id, worker] : peers_) {
+    (void)id;
+    worker->thread.join();
+    worker->thread = std::thread();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int64_t ThreadedNetwork::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+NetworkStats ThreadedNetwork::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,180 @@
+#include "storage/csv.h"
+
+#include <sstream>
+#include <vector>
+
+namespace hyperion {
+
+namespace {
+
+// Parses CSV into records of fields (RFC-4180-ish; accepts \n and \r\n).
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view csv) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool quoted = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    // Skip records that are entirely empty (trailing newline).
+    if (record.size() > 1 || !record[0].empty()) {
+      records.push_back(std::move(record));
+    }
+    record.clear();
+  };
+  while (i < csv.size()) {
+    char c = csv[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"' && !field_started && field.empty()) {
+        quoted = true;
+        field_started = true;
+      } else if (c == ',') {
+        end_field();
+      } else if (c == '\n') {
+        if (!field.empty() || !record.empty() || field_started) {
+          end_record();
+        }
+      } else if (c == '\r') {
+        // swallowed; \r\n handled by the \n branch
+      } else {
+        field.push_back(c);
+        field_started = true;
+      }
+    }
+    ++i;
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (!field.empty() || !record.empty() || field_started) {
+    end_record();
+  }
+  return records;
+}
+
+std::string CsvField(const std::string& raw) {
+  bool needs_quotes = raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ImportRelationCsv(std::string_view csv) {
+  HYP_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+                       ParseCsv(csv));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV needs at least a header record");
+  }
+  std::vector<Attribute> attrs;
+  for (const std::string& name : records[0]) {
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name in CSV header");
+    }
+    attrs.push_back(Attribute::String(name));
+  }
+  Relation out{Schema(std::move(attrs))};
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != records[0].size()) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(records[0].size()));
+    }
+    Tuple t;
+    t.reserve(records[r].size());
+    for (std::string& f : records[r]) t.emplace_back(std::move(f));
+    HYP_RETURN_IF_ERROR(out.Add(std::move(t)));
+  }
+  return out;
+}
+
+Result<MappingTable> ImportTableCsv(std::string_view csv, size_t x_arity,
+                                    std::string name) {
+  HYP_ASSIGN_OR_RETURN(Relation relation, ImportRelationCsv(csv));
+  const Schema& schema = relation.schema();
+  if (x_arity == 0 || x_arity >= schema.arity()) {
+    return Status::InvalidArgument(
+        "x_arity must split the " + std::to_string(schema.arity()) +
+        " CSV columns into nonempty X and Y sides");
+  }
+  std::vector<size_t> x_positions;
+  std::vector<size_t> y_positions;
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    (i < x_arity ? x_positions : y_positions).push_back(i);
+  }
+  HYP_ASSIGN_OR_RETURN(
+      MappingTable table,
+      MappingTable::Create(schema.Project(x_positions),
+                           schema.Project(y_positions), std::move(name)));
+  for (const Tuple& t : relation.tuples()) {
+    HYP_RETURN_IF_ERROR(table.AddRow(Mapping::FromTuple(t)));
+  }
+  return table;
+}
+
+std::string ExportRelationCsv(const Relation& relation) {
+  std::ostringstream os;
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i) os << ",";
+    os << CsvField(schema.attr(i).name());
+  }
+  os << "\n";
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i) os << ",";
+      os << CsvField(t[i].ToString());
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<std::string> ExportTableCsv(const MappingTable& table) {
+  std::ostringstream os;
+  for (size_t i = 0; i < table.schema().arity(); ++i) {
+    if (i) os << ",";
+    os << CsvField(table.schema().attr(i).name());
+  }
+  os << "\n";
+  for (const Mapping& row : table.rows()) {
+    if (!row.IsGround()) {
+      return Status::InvalidArgument(
+          "table has variable rows; CSV cannot represent them — use the "
+          ".hmt text format");
+    }
+    for (size_t i = 0; i < row.arity(); ++i) {
+      if (i) os << ",";
+      os << CsvField(row.cell(i).value().ToString());
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hyperion

@@ -1,0 +1,41 @@
+// CSV interchange for mapping tables and relations.
+//
+// Real curated mapping tables (the GDB→SwissProt links of the paper's
+// Figure 1, HGNC dumps, ...) circulate as delimited text; this module
+// imports such files as ground mapping tables and exports tables/
+// relations back out.  RFC-4180-style quoting: fields containing the
+// separator, quotes or newlines are wrapped in double quotes, with `""`
+// escaping a quote.  Variable rows cannot be represented in CSV; exports
+// of tables containing them fail (serialize to .hmt instead).
+
+#ifndef HYPERION_STORAGE_CSV_H_
+#define HYPERION_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/mapping_table.h"
+
+namespace hyperion {
+
+/// \brief Parses CSV text: the first record is the header (attribute
+/// names), every following record a ground tuple.  All columns get the
+/// unbounded string domain.
+Result<Relation> ImportRelationCsv(std::string_view csv);
+
+/// \brief As ImportRelationCsv, splitting the first `x_arity` columns off
+/// as the table's X side.
+Result<MappingTable> ImportTableCsv(std::string_view csv, size_t x_arity,
+                                    std::string name = "");
+
+/// \brief Renders a relation as CSV (header + rows).
+std::string ExportRelationCsv(const Relation& relation);
+
+/// \brief Renders a ground mapping table as CSV; fails when the table has
+/// variable rows.
+Result<std::string> ExportTableCsv(const MappingTable& table);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_STORAGE_CSV_H_

@@ -1,0 +1,61 @@
+// MappingCache: the bounded per-peer buffer of mappings used during the
+// computation phase (paper §7: "we allow each peer to decide how much
+// cache to use ... peers with a small cache ... have to stream mappings
+// more often").
+//
+// The cache holds mappings produced but not yet shipped; when it reaches
+// capacity the owner must flush (stream) its contents.  It also tracks how
+// many flushes happened so traffic statistics can be reported.
+
+#ifndef HYPERION_STORAGE_MAPPING_CACHE_H_
+#define HYPERION_STORAGE_MAPPING_CACHE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mapping.h"
+
+namespace hyperion {
+
+/// \brief Bounded buffer of mappings with flush accounting.
+class MappingCache {
+ public:
+  /// \brief `capacity` is the number of mappings held before a flush is
+  /// required; 0 means "flush every mapping immediately".
+  explicit MappingCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+
+  /// \brief Whether adding one more mapping would exceed capacity.
+  bool Full() const { return buffer_.size() >= capacity_; }
+
+  /// \brief Buffers `m`; returns true when the cache is now due a flush.
+  bool Add(Mapping m) {
+    buffer_.push_back(std::move(m));
+    return buffer_.size() >= std::max<size_t>(capacity_, 1);
+  }
+
+  /// \brief Removes and returns everything buffered.
+  std::vector<Mapping> Drain() {
+    ++flush_count_;
+    total_flushed_ += buffer_.size();
+    std::vector<Mapping> out = std::move(buffer_);
+    buffer_.clear();
+    return out;
+  }
+
+  size_t flush_count() const { return flush_count_; }
+  size_t total_flushed() const { return total_flushed_; }
+
+ private:
+  size_t capacity_;
+  std::vector<Mapping> buffer_;
+  size_t flush_count_ = 0;
+  size_t total_flushed_ = 0;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_STORAGE_MAPPING_CACHE_H_

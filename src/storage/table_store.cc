@@ -1,0 +1,120 @@
+#include "storage/table_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hyperion {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string FileFor(const std::string& directory, const std::string& name) {
+  return (fs::path(directory) / (name + ".hmt")).string();
+}
+
+}  // namespace
+
+Result<TableStore> TableStore::Open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory '" + directory +
+                           "': " + ec.message());
+  }
+  TableStore store;
+  store.directory_ = directory;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (entry.path().extension() != ".hmt") continue;
+    std::ifstream in(entry.path());
+    if (!in) {
+      return Status::IoError("cannot read '" + entry.path().string() + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    HYP_ASSIGN_OR_RETURN(MappingTable table, MappingTable::Parse(buf.str()));
+    if (table.name().empty()) {
+      table.set_name(entry.path().stem().string());
+    }
+    std::string name = table.name();
+    store.tables_[name] =
+        std::make_shared<const MappingTable>(std::move(table));
+  }
+  if (ec) {
+    return Status::IoError("cannot list '" + directory + "': " + ec.message());
+  }
+  return store;
+}
+
+Status TableStore::Put(MappingTable table) {
+  if (table.name().empty()) {
+    return Status::InvalidArgument("table must be named to be stored");
+  }
+  if (tables_.count(table.name())) {
+    return Status::AlreadyExists("table '" + table.name() +
+                                 "' already stored");
+  }
+  return PutOrReplace(std::move(table));
+}
+
+Status TableStore::PutOrReplace(MappingTable table) {
+  if (table.name().empty()) {
+    return Status::InvalidArgument("table must be named to be stored");
+  }
+  HYP_RETURN_IF_ERROR(Persist(table));
+  std::string name = table.name();
+  tables_[name] = std::make_shared<const MappingTable>(std::move(table));
+  return Status::OK();
+}
+
+Status TableStore::Persist(const MappingTable& table) {
+  if (directory_.empty()) return Status::OK();
+  std::string path = FileFor(directory_, table.name());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot write '" + path + "'");
+  }
+  out << table.Serialize();
+  if (!out.good()) {
+    return Status::IoError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const MappingTable>> TableStore::Get(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status TableStore::Remove(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  tables_.erase(it);
+  if (!directory_.empty()) {
+    std::error_code ec;
+    fs::remove(FileFor(directory_, name), ec);
+    if (ec) {
+      return Status::IoError("cannot delete table file: " + ec.message());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TableStore::Names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,62 @@
+// TableStore: each peer's persistent storage manager for mapping tables
+// (the paper's experimental setup retrieves mappings "from disk" through a
+// per-peer storage manager module).
+//
+// Tables are kept as text files (the mapping_table.cc format) under one
+// directory per store, with an in-memory catalog keyed by table name.
+
+#ifndef HYPERION_STORAGE_TABLE_STORE_H_
+#define HYPERION_STORAGE_TABLE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mapping_table.h"
+
+namespace hyperion {
+
+/// \brief A named collection of mapping tables, optionally backed by a
+/// directory of table files.
+class TableStore {
+ public:
+  /// \brief Purely in-memory store.
+  TableStore() = default;
+
+  /// \brief Store backed by `directory` (created if missing).  Existing
+  /// "*.hmt" files are loaded into the catalog.
+  static Result<TableStore> Open(const std::string& directory);
+
+  /// \brief Registers `table` under its name (which must be nonempty and
+  /// unique).  Persists immediately when directory-backed.
+  Status Put(MappingTable table);
+
+  /// \brief Replaces or inserts `table` under its name.
+  Status PutOrReplace(MappingTable table);
+
+  /// \brief Shared handle to the named table.
+  Result<std::shared_ptr<const MappingTable>> Get(
+      const std::string& name) const;
+
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+
+  /// \brief Removes the named table (and its file when directory-backed).
+  Status Remove(const std::string& name);
+
+  /// \brief All table names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  Status Persist(const MappingTable& table);
+
+  std::string directory_;  // empty => in-memory only
+  std::map<std::string, std::shared_ptr<const MappingTable>> tables_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_STORAGE_TABLE_STORE_H_

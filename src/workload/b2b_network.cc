@@ -1,0 +1,271 @@
+#include "workload/b2b_network.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/random.h"
+
+namespace hyperion {
+
+namespace {
+
+// A few real nickname/misspelling pairs for flavor; the generator scales
+// past them with synthetic ones.
+constexpr std::array<std::pair<const char*, const char*>, 12> kNicknames = {{
+    {"Bob", "Robert"},
+    {"Rob", "Robert"},
+    {"Liz", "Elizabeth"},
+    {"Beth", "Elizabeth"},
+    {"Bill", "William"},
+    {"Jim", "James"},
+    {"Mike", "Michael"},
+    {"Kate", "Katherine"},
+    {"Tom", "Thomas"},
+    {"Tony", "Anthony"},
+    {"Jon", "John"},
+    {"Sara", "Sarah"},
+}};
+
+// Coherent geographic ground truth: streets have zips, zips lie in
+// cities, cities have (two) area codes and a state.  The tables sampled
+// below all agree with it, so their conjunction is consistent and covers
+// compose end to end.
+std::string CanonicalName(size_t i) { return "Name" + std::to_string(i); }
+std::string NickName(size_t i) { return "Nick" + std::to_string(i); }
+std::string StreetName(size_t i) {
+  return std::to_string(10 + i % 90) + " Street" + std::to_string(i);
+}
+size_t ZipIndexOfStreet(size_t i) { return i / 3; }  // ~3 streets per zip
+std::string ZipOfStreet(size_t i) {
+  return "Z" + std::to_string(10000 + ZipIndexOfStreet(i));
+}
+size_t NumCities(size_t n) { return std::max<size_t>(1, n / 8); }
+size_t CityIndexOfStreet(size_t i, size_t n) {
+  return ZipIndexOfStreet(i) % NumCities(n);
+}
+std::string CityName(size_t c) { return "City" + std::to_string(c); }
+std::string AreaCode(size_t i) { return std::to_string(200 + i); }
+size_t CityIndexOfArea(size_t a) { return a / 2; }  // 2 area codes a city
+std::string StateOfCity(const std::string& city) {
+  return "State" + std::to_string(std::hash<std::string>{}(city) % 50);
+}
+std::string GenderOfName(const std::string& canonical) {
+  return std::hash<std::string>{}(canonical) % 2 == 0 ? "F" : "M";
+}
+std::string AgeGroupOf(int64_t age) {
+  if (age < 13) return "child";
+  if (age < 20) return "teen";
+  if (age < 65) return "adult";
+  return "senior";
+}
+
+Result<MappingTable> MakeTable(const std::string& name,
+                               std::vector<Attribute> x,
+                               std::vector<Attribute> y) {
+  return MappingTable::Create(Schema(std::move(x)), Schema(std::move(y)),
+                              name);
+}
+
+}  // namespace
+
+const std::vector<std::string>& B2bWorkload::PeerNames() {
+  static const std::vector<std::string> kPeers = {"P1", "P2", "P3"};
+  return kPeers;
+}
+
+Result<B2bWorkload> B2bWorkload::Generate(const B2bConfig& config) {
+  Rng rng(config.seed);
+  size_t n = config.rows_per_table;
+  if (n == 0) {
+    return Status::InvalidArgument("rows_per_table must be positive");
+  }
+
+  B2bWorkload out;
+
+  // m1: FName,LName -> FN,LN — identity plus nickname/misspelling rows.
+  {
+    HYP_ASSIGN_OR_RETURN(
+        MappingTable m1,
+        MakeTable("m1",
+                  {Attribute::String("FName"), Attribute::String("LName")},
+                  {Attribute::String("FN"), Attribute::String("LN")}));
+    if (config.identity_in_m1) {
+      HYP_RETURN_IF_ERROR(m1.AddRow(Mapping({Cell::Variable(0),
+                                             Cell::Variable(1),
+                                             Cell::Variable(0),
+                                             Cell::Variable(1)})));
+    }
+    for (size_t i = 0; i < config.nickname_rows; ++i) {
+      std::string nick;
+      std::string canonical;
+      if (i < kNicknames.size()) {
+        nick = kNicknames[i].first;
+        canonical = kNicknames[i].second;
+      } else {
+        nick = NickName(i);
+        canonical = CanonicalName(i % n);
+      }
+      // (nick, w) maps to (canonical, w): any last name carries over.
+      HYP_RETURN_IF_ERROR(
+          m1.AddRow(Mapping({Cell::Constant(Value(nick)), Cell::Variable(0),
+                             Cell::Constant(Value(canonical)),
+                             Cell::Variable(0)})));
+    }
+    out.tables_["m1"] = std::make_shared<const MappingTable>(std::move(m1));
+  }
+
+  // m2: AreaCode,Street -> Zip (ground; consistent with m3's street->zip).
+  {
+    HYP_ASSIGN_OR_RETURN(
+        MappingTable m2,
+        MakeTable("m2",
+                  {Attribute::String("AreaCode"), Attribute::String("Street")},
+                  {Attribute::String("Zip")}));
+    for (size_t i = 0; i < n; ++i) {
+      // An area code of the street's own city (consistent with m4/m6).
+      size_t area = 2 * CityIndexOfStreet(i, n) +
+                    static_cast<size_t>(rng.Uniform(0, 1));
+      HYP_RETURN_IF_ERROR(
+          m2.AddPair({Value(AreaCode(area)), Value(StreetName(i))},
+                     {Value(ZipOfStreet(i))}));
+    }
+    out.tables_["m2"] = std::make_shared<const MappingTable>(std::move(m2));
+  }
+
+  // m3: Street -> Zip (same ground truth, partially overlapping streets).
+  {
+    HYP_ASSIGN_OR_RETURN(MappingTable m3,
+                         MakeTable("m3", {Attribute::String("Street")},
+                                   {Attribute::String("Zip")}));
+    std::set<Value> known;
+    for (size_t i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(0.8)) continue;  // curator knows most streets
+      Value street(StreetName(i));
+      HYP_RETURN_IF_ERROR(m3.AddPair({street}, {Value(ZipOfStreet(i))}));
+      known.insert(std::move(street));
+    }
+    // Streets this curator does not know stay unconstrained (a CO-world
+    // table expressed in CC form, as in the paper's Example 4): every
+    // street outside the table maps to any zip.
+    HYP_RETURN_IF_ERROR(m3.AddRow(
+        Mapping({Cell::Variable(0, std::move(known)), Cell::Variable(1)})));
+    out.tables_["m3"] = std::make_shared<const MappingTable>(std::move(m3));
+  }
+
+  // m4: AreaCode -> City.
+  {
+    HYP_ASSIGN_OR_RETURN(MappingTable m4,
+                         MakeTable("m4", {Attribute::String("AreaCode")},
+                                   {Attribute::String("City")}));
+    for (size_t a = 0; a < 2 * NumCities(n); ++a) {
+      HYP_RETURN_IF_ERROR(m4.AddPair({Value(AreaCode(a))},
+                                     {Value(CityName(CityIndexOfArea(a)))}));
+    }
+    out.tables_["m4"] = std::make_shared<const MappingTable>(std::move(m4));
+  }
+
+  // m5: FN -> Gender (canonical names and their nick forms).
+  {
+    HYP_ASSIGN_OR_RETURN(MappingTable m5,
+                         MakeTable("m5", {Attribute::String("FN")},
+                                   {Attribute::String("Gender")}));
+    for (size_t i = 0; i < n; ++i) {
+      HYP_RETURN_IF_ERROR(
+          m5.AddPair({Value(CanonicalName(i))},
+                     {Value(GenderOfName(CanonicalName(i)))}));
+    }
+    for (const auto& [nick, canonical] : kNicknames) {
+      (void)nick;
+      HYP_RETURN_IF_ERROR(m5.AddPair({Value(canonical)},
+                                     {Value(GenderOfName(canonical))}));
+    }
+    out.tables_["m5"] = std::make_shared<const MappingTable>(std::move(m5));
+  }
+
+  // m6: Zip,City -> State.
+  {
+    HYP_ASSIGN_OR_RETURN(
+        MappingTable m6,
+        MakeTable("m6", {Attribute::String("Zip"), Attribute::String("City")},
+                  {Attribute::String("State")}));
+    for (size_t i = 0; i < n; ++i) {
+      std::string city = CityName(CityIndexOfStreet(i, n));
+      HYP_RETURN_IF_ERROR(m6.AddPair(
+          {Value(ZipOfStreet(i)), Value(city)}, {Value(StateOfCity(city))}));
+    }
+    out.tables_["m6"] = std::make_shared<const MappingTable>(std::move(m6));
+  }
+
+  // m7: Age -> AgeGroup (the fixed-domain relationship of §7 / [16]).
+  {
+    HYP_ASSIGN_OR_RETURN(
+        MappingTable m7,
+        MakeTable("m7", {Attribute("Age", Domain::AllInts())},
+                  {Attribute::String("AgeGroup")}));
+    for (int64_t age = 0; age <= 100; ++age) {
+      HYP_RETURN_IF_ERROR(
+          m7.AddPair({Value(age)}, {Value(AgeGroupOf(age))}));
+    }
+    out.tables_["m7"] = std::make_shared<const MappingTable>(std::move(m7));
+  }
+
+  return out;
+}
+
+AttributeSet B2bWorkload::AttrsOf(const std::string& peer) const {
+  if (peer == "P1") {
+    return AttributeSet::Of(
+        {Attribute::String("FName"), Attribute::String("LName"),
+         Attribute::String("AreaCode"), Attribute::String("Street")});
+  }
+  if (peer == "P2") {
+    return AttributeSet::Of(
+        {Attribute::String("FN"), Attribute::String("LN"),
+         Attribute::String("Zip"), Attribute::String("City"),
+         Attribute("Age", Domain::AllInts())});
+  }
+  return AttributeSet::Of({Attribute::String("Gender"),
+                           Attribute::String("State"),
+                           Attribute::String("AgeGroup")});
+}
+
+Result<std::vector<std::unique_ptr<PeerNode>>> B2bWorkload::BuildPeers()
+    const {
+  std::vector<std::unique_ptr<PeerNode>> peers;
+  for (const std::string& p : PeerNames()) {
+    peers.push_back(std::make_unique<PeerNode>(p, AttrsOf(p)));
+  }
+  for (const char* name : {"m1", "m2", "m3", "m4"}) {
+    HYP_RETURN_IF_ERROR(peers[0]->AddConstraintTo(
+        "P2", MappingConstraint(tables_.at(name))));
+  }
+  for (const char* name : {"m5", "m6", "m7"}) {
+    HYP_RETURN_IF_ERROR(peers[1]->AddConstraintTo(
+        "P3", MappingConstraint(tables_.at(name))));
+  }
+  return peers;
+}
+
+Result<ConstraintPath> B2bWorkload::BuildPath() const {
+  std::vector<std::vector<MappingConstraint>> hops(2);
+  for (const char* name : {"m1", "m2", "m3", "m4"}) {
+    hops[0].push_back(MappingConstraint(tables_.at(name)));
+  }
+  for (const char* name : {"m5", "m6", "m7"}) {
+    hops[1].push_back(MappingConstraint(tables_.at(name)));
+  }
+  return ConstraintPath::Create({AttrsOf("P1"), AttrsOf("P2"), AttrsOf("P3")},
+                                std::move(hops), PeerNames());
+}
+
+std::vector<Attribute> B2bWorkload::XAttrs() const {
+  return {Attribute::String("FName"), Attribute::String("LName"),
+          Attribute::String("AreaCode"), Attribute::String("Street")};
+}
+
+std::vector<Attribute> B2bWorkload::YAttrs() const {
+  return {Attribute::String("Gender"), Attribute::String("State"),
+          Attribute::String("AgeGroup")};
+}
+
+}  // namespace hyperion

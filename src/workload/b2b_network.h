@@ -1,0 +1,74 @@
+// Synthetic reproduction of the paper's B2B client-data workload (§7,
+// Figures 12 and 13): three organizations exchanging customer data, with
+// non-binary mapping tables, variables (an identity mapping plus common
+// nicknames/misspellings, the paper's m1), and multiple partitions per
+// peer (P1 has two, P2 has three).
+//
+// The generator builds a coherent ground truth — names with canonical
+// forms and genders, streets with zip codes, area codes with cities,
+// cities with states, ages with age groups — and samples the seven tables
+// of Figure 13 from it, so conjunctions stay consistent and covers
+// compose end to end:
+//
+//   P1: m1: FName,LName -> FN,LN      P2: m5: FN -> Gender
+//       m2: AreaCode,Street -> Zip        m6: Zip,City -> State
+//       m3: Street -> Zip                 m7: Age -> AgeGroup
+//       m4: AreaCode -> City
+
+#ifndef HYPERION_WORKLOAD_B2B_NETWORK_H_
+#define HYPERION_WORKLOAD_B2B_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/path.h"
+#include "p2p/peer.h"
+
+namespace hyperion {
+
+struct B2bConfig {
+  /// Approximate rows per generated ground table (the Figure 12 x-axis).
+  size_t rows_per_table = 2000;
+  uint64_t seed = 20030609;
+  /// Include the identity mapping (v1,v2)->(v1,v2) in m1, as the paper's
+  /// m1 does.
+  bool identity_in_m1 = true;
+  /// How many nickname/misspelling variable rows m1 carries.
+  size_t nickname_rows = 24;
+};
+
+class B2bWorkload {
+ public:
+  /// \brief Peer ids: "P1", "P2", "P3".
+  static const std::vector<std::string>& PeerNames();
+
+  static Result<B2bWorkload> Generate(const B2bConfig& config = {});
+
+  /// \brief Tables keyed "m1".."m7" per Figure 13.
+  const std::map<std::string, std::shared_ptr<const MappingTable>>& tables()
+      const {
+    return tables_;
+  }
+
+  AttributeSet AttrsOf(const std::string& peer) const;
+
+  Result<std::vector<std::unique_ptr<PeerNode>>> BuildPeers() const;
+
+  /// \brief The single path P1, P2, P3 with all seven constraints.
+  Result<ConstraintPath> BuildPath() const;
+
+  /// \brief Endpoint attributes for the full cover: X = P1's attributes,
+  /// Y = P3's attributes.
+  std::vector<Attribute> XAttrs() const;
+  std::vector<Attribute> YAttrs() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const MappingTable>> tables_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_WORKLOAD_B2B_NETWORK_H_

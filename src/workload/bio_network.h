@@ -1,0 +1,97 @@
+// Synthetic reproduction of the paper's six-database biological workload
+// (§7, Figures 9 and 10).
+//
+// The paper used real mapping tables from GDB, MIM, SwissProt, Hugo, Locus
+// and Unigene (7k–28k rows, 13k average; the seed Hugo→MIM table has 8k).
+// We cannot redistribute those, so we substitute an entity model: N
+// abstract genes, each with identifiers (plus occasional aliases and
+// multiple encoded proteins) in every database.  Each of the eleven tables
+// of Figure 9 records the identifier links of a subset of entities.
+// Subsets are drawn from a shared per-entity "obscurity" draw, so tables
+// overlap heavily (as curated tables do), with a noise parameter that
+// controls how much unique knowledge each table carries — which is exactly
+// what determines how many new mappings path inference discovers.
+
+#ifndef HYPERION_WORKLOAD_BIO_NETWORK_H_
+#define HYPERION_WORKLOAD_BIO_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/path.h"
+#include "p2p/peer.h"
+
+namespace hyperion {
+
+struct BioConfig {
+  /// Number of abstract gene entities in the ground truth.
+  size_t num_entities = 20000;
+  uint64_t seed = 20030609;
+  /// Probability that an entity has a second (alias) id in a database.
+  double alias_rate = 0.05;
+  /// Probability that a gene encodes an extra protein (applied twice).
+  double protein_extra_rate = 0.15;
+  /// Chance that a table's inclusion of an entity deviates from the
+  /// shared obscurity ranking (0 = fully nested tables, 1 = independent).
+  double coverage_noise = 0.25;
+  /// Per-table coverage fractions, keyed "m1".."m11"; defaults reproduce
+  /// the paper's size range (7k–28k rows, seed table ~8k).
+  std::map<std::string, double> coverage;
+};
+
+/// \brief The generated six-peer network.
+class BioWorkload {
+ public:
+  /// \brief Database display names, also used as peer ids.
+  static const std::vector<std::string>& DatabaseNames();
+
+  /// \brief The id attribute of a database ("GDB" -> "GDB_id").
+  static std::string AttrNameOf(const std::string& db);
+
+  /// \brief The seven Hugo→MIM acquaintance paths, in the visit order of
+  /// the paper's Figure 10 (lengths 5,4,3,3,3,5,4).
+  static std::vector<std::vector<std::string>> HugoMimPaths();
+
+  static Result<BioWorkload> Generate(const BioConfig& config = {});
+
+  /// \brief Tables keyed by name ("m1".."m11", per Figure 9).
+  const std::map<std::string, std::shared_ptr<const MappingTable>>& tables()
+      const {
+    return tables_;
+  }
+
+  /// \brief The table mapping `from`'s ids to `to`'s ids, if Figure 9
+  /// lists one.
+  Result<std::shared_ptr<const MappingTable>> TableBetween(
+      const std::string& from, const std::string& to) const;
+
+  /// \brief A database peer's attribute set: its id attribute plus a
+  /// descriptive "<db>_entry" attribute carried by its data relation.
+  AttributeSet AttrsOf(const std::string& db) const;
+
+  /// \brief The database's data relation (id, entry description), one row
+  /// per identifier (aliases share the description).  Value searches
+  /// evaluate against these.
+  const Relation& DataOf(const std::string& db) const {
+    return data_.at(db);
+  }
+
+  /// \brief Fresh peers (one per database) wired with the constraints.
+  Result<std::vector<std::unique_ptr<PeerNode>>> BuildPeers() const;
+
+  /// \brief A validated constraint path along the given database names.
+  Result<ConstraintPath> BuildPath(const std::vector<std::string>& dbs) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const MappingTable>> tables_;
+  // (from db, to db) -> table name.
+  std::map<std::pair<std::string, std::string>, std::string> edges_;
+  std::map<std::string, Relation> data_;  // per-database data relation
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_WORKLOAD_BIO_NETWORK_H_

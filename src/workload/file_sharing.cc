@@ -1,0 +1,148 @@
+#include "workload/file_sharing.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/random.h"
+
+namespace hyperion {
+
+namespace {
+
+constexpr std::array<const char*, 8> kArtists = {
+    "Nirvana", "Radiohead", "Bjork",  "Portishead",
+    "Massive Attack", "Aphex Twin", "DJ Shadow", "Morcheeba"};
+constexpr std::array<const char*, 10> kWords = {
+    "Dream", "Night", "Glass", "River", "Static",
+    "Echo",  "Velvet", "Paper", "Signal", "Harbor"};
+
+std::string ArtistOf(size_t song) { return kArtists[song % kArtists.size()]; }
+
+std::string TitleOf(size_t song) {
+  return std::string(kWords[song % kWords.size()]) + " " +
+         kWords[(song / kWords.size() + song) % kWords.size()] + " No." +
+         std::to_string(song);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Underscored(std::string s) {
+  std::replace(s.begin(), s.end(), ' ', '_');
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FileSharingWorkload::PeerNames() {
+  static const std::vector<std::string> kPeers = {"alpha", "beta", "gamma",
+                                                  "delta"};
+  return kPeers;
+}
+
+std::string FileSharingWorkload::FileNameAt(const std::string& peer,
+                                            size_t song) {
+  std::string artist = ArtistOf(song);
+  std::string title = TitleOf(song);
+  if (peer == "alpha") return artist + " - " + title + ".mp3";
+  if (peer == "beta") return Lower(title) + " (" + Lower(artist) + ").mp3";
+  if (peer == "gamma") {
+    return Underscored(Lower(artist)) + "__" + Underscored(Lower(title)) +
+           ".mp3";
+  }
+  return "[FLAC] " + artist + " – " + title + " (remaster)";
+}
+
+AttributeSet FileSharingWorkload::AttrsOf(const std::string& peer) const {
+  return AttributeSet::Of({Attribute::String(peer + "_file"),
+                           Attribute::String(peer + "_meta")});
+}
+
+Result<FileSharingWorkload> FileSharingWorkload::Generate(
+    const FileSharingConfig& config) {
+  if (config.num_songs == 0) {
+    return Status::InvalidArgument("num_songs must be positive");
+  }
+  Rng rng(config.seed);
+  FileSharingWorkload out;
+  const auto& peers = PeerNames();
+
+  // Per-peer libraries: which songs each peer carries.
+  std::map<std::string, std::vector<bool>> has;
+  for (const std::string& peer : peers) {
+    std::vector<bool> carried(config.num_songs);
+    Relation library(
+        Schema::Of({Attribute::String(peer + "_file"),
+                    Attribute::String(peer + "_meta")}));
+    for (size_t s = 0; s < config.num_songs; ++s) {
+      carried[s] = rng.Bernoulli(config.library_coverage);
+      if (carried[s]) {
+        library.AddUnchecked(
+            {Value(FileNameAt(peer, s)),
+             Value(ArtistOf(s) + " / " + TitleOf(s))});
+      }
+    }
+    has.emplace(peer, std::move(carried));
+    out.libraries_.emplace(peer, std::move(library));
+  }
+
+  // One mapping table per acquaintance hop, listing the name
+  // correspondences a curator recorded for songs both peers carry.
+  for (size_t h = 0; h + 1 < peers.size(); ++h) {
+    const std::string& from = peers[h];
+    const std::string& to = peers[h + 1];
+    HYP_ASSIGN_OR_RETURN(
+        MappingTable table,
+        MappingTable::Create(
+            Schema::Of({Attribute::String(from + "_file")}),
+            Schema::Of({Attribute::String(to + "_file")}),
+            "names_" + from + "_" + to));
+    for (size_t s = 0; s < config.num_songs; ++s) {
+      if (!has.at(from)[s] || !has.at(to)[s]) continue;
+      if (!rng.Bernoulli(config.table_coverage)) continue;
+      HYP_RETURN_IF_ERROR(table.AddPair({Value(FileNameAt(from, s))},
+                                        {Value(FileNameAt(to, s))}));
+    }
+    out.tables_["names_" + from + "_" + to] =
+        std::make_shared<const MappingTable>(std::move(table));
+  }
+  return out;
+}
+
+Result<std::vector<std::unique_ptr<PeerNode>>>
+FileSharingWorkload::BuildPeers() const {
+  const auto& names = PeerNames();
+  std::vector<std::unique_ptr<PeerNode>> peers;
+  for (const std::string& name : names) {
+    peers.push_back(std::make_unique<PeerNode>(name, AttrsOf(name)));
+    HYP_RETURN_IF_ERROR(peers.back()->AddData(libraries_.at(name)));
+  }
+  for (size_t h = 0; h + 1 < names.size(); ++h) {
+    HYP_RETURN_IF_ERROR(peers[h]->AddConstraintTo(
+        names[h + 1],
+        MappingConstraint(
+            tables_.at("names_" + names[h] + "_" + names[h + 1]))));
+  }
+  return peers;
+}
+
+Result<ConstraintPath> FileSharingWorkload::BuildPath() const {
+  const auto& names = PeerNames();
+  std::vector<AttributeSet> attrs;
+  std::vector<std::vector<MappingConstraint>> hops;
+  for (size_t i = 0; i < names.size(); ++i) {
+    attrs.push_back(AttrsOf(names[i]));
+    if (i + 1 < names.size()) {
+      hops.push_back({MappingConstraint(
+          tables_.at("names_" + names[i] + "_" + names[i + 1]))});
+    }
+  }
+  return ConstraintPath::Create(std::move(attrs), std::move(hops), names);
+}
+
+}  // namespace hyperion

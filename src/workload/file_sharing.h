@@ -1,0 +1,72 @@
+// The paper's opening motivation (§1): file-sharing peers à la
+// Napster/Gnutella.  "So for music files, where there is a standard,
+// commonly accepted name for each song or album, data can be shared
+// because each peer uses the same (or similar) values to name files.
+// However in other domains, where there is no accepted naming standard,
+// different peers may necessarily have had to develop their own naming
+// conventions" — and then a peer finds a file called X by first consulting
+// a mapping table for X's names at each acquaintance.
+//
+// This workload builds four music-sharing peers whose libraries name the
+// same songs under different conventions ("Artist - Title.mp3",
+// "title (artist).mp3", "artist_title.mp3", a tagged variant), with
+// mapping tables along a chain of acquaintances, so a value search from
+// one peer finds the song everywhere despite the naming divergence.
+
+#ifndef HYPERION_WORKLOAD_FILE_SHARING_H_
+#define HYPERION_WORKLOAD_FILE_SHARING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/path.h"
+#include "p2p/peer.h"
+
+namespace hyperion {
+
+struct FileSharingConfig {
+  size_t num_songs = 500;
+  uint64_t seed = 19990601;  // Napster's launch month
+  /// Fraction of songs each peer carries in its library.
+  double library_coverage = 0.7;
+  /// Fraction of shared songs each mapping table records.
+  double table_coverage = 0.8;
+};
+
+class FileSharingWorkload {
+ public:
+  /// \brief Peer ids, in acquaintance-chain order.
+  static const std::vector<std::string>& PeerNames();
+
+  static Result<FileSharingWorkload> Generate(
+      const FileSharingConfig& config = {});
+
+  /// \brief A peer's file name for song `song`, under its convention.
+  static std::string FileNameAt(const std::string& peer, size_t song);
+
+  const std::map<std::string, std::shared_ptr<const MappingTable>>& tables()
+      const {
+    return tables_;
+  }
+
+  AttributeSet AttrsOf(const std::string& peer) const;
+  const Relation& LibraryOf(const std::string& peer) const {
+    return libraries_.at(peer);
+  }
+
+  Result<std::vector<std::unique_ptr<PeerNode>>> BuildPeers() const;
+
+  /// \brief The full acquaintance chain as a constraint path.
+  Result<ConstraintPath> BuildPath() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const MappingTable>> tables_;
+  std::map<std::string, Relation> libraries_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_WORKLOAD_FILE_SHARING_H_

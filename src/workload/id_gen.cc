@@ -1,0 +1,58 @@
+#include "workload/id_gen.h"
+
+#include <array>
+
+namespace hyperion {
+
+namespace {
+
+// Offsets keep alias identifiers disjoint from primary ones.
+size_t Slot(size_t idx, size_t alias) { return idx + alias * 1'000'000; }
+
+std::string Digits(size_t value, int width) {
+  std::string s = std::to_string(value);
+  while (static_cast<int>(s.size()) < width) s.insert(s.begin(), '0');
+  return s;
+}
+
+}  // namespace
+
+std::string MakeGdbId(size_t idx, size_t alias) {
+  return "GDB:" + Digits(118000 + Slot(idx, alias), 6);
+}
+
+std::string MakeSwissProtId(size_t idx, size_t alias) {
+  static constexpr std::array<char, 3> kPrefixes = {'P', 'Q', 'O'};
+  size_t slot = Slot(idx, alias);
+  return std::string(1, kPrefixes[slot % kPrefixes.size()]) +
+         Digits(10000 + slot / kPrefixes.size(), 5);
+}
+
+std::string MakeMimId(size_t idx, size_t alias) {
+  return Digits(100000 + Slot(idx, alias), 6);
+}
+
+std::string MakeHugoId(size_t idx, size_t alias) {
+  // Three letters from the index, then a numeric suffix; alias ids get a
+  // "-2"-style suffix like real withdrawn/alias symbols.
+  static constexpr char kLetters[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  size_t v = idx;
+  std::string sym;
+  for (int i = 0; i < 3; ++i) {
+    sym.push_back(kLetters[v % 26]);
+    v /= 26;
+  }
+  sym += std::to_string(idx % 97);
+  if (alias > 0) sym += "-" + std::to_string(alias + 1);
+  return sym;
+}
+
+std::string MakeLocusId(size_t idx, size_t alias) {
+  return std::to_string(1000 + Slot(idx, alias));
+}
+
+std::string MakeUnigeneId(size_t idx, size_t alias) {
+  return "Hs." + std::to_string(100 + Slot(idx, alias));
+}
+
+}  // namespace hyperion

@@ -1,0 +1,35 @@
+// Deterministic generators for realistic biological identifiers.
+//
+// Entity `idx` gets a stable primary identifier in each database; aliases
+// (secondary identifiers for the same entity, common in biological sources
+// per §2 of the paper) are derived from (idx, alias).
+
+#ifndef HYPERION_WORKLOAD_ID_GEN_H_
+#define HYPERION_WORKLOAD_ID_GEN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace hyperion {
+
+/// \brief "GDB:120231"-style gene ids.
+std::string MakeGdbId(size_t idx, size_t alias = 0);
+
+/// \brief "P21359"-style SwissProt accession numbers (P/Q/O + 5 digits).
+std::string MakeSwissProtId(size_t idx, size_t alias = 0);
+
+/// \brief "162200"-style 6-digit MIM numbers.
+std::string MakeMimId(size_t idx, size_t alias = 0);
+
+/// \brief "NF1"-style HUGO gene symbols (letters + number suffix).
+std::string MakeHugoId(size_t idx, size_t alias = 0);
+
+/// \brief LocusLink numeric ids, as strings.
+std::string MakeLocusId(size_t idx, size_t alias = 0);
+
+/// \brief "Hs.12345"-style UniGene cluster ids.
+std::string MakeUnigeneId(size_t idx, size_t alias = 0);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_WORKLOAD_ID_GEN_H_

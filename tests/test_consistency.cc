@@ -1,0 +1,199 @@
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::FiniteAttr;
+using testing_util::RandomTable;
+
+MappingConstraint GroundConstraint(
+    const std::string& name, const std::string& x_attr,
+    const std::string& y_attr,
+    std::initializer_list<std::pair<const char*, const char*>> pairs) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String(x_attr)}),
+                           Schema::Of({Attribute::String(y_attr)}), name)
+          .value();
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(t.AddPair({Value(a)}, {Value(b)}).ok());
+  }
+  return MappingConstraint(std::move(t));
+}
+
+TEST(ConsistencyTest, SingleConstraintIsConsistent) {
+  McfPtr f = Mcf::Leaf(GroundConstraint("m", "A", "B", {{"x", "y"}}));
+  auto witness = FindSatisfyingTuple(*f);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness.value().has_value());
+  Schema schema = FormulaSchema(*f);
+  EXPECT_TRUE(f->EvaluateOn(*witness.value(), schema).value());
+}
+
+TEST(ConsistencyTest, DisjointImagesAreInconsistent) {
+  // A->B via m1 demands y; A->B via m2 demands z: conjunction over the
+  // same x is inconsistent.
+  McfPtr f = Mcf::And(
+      Mcf::Leaf(GroundConstraint("m1", "A", "B", {{"x", "y"}})),
+      Mcf::Leaf(GroundConstraint("m2", "A", "B", {{"x", "z"}})));
+  EXPECT_FALSE(IsConsistent(*f).value());
+}
+
+TEST(ConsistencyTest, OverlappingImagesAreConsistent) {
+  McfPtr f = Mcf::And(
+      Mcf::Leaf(GroundConstraint("m1", "A", "B", {{"x", "y"}, {"x", "w"}})),
+      Mcf::Leaf(GroundConstraint("m2", "A", "B", {{"x", "w"}})));
+  auto witness = FindSatisfyingTuple(*f);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness.value().has_value());
+  // Only (x, w) satisfies both.
+  EXPECT_EQ(*witness.value(), (Tuple{Value("x"), Value("w")}));
+}
+
+TEST(ConsistencyTest, Figure2ConjunctionIsInconsistent) {
+  // The paper's §5: the conjunction of Figure 2's three tables under the
+  // CC-world semantics is inconsistent (every witness tuple fails 2(c)).
+  Schema gdb = Schema::Of({Attribute::String("GDB_id")});
+  Schema sp = Schema::Of({Attribute::String("SwissProt_id")});
+  Schema mim = Schema::Of({Attribute::String("MIM_id")});
+
+  MappingTable m2a =
+      MappingTable::Create(
+          Schema::Of({Attribute::String("GDB_id"),
+                      Attribute::String("SwissProt_id")}),
+          mim, "m2a")
+          .value();
+  ASSERT_TRUE(m2a.AddPair({Value("GDB:120231"), Value("P21359")},
+                          {Value("162200")})
+                  .ok());
+  ASSERT_TRUE(m2a.AddPair({Value("GDB:120231"), Value("O00662")},
+                          {Value("193520")})
+                  .ok());
+  ASSERT_TRUE(m2a.AddPair({Value("GDB:120232"), Value("P35240")},
+                          {Value("101000")})
+                  .ok());
+
+  MappingTable m2b = MappingTable::Create(gdb, sp, "m2b").value();
+  ASSERT_TRUE(m2b.AddPair({Value("GDB:120231")}, {Value("O00662")}).ok());
+
+  MappingTable m2c = MappingTable::Create(gdb, mim, "m2c").value();
+  ASSERT_TRUE(m2c.AddPair({Value("GDB:120233")}, {Value("162030")}).ok());
+
+  auto consistent = ConjunctionConsistent(
+      {MappingConstraint(m2a), MappingConstraint(m2b),
+       MappingConstraint(m2c)});
+  ASSERT_TRUE(consistent.ok()) << consistent.status();
+  EXPECT_FALSE(consistent.value());
+
+  // Under the CO-world reading (2(c) translated) it becomes consistent:
+  // GDB:120231 is not mentioned in 2(c), so it maps anywhere.
+  MappingTable m2c_co = m2c;
+  ASSERT_TRUE(
+      m2c_co
+          .AddRow(Mapping({Cell::Variable(0, {Value("GDB:120233")}),
+                           Cell::Variable(1)}))
+          .ok());
+  auto co_consistent = ConjunctionConsistent(
+      {MappingConstraint(m2a), MappingConstraint(m2b),
+       MappingConstraint(m2c_co)});
+  ASSERT_TRUE(co_consistent.ok());
+  EXPECT_TRUE(co_consistent.value());
+}
+
+TEST(ConsistencyTest, NegationRequiresFreshValues) {
+  // ¬m over (A,B) with m = {(x,y)} is satisfied by any other tuple; the
+  // solver must find one even though no other constants are mentioned.
+  McfPtr f = Mcf::Not(Mcf::Leaf(GroundConstraint("m", "A", "B",
+                                                 {{"x", "y"}})));
+  auto witness = FindSatisfyingTuple(*f);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness.value().has_value());
+}
+
+TEST(ConsistencyTest, ContradictionIsInconsistent) {
+  MappingConstraint m = GroundConstraint("m", "A", "B", {{"x", "y"}});
+  McfPtr f = Mcf::And(Mcf::Leaf(m), Mcf::Not(Mcf::Leaf(m)));
+  EXPECT_FALSE(IsConsistent(*f).value());
+}
+
+TEST(ConsistencyTest, VariableRowsWithExclusions) {
+  // m allows any (v, w) with v != forbidden; conjunction with a demand
+  // for 'forbidden' is inconsistent.
+  Schema x = Schema::Of({Attribute::String("A")});
+  Schema y = Schema::Of({Attribute::String("B")});
+  MappingTable open_table = MappingTable::Create(x, y, "open").value();
+  ASSERT_TRUE(open_table
+                  .AddRow(Mapping({Cell::Variable(0, {Value("forbidden")}),
+                                   Cell::Variable(1)}))
+                  .ok());
+  MappingTable demand = MappingTable::Create(x, y, "demand").value();
+  ASSERT_TRUE(demand.AddPair({Value("forbidden")}, {Value("y")}).ok());
+  EXPECT_FALSE(ConjunctionConsistent({MappingConstraint(open_table),
+                                      MappingConstraint(demand)})
+                   .value());
+  EXPECT_TRUE(ConjunctionConsistent({MappingConstraint(open_table)}).value());
+}
+
+TEST(ConsistencyTest, BudgetExhaustionReportsError) {
+  McfPtr f = Mcf::Leaf(GroundConstraint(
+      "m", "A", "B", {{"a", "b"}, {"c", "d"}, {"e", "f"}}));
+  ConsistencyOptions opts;
+  opts.max_assignments = 1;
+  EXPECT_FALSE(IsConsistent(*f, opts).ok());
+}
+
+// Property: solver result matches brute-force enumeration over finite
+// domains for random conjunctions/disjunctions/negations.
+class ConsistencyOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyOracleTest, MatchesBruteForce) {
+  Rng rng(6000 + GetParam());
+  size_t domain_size = 2;
+  MappingTable t1 = RandomTable(&rng, {"A"}, {"B"}, 3, domain_size);
+  MappingTable t2 = RandomTable(&rng, {"B"}, {"C"}, 3, domain_size);
+  MappingTable t3 = RandomTable(&rng, {"A"}, {"C"}, 3, domain_size);
+  McfPtr l1 = Mcf::Leaf(MappingConstraint(t1));
+  McfPtr l2 = Mcf::Leaf(MappingConstraint(t2));
+  McfPtr l3 = Mcf::Leaf(MappingConstraint(t3));
+  McfPtr f;
+  switch (GetParam() % 4) {
+    case 0:
+      f = Mcf::And(Mcf::And(l1, l2), l3);
+      break;
+    case 1:
+      f = Mcf::And(Mcf::And(l1, l2), Mcf::Not(l3));
+      break;
+    case 2:
+      f = Mcf::Or(Mcf::And(l1, l2), l3);
+      break;
+    default:
+      f = Mcf::And(Mcf::Or(l1, Mcf::Not(l2)), l3);
+      break;
+  }
+  auto answer = IsConsistent(*f);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+
+  // Brute force over the 2^3 tuples of the finite domain.
+  Schema schema = FormulaSchema(*f);
+  bool oracle = false;
+  for (char a = 'a'; a < 'a' + 2 && !oracle; ++a) {
+    for (char b = 'a'; b < 'a' + 2 && !oracle; ++b) {
+      for (char c = 'a'; c < 'a' + 2 && !oracle; ++c) {
+        Tuple t = {Value(std::string(1, a)), Value(std::string(1, b)),
+                   Value(std::string(1, c))};
+        if (f->EvaluateOn(t, schema).value()) oracle = true;
+      }
+    }
+  }
+  EXPECT_EQ(answer.value(), oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyOracleTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,78 @@
+#include "core/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingConstraint GdbSwissProt() {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("GDB_id")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}),
+                           "m")
+          .value();
+  EXPECT_TRUE(t.AddPair({Value("GDB:120232")}, {Value("P35240")}).ok());
+  return MappingConstraint(std::move(t));
+}
+
+TEST(MappingConstraintTest, AccessorsAndValidity) {
+  MappingConstraint c = GdbSwissProt();
+  EXPECT_TRUE(c.valid());
+  EXPECT_FALSE(MappingConstraint().valid());
+  EXPECT_EQ(c.name(), "m");
+  EXPECT_EQ(c.Attributes().Names(),
+            (std::vector<std::string>{"GDB_id", "SwissProt_id"}));
+  EXPECT_EQ(c.ToString(), "[GDB_id --m--> SwissProt_id]");
+}
+
+TEST(MappingConstraintTest, TupleSatisfactionIgnoresOtherAttributes) {
+  MappingConstraint c = GdbSwissProt();
+  Schema wide = Schema::Of({Attribute::String("Extra"),
+                            Attribute::String("SwissProt_id"),
+                            Attribute::String("GDB_id")});
+  // Order in the wide schema differs from the constraint's own order.
+  auto sat = c.SatisfiedBy(
+      {Value("junk"), Value("P35240"), Value("GDB:120232")}, wide);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(sat.value());
+  auto unsat = c.SatisfiedBy(
+      {Value("junk"), Value("WRONG"), Value("GDB:120232")}, wide);
+  ASSERT_TRUE(unsat.ok());
+  EXPECT_FALSE(unsat.value());
+}
+
+TEST(MappingConstraintTest, MissingAttributeIsAnError) {
+  MappingConstraint c = GdbSwissProt();
+  Schema narrow = Schema::Of({Attribute::String("GDB_id")});
+  EXPECT_FALSE(c.SatisfiedBy({Value("GDB:120232")}, narrow).ok());
+}
+
+TEST(MappingConstraintTest, RelationSatisfaction) {
+  MappingConstraint c = GdbSwissProt();
+  Relation good(Schema::Of({Attribute::String("GDB_id"),
+                            Attribute::String("SwissProt_id")}));
+  ASSERT_TRUE(good.Add({Value("GDB:120232"), Value("P35240")}).ok());
+  EXPECT_TRUE(c.SatisfiedBy(good).value());
+
+  Relation bad = good;
+  ASSERT_TRUE(bad.Add({Value("GDB:120232"), Value("XXX")}).ok());
+  EXPECT_FALSE(c.SatisfiedBy(bad).value());
+
+  Relation empty(good.schema());
+  EXPECT_TRUE(c.SatisfiedBy(empty).value());  // vacuously satisfied
+}
+
+TEST(MappingConstraintTest, SharedTableHandle) {
+  auto table = std::make_shared<const MappingTable>(
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "shared")
+          .value());
+  MappingConstraint c1(table);
+  MappingConstraint c2(table);
+  EXPECT_EQ(&c1.table(), &c2.table());
+}
+
+}  // namespace
+}  // namespace hyperion

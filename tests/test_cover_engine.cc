@@ -1,0 +1,294 @@
+#include "core/cover_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::Canon;
+using testing_util::FiniteAttr;
+using testing_util::RandomTable;
+
+MappingTable Chain(const std::string& name, const std::string& x,
+                   const std::string& y,
+                   std::initializer_list<std::pair<const char*, const char*>>
+                       pairs) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String(x)}),
+                           Schema::Of({Attribute::String(y)}), name)
+          .value();
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(t.AddPair({Value(a)}, {Value(b)}).ok());
+  }
+  return t;
+}
+
+TEST(CoverEngineTest, TwoHopChain) {
+  MappingTable ab = Chain("ab", "A", "B",
+                          {{"a1", "b1"}, {"a2", "b2"}, {"a3", "b9"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}, {"b2", "c2"}});
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab)}, {MappingConstraint(bc)}});
+  ASSERT_TRUE(path.ok());
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A"}, {"C"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  EXPECT_EQ(cover.value().size(), 2u);
+  EXPECT_TRUE(cover.value().SatisfiesTuple({Value("a1"), Value("c1")}));
+  EXPECT_TRUE(cover.value().SatisfiesTuple({Value("a2"), Value("c2")}));
+  // a3's b9 has no continuation: not in the cover.
+  EXPECT_FALSE(cover.value().SatisfiesTuple({Value("a3"), Value("c1")}));
+}
+
+TEST(CoverEngineTest, PassThroughPartitionCartesian) {
+  // The paper's A6 case: a partition that never leaves the first peer
+  // contributes a Cartesian factor of its X-projection.
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}});
+  // A6 -> B6 exists only on the first hop; B6 never continues.
+  MappingTable a6b6 = Chain("a6b6", "A6", "B6",
+                            {{"x1", "y1"}, {"x2", "y2"}});
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A"), Attribute::String("A6")}),
+       AttributeSet::Of({Attribute::String("B"), Attribute::String("B6")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab), MappingConstraint(a6b6)},
+       {MappingConstraint(bc)}});
+  ASSERT_TRUE(path.ok()) << path.status();
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A", "A6"}, {"C"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  // (a1, x1, c1) and (a1, x2, c1): the A6 values multiply in.
+  EXPECT_EQ(cover.value().size(), 2u);
+  EXPECT_TRUE(cover.value().SatisfiesTuple(
+      {Value("a1"), Value("x1"), Value("c1")}));
+  EXPECT_TRUE(cover.value().SatisfiesTuple(
+      {Value("a1"), Value("x2"), Value("c1")}));
+  EXPECT_FALSE(cover.value().SatisfiesTuple(
+      {Value("a1"), Value("zz"), Value("c1")}));
+}
+
+TEST(CoverEngineTest, UnconstrainedEndpointAttributesAreFree) {
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}});
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A"), Attribute::String("A9")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab)}, {MappingConstraint(bc)}});
+  ASSERT_TRUE(path.ok());
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A", "A9"}, {"C"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  // A9 is unconstrained: any value goes.
+  EXPECT_TRUE(cover.value().SatisfiesTuple(
+      {Value("a1"), Value("anything"), Value("c1")}));
+  EXPECT_TRUE(cover.value().SatisfiesTuple(
+      {Value("a1"), Value("else"), Value("c1")}));
+}
+
+TEST(CoverEngineTest, BrokenChainGivesEmptyCover) {
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b9", "c1"}});  // no b1!
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab)}, {MappingConstraint(bc)}});
+  ASSERT_TRUE(path.ok());
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A"}, {"C"});
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(cover.value().empty());
+  EXPECT_FALSE(engine.CheckPathConsistency(path.value()).value());
+}
+
+TEST(CoverEngineTest, ConsistentPathReportsConsistent) {
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}});
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab)}, {MappingConstraint(bc)}});
+  ASSERT_TRUE(path.ok());
+  CoverEngine engine;
+  EXPECT_TRUE(engine.CheckPathConsistency(path.value()).value());
+}
+
+TEST(CoverEngineTest, MiddleOnlyPartitionControlsSatisfiability) {
+  // A partition over middle attributes with an empty join must empty the
+  // whole cover, even though it never touches the endpoints.
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}});
+  // Two contradicting constraints over middle attribute M (peer 2): the
+  // M -> M2 tables demand different images for every M value.
+  MappingTable m_one =
+      MappingTable::Create(Schema::Of({Attribute::String("M")}),
+                           Schema::Of({Attribute::String("M2")}), "m_one")
+          .value();
+  ASSERT_TRUE(
+      m_one.AddRow(Mapping({Cell::Variable(0),
+                            Cell::Constant(Value("one"))})).ok());
+  MappingTable m_two =
+      MappingTable::Create(Schema::Of({Attribute::String("M")}),
+                           Schema::Of({Attribute::String("M2")}), "m_two")
+          .value();
+  ASSERT_TRUE(
+      m_two.AddRow(Mapping({Cell::Variable(0),
+                            Cell::Constant(Value("two"))})).ok());
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B"), Attribute::String("M")}),
+       AttributeSet::Of({Attribute::String("C"), Attribute::String("M2")})},
+      {{MappingConstraint(ab)},
+       {MappingConstraint(bc), MappingConstraint(m_one),
+        MappingConstraint(m_two)}});
+  ASSERT_TRUE(path.ok()) << path.status();
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A"}, {"C"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  EXPECT_TRUE(cover.value().empty());
+}
+
+TEST(CoverEngineTest, IdentityTablesComposeAlongPath) {
+  // Identity A->B and identity B->C give identity A->C.
+  MappingTable ab =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "id1")
+          .value();
+  ASSERT_TRUE(
+      ab.AddRow(Mapping({Cell::Variable(0), Cell::Variable(0)})).ok());
+  MappingTable bc =
+      MappingTable::Create(Schema::Of({Attribute::String("B")}),
+                           Schema::Of({Attribute::String("C")}), "id2")
+          .value();
+  ASSERT_TRUE(
+      bc.AddRow(Mapping({Cell::Variable(0), Cell::Variable(0)})).ok());
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab)}, {MappingConstraint(bc)}});
+  ASSERT_TRUE(path.ok());
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A"}, {"C"});
+  ASSERT_TRUE(cover.ok());
+  ASSERT_EQ(cover.value().size(), 1u);
+  EXPECT_TRUE(cover.value().SatisfiesTuple({Value("k"), Value("k")}));
+  EXPECT_FALSE(cover.value().SatisfiesTuple({Value("k"), Value("l")}));
+}
+
+// Property: the cover of a random finite-domain path equals the
+// brute-force projection of the satisfying U-tuples.
+class CoverOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverOracleTest, MatchesBruteForce) {
+  Rng rng(7000 + GetParam());
+  size_t domain_size = 2;
+  // Peers: {A}, {B1, B2}, {C}; constraints A->B1, A->B2 (hop 0, two
+  // partitions possible), B1->C or B2->C (hop 1).
+  MappingTable t1 = RandomTable(&rng, {"A"}, {"B1"}, 3, domain_size);
+  MappingTable t2 = RandomTable(&rng, {"A"}, {"B2"}, 3, domain_size);
+  MappingTable t3 = RandomTable(&rng, {"B1"}, {"C"}, 3, domain_size);
+  t1.set_name("t1");
+  t2.set_name("t2");
+  t3.set_name("t3");
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({FiniteAttr("A", domain_size)}),
+       AttributeSet::Of(
+           {FiniteAttr("B1", domain_size), FiniteAttr("B2", domain_size)}),
+       AttributeSet::Of({FiniteAttr("C", domain_size)})},
+      {{MappingConstraint(t1), MappingConstraint(t2)},
+       {MappingConstraint(t3)}});
+  ASSERT_TRUE(path.ok()) << path.status();
+
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A"}, {"C"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+
+  // Brute force: U = (A, B1, B2, C) over the 2^4 tuples.
+  std::vector<Tuple> oracle;
+  const char letters[] = {'a', 'b'};
+  for (char a : letters) {
+    for (char b1 : letters) {
+      for (char b2 : letters) {
+        for (char c : letters) {
+          Tuple u = {Value(std::string(1, a)), Value(std::string(1, b1)),
+                     Value(std::string(1, b2)), Value(std::string(1, c))};
+          bool sat = t1.SatisfiesTuple({u[0], u[1]}) &&
+                     t2.SatisfiesTuple({u[0], u[2]}) &&
+                     t3.SatisfiesTuple({u[1], u[3]});
+          if (sat) oracle.push_back({u[0], u[3]});
+        }
+      }
+    }
+  }
+  auto cover_ext =
+      FreeTable::FromMappingTable(cover.value()).EnumerateExtension();
+  ASSERT_TRUE(cover_ext.ok());
+  EXPECT_EQ(Canon(cover_ext.value()), Canon(oracle));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverOracleTest, ::testing::Range(0, 50));
+
+// Property: longer random chains still match the brute-force oracle.
+class CoverChainOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverChainOracleTest, FourPeerChainMatchesBruteForce) {
+  Rng rng(8000 + GetParam());
+  size_t domain_size = 2;
+  MappingTable t1 = RandomTable(&rng, {"A"}, {"B"}, 3, domain_size);
+  MappingTable t2 = RandomTable(&rng, {"B"}, {"C"}, 3, domain_size);
+  MappingTable t3 = RandomTable(&rng, {"C"}, {"D"}, 3, domain_size);
+  t1.set_name("t1");
+  t2.set_name("t2");
+  t3.set_name("t3");
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({FiniteAttr("A", domain_size)}),
+       AttributeSet::Of({FiniteAttr("B", domain_size)}),
+       AttributeSet::Of({FiniteAttr("C", domain_size)}),
+       AttributeSet::Of({FiniteAttr("D", domain_size)})},
+      {{MappingConstraint(t1)},
+       {MappingConstraint(t2)},
+       {MappingConstraint(t3)}});
+  ASSERT_TRUE(path.ok());
+
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"A"}, {"D"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+
+  std::vector<Tuple> oracle;
+  const char letters[] = {'a', 'b'};
+  for (char a : letters) {
+    for (char b : letters) {
+      for (char c : letters) {
+        for (char d : letters) {
+          Tuple u = {Value(std::string(1, a)), Value(std::string(1, b)),
+                     Value(std::string(1, c)), Value(std::string(1, d))};
+          if (t1.SatisfiesTuple({u[0], u[1]}) &&
+              t2.SatisfiesTuple({u[1], u[2]}) &&
+              t3.SatisfiesTuple({u[2], u[3]})) {
+            oracle.push_back({u[0], u[3]});
+          }
+        }
+      }
+    }
+  }
+  auto cover_ext =
+      FreeTable::FromMappingTable(cover.value()).EnumerateExtension();
+  ASSERT_TRUE(cover_ext.ok());
+  EXPECT_EQ(Canon(cover_ext.value()), Canon(oracle));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverChainOracleTest,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace hyperion

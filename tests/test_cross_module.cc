@@ -1,0 +1,151 @@
+// Cross-module properties tying the independent implementations together:
+// query translation along a path computes exactly the cover's relation;
+// normalization is invariant under variable renaming.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/cover_engine.h"
+#include "core/query.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::Canon;
+using testing_util::FiniteAttr;
+using testing_util::RandomCell;
+
+// For ground tables over finite domains, y ∈ TranslateAlongPath({x}) iff
+// (x, y) satisfies the path's cover: hop-by-hop image chasing and the
+// join-project cover describe the same relation.
+class TranslationCoverAgreementTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(TranslationCoverAgreementTest, SameRelation) {
+  Rng rng(16000 + GetParam());
+  size_t domain_size = 3;
+  // Ground random tables (variables would make images infinite, which
+  // translation reports as incomplete rather than enumerating).
+  auto ground_table = [&](const std::string& x, const std::string& y,
+                          size_t rows) {
+    MappingTable t =
+        MappingTable::Create(Schema::Of({FiniteAttr(x, domain_size)}),
+                             Schema::Of({FiniteAttr(y, domain_size)}),
+                             x + y)
+            .value();
+    for (size_t r = 0; r < rows; ++r) {
+      char a = static_cast<char>('a' + rng.Uniform(0, 2));
+      char b = static_cast<char>('a' + rng.Uniform(0, 2));
+      (void)t.AddPair({Value(std::string(1, a))},
+                      {Value(std::string(1, b))});
+    }
+    return t;
+  };
+  MappingTable t1 = ground_table("A", "B", 4);
+  MappingTable t2 = ground_table("B", "C", 4);
+  auto path = ConstraintPath::Create(
+                  {AttributeSet::Of({FiniteAttr("A", domain_size)}),
+                   AttributeSet::Of({FiniteAttr("B", domain_size)}),
+                   AttributeSet::Of({FiniteAttr("C", domain_size)})},
+                  {{MappingConstraint(t1)}, {MappingConstraint(t2)}})
+                  .value();
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path, {"A"}, {"C"});
+  ASSERT_TRUE(cover.ok());
+
+  for (char a = 'a'; a < 'a' + 3; ++a) {
+    SelectionQuery q;
+    q.attrs = {"A"};
+    q.keys = {{Value(std::string(1, a))}};
+    auto translated = TranslateAlongPath(q, path);
+    std::vector<Tuple> via_translation;
+    if (translated.ok()) {
+      EXPECT_TRUE(translated.value().complete);
+      via_translation = translated.value().query.keys;
+    }
+    std::vector<Tuple> via_cover;
+    for (char c = 'a'; c < 'a' + 3; ++c) {
+      if (cover.value().SatisfiesTuple(
+              {Value(std::string(1, a)), Value(std::string(1, c))})) {
+        via_cover.push_back({Value(std::string(1, c))});
+      }
+    }
+    EXPECT_EQ(Canon(via_translation), Canon(via_cover))
+        << "key " << a << " disagrees";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TranslationCoverAgreementTest,
+                         ::testing::Range(0, 30));
+
+// Normalization properties over random mappings.
+class NormalizationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizationPropertyTest, InvariantUnderRenaming) {
+  Rng rng(17000 + GetParam());
+  VarId next_var = 0;
+  std::vector<Cell> cells;
+  size_t arity = 2 + static_cast<size_t>(rng.Uniform(0, 3));
+  for (size_t i = 0; i < arity; ++i) {
+    cells.push_back(RandomCell(&rng, 3, &next_var));
+  }
+  Mapping m(cells);
+  // Offsetting variable ids and re-normalizing gives the same mapping.
+  VarId offset = static_cast<VarId>(rng.Uniform(1, 50));
+  EXPECT_EQ(m.Normalized(), m.WithVarOffset(offset).Normalized());
+  // Normalization is idempotent and hash-consistent.
+  EXPECT_EQ(m.Normalized(), m.Normalized().Normalized());
+  EXPECT_EQ(m.Normalized().Hash(), m.WithVarOffset(offset).Normalized().Hash());
+  // Ground matching is unaffected by renaming.
+  Schema schema = [&] {
+    std::vector<Attribute> attrs;
+    for (size_t i = 0; i < arity; ++i) {
+      attrs.push_back(testing_util::FiniteAttr("N" + std::to_string(i), 3));
+    }
+    return Schema(attrs);
+  }();
+  auto witness = m.PickWitness(schema);
+  if (witness) {
+    EXPECT_TRUE(m.WithVarOffset(offset).MatchesGround(*witness, schema));
+    EXPECT_TRUE(m.Normalized().MatchesGround(*witness, schema));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationPropertyTest,
+                         ::testing::Range(0, 40));
+
+// AttributeSet algebra obeys the set laws the engine relies on.
+class AttributeSetAlgebraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttributeSetAlgebraTest, SetLaws) {
+  Rng rng(18000 + GetParam());
+  auto random_set = [&] {
+    std::vector<Attribute> attrs;
+    for (int i = 0; i < 6; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        attrs.push_back(Attribute::String("Z" + std::to_string(i)));
+      }
+    }
+    return AttributeSet(attrs);
+  };
+  AttributeSet a = random_set();
+  AttributeSet b = random_set();
+  AttributeSet c = random_set();
+  EXPECT_EQ(a.Union(b), b.Union(a));
+  EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+  EXPECT_EQ(a.Union(b).Union(c), a.Union(b.Union(c)));
+  EXPECT_EQ(a.Union(a), a);
+  EXPECT_EQ(a.Intersect(a), a);
+  EXPECT_TRUE(a.Union(b).ContainsAll(a));
+  EXPECT_TRUE(a.ContainsAll(a.Intersect(b)));
+  EXPECT_EQ(a.Difference(b).Intersect(b).size(), 0u);
+  EXPECT_EQ(a.Difference(b).Union(a.Intersect(b)), a);
+  EXPECT_EQ(a.Overlaps(b), !a.Intersect(b).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttributeSetAlgebraTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace hyperion

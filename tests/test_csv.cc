@@ -1,0 +1,84 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+TEST(CsvTest, ImportRelationBasic) {
+  auto r = ImportRelationCsv("GDB_id,Gene\nGDB:120231,NF1\nGDB:120232,NF2\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().schema().ToString(), "(GDB_id, Gene)");
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_TRUE(r.value().Contains({Value("GDB:120231"), Value("NF1")}));
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  Relation r(Schema::Of({Attribute::String("a,b"), Attribute::String("c")}));
+  ASSERT_TRUE(r.Add({Value("has,comma"), Value("has\"quote")}).ok());
+  ASSERT_TRUE(r.Add({Value("has\nnewline"), Value("plain")}).ok());
+  std::string csv = ExportRelationCsv(r);
+  auto back = ImportRelationCsv(csv);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().size(), 2u);
+  EXPECT_TRUE(
+      back.value().Contains({Value("has,comma"), Value("has\"quote")}));
+  EXPECT_TRUE(back.value().Contains({Value("has\nnewline"), Value("plain")}));
+}
+
+TEST(CsvTest, ImportErrors) {
+  EXPECT_FALSE(ImportRelationCsv("").ok());
+  EXPECT_FALSE(ImportRelationCsv("a,b\n1\n").ok());  // ragged record
+  EXPECT_FALSE(ImportRelationCsv("a,\"unterminated\n").ok());
+  EXPECT_FALSE(ImportRelationCsv(",empty-name\nx,y\n").ok());
+}
+
+TEST(CsvTest, CrLfAccepted) {
+  auto r = ImportRelationCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Contains({Value("1"), Value("2")}));
+}
+
+TEST(CsvTest, ImportTableSplitsXandY) {
+  auto t = ImportTableCsv("GDB_id,SwissProt_id\nGDB:1,P1\nGDB:1,P2\n", 1,
+                          "links");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t.value().x_schema().ToString(), "(GDB_id)");
+  EXPECT_EQ(t.value().name(), "links");
+  EXPECT_EQ(t.value().YmGround({Value("GDB:1")}).value().size(), 2u);
+  // Bad arity splits.
+  EXPECT_FALSE(ImportTableCsv("a,b\nx,y\n", 0).ok());
+  EXPECT_FALSE(ImportTableCsv("a,b\nx,y\n", 2).ok());
+}
+
+TEST(CsvTest, ExportTableRejectsVariables) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "t")
+          .value();
+  ASSERT_TRUE(t.AddPair({Value("x")}, {Value("y")}).ok());
+  auto ground_csv = ExportTableCsv(t);
+  ASSERT_TRUE(ground_csv.ok());
+  EXPECT_EQ(ground_csv.value(), "A,B\nx,y\n");
+  ASSERT_TRUE(
+      t.AddRow(Mapping({Cell::Variable(0), Cell::Variable(1)})).ok());
+  EXPECT_FALSE(ExportTableCsv(t).ok());
+}
+
+TEST(CsvTest, TableCsvRoundTrip) {
+  auto t = ImportTableCsv(
+      "PostalCode,AreaCode,Town\nK1A0A9,613,Ottawa\nM5S2E4,416,Toronto\n",
+      1, "postal");
+  ASSERT_TRUE(t.ok());
+  auto csv = ExportTableCsv(t.value());
+  ASSERT_TRUE(csv.ok());
+  auto back = ImportTableCsv(csv.value(), 1, "postal");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(TablesEquivalent(t.value(), back.value()).value());
+}
+
+}  // namespace
+}  // namespace hyperion

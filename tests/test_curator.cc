@@ -1,0 +1,189 @@
+#include "core/curator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::Canon;
+
+// The two curators of the paper's Example 8 / Figure 5.
+MappingTable Mu1() {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("GDB_id")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}),
+                           "mu1")
+          .value();
+  EXPECT_TRUE(t.AddPair({Value("GDB:120231")}, {Value("P21359")}).ok());
+  EXPECT_TRUE(t.AddPair({Value("GDB:120231")}, {Value("Q9UMK3")}).ok());
+  return t;
+}
+
+MappingTable Mu2() {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("GDB_id")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}),
+                           "mu2")
+          .value();
+  EXPECT_TRUE(t.AddPair({Value("GDB:120231")}, {Value("Q14930")}).ok());
+  EXPECT_TRUE(t.AddPair({Value("GDB:120231")}, {Value("Q9UMK3")}).ok());
+  return t;
+}
+
+TEST(CuratorTest, MergeUnionIsExample8Disjunction) {
+  auto merged = MergeUnion(Mu1(), Mu2());
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged.value().size(), 3u);
+  for (const char* prot : {"P21359", "Q14930", "Q9UMK3"}) {
+    EXPECT_TRUE(
+        merged.value().SatisfiesTuple({Value("GDB:120231"), Value(prot)}))
+        << prot;
+  }
+}
+
+TEST(CuratorTest, MergeIntersectIsExample8Conjunction) {
+  auto merged = MergeIntersect(Mu1(), Mu2());
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged.value().size(), 1u);
+  EXPECT_TRUE(merged.value().SatisfiesTuple(
+      {Value("GDB:120231"), Value("Q9UMK3")}));
+  EXPECT_FALSE(merged.value().SatisfiesTuple(
+      {Value("GDB:120231"), Value("P21359")}));
+}
+
+TEST(CuratorTest, IntersectionWithIdentityNarrowsCorrectly) {
+  // Identity table ∧ ground table = the ground table's symmetric rows.
+  MappingTable ident =
+      MappingTable::Create(Schema::Of({Attribute::String("GDB_id")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}),
+                           "ident")
+          .value();
+  ASSERT_TRUE(
+      ident.AddRow(Mapping({Cell::Variable(0), Cell::Variable(0)})).ok());
+  auto merged = MergeIntersect(ident, Mu1());
+  ASSERT_TRUE(merged.ok());
+  // mu1's rows never map an id to itself, so the intersection is empty.
+  EXPECT_TRUE(merged.value().empty());
+
+  // With a variable table ("anything goes") the ground table survives.
+  MappingTable any =
+      MappingTable::Create(Schema::Of({Attribute::String("GDB_id")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}),
+                           "any")
+          .value();
+  ASSERT_TRUE(
+      any.AddRow(Mapping({Cell::Variable(0), Cell::Variable(1)})).ok());
+  auto merged2 = MergeIntersect(any, Mu1());
+  ASSERT_TRUE(merged2.ok());
+  EXPECT_TRUE(TablesEquivalent(merged2.value(), Mu1()).value());
+}
+
+TEST(CuratorTest, MergeRejectsMismatchedSchemas) {
+  MappingTable other =
+      MappingTable::Create(Schema::Of({Attribute::String("Other")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}),
+                           "o")
+          .value();
+  ASSERT_TRUE(other.AddPair({Value("x")}, {Value("y")}).ok());
+  EXPECT_FALSE(MergeUnion(Mu1(), other).ok());
+  EXPECT_FALSE(MergeIntersect(Mu1(), other).ok());
+  // Same attributes but a different X|Y split is also rejected.
+  MappingTable flipped =
+      MappingTable::Create(Schema::Of({Attribute::String("SwissProt_id")}),
+                           Schema::Of({Attribute::String("GDB_id")}), "f")
+          .value();
+  ASSERT_TRUE(flipped.AddPair({Value("P21359")}, {Value("GDB:120231")}).ok());
+  EXPECT_FALSE(MergeUnion(Mu1(), flipped).ok());
+}
+
+TEST(CuratorTest, DiffTables) {
+  auto diff = DiffTables(Mu1(), Mu2());
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_FALSE(diff.value().equivalent());
+  ASSERT_EQ(diff.value().only_in_a.size(), 1u);
+  EXPECT_EQ(diff.value().only_in_a[0].ToString(), "(GDB:120231, P21359)");
+  ASSERT_EQ(diff.value().only_in_b.size(), 1u);
+  EXPECT_EQ(diff.value().only_in_b[0].ToString(), "(GDB:120231, Q14930)");
+
+  auto self_diff = DiffTables(Mu1(), Mu1());
+  ASSERT_TRUE(self_diff.ok());
+  EXPECT_TRUE(self_diff.value().equivalent());
+}
+
+TEST(CuratorTest, DeadRowsFindsContradictedMappings) {
+  // m1 maps x -> {y, z}; m2 maps x -> {y}.  Under conjunction, m1's
+  // (x, z) row can never be used.
+  MappingTable m1 =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "m1")
+          .value();
+  ASSERT_TRUE(m1.AddPair({Value("x")}, {Value("y")}).ok());
+  ASSERT_TRUE(m1.AddPair({Value("x")}, {Value("z")}).ok());
+  MappingTable m2 =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "m2")
+          .value();
+  ASSERT_TRUE(m2.AddPair({Value("x")}, {Value("y")}).ok());
+
+  auto dead = DeadRows({MappingConstraint(m1), MappingConstraint(m2)}, 0);
+  ASSERT_TRUE(dead.ok()) << dead.status();
+  ASSERT_EQ(dead.value().size(), 1u);
+  EXPECT_EQ(dead.value()[0].ToString(), "(x, z)");
+  // m2's only row is alive.
+  auto dead2 = DeadRows({MappingConstraint(m1), MappingConstraint(m2)}, 1);
+  ASSERT_TRUE(dead2.ok());
+  EXPECT_TRUE(dead2.value().empty());
+  EXPECT_FALSE(
+      DeadRows({MappingConstraint(m1)}, 5).ok());  // bad index
+}
+
+TEST(CuratorTest, MaterializeFormulaMatchesEvaluation) {
+  MappingTable mu1 = Mu1();
+  MappingTable mu2 = Mu2();
+  MappingTable mu3 =
+      MappingTable::Create(Schema::Of({Attribute::String("GDB_id")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}),
+                           "mu3")
+          .value();
+  ASSERT_TRUE(mu3.AddPair({Value("GDB:120231")}, {Value("P21359")}).ok());
+  ASSERT_TRUE(mu3.AddPair({Value("GDB:120231")}, {Value("Q14930")}).ok());
+
+  std::map<std::string, MappingConstraint> env;
+  env.emplace("mu1", MappingConstraint(mu1));
+  env.emplace("mu2", MappingConstraint(mu2));
+  env.emplace("mu3", MappingConstraint(mu3));
+  McfPtr formula = Mcf::Parse("(mu1 | mu2) & mu3", env).value();
+  auto table = MaterializeFormula(*formula, "combined");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table.value().name(), "combined");
+
+  // The materialized table and the formula agree on every probe tuple.
+  Schema pair = Schema::Of({Attribute::String("GDB_id"),
+                            Attribute::String("SwissProt_id")});
+  for (const char* prot :
+       {"P21359", "Q14930", "Q9UMK3", "UNRELATED"}) {
+    Tuple probe = {Value("GDB:120231"), Value(prot)};
+    EXPECT_EQ(table.value().SatisfiesTuple(probe),
+              formula->EvaluateOn(probe, pair).value())
+        << prot;
+  }
+}
+
+TEST(CuratorTest, MaterializeFormulaRejectsNegation) {
+  McfPtr formula = Mcf::Not(Mcf::Leaf(MappingConstraint(Mu1())));
+  EXPECT_FALSE(MaterializeFormula(*formula).ok());
+}
+
+TEST(CuratorTest, AugmentFromPathCovers) {
+  MappingTable direct = Mu1();
+  MappingTable cover1 = Mu2();
+  auto augmented = AugmentFromPathCovers(direct, {cover1});
+  ASSERT_TRUE(augmented.ok());
+  EXPECT_EQ(augmented.value().size(), 3u);
+  EXPECT_EQ(augmented.value().name(), "mu1+paths");
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,133 @@
+#include "p2p/network.h"
+#include "p2p/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/bio_network.h"
+
+namespace hyperion {
+namespace {
+
+AcquaintanceGraph Figure9Graph() {
+  AcquaintanceGraph g;
+  g.AddEdge("GDB", "MIM");
+  g.AddEdge("GDB", "SwissProt");
+  g.AddEdge("Hugo", "GDB");
+  g.AddEdge("Hugo", "Locus");
+  g.AddEdge("Hugo", "SwissProt");
+  g.AddEdge("Hugo", "MIM");
+  g.AddEdge("Locus", "GDB");
+  g.AddEdge("Locus", "Unigene");
+  g.AddEdge("Locus", "MIM");
+  g.AddEdge("Unigene", "SwissProt");
+  g.AddEdge("SwissProt", "MIM");
+  return g;
+}
+
+TEST(AcquaintanceGraphTest, NeighborsAndIds) {
+  AcquaintanceGraph g = Figure9Graph();
+  EXPECT_EQ(g.Neighbors("Hugo").size(), 4u);
+  EXPECT_TRUE(g.Neighbors("Hugo").count("Locus"));
+  EXPECT_TRUE(g.Neighbors("nonexistent").empty());
+  EXPECT_EQ(g.PeerIds().size(), 6u);
+}
+
+TEST(AcquaintanceGraphTest, Figure9HasSevenIndirectHugoMimPaths) {
+  AcquaintanceGraph g = Figure9Graph();
+  auto paths = g.EnumeratePaths("Hugo", "MIM");
+  // 8 total: the direct table plus the 7 indirect paths of Figure 10.
+  ASSERT_EQ(paths.size(), 8u);
+  EXPECT_EQ(paths[0], (std::vector<std::string>{"Hugo", "MIM"}));
+  // Length distribution of the 7 indirect paths: 3,3,3,4,4,5,5 peers.
+  std::vector<size_t> lengths;
+  for (size_t i = 1; i < paths.size(); ++i) {
+    lengths.push_back(paths[i].size());
+  }
+  EXPECT_EQ(lengths, (std::vector<size_t>{3, 3, 3, 4, 4, 5, 5}));
+  // The workload's hard-coded Figure 10 order lists exactly these paths.
+  auto fig10 = BioWorkload::HugoMimPaths();
+  ASSERT_EQ(fig10.size(), 7u);
+  for (const auto& p : fig10) {
+    EXPECT_NE(std::find(paths.begin() + 1, paths.end(), p), paths.end())
+        << "missing path";
+  }
+}
+
+TEST(AcquaintanceGraphTest, MaxPeersLimitsSearch) {
+  AcquaintanceGraph g = Figure9Graph();
+  auto short_paths = g.EnumeratePaths("Hugo", "MIM", 3);
+  for (const auto& p : short_paths) EXPECT_LE(p.size(), 3u);
+  EXPECT_EQ(short_paths.size(), 4u);  // direct + three 3-peer paths
+  EXPECT_TRUE(g.EnumeratePaths("Hugo", "MIM", 1).empty());
+  EXPECT_TRUE(g.EnumeratePaths("Hugo", "Hugo").empty());
+}
+
+TEST(AcquaintanceGraphTest, DirectedEdges) {
+  AcquaintanceGraph g;
+  g.AddEdge("a", "b");
+  EXPECT_TRUE(g.EnumeratePaths("b", "a").empty());
+  EXPECT_EQ(g.EnumeratePaths("a", "b").size(), 1u);
+}
+
+TEST(AcquaintanceGraphTest, FromPeersUsesConstraints) {
+  BioConfig config;
+  config.num_entities = 50;  // tiny for speed
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  auto peers = workload.value().BuildPeers();
+  ASSERT_TRUE(peers.ok());
+  std::vector<const PeerNode*> raw;
+  for (const auto& p : peers.value()) raw.push_back(p.get());
+  AcquaintanceGraph g = AcquaintanceGraph::FromPeers(raw);
+  EXPECT_EQ(g.EnumeratePaths("Hugo", "MIM").size(), 8u);
+}
+
+TEST(GnutellaPingTest, FloodDiscoversReachablePeers) {
+  BioConfig config;
+  config.num_entities = 30;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto peers = workload.value().BuildPeers();
+  ASSERT_TRUE(peers.ok());
+
+  SimNetwork net;
+  std::map<std::string, PeerNode*> by_id;
+  for (auto& p : peers.value()) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+    by_id[p->id()] = p.get();
+  }
+  ASSERT_TRUE(by_id.at("Hugo")->FloodPing(/*ttl=*/7).ok());
+  ASSERT_TRUE(net.Run().ok());
+  const auto& ponged = by_id.at("Hugo")->Ponged();
+  // Everything reachable from Hugo along table direction answers.
+  EXPECT_TRUE(ponged.count("GDB"));
+  EXPECT_TRUE(ponged.count("MIM"));
+  EXPECT_TRUE(ponged.count("SwissProt"));
+  EXPECT_TRUE(ponged.count("Locus"));
+  EXPECT_TRUE(ponged.count("Unigene"));
+  EXPECT_EQ(ponged.at("MIM"), 1);    // direct acquaintance
+  EXPECT_EQ(ponged.at("Unigene"), 2);  // via Locus
+}
+
+TEST(GnutellaPingTest, TtlBoundsFlood) {
+  BioConfig config;
+  config.num_entities = 30;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto peers = workload.value().BuildPeers();
+  ASSERT_TRUE(peers.ok());
+  SimNetwork net;
+  std::map<std::string, PeerNode*> by_id;
+  for (auto& p : peers.value()) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+    by_id[p->id()] = p.get();
+  }
+  ASSERT_TRUE(by_id.at("Hugo")->FloodPing(/*ttl=*/1).ok());
+  ASSERT_TRUE(net.Run().ok());
+  // TTL 1: only direct acquaintances answer.
+  EXPECT_EQ(by_id.at("Hugo")->Ponged().size(), 4u);
+}
+
+}  // namespace
+}  // namespace hyperion

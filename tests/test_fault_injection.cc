@@ -1,0 +1,133 @@
+// Failure behaviour of the distributed protocol: a peer that cannot
+// complete its part must fail the session loudly at the initiator, not
+// hang or deliver a partial cover silently.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "p2p/network.h"
+#include "workload/bio_network.h"
+
+namespace hyperion {
+namespace {
+
+struct LiveBio {
+  BioWorkload workload;
+  std::unique_ptr<SimNetwork> net;
+  std::vector<std::unique_ptr<PeerNode>> peers;
+  std::map<std::string, PeerNode*> by_id;
+};
+
+LiveBio BuildBio(size_t entities) {
+  BioConfig config;
+  config.num_entities = entities;
+  auto workload = BioWorkload::Generate(config);
+  EXPECT_TRUE(workload.ok());
+  LiveBio live{std::move(workload).value(), std::make_unique<SimNetwork>(),
+               {}, {}};
+  auto peers = live.workload.BuildPeers();
+  EXPECT_TRUE(peers.ok());
+  live.peers = std::move(peers).value();
+  for (auto& p : live.peers) {
+    EXPECT_TRUE(p->Attach(live.net.get()).ok());
+    live.by_id[p->id()] = p.get();
+  }
+  return live;
+}
+
+TEST(FaultInjectionTest, RowCapOverflowFailsSessionAtInitiator) {
+  LiveBio live = BuildBio(200);
+  SessionOptions opts;
+  // Absurdly small cap: some peer's local join exceeds it immediately.
+  opts.compose.max_result_rows = 3;
+  auto session = live.by_id.at("Hugo")->StartCoverSession(
+      {"Hugo", "GDB", "SwissProt", "MIM"}, {Attribute::String("Hugo_id")},
+      {Attribute::String("MIM_id")}, opts);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(live.net->Run().ok());
+  auto result = live.by_id.at("Hugo")->GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value()->done);
+  EXPECT_FALSE(result.value()->error.ok());
+  EXPECT_NE(result.value()->error.ToString().find("max rows"),
+            std::string::npos)
+      << result.value()->error;
+}
+
+TEST(FaultInjectionTest, StrayMessagesAreIgnored) {
+  LiveBio live = BuildBio(50);
+  // Cover batch for a session nobody started: parked, then dropped when
+  // no plan ever arrives.  FinalRows and plans for unknown sessions are
+  // ignored outright.  Nothing should crash or be delivered.
+  CoverBatchMsg batch;
+  batch.session = 987654;
+  batch.partition = 0;
+  batch.schema = Schema::Of({Attribute::String("GDB_id")});
+  batch.rows.push_back(Mapping::FromTuple({Value("GDB:000001")}));
+  ASSERT_TRUE(live.net->Send(Message{"MIM", "GDB", batch}).ok());
+
+  FinalRowsMsg final_rows;
+  final_rows.session = 987654;
+  final_rows.eos = true;
+  ASSERT_TRUE(live.net->Send(Message{"MIM", "Hugo", final_rows}).ok());
+
+  ComputePlanMsg plan;
+  plan.spec.id = 31337;
+  plan.spec.path_peers = {"NotUs", "AlsoNotUs"};
+  ASSERT_TRUE(live.net->Send(Message{"MIM", "GDB", plan}).ok());
+
+  ASSERT_TRUE(live.net->Run().ok());
+  // A real session still works afterwards.
+  auto session = live.by_id.at("Hugo")->StartCoverSession(
+      {"Hugo", "MIM"}, {Attribute::String("Hugo_id")},
+      {Attribute::String("MIM_id")});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(live.net->Run().ok());
+  auto result = live.by_id.at("Hugo")->GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value()->done);
+  EXPECT_TRUE(result.value()->error.ok());
+}
+
+TEST(FaultInjectionTest, BatchForUnownedPartitionFailsLoudly) {
+  LiveBio live = BuildBio(50);
+  // Run a real session first so GDB has participant state...
+  auto session = live.by_id.at("Hugo")->StartCoverSession(
+      {"Hugo", "GDB", "MIM"}, {Attribute::String("Hugo_id")},
+      {Attribute::String("MIM_id")});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(live.net->Run().ok());
+  // ...then inject a batch for a partition index that does not exist.
+  CoverBatchMsg batch;
+  batch.session = session.value();
+  batch.partition = 99;
+  batch.schema = Schema::Of({Attribute::String("GDB_id")});
+  ASSERT_TRUE(live.net->Send(Message{"MIM", "GDB", batch}).ok());
+  ASSERT_TRUE(live.net->Run().ok());
+  // The completed session keeps its result; the stray failure arrives
+  // after done and is ignored.
+  auto result = live.by_id.at("Hugo")->GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value()->done);
+}
+
+TEST(FaultInjectionTest, TinyCachesStillProduceCorrectCovers) {
+  // Degenerate cache (flush every mapping) across a multi-partition
+  // workload must still converge to the right answer — stress for the
+  // EOS/flush bookkeeping.
+  LiveBio live = BuildBio(80);
+  SessionOptions opts;
+  opts.cache_capacity = 0;  // flush every single mapping
+  auto session = live.by_id.at("Hugo")->StartCoverSession(
+      {"Hugo", "GDB", "MIM"}, {Attribute::String("Hugo_id")},
+      {Attribute::String("MIM_id")}, opts);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(live.net->Run().ok());
+  auto result = live.by_id.at("Hugo")->GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value()->error.ok()) << result.value()->error;
+  EXPECT_GT(result.value()->cover.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperion

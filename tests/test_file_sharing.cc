@@ -1,0 +1,94 @@
+#include "workload/file_sharing.h"
+
+#include <gtest/gtest.h>
+
+#include "p2p/network.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+TEST(FileSharingTest, ConventionsDiverge) {
+  // Four distinct names for one song.
+  std::set<std::string> names;
+  for (const std::string& peer : FileSharingWorkload::PeerNames()) {
+    names.insert(FileSharingWorkload::FileNameAt(peer, 7));
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(FileSharingTest, GenerateBuildsLibrariesAndTables) {
+  FileSharingConfig config;
+  config.num_songs = 100;
+  auto workload = FileSharingWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload.value().tables().size(), 3u);  // chain of 4 peers
+  for (const std::string& peer : FileSharingWorkload::PeerNames()) {
+    size_t library = workload.value().LibraryOf(peer).size();
+    EXPECT_GT(library, 40u);
+    EXPECT_LT(library, 100u);
+  }
+  auto path = workload.value().BuildPath();
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_EQ(path.value().num_peers(), 4u);
+}
+
+TEST(FileSharingTest, SearchTranslatesAcrossConventions) {
+  FileSharingConfig config;
+  config.num_songs = 50;
+  config.library_coverage = 1.0;
+  config.table_coverage = 1.0;
+  auto workload = FileSharingWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto peers = workload.value().BuildPeers();
+  ASSERT_TRUE(peers.ok());
+  SimNetwork net;
+  std::map<std::string, PeerNode*> by_id;
+  for (auto& p : peers.value()) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+    by_id[p->id()] = p.get();
+  }
+  SelectionQuery q;
+  q.attrs = {"alpha_file"};
+  q.keys = {{Value(FileSharingWorkload::FileNameAt("alpha", 3))}};
+  auto search = by_id.at("alpha")->StartValueSearch(q, 4);
+  ASSERT_TRUE(search.ok());
+  ASSERT_TRUE(net.Run().ok());
+  const auto* state = by_id.at("alpha")->Search(search.value()).value();
+  // With full coverage, every peer answers — each under its own name.
+  ASSERT_EQ(state->hits.size(), 4u);
+  EXPECT_EQ(state->hits.at("gamma").tuples()[0][0],
+            Value(FileSharingWorkload::FileNameAt("gamma", 3)));
+  EXPECT_EQ(state->hits.at("delta").tuples()[0][0],
+            Value(FileSharingWorkload::FileNameAt("delta", 3)));
+}
+
+TEST(FileSharingTest, MissingTableEntryStopsPropagation) {
+  FileSharingConfig config;
+  config.num_songs = 10;
+  config.library_coverage = 1.0;
+  config.table_coverage = 0.0;  // curators recorded nothing
+  auto workload = FileSharingWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto peers = workload.value().BuildPeers();
+  ASSERT_TRUE(peers.ok());
+  SimNetwork net;
+  std::map<std::string, PeerNode*> by_id;
+  for (auto& p : peers.value()) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+    by_id[p->id()] = p.get();
+  }
+  SelectionQuery q;
+  q.attrs = {"alpha_file"};
+  q.keys = {{Value(FileSharingWorkload::FileNameAt("alpha", 3))}};
+  auto search = by_id.at("alpha")->StartValueSearch(q, 4);
+  ASSERT_TRUE(search.ok());
+  ASSERT_TRUE(net.Run().ok());
+  const auto* state = by_id.at("alpha")->Search(search.value()).value();
+  // Only alpha's own library answers: nothing translates.
+  ASSERT_EQ(state->hits.size(), 1u);
+  EXPECT_TRUE(state->hits.count("alpha"));
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,141 @@
+// Incremental cover maintenance: cover(T ∪ Δ) == cover(T) ∪ delta-cover.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/cover_engine.h"
+#include "core/curator.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::FiniteAttr;
+using testing_util::RandomTable;
+
+TEST(IncrementalCoverTest, DeltaMatchesRecompute) {
+  MappingTable ab =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "ab")
+          .value();
+  ASSERT_TRUE(ab.AddPair({Value("a1")}, {Value("b1")}).ok());
+  MappingTable bc =
+      MappingTable::Create(Schema::Of({Attribute::String("B")}),
+                           Schema::Of({Attribute::String("C")}), "bc")
+          .value();
+  ASSERT_TRUE(bc.AddPair({Value("b1")}, {Value("c1")}).ok());
+  ASSERT_TRUE(bc.AddPair({Value("b2")}, {Value("c2")}).ok());
+
+  auto make_path = [&](const MappingTable& first) {
+    return ConstraintPath::Create(
+               {AttributeSet::Of({Attribute::String("A")}),
+                AttributeSet::Of({Attribute::String("B")}),
+                AttributeSet::Of({Attribute::String("C")})},
+               {{MappingConstraint(first)}, {MappingConstraint(bc)}})
+        .value();
+  };
+
+  CoverEngine engine;
+  auto old_cover = engine.ComputeCover(make_path(ab), {"A"}, {"C"});
+  ASSERT_TRUE(old_cover.ok());
+  EXPECT_EQ(old_cover.value().size(), 1u);
+
+  // Add (a2, b2) to ab.
+  std::vector<Mapping> delta = {
+      Mapping::FromTuple({Value("a2"), Value("b2")})};
+  auto delta_cover = engine.CoverDeltaForAddedRows(make_path(ab), 0, 0,
+                                                   delta, {"A"}, {"C"});
+  ASSERT_TRUE(delta_cover.ok()) << delta_cover.status();
+  EXPECT_EQ(delta_cover.value().size(), 1u);
+  EXPECT_TRUE(
+      delta_cover.value().SatisfiesTuple({Value("a2"), Value("c2")}));
+
+  // Union must equal recomputation over the grown table.
+  MappingTable grown = ab;
+  ASSERT_TRUE(grown.AddPair({Value("a2")}, {Value("b2")}).ok());
+  auto recomputed = engine.ComputeCover(make_path(grown), {"A"}, {"C"});
+  ASSERT_TRUE(recomputed.ok());
+  auto unioned = MergeUnion(old_cover.value(), delta_cover.value());
+  ASSERT_TRUE(unioned.ok());
+  EXPECT_TRUE(TablesEquivalent(unioned.value(), recomputed.value()).value());
+}
+
+TEST(IncrementalCoverTest, BadIndicesRejected) {
+  MappingTable ab =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "ab")
+          .value();
+  ASSERT_TRUE(ab.AddPair({Value("a")}, {Value("b")}).ok());
+  auto path = ConstraintPath::Create(
+                  {AttributeSet::Of({Attribute::String("A")}),
+                   AttributeSet::Of({Attribute::String("B")})},
+                  {{MappingConstraint(ab)}})
+                  .value();
+  CoverEngine engine;
+  EXPECT_FALSE(
+      engine.CoverDeltaForAddedRows(path, 1, 0, {}, {"A"}, {"B"}).ok());
+  EXPECT_FALSE(
+      engine.CoverDeltaForAddedRows(path, 0, 7, {}, {"A"}, {"B"}).ok());
+}
+
+// Property: over random finite-domain chains, union(old cover, delta
+// cover) is equivalent to recomputing with the grown table — including
+// when the delta row has variables.
+class IncrementalOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalOracleTest, MatchesRecompute) {
+  Rng rng(9000 + GetParam());
+  size_t domain_size = 3;
+  MappingTable t1 = RandomTable(&rng, {"A"}, {"B"}, 4, domain_size);
+  MappingTable t2 = RandomTable(&rng, {"B"}, {"C"}, 4, domain_size);
+  t1.set_name("t1");
+  t2.set_name("t2");
+  size_t changed = static_cast<size_t>(GetParam()) % 2;
+
+  auto make_path = [&](const MappingTable& a, const MappingTable& b) {
+    return ConstraintPath::Create(
+               {AttributeSet::Of({FiniteAttr("A", domain_size)}),
+                AttributeSet::Of({FiniteAttr("B", domain_size)}),
+                AttributeSet::Of({FiniteAttr("C", domain_size)})},
+               {{MappingConstraint(a)}, {MappingConstraint(b)}})
+        .value();
+  };
+  CoverEngine engine;
+  auto old_cover =
+      engine.ComputeCover(make_path(t1, t2), {"A"}, {"C"});
+  ASSERT_TRUE(old_cover.ok());
+
+  // A random delta (one fresh random table's rows, may include vars).
+  MappingTable delta_src =
+      changed == 0 ? RandomTable(&rng, {"A"}, {"B"}, 2, domain_size)
+                   : RandomTable(&rng, {"B"}, {"C"}, 2, domain_size);
+  std::vector<Mapping> delta = delta_src.rows();
+
+  auto delta_cover = engine.CoverDeltaForAddedRows(
+      make_path(t1, t2), changed, 0, delta, {"A"}, {"C"});
+  ASSERT_TRUE(delta_cover.ok()) << delta_cover.status();
+
+  MappingTable grown1 = t1;
+  MappingTable grown2 = t2;
+  for (const Mapping& row : delta) {
+    if (changed == 0) {
+      ASSERT_TRUE(grown1.AddRow(row).ok());
+    } else {
+      ASSERT_TRUE(grown2.AddRow(row).ok());
+    }
+  }
+  auto recomputed =
+      engine.ComputeCover(make_path(grown1, grown2), {"A"}, {"C"});
+  ASSERT_TRUE(recomputed.ok());
+  auto unioned = MergeUnion(old_cover.value(), delta_cover.value());
+  ASSERT_TRUE(unioned.ok());
+  auto equivalent = TablesEquivalent(unioned.value(), recomputed.value());
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status();
+  EXPECT_TRUE(equivalent.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalOracleTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,119 @@
+#include "core/infer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingTable Chain(const std::string& name, const std::string& x,
+                   const std::string& y,
+                   std::initializer_list<std::pair<const char*, const char*>>
+                       pairs) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String(x)}),
+                           Schema::Of({Attribute::String(y)}), name)
+          .value();
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(t.AddPair({Value(a)}, {Value(b)}).ok());
+  }
+  return t;
+}
+
+ConstraintPath TwoHopPath(const MappingTable& ab, const MappingTable& bc) {
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab)}, {MappingConstraint(bc)}});
+  EXPECT_TRUE(path.ok()) << path.status();
+  return std::move(path).value();
+}
+
+TEST(PathImpliesTest, ImpliedConstraintHolds) {
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}, {"a2", "b2"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}, {"b2", "c2"}});
+  ConstraintPath path = TwoHopPath(ab, bc);
+
+  // The full composition is implied.
+  MappingTable full =
+      Chain("full", "A", "C", {{"a1", "c1"}, {"a2", "c2"}});
+  EXPECT_TRUE(PathImplies(path, MappingConstraint(full)).value());
+
+  // A superset target is implied too.
+  MappingTable superset = Chain(
+      "sup", "A", "C", {{"a1", "c1"}, {"a2", "c2"}, {"a9", "c9"}});
+  EXPECT_TRUE(PathImplies(path, MappingConstraint(superset)).value());
+
+  // A target missing one derivable mapping is not implied.
+  MappingTable partial = Chain("part", "A", "C", {{"a1", "c1"}});
+  EXPECT_FALSE(PathImplies(path, MappingConstraint(partial)).value());
+}
+
+TEST(PathImpliesTest, GeneralReductionAgrees) {
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}});
+  ConstraintPath path = TwoHopPath(ab, bc);
+  MappingTable target = Chain("t", "A", "C", {{"a1", "c1"}});
+
+  EXPECT_TRUE(PathImplies(path, MappingConstraint(target)).value());
+  // Σ ⊨ φ via the ¬φ ∧ ⋀Σ reduction must agree.
+  std::vector<McfPtr> sigma = {Mcf::Leaf(MappingConstraint(ab)),
+                               Mcf::Leaf(MappingConstraint(bc))};
+  EXPECT_TRUE(
+      FormulaImplies(sigma, Mcf::Leaf(MappingConstraint(target))).value());
+
+  MappingTable wrong = Chain("w", "A", "C", {{"a1", "c9"}});
+  EXPECT_FALSE(PathImplies(path, MappingConstraint(wrong)).value());
+  EXPECT_FALSE(
+      FormulaImplies(sigma, Mcf::Leaf(MappingConstraint(wrong))).value());
+}
+
+TEST(FormulaImpliesTest, TautologyAndContradiction) {
+  MappingTable m = Chain("m", "A", "B", {{"x", "y"}});
+  McfPtr leaf = Mcf::Leaf(MappingConstraint(m));
+  // m ⊨ m.
+  EXPECT_TRUE(FormulaImplies({leaf}, leaf).value());
+  // m does not imply ¬m.
+  EXPECT_FALSE(FormulaImplies({leaf}, Mcf::Not(leaf)).value());
+  // Inconsistent premises imply anything.
+  EXPECT_TRUE(
+      FormulaImplies({leaf, Mcf::Not(leaf)}, Mcf::Not(leaf)).value());
+  EXPECT_FALSE(FormulaImplies({}, nullptr).ok());
+}
+
+TEST(RowsNotContainedTest, FindsNewMappings) {
+  MappingTable computed =
+      Chain("computed", "A", "C", {{"a1", "c1"}, {"a2", "c2"}});
+  MappingTable existing = Chain("existing", "A", "C", {{"a1", "c1"}});
+  auto fresh = RowsNotContained(computed, existing);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh.value().size(), 1u);
+  EXPECT_EQ(fresh.value()[0].ToString(), "(a2, c2)");
+}
+
+TEST(RowsNotContainedTest, AlignsColumnsByName) {
+  // existing stores (C, A) order; rows must still be recognized.
+  MappingTable computed = Chain("computed", "A", "C", {{"a1", "c1"}});
+  MappingTable existing = Chain("existing", "C", "A", {{"c1", "a1"}});
+  auto fresh = RowsNotContained(computed, existing);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh.value().empty());
+}
+
+TEST(RowsNotContainedTest, VariableRowsCountAsCovering) {
+  MappingTable computed = Chain("computed", "A", "C", {{"a1", "c1"}});
+  MappingTable wide =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("C")}), "wide")
+          .value();
+  ASSERT_TRUE(
+      wide.AddRow(Mapping({Cell::Variable(0), Cell::Variable(1)})).ok());
+  auto fresh = RowsNotContained(computed, wide);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh.value().empty());
+}
+
+}  // namespace
+}  // namespace hyperion

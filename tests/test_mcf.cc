@@ -1,0 +1,157 @@
+#include "core/mcf.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingConstraint MakeConstraint(const std::string& name,
+                                 const std::string& x_val,
+                                 const std::string& y_val) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), name)
+          .value();
+  EXPECT_TRUE(t.AddPair({Value(x_val)}, {Value(y_val)}).ok());
+  return MappingConstraint(std::move(t));
+}
+
+TEST(McfTest, LeafEvaluation) {
+  McfPtr leaf = Mcf::Leaf(MakeConstraint("m", "x", "y"));
+  Schema schema = Schema::Of({Attribute::String("A"),
+                              Attribute::String("B")});
+  EXPECT_TRUE(leaf->EvaluateOn({Value("x"), Value("y")}, schema).value());
+  EXPECT_FALSE(leaf->EvaluateOn({Value("x"), Value("z")}, schema).value());
+}
+
+TEST(McfTest, BooleanSemanticsOfDefinition9) {
+  MappingConstraint m1 = MakeConstraint("m1", "x", "y");
+  MappingConstraint m2 = MakeConstraint("m2", "x", "z");
+  Schema schema = Schema::Of({Attribute::String("A"),
+                              Attribute::String("B")});
+  Tuple txy = {Value("x"), Value("y")};
+  Tuple txz = {Value("x"), Value("z")};
+  Tuple txw = {Value("x"), Value("w")};
+
+  McfPtr both = Mcf::And(Mcf::Leaf(m1), Mcf::Leaf(m2));
+  EXPECT_FALSE(both->EvaluateOn(txy, schema).value());
+
+  McfPtr either = Mcf::Or(Mcf::Leaf(m1), Mcf::Leaf(m2));
+  EXPECT_TRUE(either->EvaluateOn(txy, schema).value());
+  EXPECT_TRUE(either->EvaluateOn(txz, schema).value());
+  EXPECT_FALSE(either->EvaluateOn(txw, schema).value());
+
+  McfPtr neg = Mcf::Not(Mcf::Leaf(m1));
+  EXPECT_FALSE(neg->EvaluateOn(txy, schema).value());
+  EXPECT_TRUE(neg->EvaluateOn(txw, schema).value());
+}
+
+TEST(McfTest, ExtraAttributesAreIgnoredByLeaves) {
+  MappingConstraint m1 = MakeConstraint("m1", "x", "y");
+  Schema wide = Schema::Of({Attribute::String("A"), Attribute::String("B"),
+                            Attribute::String("C")});
+  McfPtr leaf = Mcf::Leaf(m1);
+  EXPECT_TRUE(
+      leaf->EvaluateOn({Value("x"), Value("y"), Value("junk")}, wide)
+          .value());
+}
+
+TEST(McfTest, AttributesCollectsLeafUnion) {
+  MappingConstraint m1 = MakeConstraint("m1", "x", "y");
+  MappingTable other =
+      MappingTable::Create(Schema::Of({Attribute::String("B")}),
+                           Schema::Of({Attribute::String("C")}), "m2")
+          .value();
+  ASSERT_TRUE(other.AddPair({Value("y")}, {Value("z")}).ok());
+  McfPtr f = Mcf::And(Mcf::Leaf(m1), Mcf::Not(Mcf::Leaf(
+                                         MappingConstraint(other))));
+  EXPECT_EQ(f->Attributes().Names(),
+            (std::vector<std::string>{"A", "B", "C"}));
+  std::vector<MappingConstraint> leaves;
+  f->CollectLeaves(&leaves);
+  EXPECT_EQ(leaves.size(), 2u);
+}
+
+TEST(McfTest, AndAll) {
+  MappingConstraint m1 = MakeConstraint("m1", "x", "y");
+  EXPECT_FALSE(Mcf::AndAll({}).ok());
+  auto one = Mcf::AndAll({Mcf::Leaf(m1)});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value()->kind(), Mcf::Kind::kConstraint);
+  auto three = Mcf::AndAll({Mcf::Leaf(m1), Mcf::Leaf(m1), Mcf::Leaf(m1)});
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ(three.value()->kind(), Mcf::Kind::kAnd);
+}
+
+TEST(McfParserTest, ParsesPrecedenceAndParens) {
+  std::map<std::string, MappingConstraint> env;
+  env.emplace("m1", MakeConstraint("m1", "x", "y"));
+  env.emplace("m2", MakeConstraint("m2", "x", "z"));
+  env.emplace("m3", MakeConstraint("m3", "q", "r"));
+
+  auto f = Mcf::Parse("m1 & m2 | m3", env);
+  ASSERT_TRUE(f.ok());
+  // '&' binds tighter than '|'.
+  EXPECT_EQ(f.value()->ToString(), "((m1 & m2) | m3)");
+
+  auto g = Mcf::Parse("m1 & (m2 | m3)", env);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value()->ToString(), "(m1 & (m2 | m3))");
+
+  auto h = Mcf::Parse("!m1 & !(m2 | m3)", env);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value()->ToString(), "(!m1 & !((m2 | m3)))");
+}
+
+TEST(McfParserTest, Errors) {
+  std::map<std::string, MappingConstraint> env;
+  env.emplace("m1", MakeConstraint("m1", "x", "y"));
+  EXPECT_FALSE(Mcf::Parse("", env).ok());
+  EXPECT_FALSE(Mcf::Parse("m1 &", env).ok());
+  EXPECT_FALSE(Mcf::Parse("(m1", env).ok());
+  EXPECT_FALSE(Mcf::Parse("m1 m1", env).ok());
+  EXPECT_FALSE(Mcf::Parse("unknown", env).ok());
+}
+
+TEST(McfTest, Example10TupleLevelExclusion) {
+  // Example 10: identity on (A,B)->(C,D) except for the pair (a1, b1).
+  Schema x = Schema::Of({Attribute::String("A"), Attribute::String("B")});
+  Schema y = Schema::Of({Attribute::String("C"), Attribute::String("D")});
+  MappingTable ident = MappingTable::Create(x, y, "mu").value();
+  ASSERT_TRUE(ident
+                  .AddRow(Mapping({Cell::Variable(0), Cell::Variable(1),
+                                   Cell::Variable(0), Cell::Variable(1)}))
+                  .ok());
+  MappingTable pair = MappingTable::Create(x, y, "mu1").value();
+  ASSERT_TRUE(pair.AddPair({Value("a1"), Value("b1")},
+                           {Value("a1"), Value("b1")})
+                  .ok());
+  McfPtr formula = Mcf::And(Mcf::Leaf(MappingConstraint(ident)),
+                            Mcf::Not(Mcf::Leaf(MappingConstraint(pair))));
+  Schema schema = Schema::Of({Attribute::String("A"), Attribute::String("B"),
+                              Attribute::String("C"),
+                              Attribute::String("D")});
+  // Other identical pairs still satisfy the formula.
+  EXPECT_TRUE(formula
+                  ->EvaluateOn({Value("a2"), Value("b2"), Value("a2"),
+                                Value("b2")},
+                               schema)
+                  .value());
+  // The excluded tuple does not.
+  EXPECT_FALSE(formula
+                   ->EvaluateOn({Value("a1"), Value("b1"), Value("a1"),
+                                 Value("b1")},
+                                schema)
+                   .value());
+  // Non-identity tuples never did.
+  EXPECT_FALSE(formula
+                   ->EvaluateOn({Value("a1"), Value("b1"), Value("a2"),
+                                 Value("b2")},
+                                schema)
+                   .value());
+}
+
+}  // namespace
+}  // namespace hyperion

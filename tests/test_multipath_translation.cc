@@ -1,0 +1,106 @@
+// TranslateAcrossNetwork: multi-path query translation, and MCF relation
+// filtering.
+
+#include <gtest/gtest.h>
+
+#include "core/cover_engine.h"
+#include "core/mcf.h"
+#include "p2p/discovery.h"
+#include "test_util.h"
+#include "workload/bio_network.h"
+#include "workload/id_gen.h"
+
+namespace hyperion {
+namespace {
+
+TEST(MultiPathTranslationTest, UnionOverPathsBeatsSinglePath) {
+  BioConfig config;
+  config.num_entities = 200;
+  config.alias_rate = 0;
+  config.protein_extra_rate = 0;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto peers = workload.value().BuildPeers();
+  ASSERT_TRUE(peers.ok());
+  std::vector<const PeerNode*> raw;
+  for (auto& p : peers.value()) raw.push_back(p.get());
+
+  // Query many Hugo symbols at once; paths through different tables
+  // translate different subsets.
+  SelectionQuery q;
+  q.attrs = {"Hugo_id"};
+  for (size_t e = 0; e < 150; ++e) {
+    q.keys.push_back({Value(MakeHugoId(e))});
+  }
+  auto merged = TranslateAcrossNetwork(raw, "Hugo", "MIM", q);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged.value().query.attrs,
+            (std::vector<std::string>{"MIM_id"}));
+  EXPECT_GT(merged.value().query.keys.size(), 0u);
+
+  // The direct table alone translates no more than the union of paths.
+  auto direct = TranslateQuery(q, *workload.value().tables().at("m6"));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_GE(merged.value().query.keys.size(),
+            direct.value().query.keys.size());
+
+  // Every directly translated key is in the union.
+  std::set<Tuple> merged_keys(merged.value().query.keys.begin(),
+                              merged.value().query.keys.end());
+  for (const Tuple& k : direct.value().query.keys) {
+    EXPECT_TRUE(merged_keys.count(k)) << TupleToString(k);
+  }
+}
+
+TEST(MultiPathTranslationTest, ErrorsOnUnknownPeers) {
+  BioConfig config;
+  config.num_entities = 20;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto peers = workload.value().BuildPeers();
+  ASSERT_TRUE(peers.ok());
+  std::vector<const PeerNode*> raw;
+  for (auto& p : peers.value()) raw.push_back(p.get());
+  SelectionQuery q;
+  q.attrs = {"Hugo_id"};
+  q.keys = {{Value("x")}};
+  EXPECT_FALSE(TranslateAcrossNetwork(raw, "Nope", "MIM", q).ok());
+  EXPECT_FALSE(TranslateAcrossNetwork(raw, "Hugo", "Nope", q).ok());
+  // No path from MIM anywhere (MIM holds no outgoing tables).
+  EXPECT_FALSE(TranslateAcrossNetwork(raw, "MIM", "Hugo", q).ok());
+}
+
+TEST(McfFilterRelationTest, FiltersByFormula) {
+  MappingTable m1 =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "m1")
+          .value();
+  ASSERT_TRUE(m1.AddPair({Value("x")}, {Value("y")}).ok());
+  ASSERT_TRUE(m1.AddPair({Value("p")}, {Value("q")}).ok());
+  MappingTable m2 =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "m2")
+          .value();
+  ASSERT_TRUE(m2.AddPair({Value("x")}, {Value("y")}).ok());
+
+  Relation data(Schema::Of({Attribute::String("A"), Attribute::String("B"),
+                            Attribute::String("Extra")}));
+  ASSERT_TRUE(data.Add({Value("x"), Value("y"), Value("1")}).ok());
+  ASSERT_TRUE(data.Add({Value("p"), Value("q"), Value("2")}).ok());
+  ASSERT_TRUE(data.Add({Value("z"), Value("z"), Value("3")}).ok());
+
+  McfPtr both = Mcf::And(Mcf::Leaf(MappingConstraint(m1)),
+                         Mcf::Leaf(MappingConstraint(m2)));
+  auto filtered = both->FilterRelation(data);
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  ASSERT_EQ(filtered.value().size(), 1u);
+  EXPECT_EQ(filtered.value().tuples()[0][2], Value("1"));
+
+  McfPtr neither = Mcf::Not(Mcf::Leaf(MappingConstraint(m1)));
+  auto inverse = neither->FilterRelation(data);
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_EQ(inverse.value().size(), 1u);  // only (z, z, 3)
+}
+
+}  // namespace
+}  // namespace hyperion

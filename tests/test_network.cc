@@ -1,0 +1,186 @@
+#include "p2p/network.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+PingMsg MakePing(uint64_t id) {
+  PingMsg ping;
+  ping.ping_id = id;
+  ping.origin = "origin";
+  ping.ttl = 1;
+  return ping;
+}
+
+TEST(MessageTest, ByteSizeGrowsWithPayload) {
+  Message small{"a", "b", MakePing(1)};
+  CoverBatchMsg batch;
+  batch.schema = Schema::Of({Attribute::String("A")});
+  for (int i = 0; i < 100; ++i) {
+    batch.rows.push_back(
+        Mapping::FromTuple({Value("value" + std::to_string(i))}));
+  }
+  Message big{"a", "b", batch};
+  EXPECT_GT(big.ByteSize(), small.ByteSize() + 500);
+  EXPECT_STREQ(small.TypeName(), "Ping");
+  EXPECT_STREQ(big.TypeName(), "CoverBatch");
+}
+
+TEST(MessageTest, MappingBytesReflectExclusions) {
+  Mapping plain({Cell::Variable(0)});
+  Mapping heavy({Cell::Variable(0, {Value("averylongexcludedvalue1"),
+                                    Value("averylongexcludedvalue2")})});
+  EXPECT_GT(EstimateMappingBytes(heavy), EstimateMappingBytes(plain) + 20);
+}
+
+TEST(SimNetworkTest, RegisterAndSendValidation) {
+  SimNetwork net;
+  EXPECT_TRUE(net.RegisterPeer("a", [](const Message&) {}).ok());
+  EXPECT_FALSE(net.RegisterPeer("a", [](const Message&) {}).ok());
+  EXPECT_FALSE(net.RegisterPeer("", [](const Message&) {}).ok());
+  EXPECT_FALSE(net.Send(Message{"a", "nonexistent", MakePing(1)}).ok());
+}
+
+TEST(SimNetworkTest, DeliversInOrderAndCountsTraffic) {
+  SimNetwork net;
+  std::vector<uint64_t> received;
+  ASSERT_TRUE(net.RegisterPeer("rx", [&](const Message& msg) {
+                    received.push_back(std::get<PingMsg>(msg.payload).ping_id);
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(net.Send(Message{"tx", "rx", MakePing(i)}).ok());
+  }
+  auto end_time = net.Run();
+  ASSERT_TRUE(end_time.ok());
+  EXPECT_EQ(received, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(net.stats().messages_sent, 5u);
+  EXPECT_GT(net.stats().bytes_sent, 0u);
+  EXPECT_EQ(net.stats().messages_by_type.at("Ping"), 5u);
+}
+
+TEST(SimNetworkTest, LatencyAdvancesVirtualClock) {
+  SimNetwork::Options opts;
+  opts.latency_us = 1000;
+  opts.us_per_byte = 0.0;
+  SimNetwork net(opts);
+  int64_t seen_at = -1;
+  ASSERT_TRUE(net.RegisterPeer("rx", [&](const Message&) {
+                    seen_at = net.now_us();
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", MakePing(1)}).ok());
+  auto end_time = net.Run();
+  ASSERT_TRUE(end_time.ok());
+  EXPECT_GE(seen_at, 1000);
+  EXPECT_GE(end_time.value(), 1000);
+}
+
+TEST(SimNetworkTest, PerLinkLatencyOverrides) {
+  SimNetwork::Options opts;
+  opts.latency_us = 100;
+  opts.us_per_byte = 0.0;
+  opts.per_message_overhead_us = 0;
+  opts.link_latency_us[{"tx", "slow"}] = 50'000;  // transatlantic
+  SimNetwork net(opts);
+  int64_t fast_at = -1;
+  int64_t slow_at = -1;
+  ASSERT_TRUE(net.RegisterPeer("fast", [&](const Message&) {
+                    fast_at = net.now_us();
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("slow", [&](const Message&) {
+                    slow_at = net.now_us();
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  ASSERT_TRUE(net.Send(Message{"tx", "fast", MakePing(1)}).ok());
+  ASSERT_TRUE(net.Send(Message{"tx", "slow", MakePing(2)}).ok());
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_LT(fast_at, 1000);
+  EXPECT_GE(slow_at, 50'000);
+}
+
+TEST(SimNetworkTest, ChargeComputeDelaysSubsequentSends) {
+  SimNetwork::Options opts;
+  opts.latency_us = 100;
+  opts.us_per_byte = 0.0;
+  SimNetwork net(opts);
+  int64_t relay_sent_at = -1;
+  int64_t final_seen_at = -1;
+  ASSERT_TRUE(net.RegisterPeer("relay", [&](const Message& msg) {
+                    net.ChargeCompute(5000);  // model heavy local work
+                    relay_sent_at = net.now_us();
+                    Message fwd{"relay", "sink", msg.payload};
+                    ASSERT_TRUE(net.Send(std::move(fwd)).ok());
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("sink", [&](const Message&) {
+                    final_seen_at = net.now_us();
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("src", [](const Message&) {}).ok());
+  ASSERT_TRUE(net.Send(Message{"src", "relay", MakePing(1)}).ok());
+  ASSERT_TRUE(net.Run().ok());
+  // relay received at ~100, charged 5000, forwarded at >= 5100, sink saw
+  // it after another 100 of latency.
+  EXPECT_GE(relay_sent_at, 5100);
+  EXPECT_GE(final_seen_at, 5200);
+}
+
+TEST(SimNetworkTest, PerLinkFifoPreserved) {
+  SimNetwork::Options opts;
+  opts.latency_us = 10;
+  opts.us_per_byte = 100.0;  // big per-byte cost: big messages are slow
+  SimNetwork net(opts);
+  std::vector<uint64_t> order;
+  ASSERT_TRUE(net.RegisterPeer("rx", [&](const Message& msg) {
+                    if (const auto* batch =
+                            std::get_if<CoverBatchMsg>(&msg.payload)) {
+                      order.push_back(batch->session);
+                    } else {
+                      order.push_back(999);
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  // First message is large (slow), second small (fast): FIFO must hold.
+  CoverBatchMsg big;
+  big.session = 1;
+  big.schema = Schema::Of({Attribute::String("A")});
+  for (int i = 0; i < 200; ++i) {
+    big.rows.push_back(Mapping::FromTuple({Value("padding-padding")}));
+  }
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", big}).ok());
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", MakePing(2)}).ok());
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 999}));
+}
+
+TEST(SimNetworkTest, BusyPeerSerializesHandlers) {
+  SimNetwork::Options opts;
+  opts.latency_us = 0;
+  opts.us_per_byte = 0.0;
+  SimNetwork net(opts);
+  std::vector<int64_t> starts;
+  ASSERT_TRUE(net.RegisterPeer("rx", [&](const Message&) {
+                    starts.push_back(net.now_us());
+                    net.ChargeCompute(1000);
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", MakePing(1)}).ok());
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", MakePing(2)}).ok());
+  ASSERT_TRUE(net.Run().ok());
+  ASSERT_EQ(starts.size(), 2u);
+  // Second handler cannot start before the first one's 1000us of work end.
+  EXPECT_GE(starts[1], starts[0] + 1000);
+}
+
+}  // namespace
+}  // namespace hyperion

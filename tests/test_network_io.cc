@@ -1,0 +1,98 @@
+#include "p2p/network_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/containment.h"
+#include "p2p/network.h"
+#include "test_util.h"
+#include "workload/file_sharing.h"
+
+namespace hyperion {
+namespace {
+
+TEST(NetworkIoTest, SaveLoadRoundTrip) {
+  FileSharingConfig config;
+  config.num_songs = 40;
+  auto workload = FileSharingWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto original = workload.value().BuildPeers();
+  ASSERT_TRUE(original.ok());
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "hyperion_net_io").string();
+  std::filesystem::remove_all(dir);
+  std::vector<const PeerNode*> raw;
+  for (const auto& p : original.value()) raw.push_back(p.get());
+  ASSERT_TRUE(SaveNetwork(raw, dir).ok());
+
+  auto loaded = LoadNetwork(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded.value().size(), original.value().size());
+  for (size_t i = 0; i < loaded.value().size(); ++i) {
+    const PeerNode& a = *original.value()[i];
+    const PeerNode& b = *loaded.value()[i];
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_EQ(a.attributes().Names(), b.attributes().Names());
+    EXPECT_EQ(a.Acquaintances(), b.Acquaintances());
+    ASSERT_EQ(a.data().size(), b.data().size());
+    for (size_t d = 0; d < a.data().size(); ++d) {
+      EXPECT_EQ(a.data()[d].size(), b.data()[d].size());
+    }
+    for (const std::string& n : a.Acquaintances()) {
+      ASSERT_EQ(a.ConstraintsTo(n).size(), b.ConstraintsTo(n).size());
+      for (size_t c = 0; c < a.ConstraintsTo(n).size(); ++c) {
+        EXPECT_TRUE(TablesEquivalent(a.ConstraintsTo(n)[c].table(),
+                                     b.ConstraintsTo(n)[c].table())
+                        .value());
+      }
+    }
+  }
+
+  // The reloaded network is fully functional: run a search on it.
+  SimNetwork net;
+  std::map<std::string, PeerNode*> by_id;
+  for (auto& p : loaded.value()) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+    by_id[p->id()] = p.get();
+  }
+  SelectionQuery q;
+  q.attrs = {"alpha_file"};
+  q.keys = {{Value(FileSharingWorkload::FileNameAt("alpha", 1))}};
+  auto search = by_id.at("alpha")->StartValueSearch(q, 4);
+  ASSERT_TRUE(search.ok());
+  ASSERT_TRUE(net.Run().ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NetworkIoTest, LoadErrors) {
+  EXPECT_FALSE(LoadNetwork("/nonexistent/dir").ok());
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "hyperion_net_bad").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  // Peer without attrs.
+  {
+    std::ofstream out(dir + "/network.manifest");
+    out << "peer lonely\n";
+  }
+  EXPECT_FALSE(LoadNetwork(dir).ok());
+  // Unrecognized line.
+  {
+    std::ofstream out(dir + "/network.manifest");
+    out << "peer p\nattrs A:string\nbogus line\n";
+  }
+  EXPECT_FALSE(LoadNetwork(dir).ok());
+  // Constraint file missing.
+  {
+    std::ofstream out(dir + "/network.manifest");
+    out << "peer p\nattrs A:string\nconstraint q missing.hmt\n";
+  }
+  EXPECT_FALSE(LoadNetwork(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,133 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingConstraint Make(const std::string& name,
+                       std::vector<std::string> x_names,
+                       std::vector<std::string> y_names) {
+  std::vector<Attribute> xa;
+  for (const std::string& n : x_names) xa.push_back(Attribute::String(n));
+  std::vector<Attribute> ya;
+  for (const std::string& n : y_names) ya.push_back(Attribute::String(n));
+  MappingTable t =
+      MappingTable::Create(Schema(xa), Schema(ya), name).value();
+  // One all-variable row; contents are irrelevant to partitioning.
+  std::vector<Cell> cells;
+  for (size_t i = 0; i < x_names.size() + y_names.size(); ++i) {
+    cells.push_back(Cell::Variable(static_cast<VarId>(i)));
+  }
+  EXPECT_TRUE(t.AddRow(Mapping(std::move(cells))).ok());
+  return MappingConstraint(std::move(t));
+}
+
+// The constraints of the paper's Figure 6, hop by hop.
+std::vector<std::vector<MappingConstraint>> Figure6Constraints() {
+  std::vector<MappingConstraint> hop1 = {
+      Make("mu1", {"A1"}, {"B1"}),
+      Make("mu2", {"A1", "A2"}, {"B1", "B2"}),
+      Make("mu3", {"A3"}, {"B2", "B3"}),
+      Make("mu4", {"A4"}, {"B4"}),
+      Make("mu5", {"A5"}, {"B5"}),
+      Make("mu6", {"A6"}, {"B6"}),
+  };
+  std::vector<MappingConstraint> hop2 = {
+      Make("mu7", {"B1", "B4"}, {"C1"}),
+      Make("mu8", {"B3"}, {"C2"}),
+      Make("mu9", {"B5"}, {"C3"}),
+  };
+  std::vector<MappingConstraint> hop3 = {
+      Make("mu10", {"C3"}, {"D3"}),
+      Make("mu11", {"C4"}, {"D4"}),
+  };
+  return {hop1, hop2, hop3};
+}
+
+TEST(GroupByAttributeOverlapTest, Basic) {
+  std::vector<AttributeSet> sets = {
+      AttributeSet::Of({Attribute::String("A"), Attribute::String("B")}),
+      AttributeSet::Of({Attribute::String("C")}),
+      AttributeSet::Of({Attribute::String("B"), Attribute::String("C")}),
+      AttributeSet::Of({Attribute::String("Z")}),
+  };
+  auto groups = GroupByAttributeOverlap(sets);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<size_t>{3}));
+}
+
+TEST(GroupByAttributeOverlapTest, EmptyInput) {
+  EXPECT_TRUE(GroupByAttributeOverlap({}).empty());
+}
+
+TEST(ComputePartitionsTest, Figure7PeerP1Partitions) {
+  // Figure 7: the P1–P2 constraints form 4 partitions:
+  // {mu1, mu2, mu3}, {mu4}, {mu5}, {mu6}.
+  auto hops = Figure6Constraints();
+  std::vector<Partition> partitions = ComputePartitions(hops[0]);
+  ASSERT_EQ(partitions.size(), 4u);
+  EXPECT_EQ(partitions[0].constraint_indices,
+            (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(partitions[1].constraint_indices, (std::vector<size_t>{3}));
+  EXPECT_EQ(partitions[2].constraint_indices, (std::vector<size_t>{4}));
+  EXPECT_EQ(partitions[3].constraint_indices, (std::vector<size_t>{5}));
+  EXPECT_TRUE(partitions[0].attributes.Contains("B3"));
+}
+
+TEST(ComputePartitionsTest, Figure7PeerP2Partitions) {
+  // P2–P3: {mu7}, {mu8}, {mu9} — mu7 and mu8 share no attributes.
+  auto hops = Figure6Constraints();
+  std::vector<Partition> partitions = ComputePartitions(hops[1]);
+  EXPECT_EQ(partitions.size(), 3u);
+}
+
+TEST(InferredPartitionsTest, Figure8MergesAcrossHops) {
+  auto hops = Figure6Constraints();
+  // Inferred partitions over the first two hops (Figure 8): three groups
+  // involving P1 and P2 plus the isolated {mu6}.
+  std::vector<InferredPartition> inferred =
+      ComputeInferredPartitions({hops[0], hops[1]});
+  ASSERT_EQ(inferred.size(), 3u);
+  // Group 1: {mu1, mu2, mu3} + {mu4} merge through mu7/mu8 (B1/B4, B3).
+  EXPECT_EQ(inferred[0].members.size(), 6u);
+  EXPECT_EQ(inferred[0].first_hop, 0u);
+  EXPECT_EQ(inferred[0].last_hop, 1u);
+  // Group 2: {mu5, mu9} via B5.
+  EXPECT_EQ(inferred[1].members.size(), 2u);
+  // Group 3: {mu6} alone — the paper's pass-through A6 case.
+  EXPECT_EQ(inferred[2].members.size(), 1u);
+  EXPECT_EQ(inferred[2].first_hop, 0u);
+  EXPECT_EQ(inferred[2].last_hop, 0u);
+}
+
+TEST(InferredPartitionsTest, FullFigure6Path) {
+  auto hops = Figure6Constraints();
+  std::vector<InferredPartition> inferred = ComputeInferredPartitions(hops);
+  // mu5-mu9-mu10 chain spans all three hops; mu11 is isolated at hop 2.
+  bool found_long_chain = false;
+  bool found_mu11 = false;
+  for (const InferredPartition& p : inferred) {
+    if (p.members.size() == 3 && p.first_hop == 0 && p.last_hop == 2) {
+      found_long_chain = true;
+    }
+    if (p.members.size() == 1 && p.first_hop == 2) found_mu11 = true;
+  }
+  EXPECT_TRUE(found_long_chain);
+  EXPECT_TRUE(found_mu11);
+}
+
+TEST(InferredPartitionsTest, MembersAreSortedByHop) {
+  auto hops = Figure6Constraints();
+  for (const InferredPartition& p : ComputeInferredPartitions(hops)) {
+    for (size_t i = 1; i < p.members.size(); ++i) {
+      EXPECT_FALSE(p.members[i] < p.members[i - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,108 @@
+#include "core/path.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingConstraint Simple(const std::string& name, const std::string& x,
+                         const std::string& y) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String(x)}),
+                           Schema::Of({Attribute::String(y)}), name)
+          .value();
+  EXPECT_TRUE(t.AddPair({Value("k")}, {Value("v")}).ok());
+  return MappingConstraint(std::move(t));
+}
+
+TEST(ConstraintPathTest, ValidPath) {
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{Simple("m1", "A", "B")}, {Simple("m2", "B", "C")}},
+      {"alpha", "beta", "gamma"});
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_EQ(path.value().num_peers(), 3u);
+  EXPECT_EQ(path.value().num_hops(), 2u);
+  EXPECT_EQ(path.value().peer_name(0), "alpha");
+  EXPECT_EQ(path.value().AllConstraints().size(), 2u);
+  EXPECT_EQ(path.value().AllAttributes().Names(),
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_NE(path.value().ToString().find("alpha -> beta -> gamma"),
+            std::string::npos);
+}
+
+TEST(ConstraintPathTest, DefaultPeerNames) {
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")})},
+      {{Simple("m1", "A", "B")}});
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value().peer_name(0), "P1");
+  EXPECT_EQ(path.value().peer_name(1), "P2");
+}
+
+TEST(ConstraintPathTest, RejectsTooFewPeers) {
+  EXPECT_FALSE(ConstraintPath::Create(
+                   {AttributeSet::Of({Attribute::String("A")})}, {})
+                   .ok());
+}
+
+TEST(ConstraintPathTest, RejectsHopCountMismatch) {
+  EXPECT_FALSE(ConstraintPath::Create(
+                   {AttributeSet::Of({Attribute::String("A")}),
+                    AttributeSet::Of({Attribute::String("B")})},
+                   {})
+                   .ok());
+}
+
+TEST(ConstraintPathTest, RejectsOverlappingPeerAttributes) {
+  EXPECT_FALSE(ConstraintPath::Create(
+                   {AttributeSet::Of({Attribute::String("A")}),
+                    AttributeSet::Of({Attribute::String("A"),
+                                      Attribute::String("B")})},
+                   {{}})
+                   .ok());
+}
+
+TEST(ConstraintPathTest, RejectsEmptyPeerAttributes) {
+  EXPECT_FALSE(
+      ConstraintPath::Create({AttributeSet::Of({Attribute::String("A")}),
+                              AttributeSet()},
+                             {{}})
+          .ok());
+}
+
+TEST(ConstraintPathTest, RejectsMisplacedConstraint) {
+  // m maps A -> C but the hop's right peer only has B.
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{Simple("m", "A", "C")}, {}});
+  EXPECT_FALSE(path.ok());
+  // m maps B -> C placed on the first hop: X not in left peer.
+  auto path2 = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{Simple("m", "B", "C")}, {}});
+  EXPECT_FALSE(path2.ok());
+}
+
+TEST(ConstraintPathTest, AllowsEmptyHops) {
+  // A hop with no constraints is legal (the peers are acquainted but
+  // share no curated tables); the cover is then unconstrained there.
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{Simple("m1", "A", "B")}, {}});
+  EXPECT_TRUE(path.ok()) << path.status();
+}
+
+}  // namespace
+}  // namespace hyperion

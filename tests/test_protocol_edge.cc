@@ -1,0 +1,114 @@
+// Edge cases of the distributed protocol: acquaintance hops with no
+// curated tables, and covers over subsets of the endpoint attributes.
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "core/cover_engine.h"
+#include "p2p/network.h"
+#include "p2p/peer.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingTable Chain(const std::string& name, const std::string& x,
+                   const std::string& y,
+                   std::initializer_list<std::pair<const char*, const char*>>
+                       pairs) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String(x)}),
+                           Schema::Of({Attribute::String(y)}), name)
+          .value();
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(t.AddPair({Value(a)}, {Value(b)}).ok());
+  }
+  return t;
+}
+
+TEST(ProtocolEdgeTest, EmptyHopSplitsThePathButStillCompletes) {
+  // p1 --ab--> p2 -- (no tables) --> p3 --cd--> p4: the cover is the
+  // Cartesian product of the two independent segments' contributions.
+  SimNetwork net;
+  PeerNode p1("p1", AttributeSet::Of({Attribute::String("A")}));
+  PeerNode p2("p2", AttributeSet::Of({Attribute::String("B")}));
+  PeerNode p3("p3", AttributeSet::Of({Attribute::String("C")}));
+  PeerNode p4("p4", AttributeSet::Of({Attribute::String("D")}));
+  for (PeerNode* p : {&p1, &p2, &p3, &p4}) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+  }
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}, {"a2", "b2"}});
+  MappingTable cd = Chain("cd", "C", "D", {{"c1", "d1"}});
+  ASSERT_TRUE(p1.AddConstraintTo("p2", MappingConstraint(ab)).ok());
+  ASSERT_TRUE(p3.AddConstraintTo("p4", MappingConstraint(cd)).ok());
+  // p2 -> p3: acquainted with no tables; forwarding must still work.
+
+  auto session = p1.StartCoverSession({"p1", "p2", "p3", "p4"},
+                                      {Attribute::String("A")},
+                                      {Attribute::String("D")});
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(net.Run().ok());
+  auto result = p1.GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value()->done);
+  ASSERT_TRUE(result.value()->error.ok()) << result.value()->error;
+  // A constrained by the ab partition's X projection {a1, a2}; D by cd's
+  // Y projection {d1}.
+  EXPECT_EQ(result.value()->cover.size(), 2u);
+  EXPECT_TRUE(
+      result.value()->cover.SatisfiesTuple({Value("a1"), Value("d1")}));
+  EXPECT_TRUE(
+      result.value()->cover.SatisfiesTuple({Value("a2"), Value("d1")}));
+  EXPECT_FALSE(
+      result.value()->cover.SatisfiesTuple({Value("a9"), Value("d1")}));
+
+  // Centralized agreement.
+  auto path = ConstraintPath::Create(
+                  {AttributeSet::Of({Attribute::String("A")}),
+                   AttributeSet::Of({Attribute::String("B")}),
+                   AttributeSet::Of({Attribute::String("C")}),
+                   AttributeSet::Of({Attribute::String("D")})},
+                  {{MappingConstraint(ab)}, {}, {MappingConstraint(cd)}})
+                  .value();
+  CoverEngine engine;
+  auto central = engine.ComputeCover(path, {"A"}, {"D"});
+  ASSERT_TRUE(central.ok());
+  EXPECT_TRUE(
+      TablesEquivalent(result.value()->cover, central.value()).value());
+}
+
+TEST(ProtocolEdgeTest, EndpointSubsetsAndUnconstrainedAttributes) {
+  // Peers carry extra attributes; the cover asks only about a subset, and
+  // one requested attribute is unconstrained (appears in no table).
+  SimNetwork net;
+  PeerNode p1("p1", AttributeSet::Of({Attribute::String("A"),
+                                      Attribute::String("A_extra")}));
+  PeerNode p2("p2", AttributeSet::Of({Attribute::String("B")}));
+  PeerNode p3("p3", AttributeSet::Of({Attribute::String("C"),
+                                      Attribute::String("C_extra")}));
+  for (PeerNode* p : {&p1, &p2, &p3}) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+  }
+  MappingTable ab = Chain("ab", "A", "B", {{"a1", "b1"}});
+  MappingTable bc = Chain("bc", "B", "C", {{"b1", "c1"}});
+  ASSERT_TRUE(p1.AddConstraintTo("p2", MappingConstraint(ab)).ok());
+  ASSERT_TRUE(p2.AddConstraintTo("p3", MappingConstraint(bc)).ok());
+
+  auto session = p1.StartCoverSession(
+      {"p1", "p2", "p3"},
+      {Attribute::String("A"), Attribute::String("A_extra")},
+      {Attribute::String("C")});
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(net.Run().ok());
+  auto result = p1.GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value()->error.ok()) << result.value()->error;
+  // A_extra is unconstrained: any value rides along.
+  EXPECT_TRUE(result.value()->cover.SatisfiesTuple(
+      {Value("a1"), Value("whatever"), Value("c1")}));
+  EXPECT_FALSE(result.value()->cover.SatisfiesTuple(
+      {Value("a2"), Value("whatever"), Value("c1")}));
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,300 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingTable PostalTable() {
+  // The paper's §1 example: a federal postal code in peer one corresponds
+  // to (area code, town) pairs in peer two.
+  MappingTable t =
+      MappingTable::Create(
+          Schema::Of({Attribute::String("PostalCode")}),
+          Schema::Of({Attribute::String("AreaCode"),
+                      Attribute::String("Town")}),
+          "postal")
+          .value();
+  EXPECT_TRUE(
+      t.AddPair({Value("K1A0A9")}, {Value("613"), Value("Ottawa")}).ok());
+  EXPECT_TRUE(
+      t.AddPair({Value("M5S2E4")}, {Value("416"), Value("Toronto")}).ok());
+  EXPECT_TRUE(
+      t.AddPair({Value("M5S2E4")}, {Value("647"), Value("Toronto")}).ok());
+  return t;
+}
+
+TEST(TranslateQueryTest, PostalCodeExample) {
+  SelectionQuery q;
+  q.attrs = {"PostalCode"};
+  q.keys = {{Value("M5S2E4")}};
+  auto out = TranslateQuery(q, PostalTable());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out.value().complete);
+  EXPECT_EQ(out.value().query.attrs,
+            (std::vector<std::string>{"AreaCode", "Town"}));
+  // One-to-many translation: both (416, Toronto) and (647, Toronto).
+  EXPECT_EQ(out.value().query.keys.size(), 2u);
+}
+
+TEST(TranslateQueryTest, UntranslatableKeysReported) {
+  SelectionQuery q;
+  q.attrs = {"PostalCode"};
+  q.keys = {{Value("K1A0A9")}, {Value("UNKNOWN")}};
+  auto out = TranslateQuery(q, PostalTable());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().query.keys.size(), 1u);
+  ASSERT_EQ(out.value().untranslatable.size(), 1u);
+  EXPECT_EQ(out.value().untranslatable[0], (Tuple{Value("UNKNOWN")}));
+}
+
+TEST(TranslateQueryTest, IdentityTableTranslatesToSelf) {
+  MappingTable ident =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "id")
+          .value();
+  ASSERT_TRUE(
+      ident.AddRow(Mapping({Cell::Variable(0), Cell::Variable(0)})).ok());
+  SelectionQuery q;
+  q.attrs = {"A"};
+  q.keys = {{Value("x")}, {Value("y")}};
+  auto out = TranslateQuery(q, ident);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().complete);
+  EXPECT_EQ(testing_util::Canon(out.value().query.keys),
+            (std::vector<Tuple>{{Value("x")}, {Value("y")}}));
+}
+
+TEST(TranslateQueryTest, CatchAllRowMakesTranslationIncomplete) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "co")
+          .value();
+  ASSERT_TRUE(t.AddPair({Value("known")}, {Value("k")}).ok());
+  ASSERT_TRUE(
+      t.AddRow(Mapping({Cell::Variable(0, {Value("known")}),
+                        Cell::Variable(1)}))
+          .ok());
+  SelectionQuery q;
+  q.attrs = {"A"};
+  q.keys = {{Value("known")}, {Value("unknown")}};
+  auto out = TranslateQuery(q, t);
+  ASSERT_TRUE(out.ok());
+  // "known" translates exactly; "unknown" maps to anything.
+  EXPECT_FALSE(out.value().complete);
+  EXPECT_EQ(out.value().query.keys, (std::vector<Tuple>{{Value("k")}}));
+}
+
+TEST(TranslateQueryTest, AttributeOrderNormalized) {
+  // Query attributes given in reversed order still translate.
+  MappingTable t =
+      MappingTable::Create(
+          Schema::Of({Attribute::String("A"), Attribute::String("B")}),
+          Schema::Of({Attribute::String("C")}), "m")
+          .value();
+  ASSERT_TRUE(t.AddPair({Value("a"), Value("b")}, {Value("c")}).ok());
+  SelectionQuery q;
+  q.attrs = {"B", "A"};
+  q.keys = {{Value("b"), Value("a")}};  // in (B, A) order
+  auto out = TranslateQuery(q, t);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out.value().query.keys, (std::vector<Tuple>{{Value("c")}}));
+}
+
+TEST(TranslateQueryTest, WrongAttributesRejected) {
+  SelectionQuery q;
+  q.attrs = {"Zip"};
+  q.keys = {{Value("x")}};
+  EXPECT_FALSE(TranslateQuery(q, PostalTable()).ok());
+  // Subset of a multi-attribute X side is also rejected.
+  MappingTable wide =
+      MappingTable::Create(
+          Schema::Of({Attribute::String("A"), Attribute::String("B")}),
+          Schema::Of({Attribute::String("C")}), "m")
+          .value();
+  ASSERT_TRUE(wide.AddPair({Value("a"), Value("b")}, {Value("c")}).ok());
+  SelectionQuery partial;
+  partial.attrs = {"A"};
+  partial.keys = {{Value("a")}};
+  EXPECT_FALSE(TranslateQuery(partial, wide).ok());
+}
+
+TEST(TranslateAlongPathTest, TwoHops) {
+  MappingTable ab =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), "ab")
+          .value();
+  ASSERT_TRUE(ab.AddPair({Value("a1")}, {Value("b1")}).ok());
+  ASSERT_TRUE(ab.AddPair({Value("a1")}, {Value("b2")}).ok());
+  MappingTable bc =
+      MappingTable::Create(Schema::Of({Attribute::String("B")}),
+                           Schema::Of({Attribute::String("C")}), "bc")
+          .value();
+  ASSERT_TRUE(bc.AddPair({Value("b1")}, {Value("c1")}).ok());
+  auto path = ConstraintPath::Create(
+      {AttributeSet::Of({Attribute::String("A")}),
+       AttributeSet::Of({Attribute::String("B")}),
+       AttributeSet::Of({Attribute::String("C")})},
+      {{MappingConstraint(ab)}, {MappingConstraint(bc)}});
+  ASSERT_TRUE(path.ok());
+  SelectionQuery q;
+  q.attrs = {"A"};
+  q.keys = {{Value("a1")}};
+  auto out = TranslateAlongPath(q, path.value());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out.value().query.attrs, (std::vector<std::string>{"C"}));
+  // b2 dies at the second hop; only c1 survives.
+  EXPECT_EQ(out.value().query.keys, (std::vector<Tuple>{{Value("c1")}}));
+}
+
+TEST(EvaluateQueryTest, SelectsMatchingTuples) {
+  Relation data(Schema::Of({Attribute::String("AreaCode"),
+                            Attribute::String("Town"),
+                            Attribute::String("Population")}));
+  ASSERT_TRUE(
+      data.Add({Value("416"), Value("Toronto"), Value("2.7M")}).ok());
+  ASSERT_TRUE(
+      data.Add({Value("613"), Value("Ottawa"), Value("1.0M")}).ok());
+  SelectionQuery q;
+  q.attrs = {"AreaCode", "Town"};
+  q.keys = {{Value("416"), Value("Toronto")}};
+  auto out = EvaluateQuery(q, data);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value().tuples()[0][2], Value("2.7M"));
+  // Missing attribute is an error.
+  SelectionQuery bad;
+  bad.attrs = {"Nope"};
+  bad.keys = {{Value("x")}};
+  EXPECT_FALSE(EvaluateQuery(bad, data).ok());
+}
+
+TEST(JoinViaMappingTest, ReproducesFigure4WithoutTheProduct) {
+  Relation gdb(Schema::Of(
+      {Attribute::String("GDB_id"), Attribute::String("GeneName")}));
+  ASSERT_TRUE(gdb.Add({Value("GDB:120231"), Value("NF1")}).ok());
+  ASSERT_TRUE(gdb.Add({Value("GDB:120232"), Value("NF2")}).ok());
+  ASSERT_TRUE(gdb.Add({Value("GDB:120233"), Value("NGFB")}).ok());
+  Relation swissprot(Schema::Of({Attribute::String("SwissProt_id"),
+                                 Attribute::String("ProteinName")}));
+  ASSERT_TRUE(swissprot.Add({Value("P21359"), Value("NF1")}).ok());
+  ASSERT_TRUE(swissprot.Add({Value("P35240"), Value("MERL")}).ok());
+
+  MappingTable table =
+      MappingTable::Create(Schema::Of({Attribute::String("GDB_id")}),
+                           Schema::Of({Attribute::String("SwissProt_id")}))
+          .value();
+  ASSERT_TRUE(table.AddPair({Value("GDB:120232")}, {Value("P35240")}).ok());
+  ASSERT_TRUE(table
+                  .AddRow(Mapping({Cell::Variable(0, {Value("GDB:120232")}),
+                                   Cell::Variable(1, {Value("P35240")})}))
+                  .ok());
+
+  auto joined = JoinViaMapping(gdb, table, swissprot);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  // Figure 4's result: exactly three pairs.
+  EXPECT_EQ(joined.value().size(), 3u);
+  EXPECT_TRUE(joined.value().Contains(
+      {Value("GDB:120231"), Value("NF1"), Value("P21359"), Value("NF1")}));
+  EXPECT_TRUE(joined.value().Contains(
+      {Value("GDB:120232"), Value("NF2"), Value("P35240"), Value("MERL")}));
+  EXPECT_TRUE(joined.value().Contains({Value("GDB:120233"), Value("NGFB"),
+                                       Value("P21359"), Value("NF1")}));
+  // And it must agree with the Cartesian-product-then-filter route.
+  auto product = gdb.CartesianProduct(swissprot);
+  ASSERT_TRUE(product.ok());
+  auto filtered = table.FilterRelation(product.value());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(joined.value().size(), filtered.value().size());
+  for (const Tuple& t : filtered.value().tuples()) {
+    EXPECT_TRUE(joined.value().Contains(t)) << TupleToString(t);
+  }
+}
+
+TEST(JoinViaMappingTest, IdentityRowUsesHashLookup) {
+  // The identity row grounds out after binding X, so even a large right
+  // side is probed, not scanned (behavioral check: results correct).
+  Relation left(Schema::Of({Attribute::String("A")}));
+  Relation right(Schema::Of({Attribute::String("B")}));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(left.Add({Value("k" + std::to_string(i))}).ok());
+    ASSERT_TRUE(right.Add({Value("k" + std::to_string(i * 2))}).ok());
+  }
+  MappingTable ident =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}))
+          .value();
+  ASSERT_TRUE(
+      ident.AddRow(Mapping({Cell::Variable(0), Cell::Variable(0)})).ok());
+  auto joined = JoinViaMapping(left, ident, right);
+  ASSERT_TRUE(joined.ok());
+  // Matches: k0..k49 ∩ {k0, k2, ..., k98} = k with even index < 50.
+  EXPECT_EQ(joined.value().size(), 25u);
+  EXPECT_TRUE(joined.value().Contains({Value("k4"), Value("k4")}));
+  EXPECT_FALSE(joined.value().Contains({Value("k3"), Value("k3")}));
+}
+
+TEST(JoinViaMappingTest, SchemaErrors) {
+  Relation left(Schema::Of({Attribute::String("Wrong")}));
+  Relation right(Schema::Of({Attribute::String("B")}));
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}))
+          .value();
+  ASSERT_TRUE(t.AddPair({Value("x")}, {Value("y")}).ok());
+  EXPECT_FALSE(JoinViaMapping(left, t, right).ok());
+}
+
+// Property: JoinViaMapping == Cartesian product + FilterRelation, over
+// random tables with variables.
+class JoinViaMappingOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinViaMappingOracleTest, MatchesProductFilter) {
+  Rng rng(14000 + GetParam());
+  size_t domain_size = 3;
+  MappingTable table =
+      testing_util::RandomTable(&rng, {"A"}, {"B"}, 4, domain_size);
+  Relation left(Schema::Of({testing_util::FiniteAttr("A", domain_size),
+                            Attribute::String("LTag")}));
+  Relation right(Schema::Of({testing_util::FiniteAttr("B", domain_size),
+                             Attribute::String("RTag")}));
+  for (int i = 0; i < 6; ++i) {
+    char v = static_cast<char>('a' + rng.Uniform(0, 2));
+    ASSERT_TRUE(left.Add({Value(std::string(1, v)),
+                          Value("l" + std::to_string(i))})
+                    .ok());
+    char w = static_cast<char>('a' + rng.Uniform(0, 2));
+    ASSERT_TRUE(right.Add({Value(std::string(1, w)),
+                           Value("r" + std::to_string(i))})
+                    .ok());
+  }
+  auto joined = JoinViaMapping(left, table, right);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  auto product = left.CartesianProduct(right);
+  ASSERT_TRUE(product.ok());
+  auto filtered = table.FilterRelation(product.value());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(joined.value().size(), filtered.value().size());
+  for (const Tuple& t : filtered.value().tuples()) {
+    EXPECT_TRUE(joined.value().Contains(t)) << TupleToString(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinViaMappingOracleTest,
+                         ::testing::Range(0, 30));
+
+TEST(SelectionQueryTest, ToStringTruncates) {
+  SelectionQuery q;
+  q.attrs = {"A"};
+  for (int i = 0; i < 20; ++i) {
+    q.keys.push_back({Value("k" + std::to_string(i))});
+  }
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,191 @@
+// Randomized end-to-end property: over random paths (random peer
+// attribute sets, random multi-table hops, random tables with variables
+// and exclusions, random cache sizes), the distributed protocol's cover
+// is equivalent to the centralized engine's, and the centralized engine's
+// extension matches brute force.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/containment.h"
+#include "core/cover_engine.h"
+#include "p2p/network.h"
+#include "p2p/peer.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::FiniteAttr;
+using testing_util::RandomCell;
+
+struct RandomSetup {
+  std::vector<AttributeSet> peer_attrs;
+  std::vector<std::vector<MappingConstraint>> hops;
+  std::vector<std::string> peer_names;
+  std::vector<std::string> x_names;
+  std::vector<std::string> y_names;
+};
+
+RandomSetup MakeSetup(Rng* rng) {
+  constexpr size_t kDomain = 2;
+  RandomSetup setup;
+  size_t num_peers = 3 + static_cast<size_t>(rng->Uniform(0, 2));  // 3..5
+  size_t attr_counter = 0;
+  std::vector<std::vector<Attribute>> peer_attr_lists(num_peers);
+  for (size_t p = 0; p < num_peers; ++p) {
+    size_t n_attrs = 1 + static_cast<size_t>(rng->Uniform(0, 1));  // 1..2
+    for (size_t a = 0; a < n_attrs; ++a) {
+      peer_attr_lists[p].push_back(
+          FiniteAttr("A" + std::to_string(attr_counter++), kDomain));
+    }
+    setup.peer_attrs.emplace_back(peer_attr_lists[p]);
+    setup.peer_names.push_back("peer" + std::to_string(p));
+  }
+  // Random constraints per hop.
+  for (size_t h = 0; h + 1 < num_peers; ++h) {
+    std::vector<MappingConstraint> hop;
+    size_t n_tables = 1 + static_cast<size_t>(rng->Uniform(0, 1));  // 1..2
+    for (size_t t = 0; t < n_tables; ++t) {
+      // Random nonempty subsets of the adjacent peers' attributes.
+      std::vector<Attribute> x;
+      for (const Attribute& a : peer_attr_lists[h]) {
+        if (rng->Bernoulli(0.7)) x.push_back(a);
+      }
+      if (x.empty()) x.push_back(peer_attr_lists[h][0]);
+      std::vector<Attribute> y;
+      for (const Attribute& a : peer_attr_lists[h + 1]) {
+        if (rng->Bernoulli(0.7)) y.push_back(a);
+      }
+      if (y.empty()) y.push_back(peer_attr_lists[h + 1][0]);
+
+      auto table = MappingTable::Create(
+          Schema(x), Schema(y),
+          "t" + std::to_string(h) + "_" + std::to_string(t));
+      EXPECT_TRUE(table.ok());
+      size_t rows = 2 + static_cast<size_t>(rng->Uniform(0, 3));
+      for (size_t r = 0; r < rows; ++r) {
+        VarId next_var = 0;
+        std::vector<Cell> cells;
+        for (size_t i = 0; i < x.size() + y.size(); ++i) {
+          cells.push_back(RandomCell(rng, kDomain, &next_var, 0.6, 0.2,
+                                     0.25));
+        }
+        (void)table.value().AddRow(Mapping(std::move(cells)));
+      }
+      hop.push_back(MappingConstraint(std::move(table).value()));
+    }
+    setup.hops.push_back(std::move(hop));
+  }
+  setup.x_names = setup.peer_attrs.front().Names();
+  setup.y_names = setup.peer_attrs.back().Names();
+  return setup;
+}
+
+class RandomTopologyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTopologyTest, DistributedEqualsCentralizedEqualsBruteForce) {
+  Rng rng(13000 + GetParam());
+  RandomSetup setup = MakeSetup(&rng);
+
+  auto path = ConstraintPath::Create(setup.peer_attrs, setup.hops,
+                                     setup.peer_names);
+  ASSERT_TRUE(path.ok()) << path.status();
+
+  // Centralized cover.
+  CoverEngine engine;
+  auto central =
+      engine.ComputeCover(path.value(), setup.x_names, setup.y_names);
+  ASSERT_TRUE(central.ok()) << central.status();
+
+  // Brute-force oracle over all U-tuples of the finite domains.
+  {
+    Schema u_schema(path.value().AllAttributes().attrs());
+    std::vector<Cell> all_vars;
+    for (size_t i = 0; i < u_schema.arity(); ++i) {
+      all_vars.push_back(Cell::Variable(static_cast<VarId>(i)));
+    }
+    auto universe =
+        Mapping(all_vars).EnumerateExtension(u_schema, 1 << 14);
+    ASSERT_TRUE(universe.ok());
+    std::vector<Tuple> oracle;
+    std::vector<std::string> endpoint_names = setup.x_names;
+    endpoint_names.insert(endpoint_names.end(), setup.y_names.begin(),
+                          setup.y_names.end());
+    auto endpoint_positions = u_schema.PositionsOf(endpoint_names);
+    ASSERT_TRUE(endpoint_positions.ok());
+    for (const Tuple& u : universe.value()) {
+      bool ok = true;
+      for (const auto& hop : setup.hops) {
+        for (const MappingConstraint& c : hop) {
+          auto sat = c.SatisfiedBy(u, u_schema);
+          ASSERT_TRUE(sat.ok());
+          if (!sat.value()) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+      if (ok) {
+        oracle.push_back(ProjectTuple(u, endpoint_positions.value()));
+      }
+    }
+    auto central_ext =
+        FreeTable::FromMappingTable(central.value()).EnumerateExtension(
+            1 << 14);
+    ASSERT_TRUE(central_ext.ok());
+    EXPECT_EQ(testing_util::Canon(central_ext.value()),
+              testing_util::Canon(oracle))
+        << "centralized cover disagrees with brute force";
+  }
+
+  // Distributed session.
+  SimNetwork net;
+  std::vector<std::unique_ptr<PeerNode>> peers;
+  std::map<std::string, PeerNode*> by_id;
+  for (size_t p = 0; p < setup.peer_names.size(); ++p) {
+    peers.push_back(std::make_unique<PeerNode>(setup.peer_names[p],
+                                               setup.peer_attrs[p]));
+    by_id[setup.peer_names[p]] = peers.back().get();
+    ASSERT_TRUE(peers.back()->Attach(&net).ok());
+  }
+  for (size_t h = 0; h < setup.hops.size(); ++h) {
+    for (const MappingConstraint& c : setup.hops[h]) {
+      ASSERT_TRUE(by_id.at(setup.peer_names[h])
+                      ->AddConstraintTo(setup.peer_names[h + 1], c)
+                      .ok());
+    }
+  }
+  std::vector<Attribute> x_attrs;
+  for (const Attribute& a : setup.peer_attrs.front().attrs()) {
+    x_attrs.push_back(a);
+  }
+  std::vector<Attribute> y_attrs;
+  for (const Attribute& a : setup.peer_attrs.back().attrs()) {
+    y_attrs.push_back(a);
+  }
+  SessionOptions opts;
+  opts.cache_capacity = static_cast<size_t>(rng.Uniform(1, 16));
+  auto session = by_id.at(setup.peer_names.front())
+                     ->StartCoverSession(setup.peer_names, x_attrs, y_attrs,
+                                         opts);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(net.Run().ok());
+  auto result =
+      by_id.at(setup.peer_names.front())->GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value()->done);
+  ASSERT_TRUE(result.value()->error.ok()) << result.value()->error;
+
+  auto equivalent = TablesEquivalent(result.value()->cover, central.value());
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status();
+  EXPECT_TRUE(equivalent.value())
+      << "distributed " << result.value()->cover.size()
+      << " rows vs centralized " << central.value().size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyTest, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,205 @@
+// Theorem 12 in action: 3-SAT reduces to consistency of conjunctions of
+// mapping constraints, so the consistency solver doubles as a (small)
+// SAT solver.  Encoding: one boolean attribute per variable over the
+// finite domain {T, F}; each clause becomes a mapping table over its
+// three variables' attributes listing the 7 satisfying assignments.
+// The conjunction is consistent iff the formula is satisfiable — checked
+// here against brute force on random instances.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/consistency.h"
+#include "core/cover_engine.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+struct Literal {
+  int var;        // 0-based
+  bool positive;
+};
+using Clause = std::array<Literal, 3>;
+
+DomainPtr BoolDomain() {
+  static DomainPtr domain =
+      Domain::Enumerated("bool", {Value("T"), Value("F")});
+  return domain;
+}
+
+Attribute VarAttr(int var) {
+  return Attribute("x" + std::to_string(var), BoolDomain());
+}
+
+// Encodes one clause as a mapping table over its variables' attributes
+// (first literal's attribute as X, the other two as Y — the split is
+// irrelevant to satisfaction).
+MappingConstraint EncodeClause(const Clause& clause, size_t index) {
+  Schema x({VarAttr(clause[0].var)});
+  Schema y({VarAttr(clause[1].var), VarAttr(clause[2].var)});
+  MappingTable table =
+      MappingTable::Create(x, y, "clause" + std::to_string(index)).value();
+  const Value t("T");
+  const Value f("F");
+  for (int bits = 0; bits < 8; ++bits) {
+    bool assignment[3] = {(bits & 1) != 0, (bits & 2) != 0,
+                          (bits & 4) != 0};
+    bool satisfied = false;
+    for (int i = 0; i < 3; ++i) {
+      if (assignment[i] == clause[i].positive) satisfied = true;
+    }
+    if (!satisfied) continue;
+    EXPECT_TRUE(table
+                    .AddPair({assignment[0] ? t : f},
+                             {assignment[1] ? t : f, assignment[2] ? t : f})
+                    .ok());
+  }
+  return MappingConstraint(std::move(table));
+}
+
+bool BruteForceSat(const std::vector<Clause>& clauses, int num_vars) {
+  for (int bits = 0; bits < (1 << num_vars); ++bits) {
+    bool ok = true;
+    for (const Clause& clause : clauses) {
+      bool clause_ok = false;
+      for (const Literal& lit : clause) {
+        bool value = (bits >> lit.var) & 1;
+        if (value == lit.positive) clause_ok = true;
+      }
+      if (!clause_ok) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+TEST(SatReductionTest, TriviallySatisfiable) {
+  // (x0 ∨ x1 ∨ x2)
+  std::vector<Clause> clauses = {
+      Clause{Literal{0, true}, Literal{1, true}, Literal{2, true}}};
+  std::vector<MappingConstraint> constraints;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    constraints.push_back(EncodeClause(clauses[i], i));
+  }
+  EXPECT_TRUE(ConjunctionConsistent(constraints).value());
+}
+
+TEST(SatReductionTest, ContradictionIsUnsat) {
+  // All eight clauses over (x0, x1, x2): every assignment falsifies one.
+  std::vector<Clause> clauses;
+  for (int bits = 0; bits < 8; ++bits) {
+    clauses.push_back(Clause{Literal{0, (bits & 1) == 0},
+                             Literal{1, (bits & 2) == 0},
+                             Literal{2, (bits & 4) == 0}});
+  }
+  std::vector<MappingConstraint> constraints;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    constraints.push_back(EncodeClause(clauses[i], i));
+  }
+  EXPECT_FALSE(ConjunctionConsistent(constraints).value());
+}
+
+class RandomSatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSatTest, SolverAgreesWithBruteForce) {
+  Rng rng(11000 + GetParam());
+  int num_vars = 4 + static_cast<int>(rng.Uniform(0, 2));  // 4..6
+  // Around the 3-SAT phase transition (~4.3 clauses/var) both outcomes
+  // occur regularly.
+  int num_clauses = static_cast<int>(num_vars * 4);
+  std::vector<Clause> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    auto vars = rng.SampleWithoutReplacement(static_cast<size_t>(num_vars),
+                                             3);
+    Clause clause;
+    for (int i = 0; i < 3; ++i) {
+      clause[static_cast<size_t>(i)] =
+          Literal{static_cast<int>(vars[static_cast<size_t>(i)]),
+                  rng.Bernoulli(0.5)};
+    }
+    clauses.push_back(clause);
+  }
+  std::vector<MappingConstraint> constraints;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    constraints.push_back(EncodeClause(clauses[i], i));
+  }
+  auto consistent = ConjunctionConsistent(constraints);
+  ASSERT_TRUE(consistent.ok()) << consistent.status();
+  EXPECT_EQ(consistent.value(), BruteForceSat(clauses, num_vars));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSatTest, ::testing::Range(0, 20));
+
+// Theorem 13's first condition: even with the path length (2 peers) and
+// the constraint arity (≤4) fixed, consistency stays NP-complete when the
+// number of constraints per peer is unbounded — every clause becomes one
+// constraint from the variable attributes (peer 1) to a dummy attribute
+// (peer 2).  The cover engine then solves SAT through its partition join,
+// so it must agree with brute force (and is, necessarily, exponential in
+// the clause count).
+class PathSatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathSatTest, PathConsistencysolvesSat) {
+  Rng rng(12000 + GetParam());
+  int num_vars = 4;
+  int num_clauses = 10;
+  std::vector<Clause> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    auto vars = rng.SampleWithoutReplacement(static_cast<size_t>(num_vars),
+                                             3);
+    Clause clause;
+    for (int i = 0; i < 3; ++i) {
+      clause[static_cast<size_t>(i)] =
+          Literal{static_cast<int>(vars[static_cast<size_t>(i)]),
+                  rng.Bernoulli(0.5)};
+    }
+    clauses.push_back(clause);
+  }
+
+  // Peer 1: the variable attributes.  Peer 2: one dummy sink attribute.
+  std::vector<Attribute> var_attrs;
+  for (int v = 0; v < num_vars; ++v) var_attrs.push_back(VarAttr(v));
+  Attribute sink("sink", Domain::Enumerated("unit", {Value("*")}));
+
+  std::vector<MappingConstraint> hop;
+  const Value t("T");
+  const Value f("F");
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    const Clause& clause = clauses[c];
+    Schema x({VarAttr(clause[0].var), VarAttr(clause[1].var),
+              VarAttr(clause[2].var)});
+    MappingTable table =
+        MappingTable::Create(x, Schema({sink}),
+                             "clause" + std::to_string(c))
+            .value();
+    for (int bits = 0; bits < 8; ++bits) {
+      bool a[3] = {(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0};
+      bool satisfied = false;
+      for (int i = 0; i < 3; ++i) {
+        if (a[i] == clause[i].positive) satisfied = true;
+      }
+      if (!satisfied) continue;
+      ASSERT_TRUE(table
+                      .AddPair({a[0] ? t : f, a[1] ? t : f, a[2] ? t : f},
+                               {Value("*")})
+                      .ok());
+    }
+    hop.emplace_back(std::move(table));
+  }
+  auto path = ConstraintPath::Create(
+      {AttributeSet(var_attrs), AttributeSet::Of({sink})}, {hop});
+  ASSERT_TRUE(path.ok()) << path.status();
+  CoverEngine engine;
+  auto consistent = engine.CheckPathConsistency(path.value());
+  ASSERT_TRUE(consistent.ok()) << consistent.status();
+  EXPECT_EQ(consistent.value(), BruteForceSat(clauses, num_vars));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathSatTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,92 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperion {
+namespace {
+
+TEST(AttributeSetTest, SortsAndDeduplicates) {
+  AttributeSet s({Attribute::String("B"), Attribute::String("A"),
+                  Attribute::String("B")});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.Names(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(AttributeSetTest, ContainsAndOverlaps) {
+  AttributeSet ab = AttributeSet::Of(
+      {Attribute::String("A"), Attribute::String("B")});
+  AttributeSet bc = AttributeSet::Of(
+      {Attribute::String("B"), Attribute::String("C")});
+  AttributeSet cd = AttributeSet::Of(
+      {Attribute::String("C"), Attribute::String("D")});
+  EXPECT_TRUE(ab.Contains("A"));
+  EXPECT_FALSE(ab.Contains("C"));
+  EXPECT_TRUE(ab.Overlaps(bc));
+  EXPECT_FALSE(ab.Overlaps(cd));
+  EXPECT_TRUE(ab.IsDisjointFrom(cd));
+  EXPECT_TRUE(ab.ContainsAll(AttributeSet::Of({Attribute::String("A")})));
+  EXPECT_FALSE(ab.ContainsAll(bc));
+}
+
+TEST(AttributeSetTest, Algebra) {
+  AttributeSet ab = AttributeSet::Of(
+      {Attribute::String("A"), Attribute::String("B")});
+  AttributeSet bc = AttributeSet::Of(
+      {Attribute::String("B"), Attribute::String("C")});
+  EXPECT_EQ(ab.Union(bc).Names(),
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(ab.Intersect(bc).Names(), (std::vector<std::string>{"B"}));
+  EXPECT_EQ(ab.Difference(bc).Names(), (std::vector<std::string>{"A"}));
+  EXPECT_TRUE(AttributeSet().empty());
+}
+
+TEST(AttributeSetTest, Equality) {
+  AttributeSet a = AttributeSet::Of(
+      {Attribute::String("A"), Attribute::String("B")});
+  AttributeSet b = AttributeSet::Of(
+      {Attribute::String("B"), Attribute::String("A")});
+  EXPECT_EQ(a, b);
+}
+
+TEST(SchemaTest, PositionalAccess) {
+  Schema s = Schema::Of({Attribute::String("X"), Attribute::String("Y")});
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.attr(0).name(), "X");
+  EXPECT_EQ(*s.IndexOf("Y"), 1u);
+  EXPECT_FALSE(s.IndexOf("Z").has_value());
+}
+
+TEST(SchemaTest, ConcatDisjointOk) {
+  Schema a = Schema::Of({Attribute::String("A")});
+  Schema b = Schema::Of({Attribute::String("B")});
+  auto ab = a.Concat(b);
+  ASSERT_TRUE(ab.ok());
+  EXPECT_EQ(ab.value().ToString(), "(A, B)");
+}
+
+TEST(SchemaTest, ConcatOverlappingFails) {
+  Schema a = Schema::Of({Attribute::String("A")});
+  EXPECT_FALSE(a.Concat(a).ok());
+}
+
+TEST(SchemaTest, ProjectAndPositionsOf) {
+  Schema s = Schema::Of({Attribute::String("A"), Attribute::String("B"),
+                         Attribute::String("C")});
+  auto positions = s.PositionsOf({"C", "A"});
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(positions.value(), (std::vector<size_t>{2, 0}));
+  Schema projected = s.Project(positions.value());
+  EXPECT_EQ(projected.ToString(), "(C, A)");
+  EXPECT_FALSE(s.PositionsOf({"D"}).ok());
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a = Schema::Of({Attribute::String("A"), Attribute::String("B")});
+  Schema b = Schema::Of({Attribute::String("A"), Attribute::String("B")});
+  Schema c = Schema::Of({Attribute::String("B"), Attribute::String("A")});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);  // order matters for schemas
+}
+
+}  // namespace
+}  // namespace hyperion

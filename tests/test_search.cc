@@ -1,0 +1,144 @@
+// Distributed value search: Gnutella-style flooding with per-hop query
+// translation over the biological network.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "p2p/network.h"
+#include "workload/bio_network.h"
+#include "workload/id_gen.h"
+
+namespace hyperion {
+namespace {
+
+struct LiveBio {
+  BioWorkload workload;
+  std::unique_ptr<SimNetwork> net;
+  std::vector<std::unique_ptr<PeerNode>> peers;
+  std::map<std::string, PeerNode*> by_id;
+};
+
+LiveBio BuildBio(size_t entities) {
+  BioConfig config;
+  config.num_entities = entities;
+  config.alias_rate = 0;  // keep identifier arithmetic simple in tests
+  config.protein_extra_rate = 0;
+  auto workload = BioWorkload::Generate(config);
+  EXPECT_TRUE(workload.ok());
+  LiveBio live{std::move(workload).value(), std::make_unique<SimNetwork>(),
+               {}, {}};
+  auto peers = live.workload.BuildPeers();
+  EXPECT_TRUE(peers.ok());
+  live.peers = std::move(peers).value();
+  for (auto& p : live.peers) {
+    EXPECT_TRUE(p->Attach(live.net.get()).ok());
+    live.by_id[p->id()] = p.get();
+  }
+  return live;
+}
+
+// Picks an entity index that table `name` covers (its Hugo id maps).
+size_t CoveredEntity(const BioWorkload& workload, const std::string& name) {
+  const MappingTable& table = *workload.tables().at(name);
+  for (size_t e = 0; e < 1000; ++e) {
+    if (table.XValueHasImage({Value(MakeHugoId(e))})) return e;
+  }
+  ADD_FAILURE() << "no covered entity found";
+  return 0;
+}
+
+TEST(ValueSearchTest, DirectNeighborHit) {
+  LiveBio live = BuildBio(60);
+  size_t e = CoveredEntity(live.workload, "m6");  // Hugo -> MIM directly
+  SelectionQuery q;
+  q.attrs = {"Hugo_id"};
+  q.keys = {{Value(MakeHugoId(e))}};
+  auto search = live.by_id.at("Hugo")->StartValueSearch(q, /*ttl=*/2);
+  ASSERT_TRUE(search.ok()) << search.status();
+  ASSERT_TRUE(live.net->Run().ok());
+  auto state = live.by_id.at("Hugo")->Search(search.value());
+  ASSERT_TRUE(state.ok());
+  // Hugo itself holds data for the id, and MIM answers via m6.
+  ASSERT_TRUE(state.value()->hits.count("Hugo"));
+  ASSERT_TRUE(state.value()->hits.count("MIM"));
+  const Relation& mim_hits = state.value()->hits.at("MIM");
+  ASSERT_EQ(mim_hits.size(), 1u);
+  // The hit describes the same entity.
+  EXPECT_EQ(mim_hits.tuples()[0][1],
+            Value("MIM:entity" + std::to_string(e)));
+}
+
+TEST(ValueSearchTest, MultiHopTranslation) {
+  LiveBio live = BuildBio(60);
+  // An entity in m3 (Hugo->GDB) and m2 (GDB->SwissProt): SwissProt should
+  // answer a Hugo-keyed search after two translations.
+  const MappingTable& m3 = *live.workload.tables().at("m3");
+  const MappingTable& m2 = *live.workload.tables().at("m2");
+  size_t entity = 1000;
+  for (size_t e = 0; e < 60; ++e) {
+    Value hugo(MakeHugoId(e));
+    Value gdb(MakeGdbId(e));
+    if (m3.SatisfiesTuple({hugo, gdb}) && m2.XValueHasImage({gdb})) {
+      entity = e;
+      break;
+    }
+  }
+  ASSERT_LT(entity, 60u) << "no doubly-covered entity";
+  SelectionQuery q;
+  q.attrs = {"Hugo_id"};
+  q.keys = {{Value(MakeHugoId(entity))}};
+  auto search = live.by_id.at("Hugo")->StartValueSearch(q, /*ttl=*/4);
+  ASSERT_TRUE(search.ok());
+  ASSERT_TRUE(live.net->Run().ok());
+  auto state = live.by_id.at("Hugo")->Search(search.value());
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state.value()->hits.count("SwissProt"));
+  EXPECT_EQ(state.value()->hits.at("SwissProt").tuples()[0][1],
+            Value("SwissProt:entity" + std::to_string(entity)));
+  EXPECT_GE(state.value()->first_hit_us, 0);
+}
+
+TEST(ValueSearchTest, TtlLimitsReach) {
+  LiveBio live = BuildBio(60);
+  size_t e = CoveredEntity(live.workload, "m4");  // Hugo -> Locus
+  SelectionQuery q;
+  q.attrs = {"Hugo_id"};
+  q.keys = {{Value(MakeHugoId(e))}};
+  // ttl=1: no forwarding at all — only Hugo's own data can answer.
+  auto search = live.by_id.at("Hugo")->StartValueSearch(q, /*ttl=*/1);
+  ASSERT_TRUE(search.ok());
+  ASSERT_TRUE(live.net->Run().ok());
+  auto state = live.by_id.at("Hugo")->Search(search.value());
+  ASSERT_TRUE(state.ok());
+  for (const auto& [responder, hits] : state.value()->hits) {
+    (void)hits;
+    EXPECT_EQ(responder, "Hugo");
+  }
+}
+
+TEST(ValueSearchTest, UnknownIdFindsNothingRemote) {
+  LiveBio live = BuildBio(30);
+  SelectionQuery q;
+  q.attrs = {"Hugo_id"};
+  q.keys = {{Value("NOSUCHGENE")}};
+  auto search = live.by_id.at("Hugo")->StartValueSearch(q, /*ttl=*/4);
+  ASSERT_TRUE(search.ok());
+  ASSERT_TRUE(live.net->Run().ok());
+  auto state = live.by_id.at("Hugo")->Search(search.value());
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state.value()->hits.empty());
+}
+
+TEST(ValueSearchTest, Validation) {
+  LiveBio live = BuildBio(10);
+  SelectionQuery empty;
+  EXPECT_FALSE(
+      live.by_id.at("Hugo")->StartValueSearch(empty, 3).ok());
+  EXPECT_FALSE(live.by_id.at("Hugo")->Search(424242).ok());
+  // AddData validates attributes against the peer.
+  Relation foreign(Schema::Of({Attribute::String("NotMine")}));
+  EXPECT_FALSE(live.by_id.at("Hugo")->AddData(foreign).ok());
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,256 @@
+#include "core/semantics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::Canon;
+using testing_util::FiniteAttr;
+using testing_util::SmallDomain;
+
+TEST(ComplementTest, EmptySetYieldsEverything) {
+  Schema s = Schema::Of({FiniteAttr("A", 2)});
+  std::vector<Mapping> comp = ComplementOfTupleSet({}, s);
+  ASSERT_EQ(comp.size(), 1u);
+  auto ext = comp[0].EnumerateExtension(s);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(ext.value().size(), 2u);
+}
+
+TEST(ComplementTest, SingleAttribute) {
+  Schema s = Schema::Of({FiniteAttr("A", 3)});
+  std::vector<Mapping> comp =
+      ComplementOfTupleSet({{Value("a")}, {Value("c")}}, s);
+  std::vector<Tuple> all;
+  for (const Mapping& m : comp) {
+    auto ext = m.EnumerateExtension(s);
+    ASSERT_TRUE(ext.ok());
+    all.insert(all.end(), ext.value().begin(), ext.value().end());
+  }
+  EXPECT_EQ(Canon(all), (std::vector<Tuple>{{Value("b")}}));
+}
+
+// Property: over random finite ground tuple sets, the complement rows'
+// extensions exactly partition dom(X) \ E.
+class ComplementPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplementPropertyTest, ExactAndDisjoint) {
+  Rng rng(GetParam());
+  size_t arity = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+  size_t domain_size = 2 + static_cast<size_t>(rng.Uniform(0, 2));
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back(FiniteAttr("A" + std::to_string(i), domain_size));
+  }
+  Schema schema(attrs);
+
+  // Random subset E of the domain product.
+  std::vector<Tuple> universe;
+  {
+    Mapping all_vars([&] {
+      std::vector<Cell> cells;
+      for (size_t i = 0; i < arity; ++i) {
+        cells.push_back(Cell::Variable(static_cast<VarId>(i)));
+      }
+      return cells;
+    }());
+    universe = all_vars.EnumerateExtension(schema).value();
+  }
+  std::vector<Tuple> excluded;
+  for (const Tuple& t : universe) {
+    if (rng.Bernoulli(0.4)) excluded.push_back(t);
+  }
+
+  std::vector<Mapping> comp = ComplementOfTupleSet(excluded, schema);
+  std::vector<Tuple> covered;
+  for (const Mapping& m : comp) {
+    auto ext = m.EnumerateExtension(schema);
+    if (!ext.ok()) continue;  // row empty over this finite domain
+    for (const Tuple& t : ext.value()) {
+      covered.push_back(t);
+    }
+  }
+  // Disjointness: no tuple covered twice.
+  std::vector<Tuple> canon = Canon(covered);
+  EXPECT_EQ(canon.size(), covered.size()) << "complement rows overlap";
+  // Exactness: covered == universe \ excluded.
+  std::vector<Tuple> expected;
+  std::set<Tuple> ex(excluded.begin(), excluded.end());
+  for (const Tuple& t : universe) {
+    if (!ex.count(t)) expected.push_back(t);
+  }
+  EXPECT_EQ(canon, Canon(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComplementPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(TranslateToCcTest, CcIsIdentity) {
+  Schema x = Schema::Of({FiniteAttr("A", 2)});
+  Schema y = Schema::Of({FiniteAttr("B", 2)});
+  MappingTable t = MappingTable::Create(x, y, "t").value();
+  ASSERT_TRUE(t.AddPair({Value("a")}, {Value("b")}).ok());
+  auto cc = TranslateToCc(t, WorldSemantics::kClosedClosed);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_EQ(cc.value().size(), 1u);
+}
+
+TEST(TranslateToCcTest, OpenOpenAllowsEverything) {
+  Schema x = Schema::Of({FiniteAttr("A", 2)});
+  Schema y = Schema::Of({FiniteAttr("B", 2)});
+  MappingTable t = MappingTable::Create(x, y).value();
+  ASSERT_TRUE(t.AddPair({Value("a")}, {Value("b")}).ok());
+  auto oo = TranslateToCc(t, WorldSemantics::kOpenOpen);
+  ASSERT_TRUE(oo.ok());
+  EXPECT_EQ(oo.value().EnumerateExtension().value().size(), 4u);
+}
+
+TEST(TranslateToCcTest, OpenClosedIgnoresYValues) {
+  Schema x = Schema::Of({FiniteAttr("A", 3)});
+  Schema y = Schema::Of({FiniteAttr("B", 2)});
+  MappingTable t = MappingTable::Create(x, y).value();
+  ASSERT_TRUE(t.AddPair({Value("a")}, {Value("b")}).ok());
+  auto oc = TranslateToCc(t, WorldSemantics::kOpenClosed);
+  ASSERT_TRUE(oc.ok());
+  // Present value 'a' maps to both B values; absent ones map nowhere.
+  EXPECT_TRUE(oc.value().SatisfiesTuple({Value("a"), Value("a")}));
+  EXPECT_TRUE(oc.value().SatisfiesTuple({Value("a"), Value("b")}));
+  EXPECT_FALSE(oc.value().SatisfiesTuple({Value("b"), Value("a")}));
+}
+
+TEST(TranslateToCcTest, ClosedOpenReproducesExample4) {
+  // Figure 3: the CO table (top) must equal the CC table (bottom).
+  Schema x = Schema::Of({Attribute::String("GDB_id")});
+  Schema y = Schema::Of({Attribute::String("SwissProt_id")});
+  MappingTable co = MappingTable::Create(x, y).value();
+  ASSERT_TRUE(co.AddPair({Value("GDB:120231")}, {Value("P21359")}).ok());
+  ASSERT_TRUE(co.AddPair({Value("GDB:120232")}, {Value("P35240")}).ok());
+
+  auto cc = TranslateToCc(co, WorldSemantics::kClosedOpen);
+  ASSERT_TRUE(cc.ok());
+  ASSERT_EQ(cc.value().size(), 3u);
+  // Indicated mappings survive with closed-world force.
+  EXPECT_TRUE(
+      cc.value().SatisfiesTuple({Value("GDB:120231"), Value("P21359")}));
+  EXPECT_FALSE(
+      cc.value().SatisfiesTuple({Value("GDB:120231"), Value("QQQ")}));
+  // Missing X-values map anywhere (the bottom table's v-{...} row).
+  EXPECT_TRUE(cc.value().SatisfiesTuple({Value("GDB:555"), Value("QQQ")}));
+  EXPECT_TRUE(cc.value().ContainsRow(
+      Mapping({Cell::Variable(0, {Value("GDB:120231"), Value("GDB:120232")}),
+               Cell::Variable(1)})));
+}
+
+TEST(TranslateToCcTest, ClosedOpenMultiAttributeX) {
+  Schema x = Schema::Of({FiniteAttr("A", 2), FiniteAttr("B", 2)});
+  Schema y = Schema::Of({FiniteAttr("C", 2)});
+  MappingTable co = MappingTable::Create(x, y).value();
+  ASSERT_TRUE(co.AddPair({Value("a"), Value("a")}, {Value("a")}).ok());
+  auto cc = TranslateToCc(co, WorldSemantics::kClosedOpen);
+  ASSERT_TRUE(cc.ok());
+  // (a,a) is closed: only C=a.
+  EXPECT_TRUE(
+      cc.value().SatisfiesTuple({Value("a"), Value("a"), Value("a")}));
+  EXPECT_FALSE(
+      cc.value().SatisfiesTuple({Value("a"), Value("a"), Value("b")}));
+  // Every other X pair is open.
+  for (const char* a : {"a", "b"}) {
+    for (const char* b : {"a", "b"}) {
+      if (std::string(a) == "a" && std::string(b) == "a") continue;
+      EXPECT_TRUE(
+          cc.value().SatisfiesTuple({Value(a), Value(b), Value("b")}))
+          << a << "," << b;
+    }
+  }
+}
+
+// Property: CO->CC translation preserves tuple satisfaction exactly, for
+// random ground tables over finite domains.
+class CoCcPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoCcPropertyTest, SatisfactionEquivalence) {
+  Rng rng(1000 + GetParam());
+  size_t domain_size = 3;
+  Schema x = Schema::Of({FiniteAttr("A", domain_size)});
+  Schema y = Schema::Of({FiniteAttr("B", domain_size)});
+  MappingTable co = MappingTable::Create(x, y).value();
+  for (int r = 0; r < 4; ++r) {
+    char a = static_cast<char>('a' + rng.Uniform(0, 2));
+    char b = static_cast<char>('a' + rng.Uniform(0, 2));
+    ASSERT_TRUE(co.AddPair({Value(std::string(1, a))},
+                           {Value(std::string(1, b))})
+                    .ok());
+  }
+  auto cc = TranslateToCc(co, WorldSemantics::kClosedOpen);
+  ASSERT_TRUE(cc.ok());
+
+  std::set<Tuple> present;
+  for (const Mapping& row : co.rows()) {
+    present.insert({row.cell(0).value()});
+  }
+  for (char a = 'a'; a < 'a' + 3; ++a) {
+    for (char b = 'a'; b < 'a' + 3; ++b) {
+      Tuple t = {Value(std::string(1, a)), Value(std::string(1, b))};
+      bool expected = present.count({t[0]}) ? co.SatisfiesTuple(t) : true;
+      EXPECT_EQ(cc.value().SatisfiesTuple(t), expected)
+          << TupleToString(t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoCcPropertyTest, ::testing::Range(0, 15));
+
+TEST(TranslateToCcTest, RejectsVariableXForCoAndOc) {
+  Schema x = Schema::Of({Attribute::String("A")});
+  Schema y = Schema::Of({Attribute::String("B")});
+  MappingTable t = MappingTable::Create(x, y).value();
+  ASSERT_TRUE(
+      t.AddRow(Mapping({Cell::Variable(0), Cell::Variable(1)})).ok());
+  EXPECT_FALSE(TranslateToCc(t, WorldSemantics::kClosedOpen).ok());
+  EXPECT_FALSE(TranslateToCc(t, WorldSemantics::kOpenClosed).ok());
+}
+
+TEST(WorldSemanticsTest, Names) {
+  EXPECT_STREQ(WorldSemanticsToString(WorldSemantics::kClosedOpen),
+               "closed-open");
+  EXPECT_STREQ(WorldSemanticsToString(WorldSemantics::kClosedClosed),
+               "closed-closed");
+  EXPECT_EQ(WorldSemanticsFromString("open-closed").value(),
+            WorldSemantics::kOpenClosed);
+  EXPECT_FALSE(WorldSemanticsFromString("half-open").ok());
+}
+
+TEST(ParseAndNormalizeTest, SemanticsHeaderTranslates) {
+  const char* text =
+      "name: co_table\n"
+      "semantics: closed-open\n"
+      "x: GDB_id:string\n"
+      "y: SwissProt_id:string\n"
+      "GDB:120231|P21359\n";
+  auto table = ParseAndNormalize(text);
+  ASSERT_TRUE(table.ok()) << table.status();
+  // The CO catch-all row materialized: unknown ids map anywhere.
+  EXPECT_EQ(table.value().size(), 2u);
+  EXPECT_TRUE(
+      table.value().SatisfiesTuple({Value("GDB:9"), Value("ANY")}));
+  EXPECT_FALSE(
+      table.value().SatisfiesTuple({Value("GDB:120231"), Value("ANY")}));
+
+  // No header: parsed as-is (CC).
+  const char* cc_text =
+      "x: A:string\ny: B:string\nx|y\n";
+  auto cc = ParseAndNormalize(cc_text);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_EQ(cc.value().size(), 1u);
+  // Bad header rejected.
+  EXPECT_FALSE(
+      ParseAndNormalize("semantics: sideways\nx: A:string\ny: B:string\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,86 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperion {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitStringTopLevelTest, IgnoresBracedSeparators) {
+  EXPECT_EQ(SplitStringTopLevel("a|?v-{x,y}|b", '|'),
+            (std::vector<std::string>{"a", "?v-{x,y}", "b"}));
+  EXPECT_EQ(SplitStringTopLevel("?v-{a,b},c", ','),
+            (std::vector<std::string>{"?v-{a,b}", "c"}));
+}
+
+TEST(SplitStringTopLevelTest, RespectsEscapes) {
+  // The escaped brace does not open a nesting level.
+  EXPECT_EQ(SplitStringTopLevel("a\\{b,c", ','),
+            (std::vector<std::string>{"a\\{b", "c"}));
+  // An escaped separator stays in its piece.
+  EXPECT_EQ(SplitStringTopLevel("a\\,b,c", ','),
+            (std::vector<std::string>{"a\\,b", "c"}));
+}
+
+TEST(TrimWhitespaceTest, Basic) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+  EXPECT_EQ(TrimWhitespace("a b"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(ParseInt64Test, Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  13 ").value(), 13);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("x: A", "x:"));
+  EXPECT_FALSE(StartsWith("y: A", "x:"));
+  EXPECT_FALSE(StartsWith("x", "x:"));
+}
+
+TEST(EscapeCellTest, RoundTrip) {
+  for (const std::string raw :
+       {"plain", "with,comma", "curly{brace}", "pipe|char", "back\\slash",
+        "new\nline", "?looks-like-var", ""}) {
+    std::string escaped = EscapeCell(raw);
+    auto unescaped = UnescapeCell(escaped);
+    ASSERT_TRUE(unescaped.ok()) << raw;
+    EXPECT_EQ(unescaped.value(), raw);
+  }
+}
+
+TEST(EscapeCellTest, EscapedFormHasNoBareSpecials) {
+  std::string escaped = EscapeCell("a,b|c{d}e");
+  // Splitting the escaped text at top level must not split inside it.
+  EXPECT_EQ(SplitStringTopLevel(escaped + "," + escaped, ',').size(), 2u);
+}
+
+TEST(UnescapeCellTest, DanglingEscapeFails) {
+  EXPECT_FALSE(UnescapeCell("abc\\").ok());
+}
+
+}  // namespace
+}  // namespace hyperion

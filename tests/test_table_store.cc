@@ -1,0 +1,113 @@
+#include "storage/table_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/mapping_cache.h"
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+MappingTable Sample(const std::string& name) {
+  MappingTable t =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}), name)
+          .value();
+  EXPECT_TRUE(t.AddPair({Value("x")}, {Value("y")}).ok());
+  EXPECT_TRUE(
+      t.AddRow(Mapping({Cell::Variable(0, {Value("x")}), Cell::Variable(1)}))
+          .ok());
+  return t;
+}
+
+TEST(TableStoreTest, InMemoryPutGetRemove) {
+  TableStore store;
+  ASSERT_TRUE(store.Put(Sample("t1")).ok());
+  ASSERT_TRUE(store.Put(Sample("t2")).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Has("t1"));
+  EXPECT_EQ(store.Names(), (std::vector<std::string>{"t1", "t2"}));
+
+  auto handle = store.Get("t1");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle.value()->size(), 2u);
+
+  EXPECT_FALSE(store.Get("missing").ok());
+  EXPECT_FALSE(store.Put(Sample("t1")).ok());  // duplicate name
+  EXPECT_TRUE(store.PutOrReplace(Sample("t1")).ok());
+  EXPECT_TRUE(store.Remove("t1").ok());
+  EXPECT_FALSE(store.Has("t1"));
+  EXPECT_FALSE(store.Remove("t1").ok());
+}
+
+TEST(TableStoreTest, RejectsUnnamedTables) {
+  TableStore store;
+  MappingTable unnamed =
+      MappingTable::Create(Schema::Of({Attribute::String("A")}),
+                           Schema::Of({Attribute::String("B")}))
+          .value();
+  EXPECT_FALSE(store.Put(std::move(unnamed)).ok());
+}
+
+TEST(TableStoreTest, PersistsAcrossReopen) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "hyperion_store_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    auto store = TableStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store.value().Put(Sample("persisted")).ok());
+  }
+  {
+    auto reopened = TableStore::Open(dir);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.value().size(), 1u);
+    auto handle = reopened.value().Get("persisted");
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(handle.value()->size(), 2u);
+    EXPECT_TRUE(
+        handle.value()->SatisfiesTuple({Value("x"), Value("y")}));
+    EXPECT_TRUE(
+        handle.value()->SatisfiesTuple({Value("zzz"), Value("w")}));
+    // Remove deletes the file too.
+    ASSERT_TRUE(reopened.value().Remove("persisted").ok());
+  }
+  {
+    auto final_state = TableStore::Open(dir);
+    ASSERT_TRUE(final_state.ok());
+    EXPECT_EQ(final_state.value().size(), 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MappingCacheTest, FlushSignalAtCapacity) {
+  MappingCache cache(2);
+  EXPECT_FALSE(cache.Add(Mapping::FromTuple({Value("1")})));
+  EXPECT_TRUE(cache.Add(Mapping::FromTuple({Value("2")})));
+  EXPECT_TRUE(cache.Full());
+  std::vector<Mapping> drained = cache.Drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.flush_count(), 1u);
+  EXPECT_EQ(cache.total_flushed(), 2u);
+}
+
+TEST(MappingCacheTest, ZeroCapacityFlushesEveryMapping) {
+  MappingCache cache(0);
+  EXPECT_TRUE(cache.Add(Mapping::FromTuple({Value("1")})));
+}
+
+TEST(MappingCacheTest, DrainOnPartiallyFull) {
+  MappingCache cache(10);
+  cache.Add(Mapping::FromTuple({Value("1")}));
+  EXPECT_EQ(cache.Drain().size(), 1u);
+  EXPECT_EQ(cache.Drain().size(), 0u);  // idempotent-ish
+  EXPECT_EQ(cache.flush_count(), 2u);
+  EXPECT_EQ(cache.total_flushed(), 1u);
+}
+
+}  // namespace
+}  // namespace hyperion

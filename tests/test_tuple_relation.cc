@@ -1,0 +1,73 @@
+#include "core/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hyperion {
+namespace {
+
+using testing_util::FiniteAttr;
+
+Relation SampleRelation() {
+  Relation r(Schema::Of({Attribute::String("A"), Attribute::String("B")}));
+  EXPECT_TRUE(r.Add({Value("a1"), Value("b1")}).ok());
+  EXPECT_TRUE(r.Add({Value("a1"), Value("b2")}).ok());
+  EXPECT_TRUE(r.Add({Value("a2"), Value("b1")}).ok());
+  return r;
+}
+
+TEST(TupleTest, ToStringAndProject) {
+  Tuple t = {Value("x"), Value(int64_t{3}), Value("z")};
+  EXPECT_EQ(TupleToString(t), "(x, 3, z)");
+  EXPECT_EQ(ProjectTuple(t, {2, 0}), (Tuple{Value("z"), Value("x")}));
+}
+
+TEST(RelationTest, AddValidatesArityAndDomain) {
+  Relation r(Schema::Of({FiniteAttr("A", 2)}));
+  EXPECT_FALSE(r.Add({Value("a"), Value("b")}).ok());
+  EXPECT_FALSE(r.Add({Value("z")}).ok());
+  EXPECT_TRUE(r.Add({Value("a")}).ok());
+}
+
+TEST(RelationTest, Deduplicates) {
+  Relation r = SampleRelation();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Add({Value("a1"), Value("b1")}).ok());
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Contains({Value("a1"), Value("b1")}));
+  EXPECT_FALSE(r.Contains({Value("a9"), Value("b1")}));
+}
+
+TEST(RelationTest, Project) {
+  Relation r = SampleRelation();
+  auto p = r.Project({"A"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().size(), 2u);  // duplicates collapse
+  EXPECT_TRUE(p.value().Contains({Value("a1")}));
+  EXPECT_FALSE(r.Project({"Z"}).ok());
+}
+
+TEST(RelationTest, Select) {
+  Relation r = SampleRelation();
+  auto s = r.Select("A", Value("a1"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().size(), 2u);
+  EXPECT_FALSE(r.Select("Q", Value("a1")).ok());
+}
+
+TEST(RelationTest, CartesianProduct) {
+  Relation r = SampleRelation();
+  Relation other(Schema::Of({Attribute::String("C")}));
+  ASSERT_TRUE(other.Add({Value("c1")}).ok());
+  ASSERT_TRUE(other.Add({Value("c2")}).ok());
+  auto product = r.CartesianProduct(other);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product.value().size(), 6u);
+  EXPECT_EQ(product.value().schema().ToString(), "(A, B, C)");
+  // Product with overlapping schemas fails.
+  EXPECT_FALSE(r.CartesianProduct(r).ok());
+}
+
+}  // namespace
+}  // namespace hyperion

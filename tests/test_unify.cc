@@ -1,0 +1,131 @@
+#include "core/unify.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace {
+hyperion::ExclusionSetPtr Excl(std::set<hyperion::Value> values) {
+  if (values.empty()) return nullptr;
+  return std::make_shared<const std::set<hyperion::Value>>(std::move(values));
+}
+}  // namespace
+
+namespace hyperion {
+namespace {
+
+using testing_util::SmallDomain;
+
+TEST(UnifierTest, ConstantsMustAgree) {
+  Unifier u;
+  u.UnifyCells(Cell::Constant(Value("x")), Cell::Constant(Value("x")));
+  EXPECT_FALSE(u.failed());
+  u.UnifyCells(Cell::Constant(Value("x")), Cell::Constant(Value("y")));
+  EXPECT_TRUE(u.failed());
+}
+
+TEST(UnifierTest, ConstantBindsVariable) {
+  DomainPtr dom = Domain::AllStrings();
+  Unifier u;
+  u.AddOccurrence(0, dom.get(), nullptr);
+  u.UnifyCells(Cell::Constant(Value("x")), Cell::Variable(0));
+  EXPECT_FALSE(u.failed());
+  EXPECT_TRUE(u.Satisfiable());
+  ASSERT_TRUE(u.ConstantOf(0).has_value());
+  EXPECT_EQ(*u.ConstantOf(0), Value("x"));
+}
+
+TEST(UnifierTest, ExclusionBlocksBinding) {
+  DomainPtr dom = Domain::AllStrings();
+  Unifier u;
+  u.AddOccurrence(0, dom.get(), Excl({Value("x")}));
+  u.UnifyCells(Cell::Constant(Value("x")), Cell::Variable(0));
+  EXPECT_TRUE(u.failed());
+}
+
+TEST(UnifierTest, DomainBlocksBinding) {
+  DomainPtr ab = SmallDomain(2);
+  Unifier u;
+  u.AddOccurrence(0, ab.get(), nullptr);
+  u.BindConstant(0, Value("z"));
+  EXPECT_TRUE(u.failed());
+}
+
+TEST(UnifierTest, VariableUnionMergesExclusions) {
+  DomainPtr dom = Domain::AllStrings();
+  Unifier u;
+  u.AddOccurrence(0, dom.get(), Excl({Value("a")}));
+  u.AddOccurrence(1, dom.get(), Excl({Value("b")}));
+  u.UnifyVars(0, 1);
+  EXPECT_FALSE(u.failed());
+  ExclusionSetPtr merged = u.MergedExclusionsOf(0);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(*merged, (std::set<Value>{Value("a"), Value("b")}));
+  EXPECT_EQ(u.Find(0), u.Find(1));
+  // Binding either var to an excluded value now fails.
+  u.BindConstant(1, Value("a"));
+  EXPECT_TRUE(u.failed());
+}
+
+TEST(UnifierTest, LateConstantConflictDetected) {
+  DomainPtr dom = Domain::AllStrings();
+  Unifier u;
+  u.AddOccurrence(0, dom.get(), nullptr);
+  u.AddOccurrence(1, dom.get(), nullptr);
+  u.BindConstant(0, Value("x"));
+  u.BindConstant(1, Value("y"));
+  EXPECT_FALSE(u.failed());
+  u.UnifyVars(0, 1);  // x != y
+  EXPECT_TRUE(u.failed());
+}
+
+TEST(UnifierTest, SatisfiabilityOverFiniteDomains) {
+  DomainPtr ab = SmallDomain(2);
+  Unifier u;
+  u.AddOccurrence(0, ab.get(), Excl({Value("a")}));
+  u.AddOccurrence(1, ab.get(), Excl({Value("b")}));
+  u.UnifyVars(0, 1);
+  EXPECT_FALSE(u.failed());
+  // Combined exclusions {a, b} exhaust the 2-element domain.
+  EXPECT_FALSE(u.Satisfiable());
+}
+
+TEST(UnifierTest, CrossTypeDomainsUnsatisfiable) {
+  DomainPtr s = Domain::AllStrings();
+  DomainPtr i = Domain::AllInts();
+  Unifier u;
+  u.AddOccurrence(0, s.get(), nullptr);
+  u.AddOccurrence(1, i.get(), nullptr);
+  u.UnifyVars(0, 1);
+  EXPECT_FALSE(u.Satisfiable());
+}
+
+TEST(UnifierTest, HasFiniteDomainTracksOccurrences) {
+  DomainPtr s = Domain::AllStrings();
+  DomainPtr ab = SmallDomain(2);
+  Unifier u;
+  u.AddOccurrence(0, s.get(), nullptr);
+  EXPECT_FALSE(u.HasFiniteDomain(0));
+  u.AddOccurrence(1, ab.get(), nullptr);
+  u.UnifyVars(0, 1);
+  EXPECT_TRUE(u.HasFiniteDomain(0));
+}
+
+TEST(UnifierTest, ChainedUnions) {
+  DomainPtr dom = Domain::AllStrings();
+  Unifier u;
+  for (VarId v = 0; v < 5; ++v) u.AddOccurrence(v, dom.get(), nullptr);
+  u.UnifyVars(0, 1);
+  u.UnifyVars(2, 3);
+  u.UnifyVars(1, 2);
+  u.UnifyVars(3, 4);
+  u.BindConstant(4, Value("k"));
+  EXPECT_FALSE(u.failed());
+  for (VarId v = 0; v < 5; ++v) {
+    ASSERT_TRUE(u.ConstantOf(v).has_value());
+    EXPECT_EQ(*u.ConstantOf(v), Value("k"));
+  }
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,136 @@
+// Shared helpers for the Hyperion test suite: tiny finite domains for
+// brute-force oracles, random mapping-table generation, and set-comparison
+// utilities.
+
+#ifndef HYPERION_TESTS_TEST_UTIL_H_
+#define HYPERION_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/compose.h"
+#include "core/mapping_table.h"
+
+namespace hyperion {
+namespace testing_util {
+
+/// \brief A finite string domain {a, b, ..., size letters} shared by all
+/// oracle tests.
+inline DomainPtr SmallDomain(size_t size) {
+  std::vector<Value> values;
+  for (size_t i = 0; i < size; ++i) {
+    values.emplace_back(std::string(1, static_cast<char>('a' + i)));
+  }
+  return Domain::Enumerated("small" + std::to_string(size),
+                            std::move(values));
+}
+
+/// \brief Attribute over SmallDomain(size).
+inline Attribute FiniteAttr(const std::string& name, size_t size) {
+  return Attribute(name, SmallDomain(size));
+}
+
+/// \brief Sorted, deduplicated tuple list for set comparison.
+inline std::vector<Tuple> Canon(std::vector<Tuple> tuples) {
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return tuples;
+}
+
+/// \brief A random cell over SmallDomain(domain_size): constant with
+/// probability p_const, else a variable (fresh or reused) with a random
+/// exclusion set.
+inline Cell RandomCell(Rng* rng, size_t domain_size, VarId* next_var,
+                       double p_const = 0.5, double p_reuse = 0.3,
+                       double p_exclude = 0.3) {
+  if (rng->Bernoulli(p_const)) {
+    return Cell::Constant(
+        Value(std::string(1, static_cast<char>('a' + rng->Uniform(
+                                 0, static_cast<int64_t>(domain_size) - 1)))));
+  }
+  VarId var;
+  if (*next_var > 0 && rng->Bernoulli(p_reuse)) {
+    var = static_cast<VarId>(rng->Uniform(0, *next_var - 1));
+  } else {
+    var = (*next_var)++;
+  }
+  std::set<Value> exclusions;
+  while (rng->Bernoulli(p_exclude) && exclusions.size() + 1 < domain_size) {
+    exclusions.insert(Value(std::string(
+        1, static_cast<char>('a' + rng->Uniform(
+                                 0, static_cast<int64_t>(domain_size) - 1)))));
+  }
+  return Cell::Variable(var, std::move(exclusions));
+}
+
+/// \brief A random mapping table over finite domains; every attribute uses
+/// SmallDomain(domain_size).
+inline MappingTable RandomTable(Rng* rng, const std::vector<std::string>& x,
+                                const std::vector<std::string>& y,
+                                size_t rows, size_t domain_size) {
+  std::vector<Attribute> xa;
+  for (const std::string& n : x) xa.push_back(FiniteAttr(n, domain_size));
+  std::vector<Attribute> ya;
+  for (const std::string& n : y) ya.push_back(FiniteAttr(n, domain_size));
+  auto table = MappingTable::Create(Schema(xa), Schema(ya));
+  for (size_t r = 0; r < rows; ++r) {
+    VarId next_var = 0;
+    std::vector<Cell> cells;
+    for (size_t i = 0; i < x.size() + y.size(); ++i) {
+      cells.push_back(RandomCell(rng, domain_size, &next_var));
+    }
+    // Unsatisfiable rows are rejected by AddRow; just skip those.
+    (void)table.value().AddRow(Mapping(std::move(cells)));
+  }
+  return std::move(table).value();
+}
+
+/// \brief Natural-join oracle over enumerated extensions.
+inline std::vector<Tuple> JoinExtensions(const std::vector<Tuple>& a,
+                                         const Schema& sa,
+                                         const std::vector<Tuple>& b,
+                                         const Schema& sb,
+                                         const Schema& out) {
+  std::vector<Tuple> result;
+  for (const Tuple& ta : a) {
+    for (const Tuple& tb : b) {
+      bool match = true;
+      for (size_t j = 0; j < sb.arity() && match; ++j) {
+        auto i = sa.IndexOf(sb.attr(j).name());
+        if (i && !(ta[*i] == tb[j])) match = false;
+      }
+      if (!match) continue;
+      Tuple t(out.arity());
+      for (size_t k = 0; k < out.arity(); ++k) {
+        auto i = sa.IndexOf(out.attr(k).name());
+        if (i) {
+          t[k] = ta[*i];
+        } else {
+          auto j = sb.IndexOf(out.attr(k).name());
+          t[k] = tb[*j];
+        }
+      }
+      result.push_back(std::move(t));
+    }
+  }
+  return Canon(std::move(result));
+}
+
+/// \brief Projection oracle over enumerated extensions.
+inline std::vector<Tuple> ProjectExtension(const std::vector<Tuple>& ext,
+                                           const Schema& schema,
+                                           const std::vector<std::string>& to) {
+  std::vector<size_t> positions;
+  for (const std::string& n : to) positions.push_back(*schema.IndexOf(n));
+  std::vector<Tuple> out;
+  for (const Tuple& t : ext) out.push_back(ProjectTuple(t, positions));
+  return Canon(std::move(out));
+}
+
+}  // namespace testing_util
+}  // namespace hyperion
+
+#endif  // HYPERION_TESTS_TEST_UTIL_H_

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/domain.h"
+#include "core/value.h"
+
+namespace hyperion {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value s("hello");
+  Value i(int64_t{42});
+  EXPECT_TRUE(s.is_string());
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(s.AsString(), "hello");
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_EQ(i.ToString(), "42");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_NE(Value("1"), Value(int64_t{1}));  // different types
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  // All strings order before all ints (stable cross-type order).
+  EXPECT_LT(Value("z"), Value(int64_t{0}));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_NE(Value("5").Hash(), Value(int64_t{5}).Hash());
+}
+
+TEST(DomainTest, AllStringsMembership) {
+  DomainPtr d = Domain::AllStrings();
+  EXPECT_TRUE(d->Contains(Value("anything")));
+  EXPECT_FALSE(d->Contains(Value(int64_t{3})));
+  EXPECT_FALSE(d->is_finite());
+}
+
+TEST(DomainTest, AllIntsMembership) {
+  DomainPtr d = Domain::AllInts();
+  EXPECT_TRUE(d->Contains(Value(int64_t{-5})));
+  EXPECT_FALSE(d->Contains(Value("5")));
+}
+
+TEST(DomainTest, EnumeratedMembershipAndSize) {
+  DomainPtr d = Domain::Enumerated(
+      "abc", {Value("a"), Value("b"), Value("c"), Value("b")});
+  EXPECT_TRUE(d->is_finite());
+  EXPECT_EQ(d->size(), 3u);  // deduplicated
+  EXPECT_TRUE(d->Contains(Value("a")));
+  EXPECT_FALSE(d->Contains(Value("d")));
+}
+
+TEST(DomainTest, HasValueOutside) {
+  DomainPtr d = Domain::Enumerated("ab", {Value("a"), Value("b")});
+  EXPECT_TRUE(d->HasValueOutside({Value("a")}));
+  EXPECT_FALSE(d->HasValueOutside({Value("a"), Value("b")}));
+  EXPECT_TRUE(Domain::AllStrings()->HasValueOutside({Value("a")}));
+}
+
+TEST(DomainTest, PickOutsideInfinite) {
+  DomainPtr d = Domain::AllStrings();
+  auto v1 = d->PickOutside({}, 0);
+  auto v2 = d->PickOutside({}, 1);
+  ASSERT_TRUE(v1 && v2);
+  EXPECT_NE(*v1, *v2);  // distinct salts give distinct values
+  auto v3 = d->PickOutside({*v1}, 0);
+  ASSERT_TRUE(v3);
+  EXPECT_NE(*v3, *v1);
+}
+
+TEST(DomainTest, PickOutsideFinite) {
+  DomainPtr d = Domain::Enumerated("ab", {Value("a"), Value("b")});
+  auto v = d->PickOutside({Value("a")});
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, Value("b"));
+  EXPECT_FALSE(d->PickOutside({Value("a"), Value("b")}).has_value());
+}
+
+TEST(DomainTest, IntersectionMixedTypesIsEmpty) {
+  DomainPtr s = Domain::AllStrings();
+  DomainPtr i = Domain::AllInts();
+  EXPECT_FALSE(
+      Domain::IntersectionHasValueOutside({s.get(), i.get()}, {}));
+}
+
+TEST(DomainTest, IntersectionWithFinite) {
+  DomainPtr s = Domain::AllStrings();
+  DomainPtr ab = Domain::Enumerated("ab", {Value("a"), Value("b")});
+  EXPECT_TRUE(Domain::IntersectionHasValueOutside({s.get(), ab.get()}, {}));
+  EXPECT_FALSE(Domain::IntersectionHasValueOutside(
+      {s.get(), ab.get()}, {Value("a"), Value("b")}));
+  auto v = Domain::PickInIntersectionOutside({s.get(), ab.get()},
+                                             {Value("a")});
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, Value("b"));
+}
+
+TEST(DomainTest, IntersectionOfTwoFiniteDomains) {
+  DomainPtr ab = Domain::Enumerated("ab", {Value("a"), Value("b")});
+  DomainPtr bc = Domain::Enumerated("bc", {Value("b"), Value("c")});
+  auto v = Domain::PickInIntersectionOutside({ab.get(), bc.get()}, {});
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, Value("b"));
+  EXPECT_FALSE(Domain::IntersectionHasValueOutside({ab.get(), bc.get()},
+                                                   {Value("b")}));
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/cover_engine.h"
+#include "core/infer.h"
+#include "core/partition.h"
+#include "test_util.h"
+#include "workload/b2b_network.h"
+#include "workload/bio_network.h"
+#include "workload/id_gen.h"
+
+namespace hyperion {
+namespace {
+
+TEST(IdGenTest, FormatsAreRealistic) {
+  EXPECT_EQ(MakeGdbId(0).substr(0, 4), "GDB:");
+  EXPECT_EQ(MakeGdbId(0).size(), 10u);
+  std::string sp = MakeSwissProtId(5);
+  EXPECT_TRUE(sp[0] == 'P' || sp[0] == 'Q' || sp[0] == 'O');
+  EXPECT_EQ(sp.size(), 6u);
+  EXPECT_EQ(MakeMimId(3).size(), 6u);
+  EXPECT_EQ(MakeUnigeneId(9).substr(0, 3), "Hs.");
+}
+
+TEST(IdGenTest, DistinctAcrossIndicesAndAliases) {
+  EXPECT_NE(MakeGdbId(1), MakeGdbId(2));
+  EXPECT_NE(MakeGdbId(1, 0), MakeGdbId(1, 1));
+  EXPECT_NE(MakeHugoId(1), MakeHugoId(1, 1));
+  EXPECT_NE(MakeLocusId(10), MakeLocusId(11));
+  EXPECT_NE(MakeMimId(10, 0), MakeMimId(10, 7));
+  EXPECT_NE(MakeSwissProtId(10, 0), MakeSwissProtId(10, 1));
+}
+
+TEST(BioWorkloadTest, GeneratesElevenTables) {
+  BioConfig config;
+  config.num_entities = 200;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload.value().tables().size(), 11u);
+  for (const auto& [name, table] : workload.value().tables()) {
+    EXPECT_GT(table->size(), 0u) << name;
+    EXPECT_EQ(table->x_arity(), 1u);
+    EXPECT_EQ(table->schema().arity(), 2u);
+  }
+  // Figure 9's edge structure.
+  EXPECT_TRUE(workload.value().TableBetween("Hugo", "MIM").ok());
+  EXPECT_TRUE(workload.value().TableBetween("Unigene", "SwissProt").ok());
+  EXPECT_FALSE(workload.value().TableBetween("MIM", "GDB").ok());
+}
+
+TEST(BioWorkloadTest, TableSizesScaleWithCoverage) {
+  BioConfig config;
+  config.num_entities = 1000;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  // m6 (coverage .36) must be clearly smaller than m2 (coverage .8).
+  size_t m6 = workload.value().tables().at("m6")->size();
+  size_t m2 = workload.value().tables().at("m2")->size();
+  EXPECT_LT(m6, m2);
+  // Row counts roughly track coverage × entities (within a factor ~2 for
+  // aliases/noise).
+  EXPECT_GT(m6, 200u);
+  EXPECT_LT(m6, 800u);
+}
+
+TEST(BioWorkloadTest, DeterministicForSeed) {
+  BioConfig config;
+  config.num_entities = 100;
+  auto w1 = BioWorkload::Generate(config);
+  auto w2 = BioWorkload::Generate(config);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  for (const auto& [name, table] : w1.value().tables()) {
+    EXPECT_EQ(table->size(), w2.value().tables().at(name)->size()) << name;
+  }
+  config.seed += 1;
+  auto w3 = BioWorkload::Generate(config);
+  ASSERT_TRUE(w3.ok());
+  bool any_different = false;
+  for (const auto& [name, table] : w1.value().tables()) {
+    if (table->size() != w3.value().tables().at(name)->size()) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(BioWorkloadTest, PathsComposeAndInferNewMappings) {
+  BioConfig config;
+  config.num_entities = 500;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto path =
+      workload.value().BuildPath({"Hugo", "GDB", "MIM"});
+  ASSERT_TRUE(path.ok()) << path.status();
+  CoverEngine engine;
+  auto cover = engine.ComputeCover(path.value(), {"Hugo_id"}, {"MIM_id"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  EXPECT_GT(cover.value().size(), 0u);
+  // With overlapping-but-noisy coverage some computed mappings are new
+  // relative to the seed Hugo->MIM table.
+  auto m6 = workload.value().tables().at("m6");
+  auto fresh = RowsNotContained(cover.value(), *m6);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh.value().size(), 0u);
+  EXPECT_LT(fresh.value().size(), cover.value().size());
+}
+
+TEST(BioWorkloadTest, BuildPathValidatesEdges) {
+  BioConfig config;
+  config.num_entities = 30;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_FALSE(workload.value().BuildPath({"MIM", "Hugo"}).ok());
+  EXPECT_TRUE(
+      workload.value().BuildPath({"Hugo", "Locus", "Unigene"}).ok());
+}
+
+TEST(B2bWorkloadTest, GeneratesSevenTablesWithVariables) {
+  B2bConfig config;
+  config.rows_per_table = 100;
+  auto workload = B2bWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload.value().tables().size(), 7u);
+  // m1 holds the identity row plus nickname rows.
+  auto m1 = workload.value().tables().at("m1");
+  EXPECT_TRUE(m1->ContainsRow(
+      Mapping({Cell::Variable(0), Cell::Variable(1), Cell::Variable(0),
+               Cell::Variable(1)})));
+  EXPECT_TRUE(m1->SatisfiesTuple({Value("Zelda"), Value("Jones"),
+                                  Value("Zelda"), Value("Jones")}));
+  EXPECT_TRUE(m1->SatisfiesTuple({Value("Bob"), Value("Jones"),
+                                  Value("Robert"), Value("Jones")}));
+  EXPECT_FALSE(m1->SatisfiesTuple({Value("Bob"), Value("Jones"),
+                                   Value("Robert"), Value("Smith")}));
+  // m7 uses an integer domain.
+  auto m7 = workload.value().tables().at("m7");
+  EXPECT_TRUE(m7->SatisfiesTuple({Value(int64_t{30}), Value("adult")}));
+  EXPECT_FALSE(m7->SatisfiesTuple({Value(int64_t{30}), Value("child")}));
+}
+
+TEST(B2bWorkloadTest, PartitionStructureMatchesFigure13) {
+  B2bConfig config;
+  config.rows_per_table = 50;
+  auto workload = B2bWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto path = workload.value().BuildPath();
+  ASSERT_TRUE(path.ok()) << path.status();
+  // P1 has two partitions, P2 has three (the paper's claim).
+  EXPECT_EQ(ComputePartitions(path.value().hop_constraints(0)).size(), 2u);
+  EXPECT_EQ(ComputePartitions(path.value().hop_constraints(1)).size(), 3u);
+  // Across the whole path: names+gender, address+state, age(+group).
+  EXPECT_EQ(
+      ComputeInferredPartitions(path.value().all_hop_constraints()).size(),
+      3u);
+}
+
+TEST(B2bWorkloadTest, ParallelPartitionsMatchSequential) {
+  B2bConfig config;
+  config.rows_per_table = 80;
+  auto workload = B2bWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto path = workload.value().BuildPath();
+  ASSERT_TRUE(path.ok());
+  std::vector<std::string> x = {"FName", "LName", "AreaCode", "Street"};
+  std::vector<std::string> y = {"Gender", "State", "AgeGroup"};
+
+  CoverEngine sequential;
+  auto seq = sequential.ComputePartitionCovers(path.value(), x, y);
+  ASSERT_TRUE(seq.ok());
+
+  CoverEngineOptions opts;
+  opts.parallel_partitions = true;
+  CoverEngine parallel(opts);
+  auto par = parallel.ComputePartitionCovers(path.value(), x, y);
+  ASSERT_TRUE(par.ok()) << par.status();
+
+  ASSERT_EQ(seq.value().size(), par.value().size());
+  for (size_t i = 0; i < seq.value().size(); ++i) {
+    EXPECT_EQ(seq.value()[i].keep_names, par.value()[i].keep_names);
+    EXPECT_EQ(seq.value()[i].cover.size(), par.value()[i].cover.size());
+    EXPECT_EQ(seq.value()[i].satisfiable, par.value()[i].satisfiable);
+  }
+}
+
+TEST(B2bWorkloadTest, ConjunctionIsConsistent) {
+  // The generated tables come from one coherent ground truth, so the
+  // conjunction along the path must be consistent.
+  B2bConfig config;
+  config.rows_per_table = 40;
+  auto workload = B2bWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto path = workload.value().BuildPath();
+  ASSERT_TRUE(path.ok());
+  CoverEngine engine;
+  auto consistent = engine.CheckPathConsistency(path.value());
+  ASSERT_TRUE(consistent.ok()) << consistent.status();
+  EXPECT_TRUE(consistent.value());
+}
+
+TEST(B2bWorkloadTest, CoverComposesNamesThroughIdentity) {
+  B2bConfig config;
+  config.rows_per_table = 40;
+  auto workload = B2bWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+  auto path = workload.value().BuildPath();
+  ASSERT_TRUE(path.ok());
+  CoverEngine engine;
+  auto cover =
+      engine.ComputeCover(path.value(), {"FName", "LName"}, {"Gender"});
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  // Any last name rides through the identity mapping, and each first name
+  // maps to exactly one gender.
+  bool f = cover.value().SatisfiesTuple(
+      {Value("Name0"), Value("AnyLast"), Value("F")});
+  bool m = cover.value().SatisfiesTuple(
+      {Value("Name0"), Value("AnyLast"), Value("M")});
+  EXPECT_NE(f, m);
+  // The nickname Bob resolves to Robert before the gender lookup, so both
+  // forms agree.
+  bool bob_f = cover.value().SatisfiesTuple(
+      {Value("Bob"), Value("AnyLast"), Value("F")});
+  bool robert_f = cover.value().SatisfiesTuple(
+      {Value("Robert"), Value("AnyLast"), Value("F")});
+  EXPECT_EQ(bob_f, robert_f);
+  bool bob_m = cover.value().SatisfiesTuple(
+      {Value("Bob"), Value("AnyLast"), Value("M")});
+  EXPECT_NE(bob_f, bob_m);
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,384 @@
+// hyperion_cli — curator command line for mapping-table files (.hmt, the
+// text format of mapping_table.cc).
+//
+//   hyperion_cli create <file> --name m1 --x "GDB_id:string" --y "MIM_id:string"
+//   hyperion_cli show <file>
+//   hyperion_cli add <file> <row>          row in table syntax, e.g. "a|b"
+//   hyperion_cli ym <file> <x-value>...    print Y_m(x) images
+//   hyperion_cli compose <a> <b> [-o out]  cover of a ∘ b (X of a → Y of b)
+//   hyperion_cli cover <t1> <t2>... [-o out]
+//                                          cover along the whole chain
+//   hyperion_cli check <t1> <t2>...        conjunction consistency (+ witness)
+//   hyperion_cli infer <target> <t1>...    does the chain imply target?
+//   hyperion_cli diff <a> <b>              rows only in a / only in b
+//   hyperion_cli co2cc <file> [-o out]     closed-open → closed-closed
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compose.h"
+#include "core/consistency.h"
+#include "core/curator.h"
+#include "core/infer.h"
+#include "core/semantics.h"
+#include "storage/csv.h"
+
+namespace hyperion {
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write '" + path + "'");
+  out << content;
+  return out.good() ? Status::OK()
+                    : Status::IoError("write failed for '" + path + "'");
+}
+
+Result<MappingTable> LoadTable(const std::string& path) {
+  HYP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  // Honors an optional "semantics:" header (CO/OC tables normalize to CC).
+  HYP_ASSIGN_OR_RETURN(MappingTable table, ParseAndNormalize(text));
+  if (table.name().empty()) table.set_name(path);
+  return table;
+}
+
+Status EmitTable(const MappingTable& table,
+                 const std::optional<std::string>& out_path) {
+  if (out_path) {
+    HYP_RETURN_IF_ERROR(WriteFile(*out_path, table.Serialize()));
+    std::cout << "wrote " << table.size() << " rows to " << *out_path
+              << "\n";
+  } else {
+    std::cout << table.Serialize();
+  }
+  return Status::OK();
+}
+
+// Strips "-o <path>" out of args; returns the path if present.
+std::optional<std::string> TakeOutputFlag(std::vector<std::string>* args) {
+  for (size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == "-o") {
+      std::string path = (*args)[i + 1];
+      args->erase(args->begin() + static_cast<ptrdiff_t>(i),
+                  args->begin() + static_cast<ptrdiff_t>(i) + 2);
+      return path;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> TakeValueFlag(std::vector<std::string>* args,
+                                         const std::string& flag) {
+  for (size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      std::string v = (*args)[i + 1];
+      args->erase(args->begin() + static_cast<ptrdiff_t>(i),
+                  args->begin() + static_cast<ptrdiff_t>(i) + 2);
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+// Composes t1 ∘ t2 ∘ ... left to right.
+Result<MappingTable> ChainCover(const std::vector<std::string>& paths) {
+  if (paths.size() < 2) {
+    return Status::InvalidArgument("need at least two tables to compose");
+  }
+  HYP_ASSIGN_OR_RETURN(MappingTable acc, LoadTable(paths[0]));
+  for (size_t i = 1; i < paths.size(); ++i) {
+    HYP_ASSIGN_OR_RETURN(MappingTable next, LoadTable(paths[i]));
+    HYP_ASSIGN_OR_RETURN(acc, ComposeConstraints(MappingConstraint(acc),
+                                                 MappingConstraint(next)));
+  }
+  return acc;
+}
+
+int CmdCreate(std::vector<std::string> args) {
+  auto name = TakeValueFlag(&args, "--name");
+  auto x = TakeValueFlag(&args, "--x");
+  auto y = TakeValueFlag(&args, "--y");
+  if (args.size() != 1 || !x || !y) {
+    return Fail("usage: create <file> --x \"A:string,...\" --y \"B:string\" "
+                "[--name m1]");
+  }
+  std::string text;
+  if (name) text += "name: " + *name + "\n";
+  text += "x: " + *x + "\ny: " + *y + "\n";
+  auto parsed = MappingTable::Parse(text);  // validate before writing
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  if (Status s = WriteFile(args[0], text); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::cout << "created " << args[0] << "\n";
+  return 0;
+}
+
+int CmdShow(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Fail("usage: show <file>");
+  auto table = LoadTable(args[0]);
+  if (!table.ok()) return Fail(table.status().ToString());
+  std::cout << table.value().ToString();
+  MappingTable::Stats stats = table.value().Describe();
+  std::cout << "rows: " << stats.rows << " (" << stats.ground_rows
+            << " ground, " << stats.variable_rows << " with variables)\n";
+  if (stats.distinct_ground_x > 0) {
+    std::cout << "distinct X values: " << stats.distinct_ground_x
+              << "; fanout avg " << stats.avg_fanout << ", max "
+              << stats.max_fanout << "\n";
+  }
+  if (stats.total_exclusion_values > 0) {
+    std::cout << "exclusion-set values: " << stats.total_exclusion_values
+              << "\n";
+  }
+  std::cout << "shape: "
+            << MappingTable::MappingShapeToString(table.value().Classify())
+            << "\n";
+  return 0;
+}
+
+int CmdAdd(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Fail("usage: add <file> \"cell|cell|...\"");
+  auto text = ReadFile(args[0]);
+  if (!text.ok()) return Fail(text.status().ToString());
+  std::string appended = text.value();
+  if (!appended.empty() && appended.back() != '\n') appended += "\n";
+  appended += args[1] + "\n";
+  auto parsed = MappingTable::Parse(appended);  // validates the new row
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  if (Status s = WriteFile(args[0], appended); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::cout << "table now has " << parsed.value().size() << " rows\n";
+  return 0;
+}
+
+int CmdYm(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Fail("usage: ym <file> <x-value>...");
+  auto table = LoadTable(args[0]);
+  if (!table.ok()) return Fail(table.status().ToString());
+  if (table.value().x_arity() != 1) {
+    return Fail("ym currently supports single-attribute X sides");
+  }
+  ValueType type =
+      table.value().x_schema().attr(0).domain()->value_type();
+  for (size_t i = 1; i < args.size(); ++i) {
+    Value x = type == ValueType::kInt
+                  ? Value(std::strtoll(args[i].c_str(), nullptr, 10))
+                  : Value(args[i]);
+    auto image = table.value().YmGround({x});
+    std::cout << args[i] << " -> ";
+    if (!image.ok()) {
+      std::cout << "(infinite image: a variable row applies)\n";
+      continue;
+    }
+    if (image.value().empty()) {
+      std::cout << "(no image: value cannot be exchanged)\n";
+      continue;
+    }
+    for (size_t j = 0; j < image.value().size(); ++j) {
+      std::cout << (j ? ", " : "") << TupleToString(image.value()[j]);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int CmdCompose(std::vector<std::string> args) {
+  auto out = TakeOutputFlag(&args);
+  if (args.size() < 2) {
+    return Fail("usage: compose|cover <a> <b> [<c> ...] [-o out]");
+  }
+  auto cover = ChainCover(args);
+  if (!cover.ok()) return Fail(cover.status().ToString());
+  if (Status s = EmitTable(cover.value(), out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  return 0;
+}
+
+int CmdCheck(const std::vector<std::string>& args) {
+  if (args.empty()) return Fail("usage: check <t1> [<t2> ...]");
+  std::vector<MappingConstraint> constraints;
+  for (const std::string& path : args) {
+    auto table = LoadTable(path);
+    if (!table.ok()) return Fail(table.status().ToString());
+    constraints.emplace_back(std::move(table).value());
+  }
+  std::vector<McfPtr> leaves;
+  for (const MappingConstraint& c : constraints) {
+    leaves.push_back(Mcf::Leaf(c));
+  }
+  auto formula = Mcf::AndAll(leaves);
+  if (!formula.ok()) return Fail(formula.status().ToString());
+  auto witness = FindSatisfyingTuple(*formula.value());
+  if (!witness.ok()) return Fail(witness.status().ToString());
+  if (!witness.value()) {
+    std::cout << "INCONSISTENT: no exchanged tuple can satisfy all "
+              << constraints.size() << " tables\n";
+    return 2;
+  }
+  std::cout << "consistent; witness over "
+            << FormulaSchema(*formula.value()).ToString() << ": "
+            << TupleToString(*witness.value()) << "\n";
+  return 0;
+}
+
+int CmdInfer(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    return Fail("usage: infer <target> <t1> <t2> [...]");
+  }
+  auto target = LoadTable(args[0]);
+  if (!target.ok()) return Fail(target.status().ToString());
+  auto cover = ChainCover({args.begin() + 1, args.end()});
+  if (!cover.ok()) return Fail(cover.status().ToString());
+  auto contained = TableContained(cover.value(), target.value());
+  if (!contained.ok()) return Fail(contained.status().ToString());
+  if (contained.value()) {
+    std::cout << "IMPLIED: the chain's cover (" << cover.value().size()
+              << " rows) is contained in the target\n";
+    return 0;
+  }
+  auto fresh = RowsNotContained(cover.value(), target.value());
+  if (!fresh.ok()) return Fail(fresh.status().ToString());
+  std::cout << "NOT implied: " << fresh.value().size()
+            << " derivable mappings are missing from the target, e.g.\n";
+  for (size_t i = 0; i < std::min<size_t>(fresh.value().size(), 5); ++i) {
+    std::cout << "  " << fresh.value()[i].ToString() << "\n";
+  }
+  return 2;
+}
+
+int CmdDiff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Fail("usage: diff <a> <b>");
+  auto a = LoadTable(args[0]);
+  if (!a.ok()) return Fail(a.status().ToString());
+  auto b = LoadTable(args[1]);
+  if (!b.ok()) return Fail(b.status().ToString());
+  auto diff = DiffTables(a.value(), b.value());
+  if (!diff.ok()) return Fail(diff.status().ToString());
+  if (diff.value().equivalent()) {
+    std::cout << "tables are equivalent\n";
+    return 0;
+  }
+  std::cout << "only in " << args[0] << " (" << diff.value().only_in_a.size()
+            << " rows):\n";
+  for (const Mapping& row : diff.value().only_in_a) {
+    std::cout << "  " << row.ToString() << "\n";
+  }
+  std::cout << "only in " << args[1] << " (" << diff.value().only_in_b.size()
+            << " rows):\n";
+  for (const Mapping& row : diff.value().only_in_b) {
+    std::cout << "  " << row.ToString() << "\n";
+  }
+  return 2;
+}
+
+int CmdCoToCc(std::vector<std::string> args) {
+  auto out = TakeOutputFlag(&args);
+  if (args.size() != 1) return Fail("usage: co2cc <file> [-o out]");
+  auto table = LoadTable(args[0]);
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto cc = TranslateToCc(table.value(), WorldSemantics::kClosedOpen);
+  if (!cc.ok()) return Fail(cc.status().ToString());
+  if (Status s = EmitTable(cc.value(), out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  return 0;
+}
+
+int CmdImport(std::vector<std::string> args) {
+  auto name = TakeValueFlag(&args, "--name");
+  auto x_arity = TakeValueFlag(&args, "--x-arity");
+  if (args.size() != 2) {
+    return Fail("usage: import <out.hmt> <in.csv> [--x-arity N] [--name m]");
+  }
+  auto csv = ReadFile(args[1]);
+  if (!csv.ok()) return Fail(csv.status().ToString());
+  size_t arity = x_arity ? std::strtoul(x_arity->c_str(), nullptr, 10) : 1;
+  auto table = ImportTableCsv(csv.value(), arity,
+                              name.value_or(args[0]));
+  if (!table.ok()) return Fail(table.status().ToString());
+  if (Status s = WriteFile(args[0], table.value().Serialize()); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::cout << "imported " << table.value().size() << " rows into "
+            << args[0] << "\n";
+  return 0;
+}
+
+int CmdExport(std::vector<std::string> args) {
+  auto out = TakeOutputFlag(&args);
+  if (args.size() != 1) return Fail("usage: export <file.hmt> [-o out.csv]");
+  auto table = LoadTable(args[0]);
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto csv = ExportTableCsv(table.value());
+  if (!csv.ok()) return Fail(csv.status().ToString());
+  if (out) {
+    if (Status s = WriteFile(*out, csv.value()); !s.ok()) {
+      return Fail(s.ToString());
+    }
+    std::cout << "wrote " << *out << "\n";
+  } else {
+    std::cout << csv.value();
+  }
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "hyperion_cli — mapping-table curation (SIGMOD'03 reproduction)\n"
+         "commands:\n"
+         "  create <file> --x \"A:string\" --y \"B:string\" [--name m]\n"
+         "  show <file>\n"
+         "  add <file> \"cell|cell\"\n"
+         "  ym <file> <x-value>...\n"
+         "  compose|cover <a> <b> [...] [-o out]\n"
+         "  check <t1> [...]\n"
+         "  infer <target> <t1> <t2> [...]\n"
+         "  diff <a> <b>\n"
+         "  co2cc <file> [-o out]\n"
+         "  import <out.hmt> <in.csv> [--x-arity N] [--name m]\n"
+         "  export <file.hmt> [-o out.csv]\n";
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "create") return CmdCreate(std::move(args));
+  if (cmd == "show") return CmdShow(args);
+  if (cmd == "add") return CmdAdd(args);
+  if (cmd == "ym") return CmdYm(args);
+  if (cmd == "compose" || cmd == "cover") return CmdCompose(std::move(args));
+  if (cmd == "check") return CmdCheck(args);
+  if (cmd == "infer") return CmdInfer(args);
+  if (cmd == "diff") return CmdDiff(args);
+  if (cmd == "co2cc") return CmdCoToCc(std::move(args));
+  if (cmd == "import") return CmdImport(std::move(args));
+  if (cmd == "export") return CmdExport(std::move(args));
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hyperion
+
+int main(int argc, char** argv) { return hyperion::Run(argc, argv); }
