@@ -1,5 +1,6 @@
 // Shared plumbing for the experiment harnesses: build a peer network,
-// run a distributed cover session, and collect timing/traffic numbers.
+// run a distributed cover session, collect timing/traffic numbers, and
+// emit machine-readable BENCH_*.json results via the obs exporters.
 
 #ifndef HYPERION_BENCH_BENCH_UTIL_H_
 #define HYPERION_BENCH_BENCH_UTIL_H_
@@ -12,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "p2p/network.h"
 #include "p2p/peer.h"
 #include "workload/bio_network.h"
@@ -64,6 +67,9 @@ struct SessionOutcome {
   double virtual_first_row_ms = 0;
   uint64_t messages = 0;
   uint64_t bytes = 0;
+  NetworkStats net;               // full traffic breakdown
+  uint64_t cache_flushes = 0;     // flushes during this session
+  uint64_t cache_flushed_rows = 0;
 };
 
 /// \brief Runs one cover session to completion and reports timings.
@@ -73,7 +79,15 @@ inline SessionOutcome RunCoverSession(LiveNetwork* live,
                                       std::vector<Attribute> x_attrs,
                                       std::vector<Attribute> y_attrs,
                                       const SessionOptions& opts) {
-  live->net->ResetStats();
+  // Reset through the Network interface — any transport works.
+  Network* net = live->net.get();
+  net->ResetStats();
+  obs::Counter* flushes =
+      obs::MetricRegistry::Default().GetCounter("cache.flushes");
+  obs::Counter* flushed_rows =
+      obs::MetricRegistry::Default().GetCounter("cache.flushed_rows");
+  uint64_t flushes_before = flushes->value();
+  uint64_t flushed_rows_before = flushed_rows->value();
   auto wall_start = std::chrono::steady_clock::now();
   auto session = live->by_id.at(path.front())
                      ->StartCoverSession(path, std::move(x_attrs),
@@ -103,9 +117,55 @@ inline SessionOutcome RunCoverSession(LiveNetwork* live,
   const SessionStats& stats = out.result->stats;
   out.virtual_total_ms = (stats.complete_us - stats.start_us) / 1000.0;
   out.virtual_first_row_ms = (stats.first_row_us - stats.start_us) / 1000.0;
-  out.messages = live->net->stats().messages_sent;
-  out.bytes = live->net->stats().bytes_sent;
+  out.net = net->stats();
+  out.messages = out.net.messages_sent;
+  out.bytes = out.net.bytes_sent;
+  out.cache_flushes = flushes->value() - flushes_before;
+  out.cache_flushed_rows = flushed_rows->value() - flushed_rows_before;
   return out;
+}
+
+/// \brief One session's numbers as a JSON object: traffic (total and per
+/// message type), virtual first-row/total latency, and cache flushes —
+/// the quantities §7's figures report.
+inline obs::JsonValue SessionJson(const SessionOutcome& outcome) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("messages", outcome.messages);
+  out.Set("bytes", outcome.bytes);
+  obs::JsonValue by_type = obs::JsonValue::Object();
+  for (const auto& [type, count] : outcome.net.messages_by_type) {
+    by_type.Set(type, count);
+  }
+  out.Set("messages_by_type", std::move(by_type));
+  out.Set("virtual_first_row_ms", outcome.virtual_first_row_ms);
+  out.Set("virtual_total_ms", outcome.virtual_total_ms);
+  out.Set("wall_ms", outcome.wall_ms);
+  out.Set("cache_flushes", outcome.cache_flushes);
+  out.Set("cache_flushed_rows", outcome.cache_flushed_rows);
+  if (outcome.result != nullptr) {
+    out.Set("rows_received",
+            static_cast<uint64_t>(outcome.result->stats.rows_received));
+  }
+  return out;
+}
+
+/// \brief Writes `root` (plus a metrics snapshot of the default registry)
+/// to BENCH_<name>.json in the current directory, or under
+/// $HYPERION_BENCH_DIR when set.  Every fig*.cc harness calls this so
+/// runs leave a machine-readable trajectory next to the printed tables.
+inline void WriteBenchJson(const std::string& name, obs::JsonValue root) {
+  root.Set("metrics",
+           obs::MetricsJson(obs::MetricRegistry::Default().Snapshot()));
+  std::string dir;
+  if (const char* env = std::getenv("HYPERION_BENCH_DIR")) dir = env;
+  std::string path =
+      (dir.empty() ? "" : dir + "/") + "BENCH_" + name + ".json";
+  Status s = obs::WriteTextFile(path, root.ToJson(2) + "\n");
+  if (!s.ok()) {
+    std::cerr << "bench json write failed: " << s << "\n";
+    std::exit(1);
+  }
+  std::cout << "\n[wrote " << path << "]\n";
 }
 
 /// \brief argv[n] as size_t, or `fallback`.

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   std::printf("%9s %12s | %10s %10s %10s\n", "entities", "avg rows",
               "len3 (s)", "len4 (s)", "len5 (s)");
 
+  obs::JsonValue json_rows = obs::JsonValue::Array();
   for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
     size_t entities = static_cast<size_t>(frac * max_entities);
     if (entities == 0) continue;
@@ -72,6 +73,18 @@ int main(int argc, char** argv) {
     }
     std::printf("%9zu %12zu | %10.2f %10.2f %10.2f\n", entities, avg_rows,
                 times[0], times[1], times[2]);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("entities", static_cast<uint64_t>(entities));
+    row.Set("avg_table_rows", static_cast<uint64_t>(avg_rows));
+    row.Set("len3_s", times[0]);
+    row.Set("len4_s", times[1]);
+    row.Set("len5_s", times[2]);
+    json_rows.Append(std::move(row));
   }
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("bench", "fig11_scalability");
+  root.Set("max_entities", static_cast<uint64_t>(max_entities));
+  root.Set("rows", std::move(json_rows));
+  WriteBenchJson("fig11", std::move(root));
   return 0;
 }

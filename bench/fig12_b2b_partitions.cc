@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   std::printf("%9s | %14s %14s | %14s %14s | %10s\n", "rows", "names rows",
               "names time(s)", "addr rows", "addr time(s)", "first(ms)");
 
+  obs::JsonValue json_rows = obs::JsonValue::Array();
   for (double frac : {0.125, 0.25, 0.5, 0.75, 1.0}) {
     size_t rows = static_cast<size_t>(frac * max_rows);
     if (rows == 0) continue;
@@ -77,6 +78,20 @@ int main(int argc, char** argv) {
                 result.partition_covers[addresses].size(),
                 partition_seconds(addresses),
                 outcome.virtual_first_row_ms);
+    obs::JsonValue row = SessionJson(outcome);
+    row.Set("rows_per_table", static_cast<uint64_t>(rows));
+    row.Set("names_rows",
+            static_cast<uint64_t>(result.partition_covers[names].size()));
+    row.Set("names_time_s", partition_seconds(names));
+    row.Set("addr_rows",
+            static_cast<uint64_t>(result.partition_covers[addresses].size()));
+    row.Set("addr_time_s", partition_seconds(addresses));
+    json_rows.Append(std::move(row));
   }
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("bench", "fig12_b2b_partitions");
+  root.Set("max_rows_per_table", static_cast<uint64_t>(max_rows));
+  root.Set("rows", std::move(json_rows));
+  WriteBenchJson("fig12", std::move(root));
   return 0;
 }

@@ -30,9 +30,10 @@ int main(int argc, char** argv) {
   std::printf("=== Cache-size sweep on the 5-peer path (%zu entities) "
               "===\n",
               config.num_entities);
-  std::printf("%7s | %10s %13s %10s %10s\n", "cache", "total(s)",
-              "first-row(s)", "messages", "KiB");
+  std::printf("%7s | %10s %13s %10s %10s %8s\n", "cache", "total(s)",
+              "first-row(s)", "messages", "KiB", "flushes");
 
+  obs::JsonValue json_rows = obs::JsonValue::Array();
   for (size_t cache : {2, 8, 16, 32, 64, 128, 256, 1024, 4096, 100000}) {
     LiveNetwork live =
         Wire(workload.value().BuildPeers().value(), PaperCalibratedOptions());
@@ -41,11 +42,20 @@ int main(int argc, char** argv) {
     SessionOutcome outcome =
         RunCoverSession(&live, kPath, {Attribute::String("Hugo_id")},
                         {Attribute::String("MIM_id")}, opts);
-    std::printf("%7zu | %10.2f %13.2f %10llu %10llu\n", cache,
+    std::printf("%7zu | %10.2f %13.2f %10llu %10llu %8llu\n", cache,
                 outcome.virtual_total_ms / 1000.0,
                 outcome.virtual_first_row_ms / 1000.0,
                 static_cast<unsigned long long>(outcome.messages),
-                static_cast<unsigned long long>(outcome.bytes / 1024));
+                static_cast<unsigned long long>(outcome.bytes / 1024),
+                static_cast<unsigned long long>(outcome.cache_flushes));
+    obs::JsonValue row = SessionJson(outcome);
+    row.Set("cache_capacity", static_cast<uint64_t>(cache));
+    json_rows.Append(std::move(row));
   }
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("bench", "fig_cache_sweep");
+  root.Set("entities", static_cast<uint64_t>(config.num_entities));
+  root.Set("rows", std::move(json_rows));
+  WriteBenchJson("fig_cache_sweep", std::move(root));
   return 0;
 }

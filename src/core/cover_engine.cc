@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/containment.h"
+#include "obs/metrics.h"
 
 namespace hyperion {
 
@@ -147,6 +148,11 @@ Result<std::vector<PartitionCover>> CoverEngine::ComputePartitionCovers(
 
   std::vector<InferredPartition> partitions =
       ComputeInferredPartitions(path.all_hop_constraints());
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    reg.GetCounter("engine.partition_covers_computed")
+        ->Add(partitions.size());
+  }
   if (!opts_.exploit_partitions && partitions.size() > 1) {
     // Ablation: lump everything into one (possibly disconnected) group.
     InferredPartition merged;
@@ -276,6 +282,10 @@ Result<MappingTable> CoverEngine::CombinePartitionCovers(
 Result<MappingTable> CoverEngine::ComputeCover(
     const ConstraintPath& path, const std::vector<std::string>& x_names,
     const std::vector<std::string>& y_names) const {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry::Default().GetCounter("engine.covers_computed")
+        ->Add(1);
+  }
   HYP_ASSIGN_OR_RETURN(std::vector<PartitionCover> covers,
                        ComputePartitionCovers(path, x_names, y_names));
   // Resolve endpoint attribute objects from the path's end peers.

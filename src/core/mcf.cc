@@ -100,17 +100,30 @@ void Mcf::CollectLeaves(std::vector<MappingConstraint>* out) const {
 }
 
 std::string Mcf::ToString() const {
+  // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+  // fires a false positive on the temporary-concat pattern at -O2+.
+  std::string out;
   switch (kind_) {
     case Kind::kConstraint:
       return constraint_.name().empty() ? "m" : constraint_.name();
     case Kind::kNot:
-      return "!" + (left_->kind() == Kind::kConstraint
-                        ? left_->ToString()
-                        : "(" + left_->ToString() + ")");
+      out = "!";
+      if (left_->kind() == Kind::kConstraint) {
+        out += left_->ToString();
+      } else {
+        out += "(";
+        out += left_->ToString();
+        out += ")";
+      }
+      return out;
     case Kind::kAnd:
-      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
     case Kind::kOr:
-      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+      out = "(";
+      out += left_->ToString();
+      out += kind_ == Kind::kAnd ? " & " : " | ";
+      out += right_->ToString();
+      out += ")";
+      return out;
   }
   return "?";
 }

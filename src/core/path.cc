@@ -62,7 +62,10 @@ std::string ConstraintPath::peer_name(size_t i) const {
   if (i < peer_names_.size() && !peer_names_[i].empty()) {
     return peer_names_[i];
   }
-  return "P" + std::to_string(i + 1);
+  // append, not operator+: GCC 12 -Wrestrict false positive at -O2+
+  std::string out = "P";
+  out += std::to_string(i + 1);
+  return out;
 }
 
 std::vector<MappingConstraint> ConstraintPath::AllConstraints() const {

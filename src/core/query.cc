@@ -7,6 +7,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace hyperion {
 
 std::string SelectionQuery::ToString() const {
@@ -48,6 +50,11 @@ Result<TranslationOutcome> TranslateQuery(const SelectionQuery& query,
     into_table[positions[i]] = i;
   }
 
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    reg.GetCounter("query.translations")->Add(1);
+    reg.GetCounter("query.keys_in")->Add(query.keys.size());
+  }
   TranslationOutcome out;
   for (const Attribute& a : table.y_schema().attrs()) {
     out.query.attrs.push_back(a.name());
@@ -78,6 +85,11 @@ Result<TranslationOutcome> TranslateQuery(const SelectionQuery& query,
       }
       if (seen_out.insert(y).second) out.query.keys.push_back(std::move(y));
     }
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    reg.GetCounter("query.keys_out")->Add(out.query.keys.size());
+    reg.GetCounter("query.untranslatable")->Add(out.untranslatable.size());
   }
   return out;
 }

@@ -73,7 +73,12 @@ std::vector<std::string> AttributeSet::Names() const {
 }
 
 std::string AttributeSet::ToString() const {
-  return "{" + JoinStrings(Names(), ", ") + "}";
+  // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+  // fires a false positive on the temporary-concat pattern at -O2+.
+  std::string out = "{";
+  out += JoinStrings(Names(), ", ");
+  out += "}";
+  return out;
 }
 
 bool operator==(const AttributeSet& a, const AttributeSet& b) {
@@ -139,7 +144,12 @@ std::string Schema::ToString() const {
   std::vector<std::string> names;
   names.reserve(attrs_.size());
   for (const Attribute& a : attrs_) names.push_back(a.name());
-  return "(" + JoinStrings(names, ", ") + ")";
+  // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+  // fires a false positive on the temporary-concat pattern at -O2+.
+  std::string out = "(";
+  out += JoinStrings(names, ", ");
+  out += ")";
+  return out;
 }
 
 bool operator==(const Schema& a, const Schema& b) {

@@ -1,0 +1,169 @@
+// MetricRegistry: named, labeled counters, gauges and fixed-bucket
+// histograms backing the observability subsystem (paper §7 measures the
+// distributed cover protocol; everything those experiments report —
+// traffic, streaming cadence, cache flushes — is recorded here).
+//
+// Design constraints:
+//  * Thread-safe mutation.  Instruments mutate via relaxed atomics so
+//    ThreadedNetwork's per-peer workers never contend; the registry mutex
+//    guards only registration and snapshotting.
+//  * Stable handles.  Get*() returns a pointer that stays valid for the
+//    registry's lifetime, so hot paths register once and mutate freely.
+//  * Compile-out-able.  Building with -DHYPERION_METRICS=0 turns every
+//    mutation into a constant-false branch the optimizer removes; the
+//    registry itself keeps working (snapshots report zeros) so callers
+//    need no #ifdefs.
+
+#ifndef HYPERION_OBS_METRICS_H_
+#define HYPERION_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef HYPERION_METRICS
+#define HYPERION_METRICS 1
+#endif
+
+namespace hyperion {
+namespace obs {
+
+inline constexpr bool kMetricsEnabled = HYPERION_METRICS != 0;
+
+/// \brief Sorted label name → value pairs identifying one instrument.
+using LabelSet = std::map<std::string, std::string>;
+
+/// \brief Monotonically increasing count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if constexpr (!kMetricsEnabled) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed value (queue depths, cache occupancy).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if constexpr (!kMetricsEnabled) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if constexpr (!kMetricsEnabled) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram.  Bucket i counts observations
+/// v <= bounds[i]; one implicit overflow bucket counts the rest.
+class Histogram {
+ public:
+  void Observe(int64_t v) {
+    if constexpr (!kMetricsEnabled) return;
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// \brief Non-cumulative per-bucket counts; size() == bounds().size()+1.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  friend class MetricRegistry;
+  explicit Histogram(std::vector<int64_t> bounds);
+  void Reset();
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// \brief Exponential-ish microsecond bounds suitable for latencies
+/// (1ms .. ~100s in ~x4 steps).
+std::vector<int64_t> LatencyBoundsUs();
+/// \brief Small-cardinality bounds for sizes/depths (1 .. 65536, x4).
+std::vector<int64_t> SizeBounds();
+
+struct CounterSnapshot {
+  std::string name;
+  LabelSet labels;
+  uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  LabelSet labels;
+  int64_t value = 0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  LabelSet labels;
+  std::vector<int64_t> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size()+1 (overflow last)
+  uint64_t count = 0;
+  int64_t sum = 0;
+};
+
+/// \brief Point-in-time copy of every instrument, deterministically
+/// ordered by (name, labels).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// \brief Owner of all instruments.  Get*() registers on first use and
+/// returns the same handle thereafter (same name+labels → same pointer).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, LabelSet labels = {});
+  Gauge* GetGauge(const std::string& name, LabelSet labels = {});
+  /// `bounds` must be strictly increasing; it is fixed at first
+  /// registration (later calls with the same name+labels reuse it).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds, LabelSet labels = {});
+
+  MetricsSnapshot Snapshot() const;
+  /// \brief Zeroes every instrument; handles stay valid.
+  void Reset();
+
+  /// \brief Process-wide registry the built-in instrumentation uses.
+  static MetricRegistry& Default();
+
+ private:
+  using Key = std::pair<std::string, LabelSet>;
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace hyperion
+
+#endif  // HYPERION_OBS_METRICS_H_

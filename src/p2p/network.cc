@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace hyperion {
 
 namespace {
@@ -13,6 +15,17 @@ int64_t WallNowNs() {
 }
 
 }  // namespace
+
+void RecordNetworkSend(const char* network_kind, const Message& msg,
+                       size_t bytes) {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    obs::LabelSet labels{{"type", msg.TypeName()},
+                         {"network", network_kind}};
+    reg.GetCounter("net.messages_sent", labels)->Add(1);
+    reg.GetCounter("net.bytes_sent", std::move(labels))->Add(bytes);
+  }
+}
 
 SimNetwork::SimNetwork() : options_(Options()) {}
 
@@ -54,6 +67,7 @@ Status SimNetwork::Send(Message msg) {
   stats_.messages_sent += 1;
   stats_.bytes_sent += bytes;
   stats_.messages_by_type[msg.TypeName()] += 1;
+  RecordNetworkSend("sim", msg, bytes);
 
   int64_t depart = now_us();
   int64_t latency = options_.latency_us;
@@ -69,12 +83,25 @@ Status SimNetwork::Send(Message msg) {
     arrival = it->second + 1;
   }
   last_arrival_[link] = arrival;
-  queue_.push(Event{arrival, next_seq_++, std::move(msg)});
+  queue_.push(Event{arrival, next_seq_++, depart, std::move(msg)});
   return Status::OK();
 }
 
 Result<int64_t> SimNetwork::Run() {
+  [[maybe_unused]] obs::Histogram* delivery_us = nullptr;
+  [[maybe_unused]] obs::Histogram* queue_depth = nullptr;
+  [[maybe_unused]] obs::Histogram* handler_us = nullptr;
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    delivery_us = reg.GetHistogram("sim.delivery_latency_us",
+                                   obs::LatencyBoundsUs());
+    queue_depth = reg.GetHistogram("sim.queue_depth", obs::SizeBounds());
+    handler_us = reg.GetHistogram("sim.handler_us", obs::LatencyBoundsUs());
+  }
   while (!queue_.empty()) {
+    if constexpr (obs::kMetricsEnabled) {
+      queue_depth->Observe(static_cast<int64_t>(queue_.size()));
+    }
     Event ev = queue_.top();
     queue_.pop();
     auto peer_it = peers_.find(ev.msg.to);
@@ -82,6 +109,11 @@ Result<int64_t> SimNetwork::Run() {
       return Status::Internal("event for unknown peer '" + ev.msg.to + "'");
     }
     int64_t start = std::max(ev.time, busy_until_[ev.msg.to]);
+    if constexpr (obs::kMetricsEnabled) {
+      // Virtual time from send to processing start: models what the
+      // paper's distributed deployment would observe per hop.
+      delivery_us->Observe(start - ev.depart);
+    }
     clock_us_ = start;
     in_handler_ = true;
     current_peer_ = ev.msg.to;
@@ -95,6 +127,9 @@ Result<int64_t> SimNetwork::Run() {
     in_handler_ = false;
     busy_until_[ev.msg.to] = start + consumed;
     clock_us_ = std::max(clock_us_, start + consumed);
+    if constexpr (obs::kMetricsEnabled) {
+      handler_us->Observe(consumed);
+    }
   }
   return clock_us_;
 }

@@ -80,7 +80,7 @@ class SimNetwork : public Network {
   void ChargeCompute(int64_t micros) override;
 
   NetworkStats stats() const override { return stats_; }
-  void ResetStats() { stats_ = NetworkStats(); }
+  void ResetStats() override { stats_ = NetworkStats(); }
 
   const Options& options() const { return options_; }
 
@@ -88,6 +88,7 @@ class SimNetwork : public Network {
   struct Event {
     int64_t time;
     uint64_t seq;  // FIFO tie-break
+    int64_t depart;  // virtual send time, for delivery-latency accounting
     Message msg;
   };
   struct EventLater {

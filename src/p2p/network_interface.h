@@ -53,7 +53,17 @@ class Network {
 
   /// \brief Snapshot of the traffic counters.
   virtual NetworkStats stats() const = 0;
+
+  /// \brief Zeroes the traffic counters (bench harnesses reset between
+  /// sessions; ThreadedNetwork otherwise accumulates forever).
+  virtual void ResetStats() = 0;
 };
+
+/// \brief Records one send into the default MetricRegistry
+/// (net.messages_sent / net.bytes_sent, labeled by message type and
+/// network kind).  Shared by both Network implementations.
+void RecordNetworkSend(const char* network_kind, const Message& msg,
+                       size_t bytes);
 
 }  // namespace hyperion
 

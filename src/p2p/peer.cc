@@ -6,10 +6,40 @@
 #include "common/hash_util.h"
 #include "core/partition.h"
 #include "core/query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyperion {
 
 namespace {
+
+// Shorthand for protocol counters in the default registry.
+inline void CountProto(const char* name, uint64_t n = 1) {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry::Default().GetCounter(name)->Add(n);
+  }
+}
+
+// Structured span/event record for the session tracer.  `net` supplies
+// the virtual clock; everything else identifies the step.
+void TraceProto(const Network* net, const std::string& peer,
+                const char* kind, uint64_t session, int64_t partition,
+                int hop, int64_t value, std::string detail = {}) {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::SessionTracer& tracer = obs::SessionTracer::Default();
+    if (!tracer.enabled()) return;
+    obs::TraceEvent ev;
+    ev.virtual_us = net == nullptr ? 0 : net->now_us();
+    ev.session = session;
+    ev.partition = partition;
+    ev.hop = hop;
+    ev.peer = peer;
+    ev.kind = kind;
+    ev.detail = std::move(detail);
+    ev.value = value;
+    tracer.Record(std::move(ev));
+  }
+}
 
 // Deduplicating append preserving first-seen order.
 void AppendUnique(std::vector<std::string>* out, const std::string& name) {
@@ -219,6 +249,7 @@ Result<uint64_t> PeerNode::StartValueSearch(SelectionQuery query, int ttl) {
   SearchState& state = searches_[id];
   state.query = query;
 
+  CountProto("search.started");
   SearchMsg search;
   search.search_id = id;
   search.origin = id_;
@@ -287,6 +318,8 @@ void PeerNode::OnSearchHit(const Message& msg) {
   if (it == searches_.end()) return;
   SearchState& state = it->second;
   state.complete = state.complete && hit.complete;
+  CountProto("search.hits");
+  CountProto("search.hit_tuples", hit.tuples.size());
   if (state.first_hit_us < 0) state.first_hit_us = network_->now_us();
   auto [rel_it, inserted] =
       state.hits.emplace(hit.responder, Relation(hit.schema));
@@ -386,6 +419,12 @@ std::vector<Mapping> PeerNode::ReducedRows(
     }
     if (keep) out.push_back(row);
   }
+  // Semi-join effectiveness: rows_kept / rows_in is the filter's
+  // reduction ratio (paper §7's traffic discussion).
+  if (!filters.empty()) {
+    CountProto("semijoin.rows_in", table.rows().size());
+    CountProto("semijoin.rows_kept", out.size());
+  }
   return out;
 }
 
@@ -440,6 +479,9 @@ void PeerNode::OnSessionInit(const Message& msg) {
       ConstraintsTo(spec.path_peers[k + 1]);
   std::vector<PartitionSummary> merged =
       MergeSummaries(init.partitions, k, own);
+  CountProto("cover.gather_hops");
+  TraceProto(network_, id_, "gather.forward", spec.id, -1,
+             static_cast<int>(k), static_cast<int64_t>(merged.size()));
   if (k == n - 2) {
     DistributePlan(spec, std::move(merged));
   } else {
@@ -456,6 +498,8 @@ void PeerNode::OnSessionInit(const Message& msg) {
 
 void PeerNode::DistributePlan(const SessionSpec& spec,
                               std::vector<PartitionSummary> partitions) {
+  TraceProto(network_, id_, "plan.distributed", spec.id, -1, -1,
+             static_cast<int64_t>(partitions.size()));
   ComputePlanMsg plan;
   plan.spec = spec;
   plan.partitions = std::move(partitions);
@@ -510,6 +554,9 @@ void PeerNode::OnComputePlan(const Message& msg) {
   state.spec = spec;
   state.partitions = plan.partitions;
   state.my_hop = my_hop;
+  TraceProto(network_, id_, "plan.received", spec.id, -1,
+             static_cast<int>(my_hop),
+             static_cast<int64_t>(plan.partitions.size()));
 
   const std::vector<MappingConstraint>* own = nullptr;
   if (my_hop + 1 < spec.path_peers.size()) {
@@ -568,6 +615,9 @@ void PeerNode::OnComputePlan(const Message& msg) {
       local = std::move(joined).value();
     }
     ps.local = std::move(local);
+    TraceProto(network_, id_, "partition.local_join", spec.id,
+               static_cast<int64_t>(p), static_cast<int>(my_hop),
+               static_cast<int64_t>(ps.local.rows().size()));
   }
 
   // Starters begin streaming immediately.
@@ -660,6 +710,19 @@ Status PeerNode::SendBatch(ParticipantState* state, size_t part_idx,
   Schema schema;
   if (ps.emitted) schema = ps.emitted->schema();
 
+  CountProto("cover.batches_sent");
+  CountProto("cover.rows_streamed", rows.size());
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry::Default()
+        .GetHistogram("cover.batch_rows", obs::SizeBounds())
+        ->Observe(static_cast<int64_t>(rows.size()));
+  }
+  TraceProto(network_, id_,
+             ps.is_terminal ? "cover.final_sent" : "cover.batch_sent",
+             state->spec.id, static_cast<int64_t>(part_idx),
+             static_cast<int>(state->my_hop),
+             static_cast<int64_t>(rows.size()), eos ? "eos" : "");
+
   if (ps.is_terminal) {
     FinalRowsMsg final_rows;
     final_rows.session = state->spec.id;
@@ -749,6 +812,9 @@ Result<SessionId> PeerNode::StartCoverSession(
   session.y_attrs = std::move(y_attrs);
   session.opts = opts;
   session.result.stats.start_us = network_->now_us();
+  CountProto("cover.sessions_started");
+  TraceProto(network_, id_, "session.start", spec.id, -1, 0,
+             static_cast<int64_t>(spec.path_peers.size()));
 
   std::vector<PartitionSummary> own =
       OwnPartitionSummaries(ConstraintsTo(spec.path_peers[1]), /*hop=*/0);
@@ -794,10 +860,16 @@ void PeerNode::IntegrateFinalRows(const FinalRowsMsg& final_rows) {
   int64_t now = network_->now_us();
 
   if (!final_rows.rows.empty()) {
-    if (stats.first_row_us < 0) stats.first_row_us = now;
+    if (stats.first_row_us < 0) {
+      stats.first_row_us = now;
+      TraceProto(network_, id_, "session.first_row", final_rows.session,
+                 static_cast<int64_t>(p), 0,
+                 static_cast<int64_t>(final_rows.rows.size()));
+    }
     if (!stats.partition_first_row_us.count(p)) {
       stats.partition_first_row_us[p] = now;
     }
+    CountProto("cover.final_rows_received", final_rows.rows.size());
     stats.rows_received += final_rows.rows.size();
     FreeTable& cover = session.result.partition_covers[p];
     if (cover.schema().arity() == 0) {
@@ -809,6 +881,10 @@ void PeerNode::IntegrateFinalRows(const FinalRowsMsg& final_rows) {
     session.partition_done[p] = true;
     stats.partition_complete_us[p] = now;
     session.result.partition_satisfiable[p] = final_rows.satisfiable;
+    TraceProto(network_, id_, "partition.complete", final_rows.session,
+               static_cast<int64_t>(p), 0,
+               static_cast<int64_t>(
+                   session.result.partition_covers[p].size()));
     bool all_done = true;
     for (bool done : session.partition_done) all_done = all_done && done;
     if (all_done) FinishSession(&session);
@@ -841,9 +917,20 @@ void PeerNode::FinishSession(InitiatorState* session) {
     result.stats.first_row_us = result.stats.complete_us;
   }
   result.done = true;
+  CountProto("cover.sessions_completed");
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry::Default()
+        .GetHistogram("cover.session_duration_us", obs::LatencyBoundsUs())
+        ->Observe(result.stats.complete_us - result.stats.start_us);
+  }
+  TraceProto(network_, id_, "session.complete", session->spec.id, -1, 0,
+             static_cast<int64_t>(result.stats.rows_received));
 }
 
 void PeerNode::FailSession(SessionId id, const Status& status) {
+  CountProto("cover.sessions_failed");
+  TraceProto(network_, id_, "session.failed", id, -1, -1, 0,
+             status.ToString());
   // Report the failure to the initiator (or record it locally).
   auto it = participant_sessions_.find(id);
   if (it == participant_sessions_.end()) return;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace hyperion {
 
 ThreadedNetwork::~ThreadedNetwork() {
@@ -39,21 +41,35 @@ Status ThreadedNetwork::RegisterPeer(const std::string& id, Handler handler) {
 }
 
 Status ThreadedNetwork::Send(Message msg) {
+  size_t bytes = msg.ByteSize();
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = peers_.find(msg.to);
   if (it == peers_.end()) {
     return Status::NotFound("unknown destination peer '" + msg.to + "'");
   }
+  RecordNetworkSend("threaded", msg, bytes);
   stats_.messages_sent += 1;
-  stats_.bytes_sent += msg.ByteSize();
+  stats_.bytes_sent += bytes;
   stats_.messages_by_type[msg.TypeName()] += 1;
   ++outstanding_;
-  it->second->queue.push_back(std::move(msg));
+  it->second->queue.push_back(QueuedMessage{std::move(msg), now_us()});
   it->second->cv.notify_one();
   return Status::OK();
 }
 
 void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
+  [[maybe_unused]] obs::Histogram* queue_wait_us = nullptr;
+  [[maybe_unused]] obs::Histogram* queue_depth = nullptr;
+  [[maybe_unused]] obs::Histogram* handler_us = nullptr;
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    queue_wait_us = reg.GetHistogram("threaded.queue_wait_us",
+                                     obs::LatencyBoundsUs());
+    queue_depth = reg.GetHistogram("threaded.queue_depth",
+                                   obs::SizeBounds());
+    handler_us = reg.GetHistogram("threaded.handler_us",
+                                  obs::LatencyBoundsUs());
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     worker->cv.wait(lock, [&] {
@@ -63,10 +79,20 @@ void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
       if (stopping_) return;
       continue;
     }
-    Message msg = std::move(worker->queue.front());
+    if constexpr (obs::kMetricsEnabled) {
+      queue_depth->Observe(static_cast<int64_t>(worker->queue.size()));
+    }
+    QueuedMessage queued = std::move(worker->queue.front());
     worker->queue.pop_front();
     lock.unlock();
-    worker->handler(msg);  // may Send(), re-locking mutex_
+    int64_t start_us = now_us();
+    if constexpr (obs::kMetricsEnabled) {
+      queue_wait_us->Observe(start_us - queued.enqueued_us);
+    }
+    worker->handler(queued.msg);  // may Send(), re-locking mutex_
+    if constexpr (obs::kMetricsEnabled) {
+      handler_us->Observe(now_us() - start_us);
+    }
     lock.lock();
     if (--outstanding_ == 0) quiescent_cv_.notify_all();
   }
@@ -118,6 +144,11 @@ int64_t ThreadedNetwork::now_us() const {
 NetworkStats ThreadedNetwork::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void ThreadedNetwork::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = NetworkStats();
 }
 
 }  // namespace hyperion

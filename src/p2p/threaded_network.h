@@ -53,11 +53,16 @@ class ThreadedNetwork : public Network {
   void ChargeCompute(int64_t micros) override { (void)micros; }
 
   NetworkStats stats() const override;
+  void ResetStats() override;
 
  private:
+  struct QueuedMessage {
+    Message msg;
+    int64_t enqueued_us = 0;  // wall, for queue-wait accounting
+  };
   struct PeerWorker {
     Handler handler;
-    std::deque<Message> queue;  // guarded by ThreadedNetwork::mutex_
+    std::deque<QueuedMessage> queue;  // guarded by ThreadedNetwork::mutex_
     std::condition_variable cv;
     std::thread thread;
   };

@@ -5,15 +5,19 @@
 //
 // The cache holds mappings produced but not yet shipped; when it reaches
 // capacity the owner must flush (stream) its contents.  It also tracks how
-// many flushes happened so traffic statistics can be reported.
+// many flushes happened so traffic statistics can be reported, and feeds
+// the observability subsystem (cache.* metrics: flush cadence, flush
+// sizes, current occupancy across all live caches).
 
 #ifndef HYPERION_STORAGE_MAPPING_CACHE_H_
 #define HYPERION_STORAGE_MAPPING_CACHE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
 #include "core/mapping.h"
+#include "obs/metrics.h"
 
 namespace hyperion {
 
@@ -22,7 +26,24 @@ class MappingCache {
  public:
   /// \brief `capacity` is the number of mappings held before a flush is
   /// required; 0 means "flush every mapping immediately".
-  explicit MappingCache(size_t capacity) : capacity_(capacity) {}
+  explicit MappingCache(size_t capacity) : capacity_(capacity) {
+    if constexpr (obs::kMetricsEnabled) {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+      flushes_ = reg.GetCounter("cache.flushes");
+      flushed_rows_ = reg.GetCounter("cache.flushed_rows");
+      flush_size_ = reg.GetHistogram("cache.flush_size", obs::SizeBounds());
+      buffered_ = reg.GetGauge("cache.buffered");
+    }
+  }
+
+  ~MappingCache() {
+    if constexpr (obs::kMetricsEnabled) {
+      buffered_->Add(-static_cast<int64_t>(buffer_.size()));
+    }
+  }
+
+  MappingCache(const MappingCache&) = delete;
+  MappingCache& operator=(const MappingCache&) = delete;
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return buffer_.size(); }
@@ -34,6 +55,7 @@ class MappingCache {
   /// \brief Buffers `m`; returns true when the cache is now due a flush.
   bool Add(Mapping m) {
     buffer_.push_back(std::move(m));
+    if constexpr (obs::kMetricsEnabled) buffered_->Add(1);
     return buffer_.size() >= std::max<size_t>(capacity_, 1);
   }
 
@@ -41,6 +63,12 @@ class MappingCache {
   std::vector<Mapping> Drain() {
     ++flush_count_;
     total_flushed_ += buffer_.size();
+    if constexpr (obs::kMetricsEnabled) {
+      flushes_->Add(1);
+      flushed_rows_->Add(buffer_.size());
+      flush_size_->Observe(static_cast<int64_t>(buffer_.size()));
+      buffered_->Add(-static_cast<int64_t>(buffer_.size()));
+    }
     std::vector<Mapping> out = std::move(buffer_);
     buffer_.clear();
     return out;
@@ -54,6 +82,10 @@ class MappingCache {
   std::vector<Mapping> buffer_;
   size_t flush_count_ = 0;
   size_t total_flushed_ = 0;
+  obs::Counter* flushes_ = nullptr;
+  obs::Counter* flushed_rows_ = nullptr;
+  obs::Histogram* flush_size_ = nullptr;
+  obs::Gauge* buffered_ = nullptr;
 };
 
 }  // namespace hyperion

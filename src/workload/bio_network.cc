@@ -34,6 +34,13 @@ constexpr EdgeSpec kEdges[] = {
 // Per-entity identifier lists in one database.
 using IdLists = std::vector<std::vector<Value>>;
 
+// GCC 12's -Wmaybe-uninitialized fires a false positive inside
+// std::variant's assignment machinery when the Value temporaries below
+// are fully inlined at -O3; scope the suppression to this function.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 IdLists MakeIds(const std::string& db, size_t n, const BioConfig& cfg,
                 Rng* rng) {
   IdLists ids(n);
@@ -60,6 +67,9 @@ IdLists MakeIds(const std::string& db, size_t n, const BioConfig& cfg,
   }
   return ids;
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 

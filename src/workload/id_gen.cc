@@ -18,14 +18,18 @@ std::string Digits(size_t value, int width) {
 }  // namespace
 
 std::string MakeGdbId(size_t idx, size_t alias) {
-  return "GDB:" + Digits(118000 + Slot(idx, alias), 6);
+  // append, not operator+: GCC 12 -Wrestrict false positive at -O2+
+  std::string out = "GDB:";
+  out += Digits(118000 + Slot(idx, alias), 6);
+  return out;
 }
 
 std::string MakeSwissProtId(size_t idx, size_t alias) {
   static constexpr std::array<char, 3> kPrefixes = {'P', 'Q', 'O'};
   size_t slot = Slot(idx, alias);
-  return std::string(1, kPrefixes[slot % kPrefixes.size()]) +
-         Digits(10000 + slot / kPrefixes.size(), 5);
+  std::string out(1, kPrefixes[slot % kPrefixes.size()]);
+  out += Digits(10000 + slot / kPrefixes.size(), 5);
+  return out;
 }
 
 std::string MakeMimId(size_t idx, size_t alias) {
@@ -43,7 +47,10 @@ std::string MakeHugoId(size_t idx, size_t alias) {
     v /= 26;
   }
   sym += std::to_string(idx % 97);
-  if (alias > 0) sym += "-" + std::to_string(alias + 1);
+  if (alias > 0) {
+    sym += "-";
+    sym += std::to_string(alias + 1);
+  }
   return sym;
 }
 

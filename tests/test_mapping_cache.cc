@@ -1,0 +1,73 @@
+// MappingCache: capacity-0 streaming semantics with flush accounting,
+// and the cache.* metrics the cache feeds into the default registry.
+
+#include "storage/mapping_cache.h"
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace hyperion {
+namespace {
+
+Mapping Row(const char* v) { return Mapping::FromTuple({Value(v)}); }
+
+TEST(MappingCacheTest, ZeroCapacityStreamsEveryMapping) {
+  MappingCache cache(0);
+  EXPECT_EQ(cache.capacity(), 0u);
+  // Every Add demands a flush; draining one row at a time mirrors the
+  // "stream immediately" peer configuration.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cache.Add(Row("r")));
+    EXPECT_EQ(cache.Drain().size(), 1u);
+  }
+  EXPECT_EQ(cache.flush_count(), 3u);
+  EXPECT_EQ(cache.total_flushed(), 3u);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(MappingCacheTest, ZeroCapacityIsAlwaysFull) {
+  MappingCache cache(0);
+  EXPECT_TRUE(cache.Full());  // adding anything exceeds a zero budget
+  cache.Add(Row("r"));
+  EXPECT_TRUE(cache.Full());
+}
+
+TEST(MappingCacheTest, FlushAccountingAcrossMultipleCycles) {
+  MappingCache cache(3);
+  size_t flushed = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (cache.Add(Row("r"))) flushed += cache.Drain().size();
+  }
+  EXPECT_EQ(flushed, 6u);             // two full flushes of three
+  EXPECT_EQ(cache.size(), 2u);        // remainder still buffered
+  EXPECT_EQ(cache.flush_count(), 2u);
+  EXPECT_EQ(cache.total_flushed(), 6u);
+}
+
+#if HYPERION_METRICS
+TEST(MappingCacheTest, FeedsCacheMetrics) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  obs::Counter* flushes = reg.GetCounter("cache.flushes");
+  obs::Counter* flushed_rows = reg.GetCounter("cache.flushed_rows");
+  obs::Gauge* buffered = reg.GetGauge("cache.buffered");
+  uint64_t flushes0 = flushes->value();
+  uint64_t rows0 = flushed_rows->value();
+  int64_t buffered0 = buffered->value();
+  {
+    MappingCache cache(2);
+    cache.Add(Row("a"));
+    EXPECT_EQ(buffered->value(), buffered0 + 1);
+    cache.Add(Row("b"));
+    cache.Drain();
+    EXPECT_EQ(flushes->value(), flushes0 + 1);
+    EXPECT_EQ(flushed_rows->value(), rows0 + 2);
+    EXPECT_EQ(buffered->value(), buffered0);
+    cache.Add(Row("c"));  // left buffered at destruction
+  }
+  // The destructor releases still-buffered rows from the gauge.
+  EXPECT_EQ(buffered->value(), buffered0);
+}
+#endif
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,88 @@
+// SessionTracer tests: the enable gate, ring wrap-around with dropped
+// accounting, oldest-first snapshots, and Clear().
+//
+// With HYPERION_METRICS=0 the tracer compiles to a no-op recorder, so
+// recording assertions are gated like the metric ones.
+
+#include "obs/trace.h"
+
+#include "gtest/gtest.h"
+
+namespace hyperion {
+namespace obs {
+namespace {
+
+TraceEvent Ev(int64_t n) {
+  TraceEvent ev;
+  ev.virtual_us = n;
+  ev.session = 1;
+  ev.peer = "P1";
+  ev.kind = "test.event";
+  ev.value = n;
+  return ev;
+}
+
+TEST(SessionTracerTest, DisabledByDefault) {
+  SessionTracer tracer(4);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Record(Ev(1));
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(SessionTracerTest, RecordsWhenEnabled) {
+  SessionTracer tracer(4);
+  tracer.set_enabled(true);
+  tracer.Record(Ev(1));
+  tracer.Record(Ev(2));
+#if HYPERION_METRICS
+  EXPECT_EQ(tracer.recorded(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].value, 1);
+  EXPECT_EQ(events[1].value, 2);
+  EXPECT_EQ(events[0].kind, "test.event");
+  EXPECT_GE(events[1].wall_us, events[0].wall_us);
+#else
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+#endif
+}
+
+TEST(SessionTracerTest, RingOverwritesOldestAndCountsDropped) {
+  SessionTracer tracer(3);
+  tracer.set_enabled(true);
+  for (int64_t n = 1; n <= 5; ++n) tracer.Record(Ev(n));
+#if HYPERION_METRICS
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.dropped(), 2u);  // events 1 and 2 were overwritten
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].value, 3);  // oldest surviving event first
+  EXPECT_EQ(events[1].value, 4);
+  EXPECT_EQ(events[2].value, 5);
+#endif
+}
+
+TEST(SessionTracerTest, ClearEmptiesTheRing) {
+  SessionTracer tracer(3);
+  tracer.set_enabled(true);
+  tracer.Record(Ev(1));
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  tracer.Record(Ev(2));
+#if HYPERION_METRICS
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].value, 2);
+#endif
+}
+
+TEST(SessionTracerTest, DefaultTracerIsProcessWide) {
+  EXPECT_EQ(&SessionTracer::Default(), &SessionTracer::Default());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hyperion

@@ -18,6 +18,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/compose.h"
@@ -25,6 +26,8 @@
 #include "core/curator.h"
 #include "core/infer.h"
 #include "core/semantics.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "storage/csv.h"
 
 namespace hyperion {
@@ -342,6 +345,40 @@ int CmdExport(std::vector<std::string> args) {
   return 0;
 }
 
+int CmdStats(std::vector<std::string> args) {
+  bool csv = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--csv") {
+      csv = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Loading tables exercises the parse/describe paths, so their counters
+  // land in the snapshot printed below.
+  for (const std::string& path : args) {
+    auto table = LoadTable(path);
+    if (!table.ok()) return Fail(table.status().ToString());
+    MappingTable::Stats stats = table.value().Describe();
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    obs::LabelSet labels{{"table", table.value().name()}};
+    reg.GetGauge("cli.table_rows", labels)
+        ->Set(static_cast<int64_t>(stats.rows));
+    reg.GetGauge("cli.table_ground_rows", labels)
+        ->Set(static_cast<int64_t>(stats.ground_rows));
+    reg.GetGauge("cli.table_variable_rows", labels)
+        ->Set(static_cast<int64_t>(stats.variable_rows));
+  }
+  obs::MetricsSnapshot snapshot = obs::MetricRegistry::Default().Snapshot();
+  if (csv) {
+    std::cout << obs::MetricsToCsv(snapshot);
+  } else {
+    std::cout << obs::MetricsToJson(snapshot, 2) << "\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr
       << "hyperion_cli — mapping-table curation (SIGMOD'03 reproduction)\n"
@@ -356,14 +393,15 @@ int Usage() {
          "  diff <a> <b>\n"
          "  co2cc <file> [-o out]\n"
          "  import <out.hmt> <in.csv> [--x-arity N] [--name m]\n"
-         "  export <file.hmt> [-o out.csv]\n";
+         "  export <file.hmt> [-o out.csv]\n"
+         "  stats [--csv] [<file> ...]\n"
+         "global flags:\n"
+         "  --metrics-json=<path>   dump the metric registry after the "
+         "command\n";
   return 1;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+int Dispatch(const std::string& cmd, std::vector<std::string> args) {
   if (cmd == "create") return CmdCreate(std::move(args));
   if (cmd == "show") return CmdShow(args);
   if (cmd == "add") return CmdAdd(args);
@@ -375,7 +413,36 @@ int Run(int argc, char** argv) {
   if (cmd == "co2cc") return CmdCoToCc(std::move(args));
   if (cmd == "import") return CmdImport(std::move(args));
   if (cmd == "export") return CmdExport(std::move(args));
+  if (cmd == "stats") return CmdStats(std::move(args));
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  // --metrics-json=<path> works with every command: after it runs, the
+  // default registry is serialized so scripts can scrape what happened.
+  std::optional<std::string> metrics_path;
+  constexpr std::string_view kFlag = "--metrics-json=";
+  for (auto it = args.begin(); it != args.end();) {
+    if (it->rfind(kFlag, 0) == 0) {
+      metrics_path = it->substr(kFlag.size());
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int rc = Dispatch(cmd, std::move(args));
+  if (metrics_path) {
+    Status s = obs::WriteTextFile(
+        *metrics_path,
+        obs::MetricsToJson(obs::MetricRegistry::Default().Snapshot(), 2) +
+            "\n");
+    if (!s.ok()) return Fail(s.ToString());
+    std::cerr << "metrics written to " << *metrics_path << "\n";
+  }
+  return rc;
 }
 
 }  // namespace
