@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kInconsistent:
       return "Inconsistent";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

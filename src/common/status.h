@@ -26,6 +26,8 @@ enum class StatusCode {
   kInternal = 6,          // invariant violation inside the library
   kIoError = 7,           // filesystem / serialization failure
   kInconsistent = 8,      // a set of mapping constraints is inconsistent
+  kUnavailable = 9,       // a remote peer cannot be reached
+  kDeadlineExceeded = 10,  // an operation ran past its deadline
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Inconsistent(std::string msg) {
     return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,45 @@
+#include "p2p/fault.h"
+
+#include "obs/metrics.h"
+
+namespace hyperion {
+
+void RecordFaultEvent(const char* metric, const char* network_kind) {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricRegistry::Default()
+        .GetCounter(metric, {{"network", network_kind}})
+        ->Add(1);
+  }
+}
+
+FaultInjector::SendDecision FaultInjector::OnSend(const std::string& from,
+                                                  const std::string& to,
+                                                  int64_t depart_us) {
+  SendDecision decision;
+  if (!active_) {
+    decision.copy_jitter_us.push_back(0);
+    return decision;
+  }
+  const FaultPlan::LinkFaults& faults = plan_.ForLink(from, to);
+  for (const auto& [start, end] : faults.outages_us) {
+    if (depart_us >= start && depart_us < end) {
+      decision.dropped = true;
+      return decision;
+    }
+  }
+  if (faults.drop_rate > 0 && rng_.Bernoulli(faults.drop_rate)) {
+    decision.dropped = true;
+    return decision;
+  }
+  size_t copies = 1;
+  if (faults.dup_rate > 0 && rng_.Bernoulli(faults.dup_rate)) copies = 2;
+  for (size_t i = 0; i < copies; ++i) {
+    int64_t jitter = faults.delay_jitter_us > 0
+                         ? rng_.Uniform(0, faults.delay_jitter_us)
+                         : 0;
+    decision.copy_jitter_us.push_back(jitter);
+  }
+  return decision;
+}
+
+}  // namespace hyperion

@@ -72,7 +72,7 @@ size_t Message::ByteSize() const {
     bytes += 16 + EstimateSchemaBytes(batch->schema);
     for (const Mapping& m : batch->rows) bytes += EstimateMappingBytes(m);
   } else if (const auto* final_rows = std::get_if<FinalRowsMsg>(&payload)) {
-    bytes += 18 + EstimateSchemaBytes(final_rows->schema) +
+    bytes += 22 + EstimateSchemaBytes(final_rows->schema) +
              final_rows->error.size();
     for (const Mapping& m : final_rows->rows) {
       bytes += EstimateMappingBytes(m);
@@ -88,6 +88,8 @@ size_t Message::ByteSize() const {
     for (const Tuple& t : hit->tuples) {
       for (const Value& v : t) bytes += EstimateValueBytes(v);
     }
+  } else if (std::get_if<AckMsg>(&payload)) {
+    bytes += 25;  // session + kind + partition + seq
   }
   return bytes;
 }
@@ -110,6 +112,8 @@ const char* Message::TypeName() const {
       return "Search";
     case 7:
       return "SearchHit";
+    case 8:
+      return "Ack";
   }
   return "Unknown";
 }

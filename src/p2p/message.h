@@ -15,6 +15,8 @@
 //                      of partial-cover mappings streamed toward P1.
 //  * FinalRows       — per-partition cover rows delivered to the
 //                      initiator by the partition's terminal peer.
+//  * Ack             — reliability acknowledgement for one sequenced
+//                      session message (peer.h's retransmit layer).
 
 #ifndef HYPERION_P2P_MESSAGE_H_
 #define HYPERION_P2P_MESSAGE_H_
@@ -85,6 +87,10 @@ struct SessionSpec {
   /// (already reduced) tables can produce there; the receiver drops rows
   /// that could never join before computing or streaming anything.
   bool semijoin_filters = false;
+  /// Reliability parameters, carried in the spec so every participant
+  /// retransmits on the same schedule the initiator chose.
+  int64_t retransmit_timeout_us = 500'000;  // initial; doubles per retry
+  int max_retransmits = 5;                  // then the peer is unreachable
 };
 
 /// \brief Information-gathering message (forward pass).
@@ -94,12 +100,16 @@ struct SessionInitMsg {
   /// With spec.semijoin_filters: per receiving-peer attribute, the values
   /// the sender's hop tables can produce (see SessionSpec).
   std::map<std::string, ValueFilter> forward_filters;
+  /// Reliability sequence number, 1-based per sender channel; 0 means
+  /// "unsequenced" (delivered straight to the handler, no ack/dedup).
+  uint64_t seq = 0;
 };
 
 /// \brief The final plan, sent to each participating peer.
 struct ComputePlanMsg {
   SessionSpec spec;
   std::vector<PartitionSummary> partitions;
+  uint64_t seq = 0;  // see SessionInitMsg::seq
 };
 
 /// \brief A streamed batch of partial-cover rows for one partition,
@@ -110,6 +120,7 @@ struct CoverBatchMsg {
   Schema schema;         // schema of `rows`
   std::vector<Mapping> rows;
   bool eos = false;      // no more batches for this partition
+  uint64_t seq = 0;      // see SessionInitMsg::seq
 };
 
 /// \brief Final per-partition cover rows, sent to the initiator.
@@ -121,6 +132,19 @@ struct FinalRowsMsg {
   bool eos = false;
   bool satisfiable = true;  // meaningful on eos (middle-only partitions)
   std::string error;        // nonempty => the session failed at a peer
+  int32_t error_code = 0;   // StatusCode of `error` (0 = unset => Internal)
+  uint64_t seq = 0;         // see SessionInitMsg::seq
+};
+
+/// \brief Acknowledges receipt of one sequenced session message, echoing
+/// the (kind, partition, seq) channel coordinates so the sender can stop
+/// retransmitting it.  Acks themselves are unsequenced: a lost ack just
+/// means a retransmission the receiver's dedup discards.
+struct AckMsg {
+  SessionId session = 0;
+  uint8_t kind = 0;        // ReliableKind of the message being acked
+  uint64_t partition = 0;  // 0 for kinds without a partition
+  uint64_t seq = 0;
 };
 
 /// \brief Gnutella-style value search (§1–§2): a selection query flooded
@@ -152,7 +176,7 @@ struct Message {
   std::string from;
   std::string to;
   std::variant<PingMsg, PongMsg, SessionInitMsg, ComputePlanMsg,
-               CoverBatchMsg, FinalRowsMsg, SearchMsg, SearchHitMsg>
+               CoverBatchMsg, FinalRowsMsg, SearchMsg, SearchHitMsg, AckMsg>
       payload;
 
   /// \brief Estimated wire size in bytes (headers + payload).

@@ -13,6 +13,12 @@
 // arriving at time t at a peer busy until b starts processing at
 // max(t, b); sends issued during the handler depart at the processing
 // start plus the compute time consumed so far.
+//
+// With a FaultPlan installed (SetFaultPlan) the simulator additionally
+// drops, duplicates and jitters messages and discards deliveries to
+// crashed peers — fully deterministically from the plan's seed.  Timers
+// (ScheduleTimer) share the event queue, so timeouts interleave with
+// deliveries in exact virtual-time order.
 
 #ifndef HYPERION_P2P_NETWORK_H_
 #define HYPERION_P2P_NETWORK_H_
@@ -21,10 +27,12 @@
 #include <functional>
 #include <map>
 #include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "p2p/fault.h"
 #include "p2p/message.h"
 #include "p2p/network_interface.h"
 
@@ -64,8 +72,20 @@ class SimNetwork : public Network {
 
   /// \brief Queues `msg` for delivery.  Legal both from inside a handler
   /// (departure time = sender's current virtual time) and from outside
-  /// (departure = current global virtual time).
+  /// (departure = current global virtual time).  With a FaultPlan the
+  /// message may be dropped, duplicated or delayed here.
   Status Send(Message msg) override;
+
+  /// \brief Schedules `cb` on `peer`'s virtual timeline at
+  /// now_us() + delay_us.  Timers are exempt from fault injection but
+  /// are discarded if the peer is inside a crash window when they fire.
+  Result<TimerId> ScheduleTimer(const std::string& peer, int64_t delay_us,
+                                TimerCallback cb) override;
+
+  void CancelTimer(TimerId id) override;
+
+  /// \brief Installs the fault plan (deterministic from plan.seed).
+  void SetFaultPlan(FaultPlan plan) override;
 
   /// \brief Dispatches events until the queue drains.  Returns the final
   /// virtual time.
@@ -90,6 +110,10 @@ class SimNetwork : public Network {
     uint64_t seq;  // FIFO tie-break
     int64_t depart;  // virtual send time, for delivery-latency accounting
     Message msg;
+    // Timer events: fire `timer_cb` at `timer_peer` (msg unused).
+    TimerId timer_id = 0;  // 0 = message event
+    std::string timer_peer;
+    TimerCallback timer_cb;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -100,14 +124,27 @@ class SimNetwork : public Network {
   // Virtual time consumed so far by the currently running handler.
   int64_t CurrentComputeMicros() const;
 
+  // Runs `body` in a handler context for `peer` starting at virtual
+  // `start`, charging `initial_charge_us` (per-message overhead for
+  // deliveries, zero for timer callbacks) plus measured compute to the
+  // peer's clock.
+  template <typename Body>
+  void RunOnPeer(const std::string& peer, int64_t start,
+                 int64_t initial_charge_us, Body&& body);
+
   Options options_;
   std::map<std::string, Handler> peers_;
   std::map<std::string, int64_t> busy_until_;
-  // FIFO guarantee per (from, to) link.
+  // FIFO guarantee per (from, to) link — only while no fault plan is
+  // active (fault jitter deliberately reorders).
   std::map<std::pair<std::string, std::string>, int64_t> last_arrival_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   NetworkStats stats_;
   uint64_t next_seq_ = 0;
+
+  FaultInjector faults_;
+  TimerId next_timer_id_ = 1;
+  std::set<TimerId> cancelled_timers_;
 
   int64_t clock_us_ = 0;           // global virtual clock
   bool in_handler_ = false;

@@ -8,6 +8,13 @@
 //    real wall-clock time, real parallelism.  Demonstrates that the
 //    protocol tolerates true concurrency (per-peer state is only ever
 //    touched by the owning peer's thread).
+//
+// Both transports accept a FaultPlan: a deterministic (seedable)
+// description of message loss, duplication, delay jitter, scripted link
+// outages and peer crash/restart windows.  The fault layer sits below
+// the peers — a dropped message simply never arrives — so the protocol
+// must survive it with its own timeouts and retransmissions, which is
+// what the ScheduleTimer API exists for.
 
 #ifndef HYPERION_P2P_NETWORK_INTERFACE_H_
 #define HYPERION_P2P_NETWORK_INTERFACE_H_
@@ -16,6 +23,8 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "p2p/message.h"
@@ -27,12 +36,86 @@ struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
   std::map<std::string, uint64_t> messages_by_type;
+  // Fault-injection accounting (zero when no FaultPlan is installed).
+  uint64_t drops_injected = 0;       // messages silently discarded
+  uint64_t duplicates_injected = 0;  // extra copies delivered
+  uint64_t crash_discards = 0;       // deliveries to a crashed peer
+  uint64_t timers_fired = 0;         // ScheduleTimer callbacks executed
+};
+
+/// \brief A deterministic description of the faults a network injects.
+///
+/// All probabilities are per message copy; all times are in the owning
+/// network's clock (virtual µs for SimNetwork, wall µs since
+/// construction for ThreadedNetwork).  Given the same seed and the same
+/// send sequence, SimNetwork replays the exact same faults.
+struct FaultPlan {
+  /// \brief Faults applied to one directed link.
+  struct LinkFaults {
+    double drop_rate = 0.0;       // P(message copy vanishes)
+    double dup_rate = 0.0;        // P(an extra copy is delivered)
+    int64_t delay_jitter_us = 0;  // extra delay ~ Uniform[0, jitter]
+    /// Scripted outage windows [start, end) — messages departing inside
+    /// one are dropped (models a link that is down for a while).
+    std::vector<std::pair<int64_t, int64_t>> outages_us;
+
+    bool any() const {
+      return drop_rate > 0 || dup_rate > 0 || delay_jitter_us > 0 ||
+             !outages_us.empty();
+    }
+  };
+
+  /// \brief A peer that dies at crash_at_us and (optionally) comes back
+  /// at restart_at_us (-1 = never).  While down it receives nothing and
+  /// its timers do not fire; in-memory state survives the window (the
+  /// model is an unreachable process, not a wiped disk).
+  struct CrashWindow {
+    int64_t crash_at_us = 0;
+    int64_t restart_at_us = -1;
+  };
+
+  /// Faults for links without a per-link override.
+  LinkFaults default_link;
+  /// Per-(from, to) overrides.
+  std::map<std::pair<std::string, std::string>, LinkFaults> links;
+  /// Scripted peer crashes, by peer id.
+  std::map<std::string, CrashWindow> crashes;
+  /// Seed for the drop/dup/jitter draws.
+  uint64_t seed = 1;
+
+  /// \brief The faults governing the (from → to) link.
+  const LinkFaults& ForLink(const std::string& from,
+                            const std::string& to) const {
+    auto it = links.find({from, to});
+    return it == links.end() ? default_link : it->second;
+  }
+
+  /// \brief Whether `peer` is inside a crash window at time `t_us`.
+  bool PeerDownAt(const std::string& peer, int64_t t_us) const {
+    auto it = crashes.find(peer);
+    if (it == crashes.end()) return false;
+    const CrashWindow& w = it->second;
+    return t_us >= w.crash_at_us &&
+           (w.restart_at_us < 0 || t_us < w.restart_at_us);
+  }
+
+  /// \brief True when the plan can never inject anything.
+  bool empty() const {
+    if (default_link.any() || !crashes.empty()) return false;
+    for (const auto& [link, faults] : links) {
+      (void)link;
+      if (faults.any()) return false;
+    }
+    return true;
+  }
 };
 
 /// \brief Message transport between peers.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
+  using TimerId = uint64_t;
+  using TimerCallback = std::function<void()>;
 
   virtual ~Network() = default;
 
@@ -41,7 +124,26 @@ class Network {
   virtual Status RegisterPeer(const std::string& id, Handler handler) = 0;
 
   /// \brief Queues `msg` for delivery.  Callable from inside handlers.
+  /// Returning OK does NOT imply eventual delivery once a FaultPlan is
+  /// installed — the fault layer may drop the message silently.
   virtual Status Send(Message msg) = 0;
+
+  /// \brief Runs `cb` at `peer` after `delay_us` of this network's time
+  /// (virtual for SimNetwork, wall for ThreadedNetwork).  The callback
+  /// executes like a message handler: on the peer's timeline, never
+  /// concurrently with the peer's other handlers, and not at all while
+  /// the peer is inside a crash window.  Returns an id for CancelTimer.
+  virtual Result<TimerId> ScheduleTimer(const std::string& peer,
+                                        int64_t delay_us,
+                                        TimerCallback cb) = 0;
+
+  /// \brief Cancels a pending timer; no-op when it already fired or was
+  /// already cancelled.
+  virtual void CancelTimer(TimerId id) = 0;
+
+  /// \brief Installs (or replaces) the fault plan.  Faults apply to
+  /// sends issued after the call.
+  virtual void SetFaultPlan(FaultPlan plan) = 0;
 
   /// \brief Time in microseconds — virtual for SimNetwork, wall for
   /// ThreadedNetwork.
@@ -64,6 +166,11 @@ class Network {
 /// network kind).  Shared by both Network implementations.
 void RecordNetworkSend(const char* network_kind, const Message& msg,
                        size_t bytes);
+
+/// \brief Records one injected fault event (`net.drops_injected`,
+/// `net.duplicates_injected`, `net.crash_discards`) labeled by network
+/// kind.  Shared by both Network implementations.
+void RecordFaultEvent(const char* metric, const char* network_kind);
 
 }  // namespace hyperion
 

@@ -159,6 +159,44 @@ Status PeerNode::FloodPing(int ttl) {
 }
 
 void PeerNode::HandleMessage(const Message& msg) {
+  if (std::holds_alternative<AckMsg>(msg.payload)) {
+    OnAck(msg);
+    return;
+  }
+  // Sequenced session messages pass through the reliability layer (ack,
+  // dedup, reorder) first; seq 0 marks unsequenced traffic — discovery,
+  // searches, locally delivered copies — which dispatches directly.
+  uint64_t seq = 0;
+  uint64_t partition = 0;
+  uint8_t kind = 0;
+  SessionId session = 0;
+  if (const auto* init = std::get_if<SessionInitMsg>(&msg.payload)) {
+    seq = init->seq;
+    kind = kRelInit;
+    session = init->spec.id;
+  } else if (const auto* plan = std::get_if<ComputePlanMsg>(&msg.payload)) {
+    seq = plan->seq;
+    kind = kRelPlan;
+    session = plan->spec.id;
+  } else if (const auto* batch = std::get_if<CoverBatchMsg>(&msg.payload)) {
+    seq = batch->seq;
+    kind = kRelBatch;
+    session = batch->session;
+    partition = batch->partition;
+  } else if (const auto* fin = std::get_if<FinalRowsMsg>(&msg.payload)) {
+    seq = fin->seq;
+    kind = kRelFinal;
+    session = fin->session;
+    partition = fin->partition;
+  }
+  if (seq != 0 && msg.from != id_) {
+    AdmitSequenced(msg, kind, session, partition, seq);
+    return;
+  }
+  Dispatch(msg);
+}
+
+void PeerNode::Dispatch(const Message& msg) {
   if (std::holds_alternative<PingMsg>(msg.payload)) {
     OnPing(msg);
   } else if (std::holds_alternative<PongMsg>(msg.payload)) {
@@ -175,6 +213,166 @@ void PeerNode::HandleMessage(const Message& msg) {
     OnSearch(msg);
   } else if (std::holds_alternative<SearchHitMsg>(msg.payload)) {
     OnSearchHit(msg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability layer: ack / retransmit / dedup / reorder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Stamps the channel sequence number into a sequenced payload.
+void SetSeq(Message* msg, uint64_t seq) {
+  if (auto* init = std::get_if<SessionInitMsg>(&msg->payload)) {
+    init->seq = seq;
+  } else if (auto* plan = std::get_if<ComputePlanMsg>(&msg->payload)) {
+    plan->seq = seq;
+  } else if (auto* batch = std::get_if<CoverBatchMsg>(&msg->payload)) {
+    batch->seq = seq;
+  } else if (auto* fin = std::get_if<FinalRowsMsg>(&msg->payload)) {
+    fin->seq = seq;
+  }
+}
+
+}  // namespace
+
+Status PeerNode::SendReliable(SessionId session, uint8_t kind,
+                              uint64_t partition, Message msg,
+                              int64_t timeout_us, int max_retransmits,
+                              const char* phase,
+                              const std::string& initiator) {
+  ChannelKey channel{session, kind, partition, msg.to};
+  uint64_t seq = ++next_send_seq_[channel];
+  SetSeq(&msg, seq);
+  SendKey key{session, kind, partition, msg.to, seq};
+  OutstandingSend& out = outstanding_sends_[key];
+  out.msg = msg;
+  out.attempts = 1;
+  out.timeout_us = timeout_us > 0 ? timeout_us : 1;
+  out.base_timeout_us = out.timeout_us;
+  out.max_retransmits = max_retransmits < 0 ? 0 : max_retransmits;
+  out.phase = phase;
+  out.initiator = initiator;
+  Status sent = network_->Send(std::move(msg));
+  if (!sent.ok()) {
+    outstanding_sends_.erase(key);
+    return sent;
+  }
+  auto timer = network_->ScheduleTimer(
+      id_, out.timeout_us, [this, key] { HandleRetransmitTimer(key); });
+  if (timer.ok()) outstanding_sends_[key].timer = timer.value();
+  return Status::OK();
+}
+
+void PeerNode::HandleRetransmitTimer(const SendKey& key) {
+  auto it = outstanding_sends_.find(key);
+  if (it == outstanding_sends_.end()) return;  // acked in the meantime
+  OutstandingSend& out = it->second;
+  const auto& [session, kind, partition, to, seq] = key;
+  if (out.attempts > out.max_retransmits) {
+    Status status = Status::Unavailable(
+        "peer '" + to + "' unreachable: no ack after " +
+        std::to_string(out.attempts) + " attempts during " + out.phase +
+        " of session " + std::to_string(session));
+    TraceProto(network_, id_, "reliable.unreachable", session,
+               partition == kErrorPartition ? -1
+                                            : static_cast<int64_t>(partition),
+               -1, static_cast<int64_t>(seq), status.ToString());
+    const bool is_failure_report =
+        kind == kRelFinal && partition == kErrorPartition;
+    std::string initiator = out.initiator;
+    int64_t base_timeout = out.base_timeout_us;
+    int max_retransmits = out.max_retransmits;
+    CancelSessionSends(session);  // invalidates `out`
+    if (!is_failure_report) {
+      FailSession(session, status, initiator, base_timeout, max_retransmits);
+    }
+    // A failure report we cannot deliver dies here: the initiator's own
+    // session deadline is the backstop.
+    return;
+  }
+  out.attempts += 1;
+  out.timeout_us *= 2;
+  CountProto("proto.retransmits");
+  TraceProto(network_, id_, "reliable.retransmit", session,
+             partition == kErrorPartition ? -1
+                                          : static_cast<int64_t>(partition),
+             -1, static_cast<int64_t>(seq),
+             "to '" + to + "' attempt " + std::to_string(out.attempts));
+  (void)network_->Send(out.msg);
+  auto timer = network_->ScheduleTimer(
+      id_, out.timeout_us, [this, key] { HandleRetransmitTimer(key); });
+  out.timer = timer.ok() ? timer.value() : 0;
+}
+
+void PeerNode::OnAck(const Message& msg) {
+  const auto& ack = std::get<AckMsg>(msg.payload);
+  SendKey key{ack.session, ack.kind, ack.partition, msg.from, ack.seq};
+  auto it = outstanding_sends_.find(key);
+  if (it == outstanding_sends_.end()) return;  // late or duplicate ack
+  if (it->second.timer != 0) network_->CancelTimer(it->second.timer);
+  outstanding_sends_.erase(it);
+}
+
+void PeerNode::SendAck(const std::string& to, SessionId session,
+                       uint8_t kind, uint64_t partition, uint64_t seq) {
+  AckMsg ack;
+  ack.session = session;
+  ack.kind = kind;
+  ack.partition = partition;
+  ack.seq = seq;
+  (void)network_->Send(Message{id_, to, ack});
+}
+
+void PeerNode::AdmitSequenced(const Message& msg, uint8_t kind,
+                              SessionId session, uint64_t partition,
+                              uint64_t seq) {
+  ChannelKey key{session, kind, partition, msg.from};
+  RecvChannel& channel = recv_channels_[key];
+  if (seq < channel.next_seq) {
+    // Retransmission of something already processed: re-ack (the first
+    // ack may have been lost) and drop.
+    CountProto("net.duplicates_suppressed");
+    SendAck(msg.from, session, kind, partition, seq);
+    return;
+  }
+  if (seq > channel.next_seq) {
+    // Out of order.  Park it — but only ack what we can hold; dropping
+    // an acked message would lose it for good.
+    if (channel.parked.size() >= kMaxReorderPerChannel &&
+        !channel.parked.count(seq)) {
+      CountProto("proto.reorder_dropped");
+      return;  // unacked: the sender will retransmit
+    }
+    channel.parked.emplace(seq, msg);
+    SendAck(msg.from, session, kind, partition, seq);
+    return;
+  }
+  SendAck(msg.from, session, kind, partition, seq);
+  channel.next_seq = seq + 1;
+  Dispatch(msg);
+  // Drain any parked successors now in order.  `channel` stays valid:
+  // recv_channels_ is a std::map and Dispatch never erases from it.
+  auto parked = channel.parked.find(channel.next_seq);
+  while (parked != channel.parked.end()) {
+    Message queued = std::move(parked->second);
+    channel.parked.erase(parked);
+    channel.next_seq += 1;
+    Dispatch(queued);
+    parked = channel.parked.find(channel.next_seq);
+  }
+}
+
+void PeerNode::CancelSessionSends(SessionId session) {
+  for (auto it = outstanding_sends_.begin();
+       it != outstanding_sends_.end();) {
+    if (std::get<0>(it->first) == session) {
+      if (it->second.timer != 0) network_->CancelTimer(it->second.timer);
+      it = outstanding_sends_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -492,7 +690,10 @@ void PeerNode::OnSessionInit(const Message& msg) {
       forward.forward_filters =
           ComputeForwardFilters(own, incoming_filters_[spec.id]);
     }
-    (void)network_->Send(Message{id_, spec.path_peers[k + 1], forward});
+    (void)SendReliable(spec.id, kRelInit, 0,
+                       Message{id_, spec.path_peers[k + 1], forward},
+                       spec.retransmit_timeout_us, spec.max_retransmits,
+                       "information gathering", spec.path_peers[0]);
   }
 }
 
@@ -505,7 +706,10 @@ void PeerNode::DistributePlan(const SessionSpec& spec,
   plan.partitions = std::move(partitions);
   for (size_t i = 0; i + 1 < spec.path_peers.size(); ++i) {
     if (spec.path_peers[i] == id_) continue;  // handled locally below
-    (void)network_->Send(Message{id_, spec.path_peers[i], plan});
+    (void)SendReliable(spec.id, kRelPlan, 0,
+                       Message{id_, spec.path_peers[i], plan},
+                       spec.retransmit_timeout_us, spec.max_retransmits,
+                       "plan distribution", spec.path_peers[0]);
   }
   // Handle our own copy synchronously.
   Message local{id_, id_, plan};
@@ -530,6 +734,7 @@ void PeerNode::OnComputePlan(const Message& msg) {
       InitiatorState& session = init_it->second;
       if (!session.plan_received) {
         session.plan_received = true;
+        session.plan_partitions = plan.partitions;
         size_t k = plan.partitions.size();
         session.result.partition_covers.resize(k);
         session.result.partition_keep_names.resize(k);
@@ -623,13 +828,19 @@ void PeerNode::OnComputePlan(const Message& msg) {
   // Starters begin streaming immediately.
   StartPartitions(&state);
 
-  // Batches that raced ahead of the plan.
-  auto pending = pending_batches_.find(spec.id);
-  if (pending != pending_batches_.end()) {
-    std::vector<Message> stashed = std::move(pending->second);
-    pending_batches_.erase(pending);
-    for (const Message& m : stashed) OnCoverBatch(m);
+  // Batches that raced ahead of the plan, replayed in arrival order.
+  std::vector<Message> stashed;
+  for (auto it = parked_unknown_session_.begin();
+       it != parked_unknown_session_.end();) {
+    const auto* batch = std::get_if<CoverBatchMsg>(&it->payload);
+    if (batch != nullptr && batch->session == spec.id) {
+      stashed.push_back(std::move(*it));
+      it = parked_unknown_session_.erase(it);
+    } else {
+      ++it;
+    }
   }
+  for (const Message& m : stashed) OnCoverBatch(m);
 }
 
 void PeerNode::StartPartitions(ParticipantState* state) {
@@ -736,7 +947,11 @@ Status PeerNode::SendBatch(ParticipantState* state, size_t part_idx,
       IntegrateFinalRows(final_rows);
       return Status::OK();
     }
-    return network_->Send(Message{id_, initiator, std::move(final_rows)});
+    return SendReliable(state->spec.id, kRelFinal, part_idx,
+                        Message{id_, initiator, std::move(final_rows)},
+                        state->spec.retransmit_timeout_us,
+                        state->spec.max_retransmits, "final-row delivery",
+                        initiator);
   }
   CoverBatchMsg batch;
   batch.session = state->spec.id;
@@ -745,17 +960,22 @@ Status PeerNode::SendBatch(ParticipantState* state, size_t part_idx,
   batch.rows = std::move(rows);
   batch.eos = eos;
   const std::string& upstream = state->spec.path_peers[state->my_hop - 1];
-  return network_->Send(Message{id_, upstream, std::move(batch)});
+  return SendReliable(state->spec.id, kRelBatch, part_idx,
+                      Message{id_, upstream, std::move(batch)},
+                      state->spec.retransmit_timeout_us,
+                      state->spec.max_retransmits, "cover streaming",
+                      state->spec.path_peers[0]);
 }
 
 void PeerNode::OnCoverBatch(const Message& msg) {
   const auto& batch = std::get<CoverBatchMsg>(msg.payload);
   auto it = participant_sessions_.find(batch.session);
   if (it == participant_sessions_.end()) {
-    pending_batches_[batch.session].push_back(msg);  // raced ahead of plan
+    ParkUnknownSession(msg);  // raced ahead of plan
     return;
   }
   ParticipantState& state = it->second;
+  if (state.failed) return;  // already reported; ignore the stragglers
   auto ps_it = state.parts.find(batch.partition);
   if (ps_it == state.parts.end() || !ps_it->second.involved) {
     FailSession(state.spec.id,
@@ -805,6 +1025,8 @@ Result<SessionId> PeerNode::StartCoverSession(
   spec.materialize_limit = opts.compose.materialize_limit;
   spec.max_result_rows = opts.compose.max_result_rows;
   spec.semijoin_filters = opts.semijoin_filters;
+  spec.retransmit_timeout_us = opts.retransmit_timeout_us;
+  spec.max_retransmits = opts.max_retransmits;
 
   InitiatorState& session = initiator_sessions_[spec.id];
   session.spec = spec;
@@ -815,6 +1037,15 @@ Result<SessionId> PeerNode::StartCoverSession(
   CountProto("cover.sessions_started");
   TraceProto(network_, id_, "session.start", spec.id, -1, 0,
              static_cast<int64_t>(spec.path_peers.size()));
+
+  // Backstop: whatever goes wrong out there, the session terminates with
+  // a diagnosable error no later than this.
+  if (opts.session_deadline_us > 0) {
+    auto deadline = network_->ScheduleTimer(
+        id_, opts.session_deadline_us,
+        [this, sid = spec.id] { OnSessionDeadline(sid); });
+    if (deadline.ok()) session.deadline_timer = deadline.value();
+  }
 
   std::vector<PartitionSummary> own =
       OwnPartitionSummaries(ConstraintsTo(spec.path_peers[1]), /*hop=*/0);
@@ -828,8 +1059,10 @@ Result<SessionId> PeerNode::StartCoverSession(
       init.forward_filters = ComputeForwardFilters(
           ConstraintsTo(spec.path_peers[1]), {});
     }
-    HYP_RETURN_IF_ERROR(
-        network_->Send(Message{id_, spec.path_peers[1], init}));
+    HYP_RETURN_IF_ERROR(SendReliable(
+        spec.id, kRelInit, 0, Message{id_, spec.path_peers[1], init},
+        spec.retransmit_timeout_us, spec.max_retransmits,
+        "information gathering", id_));
   }
   return spec.id;
 }
@@ -845,8 +1078,13 @@ void PeerNode::IntegrateFinalRows(const FinalRowsMsg& final_rows) {
   if (session.result.done) return;
 
   if (!final_rows.error.empty()) {
-    session.result.done = true;
-    session.result.error = Status::Internal(final_rows.error);
+    // Reconstruct the remote peer's status so the initiator sees the
+    // true failure class (Unavailable, DeadlineExceeded, ...), not a
+    // generic Internal wrapper.
+    StatusCode code = final_rows.error_code == 0
+                          ? StatusCode::kInternal
+                          : static_cast<StatusCode>(final_rows.error_code);
+    MarkInitiatorFailed(&session, Status(code, final_rows.error));
     return;
   }
   if (!session.plan_received) {
@@ -892,6 +1130,10 @@ void PeerNode::IntegrateFinalRows(const FinalRowsMsg& final_rows) {
 }
 
 void PeerNode::FinishSession(InitiatorState* session) {
+  if (session->deadline_timer != 0) {
+    network_->CancelTimer(session->deadline_timer);
+    session->deadline_timer = 0;
+  }
   SessionResult& result = session->result;
   if (session->opts.combine_partitions) {
     std::vector<PartitionCover> covers;
@@ -927,23 +1169,94 @@ void PeerNode::FinishSession(InitiatorState* session) {
              static_cast<int64_t>(result.stats.rows_received));
 }
 
-void PeerNode::FailSession(SessionId id, const Status& status) {
+void PeerNode::MarkInitiatorFailed(InitiatorState* session, Status status) {
+  if (session->result.done) return;
+  session->result.done = true;
+  session->result.error = std::move(status);
+  session->result.stats.complete_us = network_->now_us();
+  if (session->deadline_timer != 0) {
+    network_->CancelTimer(session->deadline_timer);
+    session->deadline_timer = 0;
+  }
+  CancelSessionSends(session->spec.id);
+  auto part_it = participant_sessions_.find(session->spec.id);
+  if (part_it != participant_sessions_.end()) part_it->second.failed = true;
+}
+
+void PeerNode::OnSessionDeadline(SessionId session_id) {
+  auto it = initiator_sessions_.find(session_id);
+  if (it == initiator_sessions_.end()) return;
+  InitiatorState& session = it->second;
+  session.deadline_timer = 0;  // it just fired
+  if (session.result.done) return;
+  CountProto("proto.session_timeouts");
+  std::string detail;
+  if (!session.plan_received) {
+    detail = "no compute plan received (information-gathering phase)";
+  } else {
+    detail = "computation phase; awaiting final rows from";
+    std::vector<std::string> waiting;
+    for (size_t p = 0; p < session.partition_done.size(); ++p) {
+      if (session.partition_done[p]) continue;
+      size_t hop = session.plan_partitions[p].first_hop;
+      if (hop < session.spec.path_peers.size()) {
+        AppendUnique(&waiting, session.spec.path_peers[hop]);
+      }
+    }
+    for (const std::string& w : waiting) detail += " '" + w + "'";
+  }
+  TraceProto(network_, id_, "session.timeout", session_id, -1, 0, 0, detail);
+  MarkInitiatorFailed(
+      &session, Status::DeadlineExceeded(
+                    "session " + std::to_string(session_id) +
+                    " exceeded its deadline: " + detail));
+}
+
+void PeerNode::ParkUnknownSession(const Message& msg) {
+  parked_unknown_session_.push_back(msg);
+  if (parked_unknown_session_.size() > kMaxParkedMessages) {
+    parked_unknown_session_.pop_front();
+    CountProto("proto.parked_evicted");
+  }
+}
+
+void PeerNode::FailSession(SessionId id, const Status& status,
+                           const std::string& initiator_hint,
+                           int64_t timeout_us, int max_retransmits) {
   CountProto("cover.sessions_failed");
   TraceProto(network_, id_, "session.failed", id, -1, -1, 0,
              status.ToString());
-  // Report the failure to the initiator (or record it locally).
-  auto it = participant_sessions_.find(id);
-  if (it == participant_sessions_.end()) return;
-  const std::string& initiator = it->second.spec.path_peers[0];
+  CancelSessionSends(id);
+
+  // Who do we tell?  Participant state knows the spec; otherwise the
+  // caller's hint (taken from the undeliverable message) is all we have.
+  std::string initiator = initiator_hint;
+  auto part_it = participant_sessions_.find(id);
+  if (part_it != participant_sessions_.end()) {
+    part_it->second.failed = true;
+    initiator = part_it->second.spec.path_peers[0];
+    timeout_us = part_it->second.spec.retransmit_timeout_us;
+    max_retransmits = part_it->second.spec.max_retransmits;
+  }
+  if (initiator_sessions_.count(id)) initiator = id_;
+  if (initiator.empty()) return;  // nothing known about this session
+
   FinalRowsMsg final_rows;
   final_rows.session = id;
-  final_rows.error = status.ToString();
+  final_rows.partition = kErrorPartition;
+  final_rows.error = status.message();
+  final_rows.error_code = static_cast<int32_t>(status.code());
   final_rows.eos = true;
   if (initiator == id_) {
     IntegrateFinalRows(final_rows);
-  } else {
-    (void)network_->Send(Message{id_, initiator, std::move(final_rows)});
+    return;
   }
+  if (timeout_us <= 0) timeout_us = SessionSpec{}.retransmit_timeout_us;
+  if (max_retransmits < 0) max_retransmits = SessionSpec{}.max_retransmits;
+  (void)SendReliable(id, kRelFinal, kErrorPartition,
+                     Message{id_, initiator, std::move(final_rows)},
+                     timeout_us, max_retransmits, "failure notification",
+                     initiator);
 }
 
 Result<const SessionResult*> PeerNode::GetResult(SessionId session) const {

@@ -10,11 +10,14 @@
 #ifndef HYPERION_P2P_PEER_H_
 #define HYPERION_P2P_PEER_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/status.h"
@@ -99,6 +102,67 @@ class PeerNode {
   void HandleMessage(const Message& msg);
 
  private:
+  // ---- reliability layer (ack / retransmit / dedup / reorder) ----
+  //
+  // Every protocol-critical message (SessionInit, ComputePlan, CoverBatch,
+  // FinalRows) travels on a *channel* — (session, kind, partition, peer) —
+  // with a 1-based sequence number.  The receiver acks every accepted
+  // copy, suppresses duplicates, and holds out-of-order arrivals in a
+  // bounded reorder buffer so handlers always observe channel order (this
+  // is what keeps covers byte-identical under loss and jitter).  The
+  // sender retransmits with exponential backoff until acked; exhausting
+  // the retries declares the destination unreachable and fails the
+  // session loudly, naming the peer and the phase.
+  enum ReliableKind : uint8_t {
+    kRelInit = 0,
+    kRelPlan = 1,
+    kRelBatch = 2,
+    kRelFinal = 3,
+  };
+  /// Sentinel partition for error-bearing FinalRows (failure reports are
+  /// their own channel, so they cannot collide with data sequences).
+  static constexpr uint64_t kErrorPartition = ~0ull;
+  static constexpr size_t kMaxReorderPerChannel = 1024;
+  static constexpr size_t kMaxParkedMessages = 512;
+
+  // (session, kind, partition, remote peer) — the remote is the
+  // destination on the send side and the source on the receive side.
+  using ChannelKey = std::tuple<SessionId, uint8_t, uint64_t, std::string>;
+  // A channel key plus the sequence number, identifying one send.
+  using SendKey =
+      std::tuple<SessionId, uint8_t, uint64_t, std::string, uint64_t>;
+
+  struct OutstandingSend {
+    Message msg;  // full envelope, seq already stamped
+    int attempts = 0;            // transmissions so far
+    int64_t timeout_us = 0;      // wait before the next retransmission
+    int64_t base_timeout_us = 0;
+    int max_retransmits = 0;
+    Network::TimerId timer = 0;
+    std::string phase;      // human-readable, for failure messages
+    std::string initiator;  // where a failure report must go
+  };
+  struct RecvChannel {
+    uint64_t next_seq = 1;
+    std::map<uint64_t, Message> parked;  // out-of-order, awaiting next_seq
+  };
+
+  // Dispatches `msg` to the protocol handlers (post-reliability).
+  void Dispatch(const Message& msg);
+  // Stamps a sequence number, sends, and arms the retransmit timer.
+  Status SendReliable(SessionId session, uint8_t kind, uint64_t partition,
+                      Message msg, int64_t timeout_us, int max_retransmits,
+                      const char* phase, const std::string& initiator);
+  void HandleRetransmitTimer(const SendKey& key);
+  void OnAck(const Message& msg);
+  // Receive side: ack, dedup, reorder, then Dispatch in channel order.
+  void AdmitSequenced(const Message& msg, uint8_t kind, SessionId session,
+                      uint64_t partition, uint64_t seq);
+  void SendAck(const std::string& to, SessionId session, uint8_t kind,
+               uint64_t partition, uint64_t seq);
+  // Drops every outstanding send of `session` and cancels its timers.
+  void CancelSessionSends(SessionId session);
+
   // ---- information-gathering phase ----
   void OnSessionInit(const Message& msg);
   // Merges upstream partition summaries with this peer's own hop
@@ -127,6 +191,9 @@ class PeerNode {
     std::vector<PartitionSummary> partitions;
     size_t my_hop = 0;
     std::map<size_t, PartState> parts;
+    // The session failed here (or a failure report passed through):
+    // later-arriving batches are acked but ignored.
+    bool failed = false;
   };
   struct InitiatorState {
     SessionSpec spec;
@@ -138,6 +205,10 @@ class PeerNode {
     bool plan_received = false;
     // Final rows that raced ahead of the plan message.
     std::vector<FinalRowsMsg> pending_final;
+    // Plan partitions, kept to name the terminal peers a timed-out
+    // session is still waiting on.
+    std::vector<PartitionSummary> plan_partitions;
+    Network::TimerId deadline_timer = 0;  // 0 = none pending
   };
 
   void OnComputePlan(const Message& msg);
@@ -181,9 +252,21 @@ class PeerNode {
   // Initiator side: integrates final rows, finishes when all EOS'd.
   void IntegrateFinalRows(const FinalRowsMsg& final_rows);
   void FinishSession(InitiatorState* session);
+  // Initiator-side session deadline (SessionOptions::session_deadline_us).
+  void OnSessionDeadline(SessionId session);
+  // Terminates the session at the initiator with `status`: cancels the
+  // deadline timer and pending retransmissions, marks the result done.
+  void MarkInitiatorFailed(InitiatorState* session, Status status);
 
-  // Fails the session (initiator notified out-of-band: same process).
-  void FailSession(SessionId id, const Status& status);
+  // Fails the session, reliably reporting `status` to the initiator.
+  // The hints cover callers that fail before any participant state
+  // exists (e.g. an unreachable next hop during information gathering).
+  void FailSession(SessionId id, const Status& status,
+                   const std::string& initiator_hint = "",
+                   int64_t timeout_us = 0, int max_retransmits = -1);
+  // Bounded FIFO for messages of sessions this peer knows nothing about
+  // yet (racing ahead of the plan); overflow evicts the oldest.
+  void ParkUnknownSession(const Message& msg);
 
   std::string id_;
   AttributeSet attributes_;
@@ -191,8 +274,13 @@ class PeerNode {
   std::map<std::string, std::vector<MappingConstraint>> constraints_;
   std::map<SessionId, ParticipantState> participant_sessions_;
   std::map<SessionId, InitiatorState> initiator_sessions_;
-  // Cover batches that arrived before this peer's ComputePlan message.
-  std::map<SessionId, std::vector<Message>> pending_batches_;
+  // Cover batches that arrived before this peer's ComputePlan message,
+  // bounded by kMaxParkedMessages across all sessions.
+  std::deque<Message> parked_unknown_session_;
+  // Reliability state (see the reliability-layer section above).
+  std::map<ChannelKey, uint64_t> next_send_seq_;
+  std::map<SendKey, OutstandingSend> outstanding_sends_;
+  std::map<ChannelKey, RecvChannel> recv_channels_;
   // Per-session semi-join filters received during information gathering.
   std::map<SessionId, std::map<std::string, ValueFilter>> incoming_filters_;
   std::map<std::string, int> ponged_;

@@ -50,6 +50,17 @@ struct SessionOptions {
   /// combinatorially and consumers usually want the per-partition covers
   /// anyway (the paper's B2B experiment reports those).
   bool combine_partitions = true;
+  /// Reliability: initial ack timeout for sequenced session messages
+  /// (doubles on every retransmission).  Carried in the SessionSpec so
+  /// every participant uses the schedule the initiator chose.
+  int64_t retransmit_timeout_us = 500'000;
+  /// Retransmissions after the first attempt before the destination is
+  /// declared unreachable and the session fails with its name.
+  int max_retransmits = 5;
+  /// Initiator-side deadline: if the session has not completed after this
+  /// much network time, it fails with DeadlineExceeded naming the
+  /// partitions (and their terminal peers) still outstanding.  0 disables.
+  int64_t session_deadline_us = 120'000'000;
 };
 
 /// \brief Timing/traffic outcomes of a session, in virtual microseconds.

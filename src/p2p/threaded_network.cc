@@ -14,11 +14,13 @@ ThreadedNetwork::~ThreadedNetwork() {
       (void)id;
       worker->cv.notify_all();
     }
+    scheduler_cv_.notify_all();
   }
   for (auto& [id, worker] : peers_) {
     (void)id;
     if (worker->thread.joinable()) worker->thread.join();
   }
+  if (scheduler_.joinable()) scheduler_.join();
 }
 
 Status ThreadedNetwork::RegisterPeer(const std::string& id, Handler handler) {
@@ -31,6 +33,7 @@ Status ThreadedNetwork::RegisterPeer(const std::string& id, Handler handler) {
         "cannot register peers while the network is running");
   }
   auto worker = std::make_unique<PeerWorker>();
+  worker->id = id;
   worker->handler = std::move(handler);
   auto [it, inserted] = peers_.emplace(id, std::move(worker));
   (void)it;
@@ -38,6 +41,15 @@ Status ThreadedNetwork::RegisterPeer(const std::string& id, Handler handler) {
     return Status::AlreadyExists("peer '" + id + "' already registered");
   }
   return Status::OK();
+}
+
+void ThreadedNetwork::SetFaultPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.SetPlan(std::move(plan));
+}
+
+void ThreadedNetwork::DecrementOutstanding() {
+  if (--outstanding_ == 0) quiescent_cv_.notify_all();
 }
 
 Status ThreadedNetwork::Send(Message msg) {
@@ -51,10 +63,117 @@ Status ThreadedNetwork::Send(Message msg) {
   stats_.messages_sent += 1;
   stats_.bytes_sent += bytes;
   stats_.messages_by_type[msg.TypeName()] += 1;
-  ++outstanding_;
-  it->second->queue.push_back(QueuedMessage{std::move(msg), now_us()});
-  it->second->cv.notify_one();
+
+  FaultInjector::SendDecision decision =
+      faults_.OnSend(msg.from, msg.to, now_us());
+  if (decision.dropped) {
+    stats_.drops_injected += 1;
+    RecordFaultEvent("net.drops_injected", "threaded");
+    return Status::OK();
+  }
+  const size_t copies = decision.copy_jitter_us.size();
+  if (copies > 1) {
+    stats_.duplicates_injected += copies - 1;
+    RecordFaultEvent("net.duplicates_injected", "threaded");
+  }
+  for (size_t i = 0; i < copies; ++i) {
+    Message copy = (i + 1 == copies) ? std::move(msg) : msg;
+    int64_t jitter = decision.copy_jitter_us[i];
+    ++outstanding_;
+    if (jitter > 0) {
+      // Delayed copies ride the scheduler, then rejoin the worker queue.
+      PendingEntry entry;
+      entry.peer = copy.to;
+      entry.msg = std::move(copy);
+      entry.is_message = true;
+      pending_.emplace(now_us() + jitter, std::move(entry));
+      scheduler_cv_.notify_all();
+    } else {
+      QueuedMessage queued;
+      queued.msg = std::move(copy);
+      queued.enqueued_us = now_us();
+      it->second->queue.push_back(std::move(queued));
+      it->second->cv.notify_one();
+    }
+  }
   return Status::OK();
+}
+
+Result<Network::TimerId> ThreadedNetwork::ScheduleTimer(
+    const std::string& peer, int64_t delay_us, TimerCallback cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!peers_.count(peer)) {
+    return Status::NotFound("unknown timer peer '" + peer + "'");
+  }
+  if (delay_us < 0) {
+    return Status::InvalidArgument("timer delay must be >= 0");
+  }
+  PendingEntry entry;
+  entry.id = next_timer_id_++;
+  entry.peer = peer;
+  entry.cb = std::move(cb);
+  TimerId id = entry.id;
+  live_timers_.insert(id);
+  ++outstanding_;
+  pending_.emplace(now_us() + delay_us, std::move(entry));
+  scheduler_cv_.notify_all();
+  return id;
+}
+
+void ThreadedNetwork::CancelTimer(TimerId id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!live_timers_.count(id)) return;  // already ran (or never existed)
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->second.id == id) {
+      pending_.erase(it);
+      live_timers_.erase(id);
+      DecrementOutstanding();
+      return;
+    }
+  }
+  // Already moved to a worker queue: mark it so the worker skips the
+  // callback when it gets there.
+  cancelled_timers_.insert(id);
+}
+
+void ThreadedNetwork::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (pending_.empty()) {
+      scheduler_cv_.wait(lock,
+                         [&] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    int64_t due = pending_.begin()->first;
+    if (now_us() < due) {
+      scheduler_cv_.wait_until(lock,
+                               epoch_ + std::chrono::microseconds(due));
+      continue;  // re-evaluate: earlier timer, cancellation, or stop
+    }
+    while (!pending_.empty() && pending_.begin()->first <= now_us()) {
+      PendingEntry entry = std::move(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      auto it = peers_.find(entry.peer);
+      if (it == peers_.end()) {  // unregistered peers are checked earlier
+        DecrementOutstanding();
+        continue;
+      }
+      QueuedMessage queued;
+      queued.enqueued_us = now_us();
+      if (entry.is_message) {
+        queued.msg = std::move(entry.msg);
+      } else {
+        queued.timer_id = entry.id;
+        queued.timer_cb = std::move(entry.cb);
+      }
+      it->second->queue.push_back(std::move(queued));
+      it->second->cv.notify_one();
+      // outstanding_ carries over from the pending entry to the queue
+      // entry, so quiescence still waits for it.
+    }
+  }
 }
 
 void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
@@ -84,6 +203,29 @@ void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
     }
     QueuedMessage queued = std::move(worker->queue.front());
     worker->queue.pop_front();
+    if (faults_.PeerDownAt(worker->id, now_us())) {
+      stats_.crash_discards += 1;
+      RecordFaultEvent("net.crash_discards", "threaded");
+      if (queued.timer_id != 0) {
+        live_timers_.erase(queued.timer_id);
+        cancelled_timers_.erase(queued.timer_id);
+      }
+      DecrementOutstanding();
+      continue;
+    }
+    if (queued.timer_id != 0) {
+      live_timers_.erase(queued.timer_id);
+      if (cancelled_timers_.erase(queued.timer_id) > 0) {
+        DecrementOutstanding();
+        continue;
+      }
+      stats_.timers_fired += 1;
+      lock.unlock();
+      queued.timer_cb();  // may Send()/ScheduleTimer(), re-locking mutex_
+      lock.lock();
+      DecrementOutstanding();
+      continue;
+    }
     lock.unlock();
     int64_t start_us = now_us();
     if constexpr (obs::kMetricsEnabled) {
@@ -94,7 +236,7 @@ void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
       handler_us->Observe(now_us() - start_us);
     }
     lock.lock();
-    if (--outstanding_ == 0) quiescent_cv_.notify_all();
+    DecrementOutstanding();
   }
 }
 
@@ -112,6 +254,7 @@ Result<int64_t> ThreadedNetwork::Run() {
     (void)id;
     worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
   }
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
   {
     std::unique_lock<std::mutex> lock(mutex_);
     quiescent_cv_.wait(lock, [&] { return outstanding_ == 0; });
@@ -120,12 +263,15 @@ Result<int64_t> ThreadedNetwork::Run() {
       (void)id;
       worker->cv.notify_all();
     }
+    scheduler_cv_.notify_all();
   }
   for (auto& [id, worker] : peers_) {
     (void)id;
     worker->thread.join();
     worker->thread = std::thread();
   }
+  scheduler_.join();
+  scheduler_ = std::thread();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     running_ = false;

@@ -6,8 +6,16 @@
 // thread, one message at a time, so per-peer state needs no locking (the
 // same invariant the single-threaded simulator provides).  Send() may be
 // called from any thread.  Run() drives the network to quiescence: it
-// returns once every queued message, and every message those handlers
-// sent, has been fully processed.
+// returns once every queued message, every message those handlers sent,
+// and every pending timer has been fully processed or cancelled.
+//
+// Timers (ScheduleTimer) and fault-jittered deliveries are driven by a
+// scheduler thread that Run() spawns alongside the workers; when due they
+// are routed through the target peer's worker queue, preserving the
+// one-handler-at-a-time invariant.  Fault decisions (drop / duplicate /
+// jitter) are drawn from the same seeded FaultInjector the simulator
+// uses, though thread interleaving makes the draw *sequence* — and hence
+// the exact outcome — nondeterministic here.
 
 #ifndef HYPERION_P2P_THREADED_NETWORK_H_
 #define HYPERION_P2P_THREADED_NETWORK_H_
@@ -19,11 +27,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "p2p/fault.h"
 #include "p2p/network_interface.h"
 
 namespace hyperion {
@@ -40,10 +50,25 @@ class ThreadedNetwork : public Network {
   Status RegisterPeer(const std::string& id, Handler handler) override;
 
   /// \brief Thread-safe; callable before Run() and from inside handlers.
+  /// With a FaultPlan installed the message may be dropped, duplicated
+  /// or delayed here.
   Status Send(Message msg) override;
 
-  /// \brief Spawns the workers, waits for quiescence (no queued and no
-  /// in-flight messages), stops them, and returns elapsed wall µs.
+  /// \brief Schedules `cb` on `peer`'s worker after `delay_us` of wall
+  /// time.  A pending timer counts against quiescence, so Run() does not
+  /// return while one is outstanding — cancel timers you no longer need.
+  Result<TimerId> ScheduleTimer(const std::string& peer, int64_t delay_us,
+                                TimerCallback cb) override;
+
+  void CancelTimer(TimerId id) override;
+
+  /// \brief Installs the fault plan.  Applies to sends issued after the
+  /// call; thread-safe.
+  void SetFaultPlan(FaultPlan plan) override;
+
+  /// \brief Spawns the workers and the timer scheduler, waits for
+  /// quiescence (no queued messages, no in-flight handlers, no pending
+  /// timers), stops them, and returns elapsed wall µs.
   Result<int64_t> Run();
 
   /// \brief Wall-clock µs since this network was constructed.
@@ -59,23 +84,50 @@ class ThreadedNetwork : public Network {
   struct QueuedMessage {
     Message msg;
     int64_t enqueued_us = 0;  // wall, for queue-wait accounting
+    // Timer entries: run `timer_cb` instead of delivering `msg`.
+    TimerId timer_id = 0;  // 0 = message entry
+    TimerCallback timer_cb;
   };
   struct PeerWorker {
+    std::string id;
     Handler handler;
     std::deque<QueuedMessage> queue;  // guarded by ThreadedNetwork::mutex_
     std::condition_variable cv;
     std::thread thread;
   };
+  // A not-yet-due timer or fault-delayed message delivery, held by the
+  // scheduler until `due_us`, then moved onto the peer's worker queue.
+  struct PendingEntry {
+    TimerId id = 0;  // 0 for delayed message deliveries
+    std::string peer;
+    TimerCallback cb;
+    Message msg;
+    bool is_message = false;
+  };
 
   void WorkerLoop(PeerWorker* worker);
+  void SchedulerLoop();
+  void DecrementOutstanding();  // callers hold mutex_
 
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<PeerWorker>> peers_;
   std::condition_variable quiescent_cv_;
-  int64_t outstanding_ = 0;  // queued + currently-handled messages
+  // Queued + currently-handled messages + pending/not-yet-run timers.
+  int64_t outstanding_ = 0;
   bool stopping_ = false;
   bool running_ = false;
   NetworkStats stats_;
+
+  FaultInjector faults_;                          // guarded by mutex_
+  std::multimap<int64_t, PendingEntry> pending_;  // keyed by due wall µs
+  std::condition_variable scheduler_cv_;
+  std::thread scheduler_;
+  TimerId next_timer_id_ = 1;
+  // Timers that exist but have not yet run their callback (pending or on
+  // a worker queue), and those cancelled after moving to a worker queue.
+  std::set<TimerId> live_timers_;
+  std::set<TimerId> cancelled_timers_;
+
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "test_util.h"
 
 namespace hyperion {
@@ -180,6 +182,154 @@ TEST(SimNetworkTest, BusyPeerSerializesHandlers) {
   ASSERT_EQ(starts.size(), 2u);
   // Second handler cannot start before the first one's 1000us of work end.
   EXPECT_GE(starts[1], starts[0] + 1000);
+}
+
+TEST(SimNetworkTest, TimersFireInDelayOrderOnVirtualClock) {
+  SimNetwork net;
+  ASSERT_TRUE(net.RegisterPeer("a", [](const Message&) {}).ok());
+  std::vector<int> order;
+  int64_t first_fired_at = -1;
+  auto late = net.ScheduleTimer("a", 2000, [&] { order.push_back(2); });
+  auto early = net.ScheduleTimer("a", 1000, [&] {
+    order.push_back(1);
+    first_fired_at = net.now_us();
+  });
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(early.ok());
+  auto end_time = net.Run();
+  ASSERT_TRUE(end_time.ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GE(first_fired_at, 1000);
+  EXPECT_LT(first_fired_at, 2000);
+  EXPECT_EQ(net.stats().timers_fired, 2u);
+}
+
+TEST(SimNetworkTest, TimerValidation) {
+  SimNetwork net;
+  ASSERT_TRUE(net.RegisterPeer("a", [](const Message&) {}).ok());
+  EXPECT_FALSE(net.ScheduleTimer("nobody", 100, [] {}).ok());
+  EXPECT_FALSE(net.ScheduleTimer("a", -1, [] {}).ok());
+}
+
+TEST(SimNetworkTest, CancelledTimerNeverFires) {
+  SimNetwork net;
+  ASSERT_TRUE(net.RegisterPeer("a", [](const Message&) {}).ok());
+  bool cancelled_fired = false;
+  bool kept_fired = false;
+  auto doomed = net.ScheduleTimer("a", 1000, [&] { cancelled_fired = true; });
+  auto kept = net.ScheduleTimer("a", 2000, [&] { kept_fired = true; });
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(kept.ok());
+  net.CancelTimer(doomed.value());
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_TRUE(kept_fired);
+  EXPECT_EQ(net.stats().timers_fired, 1u);
+  net.CancelTimer(kept.value());  // after firing: a no-op, not a crash
+}
+
+TEST(SimNetworkTest, TimerCallbackRunsOnPeerTimelineAndCanSend) {
+  SimNetwork::Options opts;
+  opts.latency_us = 100;
+  opts.us_per_byte = 0.0;
+  SimNetwork net(opts);
+  int64_t seen_at = -1;
+  ASSERT_TRUE(net.RegisterPeer("rx", [&](const Message&) {
+                    seen_at = net.now_us();
+                  })
+                  .ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  ASSERT_TRUE(net.ScheduleTimer("tx", 5000, [&] {
+                    ASSERT_TRUE(
+                        net.Send(Message{"tx", "rx", MakePing(1)}).ok());
+                  })
+                  .ok());
+  ASSERT_TRUE(net.Run().ok());
+  // Sent from the timer at t=5000 plus 100us of link latency.
+  EXPECT_GE(seen_at, 5100);
+}
+
+TEST(SimNetworkTest, FaultPlanDropsAndDuplicatesDeterministically) {
+  auto run_once = [](uint64_t seed) {
+    SimNetwork net;
+    int received = 0;
+    EXPECT_TRUE(
+        net.RegisterPeer("rx", [&](const Message&) { ++received; }).ok());
+    EXPECT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.default_link.drop_rate = 0.3;
+    plan.default_link.dup_rate = 0.3;
+    net.SetFaultPlan(plan);
+    for (uint64_t i = 0; i < 50; ++i) {
+      EXPECT_TRUE(net.Send(Message{"tx", "rx", MakePing(i)}).ok());
+    }
+    EXPECT_TRUE(net.Run().ok());
+    NetworkStats stats = net.stats();
+    return std::tuple<int, uint64_t, uint64_t>{received, stats.drops_injected,
+                                               stats.duplicates_injected};
+  };
+  auto [received, drops, dups] = run_once(7);
+  EXPECT_GT(drops, 0u);
+  EXPECT_GT(dups, 0u);
+  // Every copy is either dropped or delivered.
+  EXPECT_EQ(static_cast<uint64_t>(received), 50 + dups - drops);
+  EXPECT_EQ(run_once(7), run_once(7));
+}
+
+TEST(SimNetworkTest, ScriptedOutageDropsOnlyDeparturesInsideWindow) {
+  SimNetwork::Options opts;
+  opts.latency_us = 100;
+  opts.us_per_byte = 0.0;
+  SimNetwork net(opts);
+  int received = 0;
+  ASSERT_TRUE(
+      net.RegisterPeer("rx", [&](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  FaultPlan plan;
+  plan.default_link.outages_us.push_back({0, 5000});
+  net.SetFaultPlan(plan);
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", MakePing(1)}).ok());  // t=0: down
+  ASSERT_TRUE(net.ScheduleTimer("tx", 10'000, [&] {              // t=10ms: up
+                    ASSERT_TRUE(
+                        net.Send(Message{"tx", "rx", MakePing(2)}).ok());
+                  })
+                  .ok());
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.stats().drops_injected, 1u);
+}
+
+TEST(SimNetworkTest, CrashWindowDiscardsDeliveriesAndTimersUntilRestart) {
+  SimNetwork::Options opts;
+  opts.latency_us = 100;
+  opts.us_per_byte = 0.0;
+  SimNetwork net(opts);
+  int received = 0;
+  bool dead_timer_fired = false;
+  ASSERT_TRUE(
+      net.RegisterPeer("rx", [&](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  FaultPlan plan;
+  plan.crashes["rx"] = {0, 50'000};  // down for the first 50ms
+  net.SetFaultPlan(plan);
+  // Arrives at ~100us, inside the window: discarded.
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", MakePing(1)}).ok());
+  // A timer on the crashed peer is discarded too.
+  ASSERT_TRUE(net.ScheduleTimer("rx", 1000, [&] {
+                    dead_timer_fired = true;
+                  })
+                  .ok());
+  // Sent after the restart: delivered.
+  ASSERT_TRUE(net.ScheduleTimer("tx", 60'000, [&] {
+                    ASSERT_TRUE(
+                        net.Send(Message{"tx", "rx", MakePing(2)}).ok());
+                  })
+                  .ok());
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_EQ(received, 1);
+  EXPECT_FALSE(dead_timer_fired);
+  EXPECT_EQ(net.stats().crash_discards, 2u);
 }
 
 }  // namespace

@@ -189,5 +189,145 @@ TEST(ThreadedNetworkTest, ValueSearchWorks) {
   EXPECT_TRUE(state.value()->hits.count("Hugo"));  // local data always hits
 }
 
+TEST(ThreadedNetworkTest, TimersFireAndCancelOnWallClock) {
+  ThreadedNetwork net;
+  ASSERT_TRUE(net.RegisterPeer("a", [](const Message&) {}).ok());
+  std::atomic<bool> fired{false};
+  std::atomic<bool> cancelled_fired{false};
+  auto kept = net.ScheduleTimer("a", 2000, [&] { fired = true; });
+  auto doomed = net.ScheduleTimer("a", 2000, [&] { cancelled_fired = true; });
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(doomed.ok());
+  EXPECT_FALSE(net.ScheduleTimer("nobody", 100, [] {}).ok());
+  EXPECT_FALSE(net.ScheduleTimer("a", -5, [] {}).ok());
+  net.CancelTimer(doomed.value());
+  ASSERT_TRUE(net.Run().ok());  // quiescence waits for the pending timer
+  EXPECT_TRUE(fired.load());
+  EXPECT_FALSE(cancelled_fired.load());
+  EXPECT_EQ(net.stats().timers_fired, 1u);
+}
+
+TEST(ThreadedNetworkTest, TimerCallbackCanSend) {
+  ThreadedNetwork net;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(
+      net.RegisterPeer("rx", [&](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  ASSERT_TRUE(net.ScheduleTimer("tx", 1000, [&] {
+                    PingMsg ping;
+                    ASSERT_TRUE(net.Send(Message{"tx", "rx", ping}).ok());
+                  })
+                  .ok());
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(ThreadedNetworkTest, FaultPlanDropsAndDuplicates) {
+  ThreadedNetwork net;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(
+      net.RegisterPeer("rx", [&](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  PingMsg ping;
+  FaultPlan drop_all;
+  drop_all.default_link.drop_rate = 1.0;
+  net.SetFaultPlan(drop_all);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(net.Send(Message{"tx", "rx", ping}).ok());  // OK, but lost
+  }
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(net.stats().drops_injected, 5u);
+
+  FaultPlan dup_all;
+  dup_all.default_link.dup_rate = 1.0;
+  dup_all.default_link.delay_jitter_us = 1000;
+  net.SetFaultPlan(dup_all);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(net.Send(Message{"tx", "rx", ping}).ok());
+  }
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_EQ(received.load(), 6);
+  EXPECT_EQ(net.stats().duplicates_injected, 3u);
+}
+
+TEST(ThreadedNetworkTest, CrashedPeerDiscardsDeliveries) {
+  ThreadedNetwork net;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(
+      net.RegisterPeer("rx", [&](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(net.RegisterPeer("tx", [](const Message&) {}).ok());
+  FaultPlan plan;
+  plan.crashes["rx"] = {0, -1};
+  net.SetFaultPlan(plan);
+  PingMsg ping;
+  ASSERT_TRUE(net.Send(Message{"tx", "rx", ping}).ok());
+  ASSERT_TRUE(net.Run().ok());
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_GE(net.stats().crash_discards, 1u);
+}
+
+TEST(ThreadedNetworkTest, CoverSessionSurvivesDropsAndDuplicates) {
+  // The acceptance run for the reliability layer under true concurrency:
+  // real threads, lossy links, and the cover must still come out
+  // semantically identical to the fault-free simulation.  Short
+  // retransmit timeouts keep wall time in check (these are real ms).
+  BioConfig config;
+  config.num_entities = 100;
+  auto workload = BioWorkload::Generate(config);
+  ASSERT_TRUE(workload.ok());
+
+  SimNetwork sim;
+  auto sim_peers = workload.value().BuildPeers().value();
+  std::map<std::string, PeerNode*> sim_by_id;
+  for (auto& p : sim_peers) {
+    ASSERT_TRUE(p->Attach(&sim).ok());
+    sim_by_id[p->id()] = p.get();
+  }
+  auto sim_session = sim_by_id.at("Hugo")->StartCoverSession(
+      {"Hugo", "Locus", "GDB", "SwissProt", "MIM"},
+      {Attribute::String("Hugo_id")}, {Attribute::String("MIM_id")});
+  ASSERT_TRUE(sim_session.ok());
+  ASSERT_TRUE(sim.Run().ok());
+  auto sim_result = sim_by_id.at("Hugo")->GetResult(sim_session.value());
+  ASSERT_TRUE(sim_result.ok());
+  ASSERT_TRUE(sim_result.value()->error.ok()) << sim_result.value()->error;
+  MappingTable sim_cover = sim_result.value()->cover;
+
+  ThreadedNetwork net;
+  auto peers = workload.value().BuildPeers().value();
+  std::map<std::string, PeerNode*> by_id;
+  for (auto& p : peers) {
+    ASSERT_TRUE(p->Attach(&net).ok());
+    by_id[p->id()] = p.get();
+  }
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.default_link.drop_rate = 0.08;
+  plan.default_link.dup_rate = 0.04;
+  plan.default_link.delay_jitter_us = 2000;
+  net.SetFaultPlan(plan);
+  SessionOptions opts;
+  opts.retransmit_timeout_us = 20'000;  // wall ms, not virtual: keep short
+  auto session = by_id.at("Hugo")->StartCoverSession(
+      {"Hugo", "Locus", "GDB", "SwissProt", "MIM"},
+      {Attribute::String("Hugo_id")}, {Attribute::String("MIM_id")}, opts);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(net.Run().ok());
+  auto result = by_id.at("Hugo")->GetResult(session.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value()->done) << "session did not terminate";
+  // Under random loss an attributed failure is legal (the retransmit
+  // budget is finite); a completed session must match the simulation.
+  if (result.value()->error.ok()) {
+    auto equivalent = TablesEquivalent(sim_cover, result.value()->cover);
+    ASSERT_TRUE(equivalent.ok());
+    EXPECT_TRUE(equivalent.value())
+        << "sim " << sim_cover.size() << " rows vs threaded "
+        << result.value()->cover.size();
+  }
+  EXPECT_GT(net.stats().drops_injected, 0u);
+}
+
 }  // namespace
 }  // namespace hyperion

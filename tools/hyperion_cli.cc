@@ -28,7 +28,10 @@
 #include "core/semantics.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "p2p/network.h"
+#include "p2p/peer.h"
 #include "storage/csv.h"
+#include "workload/bio_network.h"
 
 namespace hyperion {
 namespace {
@@ -345,6 +348,47 @@ int CmdExport(std::vector<std::string> args) {
   return 0;
 }
 
+// Runs the built-in bio-workload cover session on a simulated network
+// with the requested faults injected, so the reliability counters
+// (proto.retransmits, proto.session_timeouts, net.drops_injected,
+// net.duplicates_suppressed, ...) land in the stats snapshot.
+int RunFaultSession(double drop_rate, double dup_rate, uint64_t seed) {
+  BioConfig config;
+  config.num_entities = 300;
+  auto workload = BioWorkload::Generate(config);
+  if (!workload.ok()) return Fail(workload.status().ToString());
+  auto peers = workload.value().BuildPeers();
+  if (!peers.ok()) return Fail(peers.status().ToString());
+  SimNetwork net;
+  for (auto& p : peers.value()) {
+    if (Status s = p->Attach(&net); !s.ok()) return Fail(s.ToString());
+  }
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_link.drop_rate = drop_rate;
+  plan.default_link.dup_rate = dup_rate;
+  net.SetFaultPlan(plan);
+  PeerNode* hugo = nullptr;
+  for (auto& p : peers.value()) {
+    if (p->id() == "Hugo") hugo = p.get();
+  }
+  if (hugo == nullptr) return Fail("bio workload has no Hugo peer");
+  auto session = hugo->StartCoverSession(
+      {"Hugo", "Locus", "GDB", "SwissProt", "MIM"},
+      {Attribute::String("Hugo_id")}, {Attribute::String("MIM_id")});
+  if (!session.ok()) return Fail(session.status().ToString());
+  if (auto run = net.Run(); !run.ok()) return Fail(run.status().ToString());
+  auto result = hugo->GetResult(session.value());
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::cerr << "fault session (drop " << drop_rate << ", dup " << dup_rate
+            << ", seed " << seed << "): "
+            << (result.value()->error.ok() ? "completed"
+                                           : result.value()->error.ToString())
+            << "; " << net.stats().drops_injected << " drops injected, "
+            << net.stats().timers_fired << " timers fired\n";
+  return 0;
+}
+
 int CmdStats(std::vector<std::string> args) {
   bool csv = false;
   for (auto it = args.begin(); it != args.end();) {
@@ -354,6 +398,16 @@ int CmdStats(std::vector<std::string> args) {
     } else {
       ++it;
     }
+  }
+  auto drop_rate = TakeValueFlag(&args, "--drop-rate");
+  auto dup_rate = TakeValueFlag(&args, "--dup-rate");
+  auto fault_seed = TakeValueFlag(&args, "--fault-seed");
+  if (drop_rate || dup_rate || fault_seed) {
+    int rc = RunFaultSession(
+        drop_rate ? std::strtod(drop_rate->c_str(), nullptr) : 0.0,
+        dup_rate ? std::strtod(dup_rate->c_str(), nullptr) : 0.0,
+        fault_seed ? std::strtoull(fault_seed->c_str(), nullptr, 10) : 1);
+    if (rc != 0) return rc;
   }
   // Loading tables exercises the parse/describe paths, so their counters
   // land in the snapshot printed below.
@@ -395,6 +449,9 @@ int Usage() {
          "  import <out.hmt> <in.csv> [--x-arity N] [--name m]\n"
          "  export <file.hmt> [-o out.csv]\n"
          "  stats [--csv] [<file> ...]\n"
+         "        [--drop-rate P] [--dup-rate P] [--fault-seed N]\n"
+         "        with a fault flag, first runs a simulated cover session\n"
+         "        under those faults so retransmit/timeout counters show\n"
          "global flags:\n"
          "  --metrics-json=<path>   dump the metric registry after the "
          "command\n";
