@@ -28,6 +28,7 @@ enum class StatusCode {
   kInconsistent = 8,      // a set of mapping constraints is inconsistent
   kUnavailable = 9,       // a remote peer cannot be reached
   kDeadlineExceeded = 10,  // an operation ran past its deadline
+  kResourceExhausted = 11,  // a bounded resource (queue, pool) is full
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -74,6 +75,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

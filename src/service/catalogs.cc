@@ -1,0 +1,30 @@
+#include "service/catalogs.h"
+
+#include <utility>
+
+namespace hyperion {
+
+Result<ServiceCatalog> BuildBioCatalog(const BioConfig& config) {
+  HYP_ASSIGN_OR_RETURN(BioWorkload workload, BioWorkload::Generate(config));
+  ServiceCatalog catalog;
+  catalog.store = std::make_unique<TableStore>();
+  for (const auto& [name, table] : workload.tables()) {
+    (void)name;
+    HYP_RETURN_IF_ERROR(catalog.store->Put(*table));  // copies once, at setup
+  }
+  for (const std::string& db : BioWorkload::DatabaseNames()) {
+    PeerSpec spec;
+    spec.id = db;
+    spec.attributes = workload.AttrsOf(db);
+    for (const std::string& other : BioWorkload::DatabaseNames()) {
+      if (other == db) continue;
+      auto table = workload.TableBetween(db, other);
+      if (!table.ok()) continue;  // Figure 9 lists no edge here
+      spec.tables_to[other].push_back(table.value()->name());
+    }
+    catalog.peers.push_back(std::move(spec));
+  }
+  return catalog;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,34 @@
+// Demo-workload glue: builds a TableStore + PeerSpec catalog for the
+// QueryService from the synthetic workload generators, so the CLI, the
+// benches, and the tests can stand up a served network in one call.
+// Production embedders construct their own PeerSpecs over their own
+// store; nothing in the service core depends on this header.
+
+#ifndef HYPERION_SERVICE_CATALOGS_H_
+#define HYPERION_SERVICE_CATALOGS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "service/query_service.h"
+#include "storage/table_store.h"
+#include "workload/bio_network.h"
+
+namespace hyperion {
+
+/// \brief A served network's static description: the shared table
+/// catalog (curators mutate it; the service reads it) plus the peers.
+struct ServiceCatalog {
+  std::unique_ptr<TableStore> store;
+  std::vector<PeerSpec> peers;
+};
+
+/// \brief The paper's six-database biological network (workload/
+/// bio_network.h) as a service catalog: every Figure 9 table goes into
+/// the store, every database becomes a peer holding its outgoing tables.
+Result<ServiceCatalog> BuildBioCatalog(const BioConfig& config = {});
+
+}  // namespace hyperion
+
+#endif  // HYPERION_SERVICE_CATALOGS_H_

@@ -1,0 +1,57 @@
+#include "service/cover_cache.h"
+
+namespace hyperion {
+
+std::shared_ptr<const MappingTable> CoverCache::Lookup(
+    const std::string& key, const TableVersions& current) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.versions != current) {
+    // A participating table's version moved: the entry can never be
+    // served again, so reclaim it immediately.
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++stats_.hits;
+  return it->second.cover;
+}
+
+void CoverCache::Insert(const std::string& key, TableVersions versions,
+                        std::shared_ptr<const MappingTable> cover) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.versions = std::move(versions);
+    it->second.cover = std::move(cover);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(versions), std::move(cover), lru_.begin()};
+  while (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CoverCache::Stats CoverCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t CoverCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hyperion

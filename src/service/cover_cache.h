@@ -1,0 +1,86 @@
+// CoverCache: the query service's versioned cache of completed cover
+// results.
+//
+// The paper's curator discussion (§5) assumes mapping tables evolve
+// underneath running queries, so a cover computed once cannot simply be
+// served forever: the cache entry remembers the TableStore version of
+// every mapping table that participated in the session, and a lookup
+// presents the versions currently in the catalog.  An entry whose version
+// vector no longer matches is *invalidated on the spot* — a curator
+// Put/PutOrReplace/Remove on any participating table therefore guarantees
+// the stale cover is never served again, without the store having to know
+// the cache exists.
+//
+// Entries are keyed by the request's logical identity: the peer path, the
+// constraint set (participating table names per hop), the endpoint
+// projection (X and Y attribute names), and the result-shaping options.
+// One logical query has at most one entry; bounded capacity evicts the
+// least recently used.
+//
+// Thread safety: all methods are safe to call concurrently (internal
+// mutex).  Cached covers are immutable shared_ptrs, so handles returned
+// by Lookup stay valid after eviction or invalidation.
+
+#ifndef HYPERION_SERVICE_COVER_CACHE_H_
+#define HYPERION_SERVICE_COVER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/mapping_table.h"
+
+namespace hyperion {
+
+/// \brief Version vector: participating table name -> TableStore version.
+using TableVersions = std::map<std::string, uint64_t>;
+
+/// \brief Bounded LRU cache of cover results, invalidated by version.
+class CoverCache {
+ public:
+  /// \brief `max_entries` == 0 disables caching (every lookup misses).
+  explicit CoverCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  CoverCache(const CoverCache&) = delete;
+  CoverCache& operator=(const CoverCache&) = delete;
+
+  /// \brief The cover stored under `key`, provided its version vector
+  /// equals `current` exactly.  A present-but-stale entry is erased
+  /// (counted as an invalidation) and the lookup misses.
+  std::shared_ptr<const MappingTable> Lookup(const std::string& key,
+                                             const TableVersions& current);
+
+  /// \brief Stores `cover` under `key` at `versions`, replacing any
+  /// previous entry for the key and evicting LRU entries over capacity.
+  void Insert(const std::string& key, TableVersions versions,
+              std::shared_ptr<const MappingTable> cover);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  // stale entries erased by Lookup
+    uint64_t evictions = 0;      // LRU capacity evictions
+  };
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    TableVersions versions;
+    std::shared_ptr<const MappingTable> cover;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  size_t max_entries_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_SERVICE_COVER_CACHE_H_

@@ -22,23 +22,28 @@
 namespace hyperion {
 
 /// \brief Bounded buffer of mappings with flush accounting.
+///
+/// The cache.* instruments are process-wide (one set shared by every
+/// cache, fetched from the default registry exactly once): caches are
+/// created per partition per session, so under the threaded query service
+/// thousands of short-lived instances come and go — a per-instance
+/// registry fetch would serialize them all on the registry mutex and
+/// would leave each instance holding handles a registry user could
+/// confuse for per-cache state.  The destructor subtracts whatever is
+/// still buffered from the shared occupancy gauge, so a cache torn down
+/// mid-flush (rows added but never drained, e.g. a failed session
+/// discarding its partitions) leaves `cache.buffered` exact.
 class MappingCache {
  public:
   /// \brief `capacity` is the number of mappings held before a flush is
   /// required; 0 means "flush every mapping immediately".
-  explicit MappingCache(size_t capacity) : capacity_(capacity) {
-    if constexpr (obs::kMetricsEnabled) {
-      obs::MetricRegistry& reg = obs::MetricRegistry::Default();
-      flushes_ = reg.GetCounter("cache.flushes");
-      flushed_rows_ = reg.GetCounter("cache.flushed_rows");
-      flush_size_ = reg.GetHistogram("cache.flush_size", obs::SizeBounds());
-      buffered_ = reg.GetGauge("cache.buffered");
-    }
-  }
+  explicit MappingCache(size_t capacity) : capacity_(capacity) {}
 
   ~MappingCache() {
     if constexpr (obs::kMetricsEnabled) {
-      buffered_->Add(-static_cast<int64_t>(buffer_.size()));
+      if (!buffer_.empty()) {
+        Instruments().buffered->Add(-static_cast<int64_t>(buffer_.size()));
+      }
     }
   }
 
@@ -55,7 +60,7 @@ class MappingCache {
   /// \brief Buffers `m`; returns true when the cache is now due a flush.
   bool Add(Mapping m) {
     buffer_.push_back(std::move(m));
-    if constexpr (obs::kMetricsEnabled) buffered_->Add(1);
+    if constexpr (obs::kMetricsEnabled) Instruments().buffered->Add(1);
     return buffer_.size() >= std::max<size_t>(capacity_, 1);
   }
 
@@ -64,10 +69,11 @@ class MappingCache {
     ++flush_count_;
     total_flushed_ += buffer_.size();
     if constexpr (obs::kMetricsEnabled) {
-      flushes_->Add(1);
-      flushed_rows_->Add(buffer_.size());
-      flush_size_->Observe(static_cast<int64_t>(buffer_.size()));
-      buffered_->Add(-static_cast<int64_t>(buffer_.size()));
+      const CacheInstruments& in = Instruments();
+      in.flushes->Add(1);
+      in.flushed_rows->Add(buffer_.size());
+      in.flush_size->Observe(static_cast<int64_t>(buffer_.size()));
+      in.buffered->Add(-static_cast<int64_t>(buffer_.size()));
     }
     std::vector<Mapping> out = std::move(buffer_);
     buffer_.clear();
@@ -78,14 +84,31 @@ class MappingCache {
   size_t total_flushed() const { return total_flushed_; }
 
  private:
+  struct CacheInstruments {
+    obs::Counter* flushes;
+    obs::Counter* flushed_rows;
+    obs::Histogram* flush_size;
+    obs::Gauge* buffered;
+  };
+  // Shared handles into the default registry, fetched once per process
+  // (thread-safe via the function-local static's guaranteed one-time
+  // initialization; the handles themselves are registry-lifetime stable).
+  static const CacheInstruments& Instruments() {
+    static const CacheInstruments instruments = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+      return CacheInstruments{
+          reg.GetCounter("cache.flushes"),
+          reg.GetCounter("cache.flushed_rows"),
+          reg.GetHistogram("cache.flush_size", obs::SizeBounds()),
+          reg.GetGauge("cache.buffered")};
+    }();
+    return instruments;
+  }
+
   size_t capacity_;
   std::vector<Mapping> buffer_;
   size_t flush_count_ = 0;
   size_t total_flushed_ = 0;
-  obs::Counter* flushes_ = nullptr;
-  obs::Counter* flushed_rows_ = nullptr;
-  obs::Histogram* flush_size_ = nullptr;
-  obs::Gauge* buffered_ = nullptr;
 };
 
 }  // namespace hyperion

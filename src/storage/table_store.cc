@@ -40,6 +40,7 @@ Result<TableStore> TableStore::Open(const std::string& directory) {
     std::string name = table.name();
     store.tables_[name] =
         std::make_shared<const MappingTable>(std::move(table));
+    store.versions_[name] = 1;
   }
   if (ec) {
     return Status::IoError("cannot list '" + directory + "': " + ec.message());
@@ -51,20 +52,27 @@ Status TableStore::Put(MappingTable table) {
   if (table.name().empty()) {
     return Status::InvalidArgument("table must be named to be stored");
   }
+  std::lock_guard<std::mutex> lock(*mu_);
   if (tables_.count(table.name())) {
     return Status::AlreadyExists("table '" + table.name() +
                                  "' already stored");
   }
-  return PutOrReplace(std::move(table));
+  return StoreLocked(std::move(table));
 }
 
 Status TableStore::PutOrReplace(MappingTable table) {
   if (table.name().empty()) {
     return Status::InvalidArgument("table must be named to be stored");
   }
+  std::lock_guard<std::mutex> lock(*mu_);
+  return StoreLocked(std::move(table));
+}
+
+Status TableStore::StoreLocked(MappingTable table) {
   HYP_RETURN_IF_ERROR(Persist(table));
   std::string name = table.name();
   tables_[name] = std::make_shared<const MappingTable>(std::move(table));
+  ++versions_[name];
   return Status::OK();
 }
 
@@ -84,6 +92,7 @@ Status TableStore::Persist(const MappingTable& table) {
 
 Result<std::shared_ptr<const MappingTable>> TableStore::Get(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -91,12 +100,35 @@ Result<std::shared_ptr<const MappingTable>> TableStore::Get(
   return it->second;
 }
 
+Result<TableStore::VersionedTable> TableStore::GetWithVersion(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return VersionedTable{it->second, versions_.at(name)};
+}
+
+uint64_t TableStore::VersionOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+bool TableStore::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return tables_.count(name) > 0;
+}
+
 Status TableStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
   }
   tables_.erase(it);
+  ++versions_[name];
   if (!directory_.empty()) {
     std::error_code ec;
     fs::remove(FileFor(directory_, name), ec);
@@ -108,6 +140,7 @@ Status TableStore::Remove(const std::string& name) {
 }
 
 std::vector<std::string> TableStore::Names() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, table] : tables_) {
@@ -115,6 +148,11 @@ std::vector<std::string> TableStore::Names() const {
     out.push_back(name);
   }
   return out;
+}
+
+size_t TableStore::size() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return tables_.size();
 }
 
 }  // namespace hyperion

@@ -4,12 +4,31 @@
 //
 // Tables are kept as text files (the mapping_table.cc format) under one
 // directory per store, with an in-memory catalog keyed by table name.
+//
+// Versioning: every table name carries a monotonic version, bumped by each
+// successful Put/PutOrReplace/Remove.  Versions start at 1 when a table
+// first appears (including tables loaded by Open) and never reset — a
+// removed-then-readded table continues its old sequence, so a version
+// number observed once can never ambiguously refer to two different
+// contents.  The query service keys its cover cache on these versions: a
+// curator write moves the version, which invalidates every cached cover
+// the table participated in.
+//
+// Thread safety: all methods are safe to call concurrently on one
+// TableStore — the catalog is guarded by an internal mutex, so a service
+// worker can Get() while a curator Put()s.  Returned table handles are
+// shared_ptr<const MappingTable>; a replace publishes a fresh immutable
+// table rather than mutating the old one, so handles obtained earlier stay
+// valid and self-consistent.  Moving or destroying the store itself while
+// other threads use it is (unsurprisingly) not safe.
 
 #ifndef HYPERION_STORAGE_TABLE_STORE_H_
 #define HYPERION_STORAGE_TABLE_STORE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,42 +38,66 @@
 namespace hyperion {
 
 /// \brief A named collection of mapping tables, optionally backed by a
-/// directory of table files.
+/// directory of table files.  Safe for concurrent use (see file comment).
 class TableStore {
  public:
+  /// \brief A table handle together with the catalog version it was read
+  /// at (what the query service hashes into its cover-cache key).
+  struct VersionedTable {
+    std::shared_ptr<const MappingTable> table;
+    uint64_t version = 0;
+  };
+
   /// \brief Purely in-memory store.
-  TableStore() = default;
+  TableStore() : mu_(std::make_unique<std::mutex>()) {}
 
   /// \brief Store backed by `directory` (created if missing).  Existing
-  /// "*.hmt" files are loaded into the catalog.
+  /// "*.hmt" files are loaded into the catalog at version 1.
   static Result<TableStore> Open(const std::string& directory);
 
   /// \brief Registers `table` under its name (which must be nonempty and
   /// unique).  Persists immediately when directory-backed.
   Status Put(MappingTable table);
 
-  /// \brief Replaces or inserts `table` under its name.
+  /// \brief Replaces or inserts `table` under its name, bumping the
+  /// name's version.
   Status PutOrReplace(MappingTable table);
 
   /// \brief Shared handle to the named table.
   Result<std::shared_ptr<const MappingTable>> Get(
       const std::string& name) const;
 
-  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  /// \brief Shared handle plus the version it was read at.
+  Result<VersionedTable> GetWithVersion(const std::string& name) const;
+
+  /// \brief Current version of `name`: 0 if it has never existed,
+  /// otherwise the count of successful Put/PutOrReplace/Remove calls that
+  /// touched it (Remove bumps too, so "present at version v" is
+  /// unambiguous).
+  uint64_t VersionOf(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
 
   /// \brief Removes the named table (and its file when directory-backed).
+  /// Bumps the name's version.
   Status Remove(const std::string& name);
 
   /// \brief All table names, sorted.
   std::vector<std::string> Names() const;
 
-  size_t size() const { return tables_.size(); }
+  size_t size() const;
 
  private:
+  // Both expect mu_ held.
+  Status StoreLocked(MappingTable table);
   Status Persist(const MappingTable& table);
 
+  // unique_ptr so the store stays movable (Open returns by value); a
+  // moved-from store must simply never be used again.
+  mutable std::unique_ptr<std::mutex> mu_;
   std::string directory_;  // empty => in-memory only
   std::map<std::string, std::shared_ptr<const MappingTable>> tables_;
+  std::map<std::string, uint64_t> versions_;  // survives Remove
 };
 
 }  // namespace hyperion

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "storage/mapping_cache.h"
 #include "test_util.h"
 
@@ -83,6 +86,73 @@ TEST(TableStoreTest, PersistsAcrossReopen) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(TableStoreTest, VersionsBumpMonotonicallyOnWrites) {
+  TableStore store;
+  EXPECT_EQ(store.VersionOf("t"), 0u);  // never existed
+  ASSERT_TRUE(store.Put(Sample("t")).ok());
+  EXPECT_EQ(store.VersionOf("t"), 1u);
+  ASSERT_TRUE(store.PutOrReplace(Sample("t")).ok());
+  EXPECT_EQ(store.VersionOf("t"), 2u);
+  // Remove also moves the version: "gone" is a state readers must notice.
+  ASSERT_TRUE(store.Remove("t").ok());
+  EXPECT_EQ(store.VersionOf("t"), 3u);
+  // Re-adding continues the sequence — versions never reset, so a cache
+  // entry from the first life of the name can never match again.
+  ASSERT_TRUE(store.Put(Sample("t")).ok());
+  EXPECT_EQ(store.VersionOf("t"), 4u);
+  // A rejected duplicate Put does not bump.
+  EXPECT_FALSE(store.Put(Sample("t")).ok());
+  EXPECT_EQ(store.VersionOf("t"), 4u);
+}
+
+TEST(TableStoreTest, GetWithVersionPairsHandleAndVersion) {
+  TableStore store;
+  ASSERT_TRUE(store.Put(Sample("t")).ok());
+  auto vt = store.GetWithVersion("t");
+  ASSERT_TRUE(vt.ok());
+  EXPECT_EQ(vt.value().version, 1u);
+  EXPECT_EQ(vt.value().table->size(), 2u);
+  // The handle is a snapshot: replacing the table does not disturb it.
+  ASSERT_TRUE(store.PutOrReplace(Sample("t")).ok());
+  EXPECT_EQ(vt.value().table->size(), 2u);
+  EXPECT_EQ(store.GetWithVersion("t").value().version, 2u);
+  EXPECT_FALSE(store.GetWithVersion("missing").ok());
+}
+
+TEST(TableStoreTest, OpenLoadsExistingTablesAtVersionOne) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "hyperion_store_ver_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    auto store = TableStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value().Put(Sample("t")).ok());
+  }
+  auto reopened = TableStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().VersionOf("t"), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TableStoreTest, ConcurrentWritersKeepVersionsConsistent) {
+  TableStore store;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kWritesPerThread = 25;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&store] {
+      for (size_t i = 0; i < kWritesPerThread; ++i) {
+        EXPECT_TRUE(store.PutOrReplace(Sample("shared")).ok());
+        auto vt = store.GetWithVersion("shared");
+        EXPECT_TRUE(vt.ok());
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(store.VersionOf("shared"), kThreads * kWritesPerThread);
+}
+
 TEST(MappingCacheTest, FlushSignalAtCapacity) {
   MappingCache cache(2);
   EXPECT_FALSE(cache.Add(Mapping::FromTuple({Value("1")})));
@@ -107,6 +177,44 @@ TEST(MappingCacheTest, DrainOnPartiallyFull) {
   EXPECT_EQ(cache.Drain().size(), 0u);  // idempotent-ish
   EXPECT_EQ(cache.flush_count(), 2u);
   EXPECT_EQ(cache.total_flushed(), 1u);
+}
+
+// The cache.buffered gauge is a process-wide instrument shared by every
+// MappingCache instance.  A cache destroyed while still holding buffered
+// mappings must give its contribution back, or the gauge drifts upward
+// forever as session caches come and go.
+TEST(MappingCacheTest, DestructorReturnsBufferedGaugeContribution) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Gauge* buffered =
+      obs::MetricRegistry::Default().GetGauge("cache.buffered");
+  const int64_t before = buffered->value();
+  {
+    MappingCache cache(10);
+    cache.Add(Mapping::FromTuple({Value("1")}));
+    cache.Add(Mapping::FromTuple({Value("2")}));
+    cache.Add(Mapping::FromTuple({Value("3")}));
+    EXPECT_EQ(buffered->value(), before + 3);
+  }  // destroyed mid-flush: three mappings never drained
+  EXPECT_EQ(buffered->value(), before);
+}
+
+TEST(MappingCacheTest, GaugeBalancesAcrossShortLivedCachesOnManyThreads) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Gauge* buffered =
+      obs::MetricRegistry::Default().GetGauge("cache.buffered");
+  const int64_t before = buffered->value();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        MappingCache cache(4);
+        cache.Add(Mapping::FromTuple({Value("a")}));
+        if (i % 2 == 0) cache.Drain();  // odd iterations die buffered
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(buffered->value(), before);
 }
 
 }  // namespace

@@ -13,12 +13,15 @@
 //   hyperion_cli diff <a> <b>              rows only in a / only in b
 //   hyperion_cli co2cc <file> [-o out]     closed-open → closed-closed
 
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/compose.h"
@@ -30,6 +33,8 @@
 #include "obs/metrics.h"
 #include "p2p/network.h"
 #include "p2p/peer.h"
+#include "service/catalogs.h"
+#include "service/query_service.h"
 #include "storage/csv.h"
 #include "workload/bio_network.h"
 
@@ -433,6 +438,206 @@ int CmdStats(std::vector<std::string> args) {
   return 0;
 }
 
+std::vector<std::string> SplitCommas(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Builds the QueryRequest for a database path like "Hugo,SwissProt,MIM":
+// translate the initiator's ids into the terminal database's ids.
+Result<QueryRequest> BioRequest(const std::vector<std::string>& dbs) {
+  if (dbs.size() < 2) {
+    return Status::InvalidArgument("path needs at least two databases");
+  }
+  QueryRequest request;
+  request.path_peers = dbs;
+  request.x_attrs = {Attribute::String(BioWorkload::AttrNameOf(dbs.front()))};
+  request.y_attrs = {Attribute::String(BioWorkload::AttrNameOf(dbs.back()))};
+  return request;
+}
+
+struct ServiceFlags {
+  BioConfig config;
+  QueryServiceOptions options;
+};
+
+// Parses the flags shared by `serve` and `query` out of args.
+Result<ServiceFlags> TakeServiceFlags(std::vector<std::string>* args) {
+  ServiceFlags flags;
+  flags.config.num_entities = 1000;
+  if (auto v = TakeValueFlag(args, "--entities")) {
+    flags.config.num_entities = std::strtoul(v->c_str(), nullptr, 10);
+  }
+  if (auto v = TakeValueFlag(args, "--workers")) {
+    flags.options.num_workers = std::strtoul(v->c_str(), nullptr, 10);
+  }
+  if (auto v = TakeValueFlag(args, "--queue")) {
+    flags.options.queue_capacity = std::strtoul(v->c_str(), nullptr, 10);
+  }
+  if (auto v = TakeValueFlag(args, "--drop-rate")) {
+    flags.options.fault_plan.default_link.drop_rate =
+        std::strtod(v->c_str(), nullptr);
+  }
+  if (auto v = TakeValueFlag(args, "--dup-rate")) {
+    flags.options.fault_plan.default_link.dup_rate =
+        std::strtod(v->c_str(), nullptr);
+  }
+  if (auto v = TakeValueFlag(args, "--fault-seed")) {
+    flags.options.fault_plan.seed = std::strtoull(v->c_str(), nullptr, 10);
+  }
+  for (auto it = args->begin(); it != args->end();) {
+    if (*it == "--no-cache") {
+      flags.options.cache_entries = 0;
+      it = args->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return flags;
+}
+
+// serve — interactive REPL over the bio-catalog service.  One line per
+// request; `help` lists the verbs.  Exists so a human can poke the same
+// object the soak test hammers.
+int CmdServe(std::vector<std::string> args) {
+  auto flags = TakeServiceFlags(&args);
+  if (!flags.ok()) return Fail(flags.status().ToString());
+  if (!args.empty()) return Fail("serve takes only flags; see usage");
+  auto catalog = BuildBioCatalog(flags.value().config);
+  if (!catalog.ok()) return Fail(catalog.status().ToString());
+  QueryService service(catalog.value().store.get(), catalog.value().peers,
+                       flags.value().options);
+  std::cerr << "serving the bio network ("
+            << flags.value().config.num_entities << " entities, "
+            << flags.value().options.num_workers
+            << " workers); try: query Hugo,SwissProt,MIM\n";
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) continue;
+    if (verb == "quit" || verb == "exit") break;
+    if (verb == "help") {
+      std::cout << "  query <Db1,Db2,...>   run a cover along the path\n"
+                   "  paths                 list the Figure 10 paths\n"
+                   "  stats                 service + cache counters\n"
+                   "  quit\n";
+      continue;
+    }
+    if (verb == "paths") {
+      for (const auto& dbs : BioWorkload::HugoMimPaths()) {
+        for (size_t i = 0; i < dbs.size(); ++i) {
+          std::cout << (i ? "," : "  ") << dbs[i];
+        }
+        std::cout << "\n";
+      }
+      continue;
+    }
+    if (verb == "stats") {
+      QueryService::Stats s = service.stats();
+      CoverCache::Stats c = service.cache_stats();
+      std::cout << "submitted " << s.submitted << ", executed " << s.executed
+                << ", cache hits " << s.cache_hits << ", coalesced "
+                << s.coalesced << ", rejects " << s.admission_rejects
+                << ", failed " << s.failed << "; cache invalidations "
+                << c.invalidations << ", evictions " << c.evictions << "\n";
+      continue;
+    }
+    if (verb == "query") {
+      std::string path_csv;
+      in >> path_csv;
+      auto request = BioRequest(SplitCommas(path_csv));
+      if (!request.ok()) {
+        std::cout << "error: " << request.status() << "\n";
+        continue;
+      }
+      QueryResponsePtr response = service.Execute(std::move(request).value());
+      if (!response->status.ok()) {
+        std::cout << "error: " << response->status << "\n";
+        continue;
+      }
+      std::cout << response->cover->size() << " cover rows in "
+                << response->latency_us << " us"
+                << (response->from_cache ? " (cached)" : "") << "\n";
+      continue;
+    }
+    std::cout << "unknown verb '" << verb << "'; try help\n";
+  }
+  return 0;
+}
+
+// query — drives one request repeatedly from many client threads; the
+// CI soak runs this at high concurrency against the Release build.
+int CmdQuery(std::vector<std::string> args) {
+  auto flags = TakeServiceFlags(&args);
+  if (!flags.ok()) return Fail(flags.status().ToString());
+  size_t repeat = 1, threads = 1;
+  if (auto v = TakeValueFlag(&args, "--repeat")) {
+    repeat = std::strtoul(v->c_str(), nullptr, 10);
+  }
+  if (auto v = TakeValueFlag(&args, "--threads")) {
+    threads = std::strtoul(v->c_str(), nullptr, 10);
+  }
+  std::vector<std::string> dbs = {"Hugo", "SwissProt", "MIM"};
+  if (auto v = TakeValueFlag(&args, "--path")) dbs = SplitCommas(*v);
+  if (!args.empty()) return Fail("query takes only flags; see usage");
+  if (repeat == 0 || threads == 0) {
+    return Fail("--repeat and --threads must be positive");
+  }
+  auto catalog = BuildBioCatalog(flags.value().config);
+  if (!catalog.ok()) return Fail(catalog.status().ToString());
+  QueryService service(catalog.value().store.get(), catalog.value().peers,
+                       flags.value().options);
+  auto request = BioRequest(dbs);
+  if (!request.ok()) return Fail(request.status().ToString());
+
+  std::atomic<uint64_t> ok{0}, failed{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&] {
+      for (size_t i = 0; i < repeat; ++i) {
+        QueryRequest r = request.value();
+        QueryResponsePtr response = service.Execute(std::move(r));
+        (response->status.ok() ? ok : failed)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  QueryService::Stats s = service.stats();
+  std::cout << ok.load() << " ok, " << failed.load() << " failed in "
+            << wall_s << " s ("
+            << (wall_s > 0 ? static_cast<double>(repeat * threads) / wall_s
+                           : 0.0)
+            << " qps); " << s.executed << " sessions executed, "
+            << s.cache_hits << " cache hits, " << s.coalesced
+            << " coalesced, " << s.admission_rejects << " rejects\n";
+  // Loud faults are expected under injected faults or tiny queues, but a
+  // fault-free run that fails anything should fail the soak.
+  bool faults_injected =
+      flags.value().options.fault_plan.default_link.drop_rate > 0 ||
+      flags.value().options.fault_plan.default_link.dup_rate > 0;
+  if (failed.load() > 0 && !faults_injected) {
+    return Fail("fault-free run produced failed responses");
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr
       << "hyperion_cli — mapping-table curation (SIGMOD'03 reproduction)\n"
@@ -452,6 +657,14 @@ int Usage() {
          "        [--drop-rate P] [--dup-rate P] [--fault-seed N]\n"
          "        with a fault flag, first runs a simulated cover session\n"
          "        under those faults so retransmit/timeout counters show\n"
+         "  serve [service flags]\n"
+         "        REPL over a QueryService on the bio network\n"
+         "        (query Db1,Db2,... / paths / stats / quit)\n"
+         "  query [--repeat N] [--threads K] [--path Db1,Db2,...]\n"
+         "        [service flags]\n"
+         "        hammer one request from K client threads (CI soak)\n"
+         "  service flags: --entities E --workers W --queue Q --no-cache\n"
+         "        --drop-rate P --dup-rate P --fault-seed N\n"
          "global flags:\n"
          "  --metrics-json=<path>   dump the metric registry after the "
          "command\n";
@@ -471,6 +684,8 @@ int Dispatch(const std::string& cmd, std::vector<std::string> args) {
   if (cmd == "import") return CmdImport(std::move(args));
   if (cmd == "export") return CmdExport(std::move(args));
   if (cmd == "stats") return CmdStats(std::move(args));
+  if (cmd == "serve") return CmdServe(std::move(args));
+  if (cmd == "query") return CmdQuery(std::move(args));
   return Usage();
 }
 
