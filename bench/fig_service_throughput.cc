@@ -6,7 +6,8 @@
 // fault-free hot path does not clear 3x.
 //
 //   $ ./bench/fig_service_throughput [entities] [repeat-per-thread]
-//     (defaults 1500 and 150)
+//                                    [transport]
+//     (defaults 1500, 150, sim; transport ∈ sim | threaded | tcp)
 
 #include <atomic>
 #include <chrono>
@@ -33,11 +34,13 @@ struct RunResult {
 };
 
 RunResult DriveHotQuery(const ServiceCatalog& catalog, size_t client_threads,
-                        bool cache_on, double fault_rate, size_t repeat) {
+                        bool cache_on, double fault_rate, size_t repeat,
+                        ServiceTransport transport) {
   QueryServiceOptions opts;
   opts.num_workers = client_threads;
   opts.queue_capacity = client_threads * 4 + 4;
   opts.cache_entries = cache_on ? 1024 : 0;
+  opts.transport = transport;
   if (fault_rate > 0) {
     opts.fault_plan.seed = 7;
     opts.fault_plan.default_link.drop_rate = fault_rate;
@@ -87,6 +90,16 @@ int main(int argc, char** argv) {
   BioConfig config;
   config.num_entities = ArgOr(argc, argv, 1, 1500);
   const size_t repeat = ArgOr(argc, argv, 2, 150);
+  ServiceTransport transport = ServiceTransport::kSim;
+  if (argc > 3) {
+    auto parsed = ParseServiceTransport(argv[3]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "transport: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    transport = parsed.value();
+  }
   auto catalog = BuildBioCatalog(config);
   if (!catalog.ok()) {
     std::fprintf(stderr, "catalog: %s\n",
@@ -96,8 +109,8 @@ int main(int argc, char** argv) {
 
   std::printf(
       "=== Service throughput, hot repeated query (%zu entities, %zu "
-      "queries/thread) ===\n",
-      config.num_entities, repeat);
+      "queries/thread, %s transport) ===\n",
+      config.num_entities, repeat, ServiceTransportName(transport));
   std::printf("%7s %6s %6s | %10s %9s %9s %9s %9s %6s\n", "threads", "cache",
               "fault", "qps", "sessions", "hits", "coalesce", "rejects",
               "loud");
@@ -111,7 +124,7 @@ int main(int argc, char** argv) {
     for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
       for (bool cache_on : {false, true}) {
         RunResult run = DriveHotQuery(catalog.value(), threads, cache_on,
-                                      fault, repeat);
+                                      fault, repeat, transport);
         if (!cache_on) baseline_qps.push_back(run.qps);
         double speedup = cache_on && !baseline_qps.empty() &&
                                  baseline_qps.back() > 0
@@ -156,6 +169,7 @@ int main(int argc, char** argv) {
   root.Set("bench", "fig_service_throughput");
   root.Set("entities", static_cast<uint64_t>(config.num_entities));
   root.Set("repeat_per_thread", static_cast<uint64_t>(repeat));
+  root.Set("transport", ServiceTransportName(transport));
   root.Set("fault_free_speedup", fault_free_speedup);
   root.Set("hot_path_cleared_3x", hot_path_cleared_3x);
   root.Set("rows", std::move(json_rows));

@@ -41,6 +41,17 @@ class BloomFilter {
   /// \brief Wire size in bytes (for traffic accounting).
   size_t ByteSize() const { return bits_.size() / 8 + 8; }
 
+  /// \brief Raw bit vector, for wire serialization (p2p/wire.h).
+  const std::vector<bool>& bit_vector() const { return bits_; }
+
+  /// \brief Reconstructs a filter from serialized bits.  An empty vector
+  /// yields the default (all-clear) filter so hash probing stays valid.
+  static BloomFilter FromBits(std::vector<bool> bits) {
+    BloomFilter f;
+    if (!bits.empty()) f.bits_ = std::move(bits);
+    return f;
+  }
+
  private:
   std::pair<size_t, size_t> Hashes(const Value& v) const {
     size_t h1 = v.Hash();

@@ -1,0 +1,241 @@
+// TcpNetwork: the Network interface over real POSIX TCP sockets — every
+// frame a peer sends crosses the kernel's loopback (or a real NIC when
+// peers live in another process), serialized through the wire codec
+// (wire.h).  This is the transport the ROADMAP's remaining items
+// (cross-peer cache coherence, incremental maintenance) need: a byte
+// pipe between genuinely separate QueryService replicas.
+//
+// Topology: every registered peer gets its own listening socket
+// (ephemeral port by default; ListenPort() reports it).  Sends open one
+// outgoing connection per destination peer on demand — to the local
+// listener for peers registered on this instance, or to the address
+// named in Options::remote_peers / SetRemotePeer for peers of another
+// instance — with exponential reconnect backoff on connect failure.
+//
+// Concurrency contract: a single event-loop thread owns all sockets and
+// runs every handler and timer callback, so handlers for one peer (in
+// fact for all peers of this instance) never run concurrently — the
+// same invariant SimNetwork and ThreadedNetwork provide.  Send() is
+// thread-safe and callable from inside handlers.
+//
+// Quiescence: Run() returns once every frame this instance sent has
+// been flushed (remote destinations) or fully handled (local
+// destinations), and no timer is pending.  Frames carry a per-instance
+// origin token (wire.h) so a receiver can tell its own in-flight frames
+// — which count toward its quiescence — from frames a remote instance
+// sent, which do not.  Two-instance setups therefore use Start() +
+// RunUntil(predicate) + Stop() instead of Run().
+//
+// Fault injection sits at the socket boundary: the shared FaultInjector
+// decides drop/duplicate/jitter per Send before any bytes are staged,
+// and crash windows gate delivery (and timers) at the receiving end —
+// identical semantics to the other two transports.
+
+#ifndef HYPERION_P2P_TCP_NETWORK_H_
+#define HYPERION_P2P_TCP_NETWORK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "p2p/fault.h"
+#include "p2p/network_interface.h"
+
+namespace hyperion {
+
+/// \brief TCP-specific traffic counters (also exported as net.tcp.* in
+/// the default MetricRegistry).
+struct TcpStats {
+  uint64_t connects = 0;          // connections established
+  uint64_t reconnects = 0;        // connect retries after a failure
+  uint64_t connect_failures = 0;  // frames abandoned: peer unreachable
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_sent = 0;      // frame bytes handed to the kernel
+  uint64_t bytes_received = 0;  // frame bytes read from the kernel
+  uint64_t frames_bad = 0;      // undecodable frames (connection dropped)
+};
+
+/// \brief Socket transport.  Not copyable; Run() is not reentrant.
+class TcpNetwork : public Network {
+ public:
+  struct Options {
+    /// Address the per-peer listeners bind to.
+    std::string listen_host = "127.0.0.1";
+    /// Port for the first registered peer; 0 = ephemeral (each listener
+    /// asks the kernel).  Nonzero values increment per peer.
+    uint16_t base_port = 0;
+    /// Destinations living in another TcpNetwork instance:
+    /// peer id → "host:port" of that instance's listener for the peer.
+    std::map<std::string, std::string> remote_peers;
+    /// First retry delay after a failed connect; doubles per attempt.
+    int64_t reconnect_backoff_us = 10'000;
+    int64_t max_reconnect_backoff_us = 500'000;
+    /// Connect attempts per connection before the staged frames are
+    /// abandoned (the reliability layer sees it as loss).
+    int max_connect_attempts = 5;
+  };
+
+  TcpNetwork();
+  explicit TcpNetwork(Options options);
+  ~TcpNetwork() override;
+
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  /// \brief Registers a peer and binds its listening socket immediately
+  /// (so ListenPort() is valid before Start()).  Not callable while the
+  /// event loop is running.
+  Status RegisterPeer(const std::string& id, Handler handler) override;
+
+  /// \brief The port `peer`'s listener is bound to.
+  Result<uint16_t> ListenPort(const std::string& peer) const;
+
+  /// \brief Names a peer served by another instance; sends to `id` will
+  /// connect to `host_port` ("host:port").  Callable any time.
+  void SetRemotePeer(const std::string& id, const std::string& host_port);
+
+  /// \brief Thread-safe; callable before Start() (frames flush once the
+  /// loop runs) and from inside handlers.  With a FaultPlan installed
+  /// the message may be dropped, duplicated or delayed here — before
+  /// any bytes touch a socket.
+  Status Send(Message msg) override;
+
+  /// \brief Schedules `cb` on the event loop after `delay_us` of wall
+  /// time.  Pending timers count against quiescence — cancel timers you
+  /// no longer need.
+  Result<TimerId> ScheduleTimer(const std::string& peer, int64_t delay_us,
+                                TimerCallback cb) override;
+
+  void CancelTimer(TimerId id) override;
+
+  void SetFaultPlan(FaultPlan plan) override;
+
+  /// \brief Spawns the event-loop thread.  No-op when already running.
+  Status Start();
+
+  /// \brief Waits (wall-clock bounded) until `pred()` holds, while the
+  /// event loop keeps delivering.  Returns the final pred() value.
+  /// Requires Start().
+  bool RunUntil(const std::function<bool()>& pred, int64_t timeout_us);
+
+  /// \brief Stops the event loop: waits up to `drain_timeout_us` for
+  /// quiescence, then joins the thread and closes every connection
+  /// (listeners stay bound for a later Start()).
+  void Stop(int64_t drain_timeout_us = 2'000'000);
+
+  /// \brief Start() + wait for quiescence + Stop().  Returns elapsed
+  /// wall µs.  The single-instance equivalent of ThreadedNetwork::Run.
+  Result<int64_t> Run();
+
+  /// \brief Wall-clock µs since this network was constructed.
+  int64_t now_us() const override;
+
+  /// \brief No-op: time is real here.
+  void ChargeCompute(int64_t micros) override { (void)micros; }
+
+  NetworkStats stats() const override;
+  void ResetStats() override;
+
+  TcpStats tcp_stats() const;
+
+ private:
+  struct PeerState {
+    std::string id;
+    Handler handler;
+    int listen_fd = -1;
+    uint16_t port = 0;
+  };
+  // One staged outbound frame; `counted` means outstanding_ was
+  // incremented for it and must be released exactly once — on abandon,
+  // on flush (remote destination), or after the handler runs (local
+  // destination, tracked via the origin token on the frame itself).
+  struct OutFrame {
+    std::string bytes;
+    size_t offset = 0;  // bytes already written
+    bool local_dest = false;
+    bool counted = false;
+  };
+  // Outgoing connection to one destination peer.
+  struct OutConn {
+    std::string dest;
+    int fd = -1;
+    bool connecting = false;
+    int attempts = 0;
+    int64_t next_attempt_us = 0;
+    std::deque<OutFrame> queue;
+  };
+  // Accepted connection feeding one local peer's listener.
+  struct InConn {
+    int fd = -1;
+    std::string peer;  // local peer the listener belongs to
+    std::string inbuf;
+  };
+  // A not-yet-due timer or jitter-delayed frame.
+  struct PendingEntry {
+    TimerId id = 0;  // 0 for delayed frames
+    std::string peer;
+    TimerCallback cb;
+    // Delayed frame: re-staged onto `peer`'s out-connection when due.
+    std::string frame;
+    bool is_frame = false;
+    bool local_dest = false;
+  };
+  struct Delivery {
+    std::string peer;
+    Message msg;
+    bool counted = false;  // origin token was ours
+  };
+
+  Status BindListener(PeerState* peer);  // callers hold mutex_
+  void StageFrame(const std::string& dest, std::string frame,
+                  bool local_dest);             // callers hold mutex_
+  void StartConnect(OutConn* conn);             // callers hold mutex_
+  void AbandonConn(OutConn* conn, bool retry);  // callers hold mutex_
+  void FlushConn(OutConn* conn);                // callers hold mutex_
+  void DecrementOutstanding();                  // callers hold mutex_
+  void Wakeup();
+  void LoopThread();
+  int64_t NextDueUs() const;  // callers hold mutex_
+
+  const Options options_;
+  const uint64_t origin_token_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable quiescent_cv_;
+  std::map<std::string, PeerState> peers_;
+  std::map<std::string, std::string> remote_peers_;  // id -> host:port
+  std::map<std::string, OutConn> out_conns_;         // dest -> conn
+  std::map<int, InConn> in_conns_;                   // fd -> conn
+  std::multimap<int64_t, PendingEntry> pending_;     // due wall µs
+  TimerId next_timer_id_ = 1;
+  std::set<TimerId> live_timers_;
+  std::set<TimerId> cancelled_timers_;
+  int64_t outstanding_ = 0;
+  bool running_ = false;
+  bool stopping_ = false;
+  NetworkStats stats_;
+  TcpStats tcp_stats_;
+  FaultInjector faults_;
+
+  int wakeup_read_fd_ = -1;
+  int wakeup_write_fd_ = -1;
+  std::thread loop_;
+
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_P2P_TCP_NETWORK_H_

@@ -1,12 +1,35 @@
 #include "service/query_service.h"
 
 #include <atomic>
+#include <functional>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "p2p/peer.h"
+#include "p2p/tcp_network.h"
+#include "p2p/threaded_network.h"
 
 namespace hyperion {
+
+Result<ServiceTransport> ParseServiceTransport(const std::string& name) {
+  if (name == "sim") return ServiceTransport::kSim;
+  if (name == "threaded") return ServiceTransport::kThreaded;
+  if (name == "tcp") return ServiceTransport::kTcp;
+  return Status::InvalidArgument("unknown transport '" + name +
+                                 "' (expected sim | threaded | tcp)");
+}
+
+const char* ServiceTransportName(ServiceTransport transport) {
+  switch (transport) {
+    case ServiceTransport::kSim:
+      return "sim";
+    case ServiceTransport::kThreaded:
+      return "threaded";
+    case ServiceTransport::kTcp:
+      return "tcp";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -250,20 +273,44 @@ Result<MappingTable> QueryService::RunSession(const QueryRequest& request,
                                               const PathSnapshot& snapshot) {
   // Fresh peers and a private network per execution: protocol state never
   // crosses worker threads, and every session replays its own faults.
-  SimNetwork net(options_.net_options);
+  // All three transports run to quiescence inside this frame and join
+  // their threads before returning, so the peers (declared below, hence
+  // destroyed first) are never touched after the run.
+  std::unique_ptr<SimNetwork> sim;
+  std::unique_ptr<ThreadedNetwork> threaded;
+  std::unique_ptr<TcpNetwork> tcp;
+  Network* net = nullptr;
+  std::function<Result<int64_t>()> run;
+  switch (options_.transport) {
+    case ServiceTransport::kSim:
+      sim = std::make_unique<SimNetwork>(options_.net_options);
+      net = sim.get();
+      run = [&sim] { return sim->Run(); };
+      break;
+    case ServiceTransport::kThreaded:
+      threaded = std::make_unique<ThreadedNetwork>();
+      net = threaded.get();
+      run = [&threaded] { return threaded->Run(); };
+      break;
+    case ServiceTransport::kTcp:
+      tcp = std::make_unique<TcpNetwork>();
+      net = tcp.get();
+      run = [&tcp] { return tcp->Run(); };
+      break;
+  }
   if (!options_.fault_plan.empty()) {
     // Perturb the seed per execution so a retried query does not replay
     // the exact fault sequence that killed its predecessor.
     static std::atomic<uint64_t> execution_ordinal{0};
     FaultPlan plan = options_.fault_plan;
     plan.seed += execution_ordinal.fetch_add(1, std::memory_order_relaxed);
-    net.SetFaultPlan(std::move(plan));
+    net->SetFaultPlan(std::move(plan));
   }
   std::vector<std::unique_ptr<PeerNode>> peers;
   peers.reserve(snapshot.specs.size());
   for (const PeerSpec* spec : snapshot.specs) {
     peers.push_back(std::make_unique<PeerNode>(spec->id, spec->attributes));
-    HYP_RETURN_IF_ERROR(peers.back()->Attach(&net));
+    HYP_RETURN_IF_ERROR(peers.back()->Attach(net));
   }
   for (size_t hop = 0; hop + 1 < peers.size(); ++hop) {
     for (const TableStore::VersionedTable& vt : snapshot.hop_tables[hop]) {
@@ -275,7 +322,7 @@ Result<MappingTable> QueryService::RunSession(const QueryRequest& request,
       SessionId session,
       peers.front()->StartCoverSession(request.path_peers, request.x_attrs,
                                        request.y_attrs, request.options));
-  HYP_ASSIGN_OR_RETURN(int64_t end_time, net.Run());
+  HYP_ASSIGN_OR_RETURN(int64_t end_time, run());
   (void)end_time;
   HYP_ASSIGN_OR_RETURN(const SessionResult* result,
                        peers.front()->GetResult(session));

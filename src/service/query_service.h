@@ -98,6 +98,19 @@ struct QueryResponse {
 using QueryResponsePtr = std::shared_ptr<const QueryResponse>;
 using QueryFuture = std::shared_future<QueryResponsePtr>;
 
+/// \brief Which Network implementation session executions run on.
+enum class ServiceTransport {
+  kSim,       // single-threaded discrete-event simulation (default)
+  kThreaded,  // worker thread per peer, wall clock
+  kTcp,       // real loopback TCP sockets (tcp_network.h)
+};
+
+/// \brief Parses "sim" / "threaded" / "tcp"; InvalidArgument otherwise.
+Result<ServiceTransport> ParseServiceTransport(const std::string& name);
+
+/// \brief Stable name for a transport ("sim" / "threaded" / "tcp").
+const char* ServiceTransportName(ServiceTransport transport);
+
 struct QueryServiceOptions {
   /// Worker threads executing sessions.  0 = no threads are spawned and
   /// queued flights run only via RunQueuedOnce() — deterministic mode for
@@ -111,8 +124,12 @@ struct QueryServiceOptions {
   /// Faults injected into every session's private network (seeded,
   /// deterministic per session).
   FaultPlan fault_plan;
-  /// Latency/bandwidth model for the sessions' simulated networks.
+  /// Latency/bandwidth model for the sessions' simulated networks
+  /// (transport == kSim only).
   SimNetwork::Options net_options;
+  /// Transport each session's private network uses.  kTcp binds one
+  /// loopback listener per path peer for the session's duration.
+  ServiceTransport transport = ServiceTransport::kSim;
 };
 
 /// \brief Concurrent query front end.  Thread-safe; one instance serves

@@ -44,4 +44,11 @@ printf 'A,B\nx,y\n' > in.csv
 "$CLI" export t.hmt -o out.csv
 grep -q "x,y" out.csv || fail "csv round trip"
 
+# The query service over real loopback TCP sockets.
+"$CLI" query --entities 200 --repeat 10 --threads 2 --workers 2 \
+  --transport tcp | grep -q " 0 failed" || fail "tcp query"
+printf 'query Hugo,SwissProt,MIM\nquit\n' \
+  | "$CLI" serve --entities 200 --transport=tcp \
+  | grep -q "cover rows" || fail "tcp serve"
+
 echo "CLI_TEST_OK"

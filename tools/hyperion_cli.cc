@@ -97,11 +97,17 @@ std::optional<std::string> TakeOutputFlag(std::vector<std::string>* args) {
 
 std::optional<std::string> TakeValueFlag(std::vector<std::string>* args,
                                          const std::string& flag) {
-  for (size_t i = 0; i + 1 < args->size(); ++i) {
-    if ((*args)[i] == flag) {
+  const std::string with_equals = flag + "=";
+  for (size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] == flag && i + 1 < args->size()) {
       std::string v = (*args)[i + 1];
       args->erase(args->begin() + static_cast<ptrdiff_t>(i),
                   args->begin() + static_cast<ptrdiff_t>(i) + 2);
+      return v;
+    }
+    if ((*args)[i].rfind(with_equals, 0) == 0) {  // --flag=value form
+      std::string v = (*args)[i].substr(with_equals.size());
+      args->erase(args->begin() + static_cast<ptrdiff_t>(i));
       return v;
     }
   }
@@ -495,6 +501,9 @@ Result<ServiceFlags> TakeServiceFlags(std::vector<std::string>* args) {
   if (auto v = TakeValueFlag(args, "--fault-seed")) {
     flags.options.fault_plan.seed = std::strtoull(v->c_str(), nullptr, 10);
   }
+  if (auto v = TakeValueFlag(args, "--transport")) {
+    HYP_ASSIGN_OR_RETURN(flags.options.transport, ParseServiceTransport(*v));
+  }
   for (auto it = args->begin(); it != args->end();) {
     if (*it == "--no-cache") {
       flags.options.cache_entries = 0;
@@ -519,8 +528,9 @@ int CmdServe(std::vector<std::string> args) {
                        flags.value().options);
   std::cerr << "serving the bio network ("
             << flags.value().config.num_entities << " entities, "
-            << flags.value().options.num_workers
-            << " workers); try: query Hugo,SwissProt,MIM\n";
+            << flags.value().options.num_workers << " workers, "
+            << ServiceTransportName(flags.value().options.transport)
+            << " transport); try: query Hugo,SwissProt,MIM\n";
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -665,6 +675,8 @@ int Usage() {
          "        hammer one request from K client threads (CI soak)\n"
          "  service flags: --entities E --workers W --queue Q --no-cache\n"
          "        --drop-rate P --dup-rate P --fault-seed N\n"
+         "        --transport sim|threaded|tcp  (tcp = sessions on real\n"
+         "        loopback sockets; flags also accept --flag=value form)\n"
          "global flags:\n"
          "  --metrics-json=<path>   dump the metric registry after the "
          "command\n";
