@@ -1,0 +1,327 @@
+// The repo's one synchronization vocabulary: a Clang Thread Safety
+// Analysis-annotated locking layer every concurrent component builds on.
+//
+// Why a wrapper instead of raw std::mutex: the analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) can only check
+// lock discipline against types that *declare* themselves capabilities.
+// Wrapping std::mutex/std::condition_variable once, here, lets every
+// guarded field in the tree carry a GUARDED_BY(mu_) declaration and every
+// "caller must hold the lock" helper a REQUIRES(mu_) contract — so the
+// lock comments that used to document our invariants are now compiler
+// errors when violated (build with -DHYPERION_THREAD_SAFETY=ON under
+// Clang; see CMakeLists.txt).  Off Clang every annotation expands to
+// nothing and the wrappers compile down to the std primitives.
+//
+// This header is the only place in the tree allowed to name std::mutex,
+// std::lock_guard, std::unique_lock, std::condition_variable or
+// std::shared_mutex; CI greps for strays.  New shared state must use
+// Mutex/MutexLock/CondVar with annotations (CONTRIBUTING.md).
+
+#ifndef HYPERION_COMMON_SYNCHRONIZATION_H_
+#define HYPERION_COMMON_SYNCHRONIZATION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros.  Clang-only; no-ops elsewhere (GCC builds the same
+// sources unannotated).  The names follow the Clang documentation's
+// canonical mutex.h so they read like the upstream examples.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HYPERION_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HYPERION_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) HYPERION_THREAD_ANNOTATION__(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY HYPERION_THREAD_ANNOTATION__(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) HYPERION_THREAD_ANNOTATION__(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) HYPERION_THREAD_ANNOTATION__(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  HYPERION_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  HYPERION_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  HYPERION_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  HYPERION_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  HYPERION_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  HYPERION_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  HYPERION_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  HYPERION_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  HYPERION_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  HYPERION_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE_SHARED
+#define TRY_ACQUIRE_SHARED(...) \
+  HYPERION_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) HYPERION_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) HYPERION_THREAD_ANNOTATION__(assert_capability(x))
+#endif
+
+#ifndef ASSERT_SHARED_CAPABILITY
+#define ASSERT_SHARED_CAPABILITY(x) \
+  HYPERION_THREAD_ANNOTATION__(assert_shared_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) HYPERION_THREAD_ANNOTATION__(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HYPERION_THREAD_ANNOTATION__(no_thread_safety_analysis)
+#endif
+
+namespace hyperion {
+
+// ---------------------------------------------------------------------------
+// Capability types.
+// ---------------------------------------------------------------------------
+
+/// \brief Exclusive mutex declared as a capability, so fields can be
+/// GUARDED_BY it and functions can REQUIRES/ACQUIRE/RELEASE it.
+///
+/// Not movable: a capability's identity is its address.  A class that
+/// must stay movable keeps its Mutex (and the state it guards) behind a
+/// stable allocation — see TableStore::State for the pattern.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// \brief Tells the analysis (not the runtime) that the current thread
+  /// holds this mutex — for code paths where the fact is established
+  /// dynamically (e.g. "only the loop thread runs here").
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief Reader/writer mutex capability.  Writers use Lock/Unlock (or
+/// MutexLock); readers use ReaderLock/ReaderUnlock (or ReaderMutexLock)
+/// and may overlap with one another.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Scoped lock guards.
+// ---------------------------------------------------------------------------
+
+/// \brief RAII exclusive lock.  Declared SCOPED_CAPABILITY so the
+/// analysis tracks the capability for the guard's live range, including
+/// the explicit Unlock()/Lock() window transports use to run user
+/// callbacks lock-free.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// \brief Temporarily drops the lock (for calling user code that may
+  /// re-enter the locking object).  Must be balanced by Lock() before
+  /// the guard dies unless the scope ends immediately.
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// \brief RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Condition variable.
+// ---------------------------------------------------------------------------
+
+/// \brief Condition variable paired with Mutex.  Every wait REQUIRES the
+/// mutex: the analysis checks the caller holds it, and (matching the
+/// std contract) the lock is released while blocked and re-acquired
+/// before returning — callers must therefore re-check their predicate,
+/// which the predicate overloads do for them.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// \brief Blocks until notified.  Spurious wakeups happen; prefer the
+  /// predicate overload.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's guard still owns the mutex
+  }
+
+  /// \brief Blocks until `pred()` holds (re-checked under the lock after
+  /// every wakeup).
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  /// \brief Predicate wait with a timeout; returns pred() at exit (false
+  /// means the timeout elapsed with the predicate still unsatisfied).
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+               Predicate pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();
+    return satisfied;
+  }
+
+  /// \brief Timed wait without a predicate (deadline schedulers re-check
+  /// their own due lists).  Returns true when notified, false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// \brief Absolute-deadline wait without a predicate.  Returns true
+  /// when notified, false when the deadline passed.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_COMMON_SYNCHRONIZATION_H_

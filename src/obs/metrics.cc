@@ -41,14 +41,14 @@ std::vector<int64_t> SizeBounds() {
 
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     LabelSet labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[{name, std::move(labels)}];
   if (!slot) slot.reset(new Counter());
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name, LabelSet labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[{name, std::move(labels)}];
   if (!slot) slot.reset(new Gauge());
   return slot.get();
@@ -57,14 +57,14 @@ Gauge* MetricRegistry::GetGauge(const std::string& name, LabelSet labels) {
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         std::vector<int64_t> bounds,
                                         LabelSet labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[{name, std::move(labels)}];
   if (!slot) slot.reset(new Histogram(std::move(bounds)));
   return slot.get();
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [key, c] : counters_) {
@@ -89,7 +89,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [key, c] : counters_) {
     (void)key;
     c->Reset();

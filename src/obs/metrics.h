@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/synchronization.h"
 
 #ifndef HYPERION_METRICS
 #define HYPERION_METRICS 1
@@ -157,10 +158,12 @@ class MetricRegistry {
 
  private:
   using Key = std::pair<std::string, LabelSet>;
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards only registration and snapshotting; instrument *values*
+  // are relaxed atomics mutated lock-free through the stable handles.
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

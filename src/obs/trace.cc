@@ -21,7 +21,7 @@ SessionTracer::SessionTracer(size_t capacity)
 void SessionTracer::Record(TraceEvent ev) {
   if constexpr (!kMetricsEnabled) return;
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ev.wall_us = (SteadyNowNs() - epoch_ns_) / 1000;
   ++recorded_;
   if (ring_.size() < capacity_) {
@@ -34,7 +34,7 @@ void SessionTracer::Record(TraceEvent ev) {
 }
 
 std::vector<TraceEvent> SessionTracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Oldest first: once wrapped, the event at next_ is the oldest.
@@ -45,7 +45,7 @@ std::vector<TraceEvent> SessionTracer::Snapshot() const {
 }
 
 void SessionTracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
@@ -53,12 +53,12 @@ void SessionTracer::Clear() {
 }
 
 uint64_t SessionTracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 uint64_t SessionTracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 

@@ -17,10 +17,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/synchronization.h"
 #include "obs/metrics.h"  // HYPERION_METRICS / kMetricsEnabled
 
 namespace hyperion {
@@ -65,14 +65,15 @@ class SessionTracer {
   static SessionTracer& Default();
 
  private:
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
-  size_t next_ = 0;               // write cursor once wrapped
-  uint64_t recorded_ = 0;
-  uint64_t dropped_ = 0;
-  std::atomic<bool> enabled_{false};
-  int64_t epoch_ns_ = 0;
+  mutable Mutex mu_;
+  const size_t capacity_;
+  // Ring state: grows to capacity_, then wraps at the next_ cursor.
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::atomic<bool> enabled_{false};  // lock-free fast-path gate
+  const int64_t epoch_ns_;
 };
 
 }  // namespace obs

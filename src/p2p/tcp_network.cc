@@ -77,30 +77,35 @@ uint64_t NewOriginToken() {
 
 }  // namespace
 
+TcpNetwork::WakeupPipe::WakeupPipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    SetNonBlocking(fds[0]);
+    SetNonBlocking(fds[1]);
+    read_fd = fds[0];
+    write_fd = fds[1];
+  }
+}
+
+TcpNetwork::WakeupPipe::~WakeupPipe() {
+  if (read_fd >= 0) ::close(read_fd);
+  if (write_fd >= 0) ::close(write_fd);
+}
+
 TcpNetwork::TcpNetwork() : TcpNetwork(Options()) {}
 
 TcpNetwork::TcpNetwork(Options options)
     : options_(std::move(options)),
       origin_token_(NewOriginToken()),
-      remote_peers_(options_.remote_peers) {
-  int fds[2] = {-1, -1};
-  if (::pipe(fds) == 0) {
-    SetNonBlocking(fds[0]);
-    SetNonBlocking(fds[1]);
-    wakeup_read_fd_ = fds[0];
-    wakeup_write_fd_ = fds[1];
-  }
-}
+      remote_peers_(options_.remote_peers) {}
 
 TcpNetwork::~TcpNetwork() {
   Stop(/*drain_timeout_us=*/0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [id, peer] : peers_) {
     (void)id;
     if (peer.listen_fd >= 0) ::close(peer.listen_fd);
   }
-  if (wakeup_read_fd_ >= 0) ::close(wakeup_read_fd_);
-  if (wakeup_write_fd_ >= 0) ::close(wakeup_write_fd_);
 }
 
 Status TcpNetwork::BindListener(PeerState* peer) {
@@ -143,7 +148,7 @@ Status TcpNetwork::RegisterPeer(const std::string& id, Handler handler) {
   if (id.empty()) {
     return Status::InvalidArgument("peer id must be nonempty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (running_) {
     return Status::FailedPrecondition(
         "cannot register peers while the network is running");
@@ -164,7 +169,7 @@ Status TcpNetwork::RegisterPeer(const std::string& id, Handler handler) {
 }
 
 Result<uint16_t> TcpNetwork::ListenPort(const std::string& peer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = peers_.find(peer);
   if (it == peers_.end()) {
     return Status::NotFound("unknown peer '" + peer + "'");
@@ -174,24 +179,24 @@ Result<uint16_t> TcpNetwork::ListenPort(const std::string& peer) const {
 
 void TcpNetwork::SetRemotePeer(const std::string& id,
                                const std::string& host_port) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   remote_peers_[id] = host_port;
 }
 
 void TcpNetwork::SetFaultPlan(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   faults_.SetPlan(std::move(plan));
 }
 
 void TcpNetwork::DecrementOutstanding() {
-  if (--outstanding_ == 0) quiescent_cv_.notify_all();
+  if (--outstanding_ == 0) quiescent_cv_.NotifyAll();
 }
 
 void TcpNetwork::Wakeup() {
-  if (wakeup_write_fd_ < 0) return;
+  if (wakeup_.write_fd < 0) return;
   char b = 1;
   // A full pipe already guarantees a pending wakeup.
-  [[maybe_unused]] ssize_t n = ::write(wakeup_write_fd_, &b, 1);
+  [[maybe_unused]] ssize_t n = ::write(wakeup_.write_fd, &b, 1);
 }
 
 void TcpNetwork::StageFrame(const std::string& dest, std::string frame,
@@ -208,7 +213,7 @@ void TcpNetwork::StageFrame(const std::string& dest, std::string frame,
 Status TcpNetwork::Send(Message msg) {
   size_t bytes = msg.ByteSize();
   std::string payload = wire::EncodeMessage(msg);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   bool local_dest = peers_.count(msg.to) > 0;
   if (!local_dest && !remote_peers_.count(msg.to)) {
     return Status::NotFound("unknown destination peer '" + msg.to + "'");
@@ -253,7 +258,7 @@ Status TcpNetwork::Send(Message msg) {
 Result<Network::TimerId> TcpNetwork::ScheduleTimer(const std::string& peer,
                                                    int64_t delay_us,
                                                    TimerCallback cb) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!peers_.count(peer)) {
     return Status::NotFound("unknown timer peer '" + peer + "'");
   }
@@ -274,7 +279,7 @@ Result<Network::TimerId> TcpNetwork::ScheduleTimer(const std::string& peer,
 
 void TcpNetwork::CancelTimer(TimerId id) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!live_timers_.count(id)) return;  // already ran (or never existed)
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->second.id == id) {
@@ -423,7 +428,7 @@ void TcpNetwork::LoopThread() {
   };
   std::vector<FdMeta> meta;
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (!stopping_) {
     int64_t now = now_us();
 
@@ -461,17 +466,17 @@ void TcpNetwork::LoopThread() {
         continue;
       }
       stats_.timers_fired += 1;
-      lock.unlock();
+      lock.Unlock();
       entry.cb();  // may Send()/ScheduleTimer(), re-locking mutex_
-      lock.lock();
+      lock.Lock();
       DecrementOutstanding();
     }
 
     // 3. Build the poll set.
     fds.clear();
     meta.clear();
-    fds.push_back({wakeup_read_fd_, POLLIN, 0});
-    meta.push_back({FdKind::kWakeup, "", wakeup_read_fd_});
+    fds.push_back({wakeup_.read_fd, POLLIN, 0});
+    meta.push_back({FdKind::kWakeup, "", wakeup_.read_fd});
     for (auto& [id, peer] : peers_) {
       fds.push_back({peer.listen_fd, POLLIN, 0});
       meta.push_back({FdKind::kListener, id, peer.listen_fd});
@@ -495,9 +500,9 @@ void TcpNetwork::LoopThread() {
       timeout_ms = wait <= 0 ? 0 : static_cast<int>((wait + 999) / 1000);
     }
 
-    lock.unlock();
+    lock.Unlock();
     int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    lock.lock();
+    lock.Lock();
     if (stopping_) break;
     if (ready <= 0) continue;  // timeout / EINTR: re-run maintenance
 
@@ -508,7 +513,7 @@ void TcpNetwork::LoopThread() {
       switch (m.kind) {
         case FdKind::kWakeup: {
           char buf[256];
-          while (::read(wakeup_read_fd_, buf, sizeof(buf)) > 0) {
+          while (::read(wakeup_.read_fd, buf, sizeof(buf)) > 0) {
           }
           break;
         }
@@ -639,9 +644,9 @@ void TcpNetwork::LoopThread() {
         continue;
       }
       Handler handler = peer->second.handler;
-      lock.unlock();
+      lock.Unlock();
       handler(d.msg);  // may Send(), re-locking mutex_
-      lock.lock();
+      lock.Lock();
       if (d.counted) DecrementOutstanding();
       if (stopping_) return;
     }
@@ -649,8 +654,8 @@ void TcpNetwork::LoopThread() {
 }
 
 Status TcpNetwork::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (wakeup_read_fd_ < 0) {
+  MutexLock lock(mutex_);
+  if (wakeup_.read_fd < 0) {
     return Status::Internal("wakeup pipe unavailable");
   }
   if (running_) return Status::OK();
@@ -667,26 +672,32 @@ bool TcpNetwork::RunUntil(const std::function<bool()>& pred,
   for (;;) {
     if (pred()) return true;
     if (std::chrono::steady_clock::now() >= deadline) return pred();
-    std::unique_lock<std::mutex> lock(mutex_);
-    quiescent_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    MutexLock lock(mutex_);
+    quiescent_cv_.WaitFor(mutex_, std::chrono::milliseconds(1));
   }
 }
 
 void TcpNetwork::Stop(int64_t drain_timeout_us) {
+  std::thread loop;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_) return;
     if (drain_timeout_us > 0) {
-      quiescent_cv_.wait_for(lock,
-                             std::chrono::microseconds(drain_timeout_us),
-                             [&] { return outstanding_ == 0; });
+      quiescent_cv_.WaitFor(mutex_, std::chrono::microseconds(drain_timeout_us),
+                            [this]() REQUIRES(mutex_) {
+                              return outstanding_ == 0;
+                            });
     }
+    // Claim the join under the lock (-Wthread-safety caught loop_ being
+    // joined with no lock held: two concurrent Stop() calls would both
+    // reach join() on the same std::thread).
+    if (stopping_ || !loop_.joinable()) return;
     stopping_ = true;
+    loop = std::move(loop_);
   }
   Wakeup();
-  loop_.join();
-  loop_ = std::thread();
-  std::lock_guard<std::mutex> lock(mutex_);
+  loop.join();
+  MutexLock lock(mutex_);
   for (auto& [fd, conn] : in_conns_) {
     (void)conn;
     ::close(fd);
@@ -703,21 +714,23 @@ void TcpNetwork::Stop(int64_t drain_timeout_us) {
   outstanding_ = 0;
   running_ = false;
   stopping_ = false;
-  quiescent_cv_.notify_all();
+  quiescent_cv_.NotifyAll();
 }
 
 Result<int64_t> TcpNetwork::Run() {
   auto start = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (running_) {
       return Status::FailedPrecondition("Run() is not reentrant");
     }
   }
   HYP_RETURN_IF_ERROR(Start());
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    quiescent_cv_.wait(lock, [&] { return outstanding_ == 0 || stopping_; });
+    MutexLock lock(mutex_);
+    quiescent_cv_.Wait(mutex_, [this]() REQUIRES(mutex_) {
+      return outstanding_ == 0 || stopping_;
+    });
   }
   Stop(/*drain_timeout_us=*/0);
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -732,18 +745,18 @@ int64_t TcpNetwork::now_us() const {
 }
 
 NetworkStats TcpNetwork::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void TcpNetwork::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_ = NetworkStats();
   tcp_stats_ = TcpStats();
 }
 
 TcpStats TcpNetwork::tcp_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tcp_stats_;
 }
 

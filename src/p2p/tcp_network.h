@@ -35,19 +35,18 @@
 #define HYPERION_P2P_TCP_NETWORK_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "p2p/fault.h"
 #include "p2p/network_interface.h"
 
@@ -197,42 +196,58 @@ class TcpNetwork : public Network {
     bool counted = false;  // origin token was ours
   };
 
-  Status BindListener(PeerState* peer);  // callers hold mutex_
+  // Self-closing wakeup pipe.  The fds are written once at construction
+  // and closed at destruction; Wakeup() may therefore poke the write end
+  // from any thread without holding mutex_.
+  struct WakeupPipe {
+    WakeupPipe();
+    ~WakeupPipe();
+    int read_fd = -1;
+    int write_fd = -1;
+  };
+
+  Status BindListener(PeerState* peer) REQUIRES(mutex_);
   void StageFrame(const std::string& dest, std::string frame,
-                  bool local_dest);             // callers hold mutex_
-  void StartConnect(OutConn* conn);             // callers hold mutex_
-  void AbandonConn(OutConn* conn, bool retry);  // callers hold mutex_
-  void FlushConn(OutConn* conn);                // callers hold mutex_
-  void DecrementOutstanding();                  // callers hold mutex_
+                  bool local_dest) REQUIRES(mutex_);
+  void StartConnect(OutConn* conn) REQUIRES(mutex_);
+  void AbandonConn(OutConn* conn, bool retry) REQUIRES(mutex_);
+  void FlushConn(OutConn* conn) REQUIRES(mutex_);
+  void DecrementOutstanding() REQUIRES(mutex_);
   void Wakeup();
   void LoopThread();
-  int64_t NextDueUs() const;  // callers hold mutex_
+  int64_t NextDueUs() const REQUIRES(mutex_);
 
   const Options options_;
   const uint64_t origin_token_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable quiescent_cv_;
-  std::map<std::string, PeerState> peers_;
-  std::map<std::string, std::string> remote_peers_;  // id -> host:port
-  std::map<std::string, OutConn> out_conns_;         // dest -> conn
-  std::map<int, InConn> in_conns_;                   // fd -> conn
-  std::multimap<int64_t, PendingEntry> pending_;     // due wall µs
-  TimerId next_timer_id_ = 1;
-  std::set<TimerId> live_timers_;
-  std::set<TimerId> cancelled_timers_;
-  int64_t outstanding_ = 0;
-  bool running_ = false;
-  bool stopping_ = false;
-  NetworkStats stats_;
-  TcpStats tcp_stats_;
-  FaultInjector faults_;
+  // Lock hierarchy (DESIGN.md §12): mutex_ is a leaf.  The loop thread
+  // releases it around every handler/timer callback, so re-entrant
+  // Send()/ScheduleTimer() calls never nest acquisitions.
+  mutable Mutex mutex_;
+  CondVar quiescent_cv_;
+  std::map<std::string, PeerState> peers_ GUARDED_BY(mutex_);
+  std::map<std::string, std::string> remote_peers_
+      GUARDED_BY(mutex_);                                // id -> host:port
+  std::map<std::string, OutConn> out_conns_ GUARDED_BY(mutex_);  // by dest
+  std::map<int, InConn> in_conns_ GUARDED_BY(mutex_);            // by fd
+  std::multimap<int64_t, PendingEntry> pending_
+      GUARDED_BY(mutex_);  // due wall µs
+  TimerId next_timer_id_ GUARDED_BY(mutex_) = 1;
+  std::set<TimerId> live_timers_ GUARDED_BY(mutex_);
+  std::set<TimerId> cancelled_timers_ GUARDED_BY(mutex_);
+  int64_t outstanding_ GUARDED_BY(mutex_) = 0;
+  bool running_ GUARDED_BY(mutex_) = false;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  NetworkStats stats_ GUARDED_BY(mutex_);
+  TcpStats tcp_stats_ GUARDED_BY(mutex_);
+  FaultInjector faults_ GUARDED_BY(mutex_);
 
-  int wakeup_read_fd_ = -1;
-  int wakeup_write_fd_ = -1;
-  std::thread loop_;
+  const WakeupPipe wakeup_;
+  // Joined by whichever Stop() call claimed it under mutex_ (the claim
+  // is what makes concurrent Stop()s safe: only one joins).
+  std::thread loop_ GUARDED_BY(mutex_);
 
-  std::chrono::steady_clock::time_point epoch_ =
+  const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };
 

@@ -7,17 +7,21 @@
 namespace hyperion {
 
 ThreadedNetwork::~ThreadedNetwork() {
+  std::vector<PeerWorker*> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
     for (auto& [id, worker] : peers_) {
       (void)id;
-      worker->cv.notify_all();
+      worker->cv.NotifyAll();
+      workers.push_back(worker.get());
     }
-    scheduler_cv_.notify_all();
+    scheduler_cv_.NotifyAll();
   }
-  for (auto& [id, worker] : peers_) {
-    (void)id;
+  // Join outside the lock (the exiting threads re-acquire mutex_ on
+  // their way out); the PeerWorker allocations are stable and no other
+  // thread mutates peers_ during destruction.
+  for (PeerWorker* worker : workers) {
     if (worker->thread.joinable()) worker->thread.join();
   }
   if (scheduler_.joinable()) scheduler_.join();
@@ -27,7 +31,7 @@ Status ThreadedNetwork::RegisterPeer(const std::string& id, Handler handler) {
   if (id.empty()) {
     return Status::InvalidArgument("peer id must be nonempty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (running_) {
     return Status::FailedPrecondition(
         "cannot register peers while the network is running");
@@ -44,17 +48,17 @@ Status ThreadedNetwork::RegisterPeer(const std::string& id, Handler handler) {
 }
 
 void ThreadedNetwork::SetFaultPlan(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   faults_.SetPlan(std::move(plan));
 }
 
 void ThreadedNetwork::DecrementOutstanding() {
-  if (--outstanding_ == 0) quiescent_cv_.notify_all();
+  if (--outstanding_ == 0) quiescent_cv_.NotifyAll();
 }
 
 Status ThreadedNetwork::Send(Message msg) {
   size_t bytes = msg.ByteSize();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = peers_.find(msg.to);
   if (it == peers_.end()) {
     return Status::NotFound("unknown destination peer '" + msg.to + "'");
@@ -87,13 +91,13 @@ Status ThreadedNetwork::Send(Message msg) {
       entry.msg = std::move(copy);
       entry.is_message = true;
       pending_.emplace(now_us() + jitter, std::move(entry));
-      scheduler_cv_.notify_all();
+      scheduler_cv_.NotifyAll();
     } else {
       QueuedMessage queued;
       queued.msg = std::move(copy);
       queued.enqueued_us = now_us();
       it->second->queue.push_back(std::move(queued));
-      it->second->cv.notify_one();
+      it->second->cv.NotifyOne();
     }
   }
   return Status::OK();
@@ -101,7 +105,7 @@ Status ThreadedNetwork::Send(Message msg) {
 
 Result<Network::TimerId> ThreadedNetwork::ScheduleTimer(
     const std::string& peer, int64_t delay_us, TimerCallback cb) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!peers_.count(peer)) {
     return Status::NotFound("unknown timer peer '" + peer + "'");
   }
@@ -116,13 +120,13 @@ Result<Network::TimerId> ThreadedNetwork::ScheduleTimer(
   live_timers_.insert(id);
   ++outstanding_;
   pending_.emplace(now_us() + delay_us, std::move(entry));
-  scheduler_cv_.notify_all();
+  scheduler_cv_.NotifyAll();
   return id;
 }
 
 void ThreadedNetwork::CancelTimer(TimerId id) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!live_timers_.count(id)) return;  // already ran (or never existed)
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->second.id == id) {
@@ -138,18 +142,19 @@ void ThreadedNetwork::CancelTimer(TimerId id) {
 }
 
 void ThreadedNetwork::SchedulerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
     if (stopping_) return;
     if (pending_.empty()) {
-      scheduler_cv_.wait(lock,
-                         [&] { return stopping_ || !pending_.empty(); });
+      scheduler_cv_.Wait(mutex_, [this]() REQUIRES(mutex_) {
+        return stopping_ || !pending_.empty();
+      });
       continue;
     }
     int64_t due = pending_.begin()->first;
     if (now_us() < due) {
-      scheduler_cv_.wait_until(lock,
-                               epoch_ + std::chrono::microseconds(due));
+      scheduler_cv_.WaitUntil(mutex_,
+                              epoch_ + std::chrono::microseconds(due));
       continue;  // re-evaluate: earlier timer, cancellation, or stop
     }
     while (!pending_.empty() && pending_.begin()->first <= now_us()) {
@@ -169,7 +174,7 @@ void ThreadedNetwork::SchedulerLoop() {
         queued.timer_cb = std::move(entry.cb);
       }
       it->second->queue.push_back(std::move(queued));
-      it->second->cv.notify_one();
+      it->second->cv.NotifyOne();
       // outstanding_ carries over from the pending entry to the queue
       // entry, so quiescence still waits for it.
     }
@@ -189,9 +194,9 @@ void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
     handler_us = reg.GetHistogram("threaded.handler_us",
                                   obs::LatencyBoundsUs());
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    worker->cv.wait(lock, [&] {
+    worker->cv.Wait(mutex_, [&]() REQUIRES(mutex_) {
       return stopping_ || !worker->queue.empty();
     });
     if (worker->queue.empty()) {
@@ -220,13 +225,13 @@ void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
         continue;
       }
       stats_.timers_fired += 1;
-      lock.unlock();
+      lock.Unlock();
       queued.timer_cb();  // may Send()/ScheduleTimer(), re-locking mutex_
-      lock.lock();
+      lock.Lock();
       DecrementOutstanding();
       continue;
     }
-    lock.unlock();
+    lock.Unlock();
     int64_t start_us = now_us();
     if constexpr (obs::kMetricsEnabled) {
       queue_wait_us->Observe(start_us - queued.enqueued_us);
@@ -235,45 +240,53 @@ void ThreadedNetwork::WorkerLoop(PeerWorker* worker) {
     if constexpr (obs::kMetricsEnabled) {
       handler_us->Observe(now_us() - start_us);
     }
-    lock.lock();
+    lock.Lock();
     DecrementOutstanding();
   }
 }
 
 Result<int64_t> ThreadedNetwork::Run() {
   auto start = std::chrono::steady_clock::now();
+  // Snapshot the worker set under the lock (-Wthread-safety caught the
+  // old unlocked peers_ walks here).  The PeerWorker allocations are
+  // stable, and RegisterPeer refuses while running_, so the snapshot
+  // stays valid for the whole run.
+  std::vector<PeerWorker*> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (running_) {
       return Status::FailedPrecondition("Run() is not reentrant");
     }
     running_ = true;
     stopping_ = false;
+    workers.reserve(peers_.size());
+    for (auto& [id, worker] : peers_) {
+      (void)id;
+      workers.push_back(worker.get());
+    }
   }
-  for (auto& [id, worker] : peers_) {
-    (void)id;
-    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
+  for (PeerWorker* worker : workers) {
+    worker->thread = std::thread([this, worker] { WorkerLoop(worker); });
   }
   scheduler_ = std::thread([this] { SchedulerLoop(); });
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    quiescent_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    MutexLock lock(mutex_);
+    quiescent_cv_.Wait(mutex_,
+                       [this]() REQUIRES(mutex_) { return outstanding_ == 0; });
     stopping_ = true;
-    for (auto& [id, worker] : peers_) {
-      (void)id;
-      worker->cv.notify_all();
+    for (PeerWorker* worker : workers) {
+      worker->cv.NotifyAll();
     }
-    scheduler_cv_.notify_all();
+    scheduler_cv_.NotifyAll();
   }
-  for (auto& [id, worker] : peers_) {
-    (void)id;
+  for (PeerWorker* worker : workers) {
     worker->thread.join();
     worker->thread = std::thread();
   }
   scheduler_.join();
   scheduler_ = std::thread();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     running_ = false;
   }
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -288,12 +301,12 @@ int64_t ThreadedNetwork::now_us() const {
 }
 
 NetworkStats ThreadedNetwork::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void ThreadedNetwork::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_ = NetworkStats();
 }
 

@@ -21,18 +21,17 @@
 #define HYPERION_P2P_THREADED_NETWORK_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "p2p/fault.h"
 #include "p2p/network_interface.h"
 
@@ -91,8 +90,15 @@ class ThreadedNetwork : public Network {
   struct PeerWorker {
     std::string id;
     Handler handler;
-    std::deque<QueuedMessage> queue;  // guarded by ThreadedNetwork::mutex_
-    std::condition_variable cv;
+    // Guarded by the owning ThreadedNetwork's mutex_.  (Thread safety
+    // annotations cannot express a nested struct's field being guarded
+    // by the enclosing object's mutex — there is no instance path from
+    // PeerWorker to the network — so this one invariant stays a comment;
+    // every access in threaded_network.cc happens inside a MutexLock.)
+    std::deque<QueuedMessage> queue;
+    CondVar cv;
+    // Owned by the single thread driving Run() (and the destructor):
+    // spawned after registration closes, joined before Run returns.
     std::thread thread;
   };
   // A not-yet-due timer or fault-delayed message delivery, held by the
@@ -107,28 +113,33 @@ class ThreadedNetwork : public Network {
 
   void WorkerLoop(PeerWorker* worker);
   void SchedulerLoop();
-  void DecrementOutstanding();  // callers hold mutex_
+  void DecrementOutstanding() REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<PeerWorker>> peers_;
-  std::condition_variable quiescent_cv_;
+  mutable Mutex mutex_;
+  // The map's *shape* is guarded: registration mutates it under mutex_
+  // and refuses while running_.  Run() snapshots the stable PeerWorker
+  // pointers under the lock before spawning/joining their threads.
+  std::map<std::string, std::unique_ptr<PeerWorker>> peers_
+      GUARDED_BY(mutex_);
+  CondVar quiescent_cv_;
   // Queued + currently-handled messages + pending/not-yet-run timers.
-  int64_t outstanding_ = 0;
-  bool stopping_ = false;
-  bool running_ = false;
-  NetworkStats stats_;
+  int64_t outstanding_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  bool running_ GUARDED_BY(mutex_) = false;
+  NetworkStats stats_ GUARDED_BY(mutex_);
 
-  FaultInjector faults_;                          // guarded by mutex_
-  std::multimap<int64_t, PendingEntry> pending_;  // keyed by due wall µs
-  std::condition_variable scheduler_cv_;
-  std::thread scheduler_;
-  TimerId next_timer_id_ = 1;
+  FaultInjector faults_ GUARDED_BY(mutex_);
+  std::multimap<int64_t, PendingEntry> pending_
+      GUARDED_BY(mutex_);  // keyed by due wall µs
+  CondVar scheduler_cv_;
+  std::thread scheduler_;  // owned by the thread driving Run()
+  TimerId next_timer_id_ GUARDED_BY(mutex_) = 1;
   // Timers that exist but have not yet run their callback (pending or on
   // a worker queue), and those cancelled after moving to a worker queue.
-  std::set<TimerId> live_timers_;
-  std::set<TimerId> cancelled_timers_;
+  std::set<TimerId> live_timers_ GUARDED_BY(mutex_);
+  std::set<TimerId> cancelled_timers_ GUARDED_BY(mutex_);
 
-  std::chrono::steady_clock::time_point epoch_ =
+  const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };
 

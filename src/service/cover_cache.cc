@@ -4,7 +4,7 @@ namespace hyperion {
 
 std::shared_ptr<const MappingTable> CoverCache::Lookup(
     const std::string& key, const TableVersions& current) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -27,7 +27,7 @@ std::shared_ptr<const MappingTable> CoverCache::Lookup(
 void CoverCache::Insert(const std::string& key, TableVersions versions,
                         std::shared_ptr<const MappingTable> cover) {
   if (max_entries_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -45,12 +45,12 @@ void CoverCache::Insert(const std::string& key, TableVersions versions,
 }
 
 CoverCache::Stats CoverCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t CoverCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

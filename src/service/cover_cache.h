@@ -28,9 +28,9 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/synchronization.h"
 #include "core/mapping_table.h"
 
 namespace hyperion {
@@ -74,11 +74,11 @@ class CoverCache {
     std::list<std::string>::iterator lru_pos;
   };
 
-  size_t max_entries_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recently used
-  Stats stats_;
+  const size_t max_entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recently used
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyperion

@@ -163,7 +163,7 @@ Result<QueryFuture> QueryService::Submit(QueryRequest request) {
   auto submitted_at = std::chrono::steady_clock::now();
   m_requests_->Add(1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.submitted;
     if (shutdown_) {
       return Status::Unavailable("query service is shut down");
@@ -185,13 +185,13 @@ Result<QueryFuture> QueryService::Submit(QueryRequest request) {
     m_latency_->Observe(response->latency_us);
     std::promise<QueryResponsePtr> ready;
     ready.set_value(std::move(response));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.cache_hits;
     return QueryFuture(ready.get_future().share());
   }
 
   std::string flight_key = FlightKey(logical_key, snapshot.value().versions);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) {
     return Status::Unavailable("query service is shut down");
   }
@@ -220,7 +220,7 @@ Result<QueryFuture> QueryService::Submit(QueryRequest request) {
   in_flight_.emplace(std::move(flight_key), flight);
   queue_.push_back(flight);
   m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return flight->future;
 }
 
@@ -232,7 +232,7 @@ QueryResponsePtr QueryService::Execute(QueryRequest request) {
     response->status = future.status();
     response->latency_us = ElapsedUs(submitted_at);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.failed;
     }
     m_failed_->Add(1);
@@ -244,7 +244,7 @@ QueryResponsePtr QueryService::Execute(QueryRequest request) {
 bool QueryService::RunQueuedOnce() {
   std::shared_ptr<Flight> flight;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     flight = queue_.front();
     queue_.pop_front();
@@ -258,8 +258,10 @@ void QueryService::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Flight> flight;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (shutdown_) return;  // Shutdown() fails whatever is still queued
       flight = queue_.front();
       queue_.pop_front();
@@ -363,7 +365,7 @@ void QueryService::FinishFlight(const std::shared_ptr<Flight>& flight,
                                 std::shared_ptr<QueryResponse> response) {
   response->latency_us = ElapsedUs(flight->submitted_at);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     in_flight_.erase(flight->flight_key);
     ++stats_.executed;
     if (!response->status.ok()) ++stats_.failed;
@@ -376,11 +378,13 @@ void QueryService::FinishFlight(const std::shared_ptr<Flight>& flight,
 
 void QueryService::Shutdown() {
   std::vector<std::shared_ptr<Flight>> orphaned;
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
-      // Idempotent: the queue is already drained and workers joined (or
-      // joining); nothing left to fail.
+      // Idempotent: the queue is already drained; whatever threads are
+      // still in workers_ (a racing first Shutdown may have claimed them
+      // already) are joined below.
       orphaned.clear();
     } else {
       shutdown_ = true;
@@ -391,7 +395,11 @@ void QueryService::Shutdown() {
       }
       m_queue_depth_->Set(0);
     }
-    work_cv_.notify_all();
+    // Claim the pool under the lock: concurrent Shutdown() calls each
+    // join a disjoint set of threads, never the same std::thread twice
+    // (-Wthread-safety caught workers_ being joined outside mu_).
+    workers.swap(workers_);
+    work_cv_.NotifyAll();
   }
   for (const auto& flight : orphaned) {
     auto response = std::make_shared<QueryResponse>();
@@ -399,20 +407,19 @@ void QueryService::Shutdown() {
         Status::Unavailable("query service shut down before execution");
     response->latency_us = ElapsedUs(flight->submitted_at);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.failed;
     }
     m_failed_->Add(1);
     flight->promise.set_value(std::move(response));
   }
-  for (std::thread& worker : workers_) {
+  for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
 }
 
 QueryService::Stats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -35,18 +35,17 @@
 #define HYPERION_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "core/schema.h"
 #include "p2p/network.h"
 #include "p2p/protocol.h"
@@ -219,13 +218,19 @@ class QueryService {
   QueryServiceOptions options_;
   CoverCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Flight>> queue_;
-  std::map<std::string, std::shared_ptr<Flight>> in_flight_;  // by flight_key
-  bool shutdown_ = false;
-  Stats stats_;
-  std::vector<std::thread> workers_;
+  // Lock hierarchy (DESIGN.md §12): mu_ is a leaf — no code path holds
+  // it while acquiring the cache's, the store's, or a transport's mutex.
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Flight>> queue_ GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Flight>> in_flight_
+      GUARDED_BY(mu_);  // by flight_key
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
+  // Guarded so concurrent Shutdown() calls cannot both join the same
+  // std::thread: the first caller swaps the pool out under mu_ and joins
+  // its private copy.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 
   // service.* instruments (default registry), fetched once.
   obs::Counter* m_requests_ = nullptr;

@@ -23,6 +23,12 @@ namespace hyperion {
 
 /// \brief Bounded buffer of mappings with flush accounting.
 ///
+/// Thread-compatibility: instances are worker-confined (one per
+/// partition per session, owned by the worker driving that session), so
+/// this class carries no Mutex and no GUARDED_BY annotations on purpose.
+/// Sharing an instance across threads requires external synchronization
+/// via common/synchronization.h (see CONTRIBUTING.md).
+///
 /// The cache.* instruments are process-wide (one set shared by every
 /// cache, fetched from the default registry exactly once): caches are
 /// created per partition per session, so under the threaded query service

@@ -24,7 +24,11 @@ Result<TableStore> TableStore::Open(const std::string& directory) {
                            "': " + ec.message());
   }
   TableStore store;
-  store.directory_ = directory;
+  // The store is not shared yet, but its fields are lock-annotated; take
+  // the (uncontended) lock so the population below is analysis-clean.
+  State& s = *store.state_;
+  MutexLock lock(s.mu);
+  s.directory = directory;
   for (const auto& entry : fs::directory_iterator(directory, ec)) {
     if (entry.path().extension() != ".hmt") continue;
     std::ifstream in(entry.path());
@@ -38,9 +42,8 @@ Result<TableStore> TableStore::Open(const std::string& directory) {
       table.set_name(entry.path().stem().string());
     }
     std::string name = table.name();
-    store.tables_[name] =
-        std::make_shared<const MappingTable>(std::move(table));
-    store.versions_[name] = 1;
+    s.tables[name] = std::make_shared<const MappingTable>(std::move(table));
+    s.versions[name] = 1;
   }
   if (ec) {
     return Status::IoError("cannot list '" + directory + "': " + ec.message());
@@ -52,33 +55,35 @@ Status TableStore::Put(MappingTable table) {
   if (table.name().empty()) {
     return Status::InvalidArgument("table must be named to be stored");
   }
-  std::lock_guard<std::mutex> lock(*mu_);
-  if (tables_.count(table.name())) {
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  if (s.tables.count(table.name())) {
     return Status::AlreadyExists("table '" + table.name() +
                                  "' already stored");
   }
-  return StoreLocked(std::move(table));
+  return StoreLocked(s, std::move(table));
 }
 
 Status TableStore::PutOrReplace(MappingTable table) {
   if (table.name().empty()) {
     return Status::InvalidArgument("table must be named to be stored");
   }
-  std::lock_guard<std::mutex> lock(*mu_);
-  return StoreLocked(std::move(table));
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  return StoreLocked(s, std::move(table));
 }
 
-Status TableStore::StoreLocked(MappingTable table) {
-  HYP_RETURN_IF_ERROR(Persist(table));
+Status TableStore::StoreLocked(State& s, MappingTable table) {
+  HYP_RETURN_IF_ERROR(Persist(s, table));
   std::string name = table.name();
-  tables_[name] = std::make_shared<const MappingTable>(std::move(table));
-  ++versions_[name];
+  s.tables[name] = std::make_shared<const MappingTable>(std::move(table));
+  ++s.versions[name];
   return Status::OK();
 }
 
-Status TableStore::Persist(const MappingTable& table) {
-  if (directory_.empty()) return Status::OK();
-  std::string path = FileFor(directory_, table.name());
+Status TableStore::Persist(const State& s, const MappingTable& table) {
+  if (s.directory.empty()) return Status::OK();
+  std::string path = FileFor(s.directory, table.name());
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::IoError("cannot write '" + path + "'");
@@ -92,9 +97,10 @@ Status TableStore::Persist(const MappingTable& table) {
 
 Result<std::shared_ptr<const MappingTable>> TableStore::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  auto it = s.tables.find(name);
+  if (it == s.tables.end()) {
     return Status::NotFound("no table named '" + name + "'");
   }
   return it->second;
@@ -102,36 +108,40 @@ Result<std::shared_ptr<const MappingTable>> TableStore::Get(
 
 Result<TableStore::VersionedTable> TableStore::GetWithVersion(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  auto it = s.tables.find(name);
+  if (it == s.tables.end()) {
     return Status::NotFound("no table named '" + name + "'");
   }
-  return VersionedTable{it->second, versions_.at(name)};
+  return VersionedTable{it->second, s.versions.at(name)};
 }
 
 uint64_t TableStore::VersionOf(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = versions_.find(name);
-  return it == versions_.end() ? 0 : it->second;
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  auto it = s.versions.find(name);
+  return it == s.versions.end() ? 0 : it->second;
 }
 
 bool TableStore::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return tables_.count(name) > 0;
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  return s.tables.count(name) > 0;
 }
 
 Status TableStore::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  auto it = s.tables.find(name);
+  if (it == s.tables.end()) {
     return Status::NotFound("no table named '" + name + "'");
   }
-  tables_.erase(it);
-  ++versions_[name];
-  if (!directory_.empty()) {
+  s.tables.erase(it);
+  ++s.versions[name];
+  if (!s.directory.empty()) {
     std::error_code ec;
-    fs::remove(FileFor(directory_, name), ec);
+    fs::remove(FileFor(s.directory, name), ec);
     if (ec) {
       return Status::IoError("cannot delete table file: " + ec.message());
     }
@@ -140,10 +150,11 @@ Status TableStore::Remove(const std::string& name) {
 }
 
 std::vector<std::string> TableStore::Names() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  State& s = *state_;
+  MutexLock lock(s.mu);
   std::vector<std::string> out;
-  out.reserve(tables_.size());
-  for (const auto& [name, table] : tables_) {
+  out.reserve(s.tables.size());
+  for (const auto& [name, table] : s.tables) {
     (void)table;
     out.push_back(name);
   }
@@ -151,8 +162,9 @@ std::vector<std::string> TableStore::Names() const {
 }
 
 size_t TableStore::size() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return tables_.size();
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  return s.tables.size();
 }
 
 }  // namespace hyperion

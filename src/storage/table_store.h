@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "core/mapping_table.h"
 
 namespace hyperion {
@@ -49,7 +49,7 @@ class TableStore {
   };
 
   /// \brief Purely in-memory store.
-  TableStore() : mu_(std::make_unique<std::mutex>()) {}
+  TableStore() : state_(std::make_unique<State>()) {}
 
   /// \brief Store backed by `directory` (created if missing).  Existing
   /// "*.hmt" files are loaded into the catalog at version 1.
@@ -88,16 +88,26 @@ class TableStore {
   size_t size() const;
 
  private:
-  // Both expect mu_ held.
-  Status StoreLocked(MappingTable table);
-  Status Persist(const MappingTable& table);
+  // The mutex and everything it guards live together behind one stable
+  // allocation: a Mutex is a capability and capabilities are identified
+  // by address, so they cannot move — but Open returns the store by
+  // value.  Moving the store moves only the unique_ptr; a moved-from
+  // store must simply never be used again.
+  struct State {
+    mutable Mutex mu;
+    std::string directory GUARDED_BY(mu);  // empty => in-memory only
+    std::map<std::string, std::shared_ptr<const MappingTable>> tables
+        GUARDED_BY(mu);
+    std::map<std::string, uint64_t> versions GUARDED_BY(mu);  // survives
+                                                              // Remove
+  };
 
-  // unique_ptr so the store stays movable (Open returns by value); a
-  // moved-from store must simply never be used again.
-  mutable std::unique_ptr<std::mutex> mu_;
-  std::string directory_;  // empty => in-memory only
-  std::map<std::string, std::shared_ptr<const MappingTable>> tables_;
-  std::map<std::string, uint64_t> versions_;  // survives Remove
+  // Both expect s.mu held (compiler-checked under Clang).
+  static Status StoreLocked(State& s, MappingTable table) REQUIRES(s.mu);
+  static Status Persist(const State& s, const MappingTable& table)
+      REQUIRES(s.mu);
+
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace hyperion

@@ -17,9 +17,10 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/synchronization.h"
 
 #include "core/containment.h"
 #include "p2p/network.h"
@@ -179,13 +180,13 @@ TEST(TcpNetworkTest, TwoInstancesExchangeFramesOverLoopback) {
   // event loops — the deployment shape, minus the second machine.
   TcpNetwork net_a;
   TcpNetwork net_b;
-  std::mutex mu;
-  std::vector<uint64_t> b_got;
+  Mutex mu;
+  std::vector<uint64_t> b_got;  // guarded by mu (locals can't be annotated)
   std::atomic<int> a_got{0};
   ASSERT_TRUE(net_a.RegisterPeer("a", [&](const Message&) { ++a_got; }).ok());
   ASSERT_TRUE(net_b.RegisterPeer("b", [&](const Message& msg) {
                      {
-                       std::lock_guard<std::mutex> lock(mu);
+                       MutexLock lock(mu);
                        b_got.push_back(std::get<PingMsg>(msg.payload).ping_id);
                      }
                      PongMsg pong;
@@ -209,7 +210,7 @@ TEST(TcpNetworkTest, TwoInstancesExchangeFramesOverLoopback) {
   net_a.Stop();
   net_b.Stop();
   EXPECT_EQ(a_got.load(), kPings);
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   ASSERT_EQ(b_got.size(), static_cast<size_t>(kPings));
   // TCP preserves per-connection frame order.
   for (int i = 0; i < kPings; ++i) {

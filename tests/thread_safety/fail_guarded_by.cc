@@ -1,0 +1,28 @@
+// Violation: reads and writes a GUARDED_BY field without holding its
+// mutex.  Clang Thread Safety Analysis must reject this translation
+// unit ("reading/writing variable 'value_' requires holding mutex
+// 'mu_'"); tests/thread_safety/CMakeLists.txt asserts it does NOT
+// compile.
+
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // BUG: mu_ not held
+
+  int Read() const { return value_; }  // BUG: mu_ not held
+
+ private:
+  mutable hyperion::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

@@ -1,0 +1,28 @@
+// Violation: calls a REQUIRES(mu_) helper without acquiring the
+// capability first.  Clang Thread Safety Analysis must reject this
+// translation unit ("calling function 'IncrementLocked' requires
+// holding mutex 'mu_'"); tests/thread_safety/CMakeLists.txt asserts it
+// does NOT compile.
+
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+
+  void Increment() { IncrementLocked(); }  // BUG: called without mu_
+
+ private:
+  hyperion::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

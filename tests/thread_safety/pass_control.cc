@@ -1,0 +1,41 @@
+// Control case: the same shapes the fail_* cases break, with the locks
+// held correctly.  Must compile cleanly under -Werror=thread-safety;
+// if this file fails, the negative cases are failing for the wrong
+// reason (harness flags, include path) rather than the analysis.
+
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    hyperion::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Read() const {
+    hyperion::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+
+  void IncrementViaHelper() {
+    hyperion::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+ private:
+  mutable hyperion::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.IncrementViaHelper();
+  return c.Read() == 2 ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the tree.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [--diff <base-ref>] [--build-dir <dir>] [-- <extra clang-tidy args>]
+#
+#   Default: every .cc file under src/ tools/ bench/ examples/ tests/.
+#   --diff <base-ref>: only files changed since <base-ref> (CI uses
+#     origin/main for pull requests) — fast pre-push mode.
+#   --build-dir <dir>: where to configure the compile database
+#     (default: build-tidy).
+#
+# The script configures a dedicated CMake build dir with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON so clang-tidy sees the exact include
+# paths and definitions the real build uses.  Requires clang-tidy and a
+# Clang toolchain on PATH; exits 2 (distinct from findings) when absent
+# so callers can tell "environment missing" from "lint failed".
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="build-tidy"
+diff_base=""
+extra_args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --diff)
+      diff_base="$2"
+      shift 2
+      ;;
+    --build-dir)
+      build_dir="$2"
+      shift 2
+      ;;
+    --)
+      shift
+      extra_args=("$@")
+      break
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found on PATH" >&2
+  exit 2
+fi
+
+cxx="${CXX:-}"
+if [[ -z "${cxx}" ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    cxx="clang++"
+  else
+    echo "clang++ not found on PATH (set CXX to a Clang compiler)" >&2
+    exit 2
+  fi
+fi
+
+cmake -S . -B "${build_dir}" \
+  -DCMAKE_CXX_COMPILER="${cxx}" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  >/dev/null
+
+if [[ -n "${diff_base}" ]]; then
+  mapfile -t files < <(git diff --name-only --diff-filter=d "${diff_base}" -- \
+    'src/*.cc' 'tools/*.cc' 'bench/*.cc' 'examples/*.cc' 'tests/*.cc' \
+    'src/**/*.cc' 'tools/**/*.cc' 'bench/**/*.cc' 'examples/**/*.cc' \
+    'tests/**/*.cc')
+else
+  mapfile -t files < <(find src tools bench examples tests -name '*.cc' \
+    -not -path 'tests/thread_safety/*' | sort)
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "clang-tidy: no files to check"
+  exit 0
+fi
+
+echo "clang-tidy: checking ${#files[@]} file(s)"
+status=0
+for f in "${files[@]}"; do
+  if ! clang-tidy -p "${build_dir}" --quiet "${extra_args[@]}" "${f}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "clang-tidy: findings above must be fixed (or justified in .clang-tidy)" >&2
+fi
+exit "${status}"
