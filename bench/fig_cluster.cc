@@ -1,0 +1,292 @@
+// fig_cluster: the multi-process cluster experiment.
+//
+// Forks two storage-node children (before any thread exists in this
+// process — fork and threads do not mix), runs a coordinator in the
+// parent, and drives every Figure 10 Hugo→MIM path through a
+// QueryService whose tables arrive over loopback TCP as shard slices.
+//
+// Two claims are checked, loudly:
+//
+//  * conformance — every cluster-served cover is byte-identical to the
+//    cover a single-process service computes over the same catalog;
+//  * liveness — the full membership roster reaches "alive" before any
+//    query is issued.
+//
+// Output: BENCH_cluster.json with throughput (the table-source cache is
+// evicted between passes, so every pass re-fetches shards over TCP) and
+// the per-shard row placement the ring produced.
+//
+//   fig_cluster [entities=400] [passes=5]
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/cluster_config.h"
+#include "cluster/node.h"
+#include "service/catalogs.h"
+#include "service/query_service.h"
+#include "workload/bio_network.h"
+
+namespace hyperion {
+namespace {
+
+cluster::ClusterConfig SeedConfig() {
+  cluster::ClusterConfig config;
+  config.shard_count = 2;
+  config.heartbeat_ms = 100;
+  config.suspect_ms = 500;
+  config.down_ms = 1500;
+  config.fetch_timeout_ms = 5000;
+  config.nodes = {
+      {"coord", cluster::NodeRole::kCoordinator, "127.0.0.1", 0},
+      {"store1", cluster::NodeRole::kStorage, "127.0.0.1", 0},
+      {"store2", cluster::NodeRole::kStorage, "127.0.0.1", 0},
+  };
+  return config;
+}
+
+struct Child {
+  pid_t pid = -1;
+  int quit_fd = -1;  // closing it tells the child to stop
+  uint16_t port = 0;
+};
+
+// Runs one storage node in a forked child: bind, report the ephemeral
+// port on `port_fd`, serve until `quit_fd` closes.  Never returns.
+[[noreturn]] void StorageChild(const cluster::ClusterConfig& config,
+                               const std::string& id, const BioConfig& bio,
+                               int port_fd, int quit_fd) {
+  auto catalog = BuildBioCatalog(bio);
+  if (!catalog.ok()) {
+    std::cerr << id << ": catalog failed: " << catalog.status() << "\n";
+    _exit(1);
+  }
+  auto node = cluster::ClusterNode::Create(config, id,
+                                           std::move(*catalog.value().store));
+  if (!node.ok()) {
+    std::cerr << id << ": create failed: " << node.status() << "\n";
+    _exit(1);
+  }
+  if (Status s = node.value()->Bind(); !s.ok()) {
+    std::cerr << id << ": bind failed: " << s << "\n";
+    _exit(1);
+  }
+  auto port = node.value()->ListenPort();
+  if (!port.ok() || dprintf(port_fd, "%u\n", port.value()) < 0) {
+    std::cerr << id << ": port report failed\n";
+    _exit(1);
+  }
+  close(port_fd);
+  if (Status s = node.value()->Start(); !s.ok()) {
+    std::cerr << id << ": start failed: " << s << "\n";
+    _exit(1);
+  }
+  char buf;
+  while (read(quit_fd, &buf, 1) > 0) {
+  }  // EOF (or signal) = shutdown
+  node.value()->Stop();
+  _exit(0);
+}
+
+Child SpawnStorage(const cluster::ClusterConfig& config, const std::string& id,
+                   const BioConfig& bio,
+                   const std::map<std::string, Child>& siblings) {
+  int port_pipe[2], quit_pipe[2];
+  if (pipe(port_pipe) != 0 || pipe(quit_pipe) != 0) {
+    std::cerr << "pipe failed\n";
+    std::exit(1);
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "fork failed\n";
+    std::exit(1);
+  }
+  if (pid == 0) {
+    close(port_pipe[0]);
+    close(quit_pipe[1]);
+    // Inherited write ends of earlier siblings' quit pipes would keep
+    // those siblings from ever seeing EOF — close them here.
+    for (const auto& [sid, sibling] : siblings) close(sibling.quit_fd);
+    StorageChild(config, id, bio, port_pipe[1], quit_pipe[0]);
+  }
+  close(port_pipe[1]);
+  close(quit_pipe[0]);
+  // Read the child's ephemeral port ("<digits>\n").
+  std::string text;
+  char c;
+  while (read(port_pipe[0], &c, 1) == 1 && c != '\n') text.push_back(c);
+  close(port_pipe[0]);
+  if (text.empty()) {
+    std::cerr << id << ": no port reported\n";
+    std::exit(1);
+  }
+  Child child;
+  child.pid = pid;
+  child.quit_fd = quit_pipe[1];
+  child.port = static_cast<uint16_t>(std::strtoul(text.c_str(), nullptr, 10));
+  return child;
+}
+
+QueryRequest PathRequest(const std::vector<std::string>& dbs) {
+  QueryRequest request;
+  request.path_peers = dbs;
+  request.x_attrs = {Attribute::String(BioWorkload::AttrNameOf(dbs.front()))};
+  request.y_attrs = {Attribute::String(BioWorkload::AttrNameOf(dbs.back()))};
+  return request;
+}
+
+std::string PathName(const std::vector<std::string>& dbs) {
+  std::string name;
+  for (size_t i = 0; i < dbs.size(); ++i) name += (i ? "-" : "") + dbs[i];
+  return name;
+}
+
+int Main(int argc, char** argv) {
+  BioConfig bio;
+  bio.num_entities = bench_util::ArgOr(argc, argv, 1, 400);
+  size_t passes = bench_util::ArgOr(argc, argv, 2, 5);
+
+  // --- children first: fork before any thread exists -------------------
+  cluster::ClusterConfig seed = SeedConfig();
+  std::map<std::string, Child> children;
+  for (const std::string id : {"store1", "store2"}) {
+    children[id] = SpawnStorage(seed, id, bio, children);
+  }
+  cluster::ClusterConfig resolved = seed;
+  for (cluster::NodeSpec& node : resolved.nodes) {
+    auto it = children.find(node.id);
+    if (it != children.end()) node.port = it->second.port;
+  }
+
+  // --- coordinator (threads are safe from here on) ---------------------
+  auto catalog = BuildBioCatalog(bio);
+  if (!catalog.ok()) {
+    std::cerr << "catalog failed: " << catalog.status() << "\n";
+    return 1;
+  }
+  auto coord = cluster::ClusterNode::Create(resolved, "coord", TableStore());
+  if (!coord.ok()) {
+    std::cerr << "coordinator create failed: " << coord.status() << "\n";
+    return 1;
+  }
+  if (Status s = coord.value()->Bind(); !s.ok()) {
+    std::cerr << "coordinator bind failed: " << s << "\n";
+    return 1;
+  }
+  if (Status s = coord.value()->Start(); !s.ok()) {
+    std::cerr << "coordinator start failed: " << s << "\n";
+    return 1;
+  }
+  if (!coord.value()->WaitAllAlive(10'000'000)) {
+    std::cerr << "cluster did not become fully alive\n";
+    return 1;
+  }
+
+  // Cover caching off in both services: every query runs the protocol,
+  // so throughput measures work, not cache hits.
+  QueryServiceOptions options;
+  options.cache_entries = 0;
+  QueryService clustered(coord.value()->table_source(),
+                         catalog.value().peers, options);
+  QueryService local(catalog.value().store.get(), catalog.value().peers,
+                     options);
+
+  // --- conformance: every path, byte for byte --------------------------
+  const auto paths = BioWorkload::HugoMimPaths();
+  obs::JsonValue per_path = obs::JsonValue::Array();
+  for (const auto& dbs : paths) {
+    QueryResponsePtr want = local.Execute(PathRequest(dbs));
+    QueryResponsePtr got = clustered.Execute(PathRequest(dbs));
+    if (!want->status.ok() || !got->status.ok()) {
+      std::cerr << PathName(dbs) << ": query failed: "
+                << (want->status.ok() ? got->status : want->status) << "\n";
+      return 1;
+    }
+    if (want->cover->Serialize() != got->cover->Serialize()) {
+      std::cerr << PathName(dbs)
+                << ": cluster cover differs from single-process cover\n";
+      return 1;
+    }
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("path", PathName(dbs));
+    entry.Set("cover_rows", static_cast<uint64_t>(got->cover->size()));
+    per_path.Append(std::move(entry));
+    std::cout << PathName(dbs) << ": " << got->cover->size()
+              << " cover rows, byte-identical\n";
+  }
+
+  // --- throughput: evict between passes so shards re-travel the wire ---
+  auto start = std::chrono::steady_clock::now();
+  size_t queries = 0;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    coord.value()->table_source()->Evict();
+    for (const auto& dbs : paths) {
+      QueryResponsePtr response = clustered.Execute(PathRequest(dbs));
+      if (!response->status.ok()) {
+        std::cerr << "pass " << pass << " failed: " << response->status
+                  << "\n";
+        return 1;
+      }
+      ++queries;
+    }
+  }
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  double qps = wall_s > 0 ? static_cast<double>(queries) / wall_s : 0;
+  std::cout << queries << " cluster queries in " << wall_s << " s (" << qps
+            << " qps)\n";
+
+  obs::JsonValue shards = obs::JsonValue::Array();
+  for (const auto& stat : coord.value()->table_source()->ShardStats()) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("table", stat.table);
+    entry.Set("shard", stat.shard);
+    entry.Set("owner", stat.owner);
+    entry.Set("rows", static_cast<uint64_t>(stat.rows));
+    shards.Append(std::move(entry));
+  }
+
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("entities", static_cast<uint64_t>(bio.num_entities));
+  root.Set("shard_count", resolved.shard_count);
+  root.Set("storage_nodes", static_cast<uint64_t>(children.size()));
+  root.Set("paths", static_cast<uint64_t>(paths.size()));
+  root.Set("passes", static_cast<uint64_t>(passes));
+  root.Set("queries", static_cast<uint64_t>(queries));
+  root.Set("wall_s", wall_s);
+  root.Set("qps", qps);
+  root.Set("conformance", "byte-identical");
+  root.Set("per_path", std::move(per_path));
+  root.Set("shard_placement", std::move(shards));
+  bench_util::WriteBenchJson("cluster", std::move(root));
+
+  // --- teardown --------------------------------------------------------
+  coord.value()->Stop();
+  int rc = 0;
+  for (auto& [id, child] : children) {
+    close(child.quit_fd);
+    int status = 0;
+    waitpid(child.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << id << ": child exited abnormally\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace hyperion
+
+int main(int argc, char** argv) { return hyperion::Main(argc, argv); }

@@ -1,0 +1,192 @@
+#include "cluster/cluster_config.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace hyperion {
+namespace cluster {
+
+const char* RoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kCoordinator:
+      return "coordinator";
+    case NodeRole::kStorage:
+      return "storage";
+  }
+  return "unknown";
+}
+
+std::string NodeSpec::Address() const {
+  return host + ":" + std::to_string(port);
+}
+
+namespace {
+
+Result<uint64_t> ParseCount(const std::string& word, const std::string& what) {
+  try {
+    size_t pos = 0;
+    unsigned long long v = std::stoull(word, &pos);
+    if (pos != word.size()) throw std::invalid_argument(word);
+    return static_cast<uint64_t>(v);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("cluster config: bad " + what + " '" +
+                                   word + "'");
+  }
+}
+
+}  // namespace
+
+Result<ClusterConfig> ClusterConfig::Parse(const std::string& text) {
+  ClusterConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("cluster config line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (directive == "node") {
+      NodeSpec node;
+      std::string role, port;
+      if (!(fields >> node.id >> role >> node.host >> port)) {
+        return bad("expected: node <id> <role> <host> <port>");
+      }
+      if (role == "coordinator") {
+        node.role = NodeRole::kCoordinator;
+      } else if (role == "storage") {
+        node.role = NodeRole::kStorage;
+      } else {
+        return bad("unknown role '" + role + "'");
+      }
+      HYP_ASSIGN_OR_RETURN(uint64_t p, ParseCount(port, "port"));
+      if (p > 65535) return bad("port out of range");
+      node.port = static_cast<uint16_t>(p);
+      config.nodes.push_back(std::move(node));
+    } else if (directive == "shards" || directive == "vnodes" ||
+               directive == "heartbeat_ms" || directive == "suspect_ms" ||
+               directive == "down_ms" || directive == "fetch_timeout_ms") {
+      std::string word;
+      if (!(fields >> word)) return bad("expected: " + directive + " <n>");
+      HYP_ASSIGN_OR_RETURN(uint64_t v, ParseCount(word, directive));
+      if (directive == "shards") config.shard_count = v;
+      if (directive == "vnodes") config.vnodes = v;
+      if (directive == "heartbeat_ms") config.heartbeat_ms = v;
+      if (directive == "suspect_ms") config.suspect_ms = v;
+      if (directive == "down_ms") config.down_ms = v;
+      if (directive == "fetch_timeout_ms") config.fetch_timeout_ms = v;
+    } else {
+      return bad("unknown directive '" + directive + "'");
+    }
+    std::string extra;
+    if (fields >> extra) return bad("trailing junk '" + extra + "'");
+  }
+  HYP_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+Result<ClusterConfig> ClusterConfig::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot read cluster config '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
+}
+
+Status ClusterConfig::Validate() const {
+  if (shard_count == 0) {
+    return Status::InvalidArgument("cluster config: shards must be positive");
+  }
+  if (vnodes == 0) {
+    return Status::InvalidArgument("cluster config: vnodes must be positive");
+  }
+  if (heartbeat_ms == 0) {
+    return Status::InvalidArgument(
+        "cluster config: heartbeat_ms must be positive");
+  }
+  if (suspect_ms < heartbeat_ms || down_ms < suspect_ms) {
+    return Status::InvalidArgument(
+        "cluster config: need heartbeat_ms <= suspect_ms <= down_ms");
+  }
+  size_t coordinators = 0, storage = 0;
+  std::set<std::string> ids;
+  for (const NodeSpec& node : nodes) {
+    if (node.id.empty()) {
+      return Status::InvalidArgument("cluster config: empty node id");
+    }
+    if (!ids.insert(node.id).second) {
+      return Status::InvalidArgument("cluster config: duplicate node id '" +
+                                     node.id + "'");
+    }
+    if (node.host.empty()) {
+      return Status::InvalidArgument("cluster config: node '" + node.id +
+                                     "' has no host");
+    }
+    if (node.role == NodeRole::kCoordinator) ++coordinators;
+    if (node.role == NodeRole::kStorage) ++storage;
+  }
+  if (coordinators != 1) {
+    return Status::InvalidArgument(
+        "cluster config: need exactly one coordinator, have " +
+        std::to_string(coordinators));
+  }
+  if (storage == 0) {
+    return Status::InvalidArgument(
+        "cluster config: need at least one storage node");
+  }
+  return Status::OK();
+}
+
+Result<NodeSpec> ClusterConfig::NodeById(const std::string& id) const {
+  if (const NodeSpec* node = FindNode(id)) return *node;
+  return Status::NotFound("cluster config has no node '" + id + "'");
+}
+
+const NodeSpec* ClusterConfig::FindNode(const std::string& id) const {
+  for (const NodeSpec& node : nodes) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ClusterConfig::StorageNodeIds() const {
+  std::vector<std::string> ids;
+  for (const NodeSpec& node : nodes) {
+    if (node.role == NodeRole::kStorage) ids.push_back(node.id);
+  }
+  return ids;
+}
+
+Result<NodeSpec> ClusterConfig::Coordinator() const {
+  for (const NodeSpec& node : nodes) {
+    if (node.role == NodeRole::kCoordinator) return node;
+  }
+  return Status::NotFound("cluster config has no coordinator");
+}
+
+std::string ClusterConfig::ToString() const {
+  std::ostringstream out;
+  out << "shards " << shard_count << "\n"
+      << "vnodes " << vnodes << "\n"
+      << "heartbeat_ms " << heartbeat_ms << "\n"
+      << "suspect_ms " << suspect_ms << "\n"
+      << "down_ms " << down_ms << "\n"
+      << "fetch_timeout_ms " << fetch_timeout_ms << "\n";
+  for (const NodeSpec& node : nodes) {
+    out << "node " << node.id << " " << RoleName(node.role) << " "
+        << node.host << " " << node.port << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cluster
+}  // namespace hyperion

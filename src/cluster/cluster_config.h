@@ -1,0 +1,93 @@
+// ClusterConfig: the one file every process of a cluster reads.
+//
+// The format is deliberately plain text (one `key value...` directive
+// per line, '#' comments) rather than anything structured — a launch
+// script writes it with echo, a human reads it with cat, and every node
+// parses it identically, which is the actual requirement: placement is
+// computed independently by each process from this file plus the shard
+// ring, so any divergence in parsing would silently split the cluster.
+//
+//   shards 2
+//   vnodes 64
+//   heartbeat_ms 200
+//   suspect_ms 1000
+//   down_ms 3000
+//   fetch_timeout_ms 5000
+//   node coord  coordinator 127.0.0.1 9100
+//   node store1 storage     127.0.0.1 9101
+//   node store2 storage     127.0.0.1 9102
+//
+// A port of 0 means "pick an ephemeral port"; the launch script then
+// learns the real port from the node's port file (--port-file) and
+// rewrites a resolved config for the remaining processes.
+
+#ifndef HYPERION_CLUSTER_CLUSTER_CONFIG_H_
+#define HYPERION_CLUSTER_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperion {
+namespace cluster {
+
+enum class NodeRole {
+  kCoordinator,  // routes queries, owns no shards
+  kStorage,      // serves shard slices of the mapping tables
+};
+
+const char* RoleName(NodeRole role);
+
+struct NodeSpec {
+  std::string id;
+  NodeRole role = NodeRole::kStorage;
+  std::string host;
+  uint16_t port = 0;  // 0 => ephemeral, resolved via port file
+
+  /// \brief "host:port" as the TCP transport expects it.
+  std::string Address() const;
+};
+
+struct ClusterConfig {
+  std::vector<NodeSpec> nodes;
+  uint64_t shard_count = 2;
+  uint64_t vnodes = 64;
+  uint64_t heartbeat_ms = 200;     // beat period
+  uint64_t suspect_ms = 1000;      // silence before alive -> suspect
+  uint64_t down_ms = 3000;         // silence before suspect -> down
+  uint64_t fetch_timeout_ms = 5000;  // coordinator shard-fetch deadline
+
+  /// \brief Parses the directive format above.  Validates with
+  /// Validate() before returning.
+  static Result<ClusterConfig> Parse(const std::string& text);
+
+  /// \brief Parse() over the contents of `path`.
+  static Result<ClusterConfig> FromFile(const std::string& path);
+
+  /// \brief Exactly one coordinator, at least one storage node, unique
+  /// nonempty ids, positive counts, suspect_ms <= down_ms.
+  Status Validate() const;
+
+  /// \brief The node named `id` (NotFound when absent).
+  Result<NodeSpec> NodeById(const std::string& id) const;
+
+  const NodeSpec* FindNode(const std::string& id) const;
+
+  /// \brief Ids of all storage nodes, in config order (the shard ring
+  /// sorts internally, so order does not affect placement).
+  std::vector<std::string> StorageNodeIds() const;
+
+  /// \brief The single coordinator spec.
+  Result<NodeSpec> Coordinator() const;
+
+  /// \brief Round-trips through Parse(): the resolved-config format the
+  /// launch script writes after learning ephemeral ports.
+  std::string ToString() const;
+};
+
+}  // namespace cluster
+}  // namespace hyperion
+
+#endif  // HYPERION_CLUSTER_CLUSTER_CONFIG_H_

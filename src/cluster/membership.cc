@@ -1,0 +1,157 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hyperion {
+namespace cluster {
+
+const char* MemberStateName(MemberState state) {
+  switch (state) {
+    case MemberState::kUnknown:
+      return "unknown";
+    case MemberState::kAlive:
+      return "alive";
+    case MemberState::kSuspect:
+      return "suspect";
+    case MemberState::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+MembershipTracker::MembershipTracker(std::string self,
+                                     std::vector<std::string> members,
+                                     int64_t suspect_after_us,
+                                     int64_t down_after_us)
+    : self_(std::move(self)),
+      suspect_after_us_(suspect_after_us),
+      down_after_us_(down_after_us) {
+  // Instrument handles are resolved once here: Counter::Add is atomic,
+  // so TransitionLocked can bump them under mu_ without ever touching
+  // the registry's own mutex (mu_ stays a leaf, DESIGN.md §12).
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  m_heartbeats_ = reg.GetCounter("cluster.heartbeats_received");
+  m_alive_ = reg.GetCounter("cluster.alive_transitions");
+  m_suspect_ = reg.GetCounter("cluster.suspect_transitions");
+  m_down_ = reg.GetCounter("cluster.down_transitions");
+  m_members_alive_ = reg.GetGauge("cluster.members_alive");
+  MutexLock lock(mu_);
+  for (std::string& m : members) {
+    members_.emplace(std::move(m), Entry{});
+  }
+}
+
+void MembershipTracker::TransitionLocked(const std::string& node, Entry& entry,
+                                         MemberState next, int64_t now_us,
+                                         std::vector<obs::TraceEvent>* out) {
+  if (entry.state == next) return;
+  entry.state = next;
+  const char* kind = nullptr;
+  switch (next) {
+    case MemberState::kAlive:
+      m_alive_->Add();
+      kind = "cluster.member_alive";
+      break;
+    case MemberState::kSuspect:
+      m_suspect_->Add();
+      kind = "cluster.member_suspect";
+      break;
+    case MemberState::kDown:
+      m_down_->Add();
+      kind = "cluster.member_down";
+      break;
+    case MemberState::kUnknown:
+      break;  // never transitioned back to
+  }
+  int64_t alive = 0;
+  for (const auto& [id, e] : members_) {
+    if (e.state == MemberState::kAlive) ++alive;
+  }
+  m_members_alive_->Set(alive);
+  if (kind != nullptr) {
+    obs::TraceEvent ev;
+    ev.wall_us = now_us;
+    ev.peer = self_;
+    ev.kind = kind;
+    ev.detail = node;
+    ev.value = alive;
+    out->push_back(std::move(ev));
+  }
+}
+
+void MembershipTracker::Observe(const std::string& node, int64_t now_us) {
+  std::vector<obs::TraceEvent> events;
+  {
+    MutexLock lock(mu_);
+    auto it = members_.find(node);
+    if (it == members_.end()) return;  // not on the roster
+    it->second.last_heard_us = now_us;
+    ++it->second.beats;
+    m_heartbeats_->Add();
+    TransitionLocked(node, it->second, MemberState::kAlive, now_us, &events);
+  }
+  // The tracer has its own (leaf) lock; record with mu_ released.
+  for (obs::TraceEvent& ev : events) {
+    obs::SessionTracer::Default().Record(std::move(ev));
+  }
+}
+
+std::vector<MemberInfo> MembershipTracker::SweepAt(int64_t now_us) {
+  std::vector<obs::TraceEvent> events;
+  std::vector<MemberInfo> changed;
+  {
+    MutexLock lock(mu_);
+    for (auto& [node, entry] : members_) {
+      if (entry.state != MemberState::kAlive &&
+          entry.state != MemberState::kSuspect) {
+        continue;  // unknown members have no deadline; down stays down
+      }
+      int64_t silence = now_us - entry.last_heard_us;
+      MemberState next = entry.state;
+      if (silence > down_after_us_) {
+        next = MemberState::kDown;
+      } else if (silence > suspect_after_us_) {
+        next = MemberState::kSuspect;
+      }
+      if (next != entry.state) {
+        TransitionLocked(node, entry, next, now_us, &events);
+        changed.push_back(MemberInfo{node, entry.state, entry.last_heard_us,
+                                     entry.beats});
+      }
+    }
+  }
+  for (obs::TraceEvent& ev : events) {
+    obs::SessionTracer::Default().Record(std::move(ev));
+  }
+  return changed;
+}
+
+MemberState MembershipTracker::StateOf(const std::string& node) const {
+  MutexLock lock(mu_);
+  auto it = members_.find(node);
+  return it == members_.end() ? MemberState::kUnknown : it->second.state;
+}
+
+std::vector<MemberInfo> MembershipTracker::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<MemberInfo> out;
+  out.reserve(members_.size());
+  for (const auto& [node, entry] : members_) {
+    out.push_back(
+        MemberInfo{node, entry.state, entry.last_heard_us, entry.beats});
+  }
+  return out;
+}
+
+bool MembershipTracker::AllAlive() const {
+  MutexLock lock(mu_);
+  return std::all_of(members_.begin(), members_.end(), [](const auto& kv) {
+    return kv.second.state == MemberState::kAlive;
+  });
+}
+
+}  // namespace cluster
+}  // namespace hyperion

@@ -1,0 +1,108 @@
+// MembershipTracker: the failure-detection half of the cluster runtime.
+//
+// Every node heartbeats every peer it knows an address for; the tracker
+// turns "when did I last hear from X" into one of four states:
+//
+//      (silence > suspect timeout)      (silence > down timeout)
+//   kAlive ----------------------> kSuspect ----------------------> kDown
+//      ^                               |                              |
+//      +------- heartbeat -------------+------- heartbeat ------------+
+//
+// kUnknown is the before-first-contact state — a node that never spoke
+// is not "down" (it may still be launching), which is why the coordinator
+// can wait for the initial quorum without tripping failure alarms.
+//
+// The tracker is deliberately clock-free: callers feed timestamps into
+// Observe()/SweepAt(), so tests drive transitions with a fake clock and
+// the node drives them from its timer thread.  Thread-safe.
+
+#ifndef HYPERION_CLUSTER_MEMBERSHIP_H_
+#define HYPERION_CLUSTER_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/synchronization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hyperion {
+namespace cluster {
+
+enum class MemberState {
+  kUnknown,  // never heard from
+  kAlive,
+  kSuspect,  // silent past the suspect timeout
+  kDown,     // silent past the down timeout
+};
+
+const char* MemberStateName(MemberState state);
+
+struct MemberInfo {
+  std::string node;
+  MemberState state = MemberState::kUnknown;
+  int64_t last_heard_us = 0;  // 0 when never heard
+  uint64_t beats = 0;         // heartbeats observed
+};
+
+/// \brief Tracks liveness of a fixed member set from observation
+/// timestamps.  Records `cluster.*` transition metrics and trace events
+/// on behalf of the owning node.
+class MembershipTracker {
+ public:
+  /// \brief `members` is the full expected roster (this node excluded);
+  /// `self` names the observer in trace events.  Timeouts are µs.
+  MembershipTracker(std::string self, std::vector<std::string> members,
+                    int64_t suspect_after_us, int64_t down_after_us);
+
+  /// \brief A heartbeat (or any authenticated traffic) arrived from
+  /// `node` at `now_us`.  Unknown senders are ignored — the roster is
+  /// fixed by the cluster config.  A suspect/down member heard from
+  /// again returns to kAlive (with a recovery trace event).
+  void Observe(const std::string& node, int64_t now_us);
+
+  /// \brief Applies the timeouts as of `now_us`, demoting silent
+  /// members.  Returns the members whose state changed in this sweep.
+  std::vector<MemberInfo> SweepAt(int64_t now_us);
+
+  MemberState StateOf(const std::string& node) const;
+
+  /// \brief Roster snapshot, sorted by node id.
+  std::vector<MemberInfo> Snapshot() const;
+
+  /// \brief True when every member of the roster is currently kAlive.
+  bool AllAlive() const;
+
+ private:
+  struct Entry {
+    MemberState state = MemberState::kUnknown;
+    int64_t last_heard_us = 0;
+    uint64_t beats = 0;
+  };
+
+  // Appends the transition's trace event to `out` instead of recording
+  // it directly, so the tracer's lock is only taken with mu_ released
+  // (mu_ is a leaf, DESIGN.md §12).
+  void TransitionLocked(const std::string& node, Entry& entry,
+                        MemberState next, int64_t now_us,
+                        std::vector<obs::TraceEvent>* out) REQUIRES(mu_);
+
+  const std::string self_;
+  const int64_t suspect_after_us_;
+  const int64_t down_after_us_;
+  // Resolved once at construction; Add/Set are atomic (lock-free).
+  obs::Counter* m_heartbeats_ = nullptr;
+  obs::Counter* m_alive_ = nullptr;
+  obs::Counter* m_suspect_ = nullptr;
+  obs::Counter* m_down_ = nullptr;
+  obs::Gauge* m_members_alive_ = nullptr;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> members_ GUARDED_BY(mu_);
+};
+
+}  // namespace cluster
+}  // namespace hyperion
+
+#endif  // HYPERION_CLUSTER_MEMBERSHIP_H_

@@ -1,0 +1,335 @@
+#include "cluster/node.h"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <utility>
+#include <variant>
+
+#include "obs/metrics.h"
+
+namespace hyperion {
+namespace cluster {
+
+Result<std::unique_ptr<ClusterNode>> ClusterNode::Create(ClusterConfig config,
+                                                         std::string self,
+                                                         TableStore store) {
+  HYP_RETURN_IF_ERROR(config.Validate());
+  HYP_ASSIGN_OR_RETURN(NodeSpec self_spec, config.NodeById(self));
+  HYP_ASSIGN_OR_RETURN(
+      ShardRing ring,
+      ShardRing::Build(config.StorageNodeIds(), config.shard_count,
+                       config.vnodes));
+  return std::unique_ptr<ClusterNode>(new ClusterNode(
+      std::move(config), std::move(self_spec), std::move(store),
+      std::move(ring)));
+}
+
+ClusterNode::ClusterNode(ClusterConfig config, NodeSpec self_spec,
+                         TableStore store, ShardRing ring)
+    : config_(std::move(config)),
+      self_spec_(std::move(self_spec)),
+      store_(std::move(store)),
+      ring_(std::move(ring)),
+      membership_(
+          self_spec_.id,
+          [this] {
+            std::vector<std::string> roster;
+            for (const NodeSpec& node : config_.nodes) {
+              if (node.id != self_spec_.id) roster.push_back(node.id);
+            }
+            return roster;
+          }(),
+          static_cast<int64_t>(config_.suspect_ms) * 1000,
+          static_cast<int64_t>(config_.down_ms) * 1000),
+      incarnation_(static_cast<uint64_t>(std::time(nullptr))) {}
+
+ClusterNode::~ClusterNode() { Stop(); }
+
+Status ClusterNode::Bind() {
+  {
+    MutexLock lock(mu_);
+    if (bound_) return Status::OK();
+  }
+  // Bind/Start/Stop are driver-thread calls (not concurrent with each
+  // other); mu_ only shields the flags from the handler thread, so the
+  // network work happens with it released (leaf rule, DESIGN.md §12).
+  TcpNetwork::Options options;
+  options.listen_host = self_spec_.host;
+  options.base_port = self_spec_.port;
+  net_ = std::make_unique<TcpNetwork>(options);
+  HYP_RETURN_IF_ERROR(net_->RegisterPeer(
+      self_spec_.id, [this](const Message& msg) { HandleMessage(msg); }));
+  MutexLock lock(mu_);
+  bound_ = true;
+  return Status::OK();
+}
+
+Result<uint16_t> ClusterNode::ListenPort() const {
+  {
+    MutexLock lock(mu_);
+    if (!bound_) return Status::FailedPrecondition("node is not bound");
+  }
+  return net_->ListenPort(self_spec_.id);
+}
+
+Status ClusterNode::WritePortFile(const std::string& path) const {
+  HYP_ASSIGN_OR_RETURN(uint16_t port, ListenPort());
+  // Write-then-rename: a poller never reads a half-written file.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IoError("cannot write port file '" + tmp + "'");
+    out << port << "\n";
+    if (!out.flush()) {
+      return Status::IoError("cannot flush port file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot publish port file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status ClusterNode::Start() {
+  {
+    MutexLock lock(mu_);
+    if (!bound_) return Status::FailedPrecondition("Bind() before Start()");
+    if (running_) return Status::OK();
+  }
+  if (self_spec_.role == NodeRole::kStorage) {
+    std::vector<uint64_t> owned = ring_.ShardsOwnedBy(self_spec_.id);
+    HYP_ASSIGN_OR_RETURN(
+        slices_,
+        SliceStore(
+            store_,
+            [this](const std::string& key) { return ring_.ShardForKey(key); },
+            owned));
+  } else {
+    ClusterTableSource::Options opts;
+    opts.fetch_timeout_us =
+        static_cast<int64_t>(config_.fetch_timeout_ms) * 1000;
+    table_source_ = std::make_unique<ClusterTableSource>(
+        self_spec_.id, net_.get(), &ring_, opts);
+  }
+  std::vector<std::pair<std::string, std::string>> routes;
+  {
+    MutexLock lock(mu_);
+    for (const NodeSpec& node : config_.nodes) {
+      if (node.id == self_spec_.id) continue;
+      auto it = known_addrs_.find(node.id);
+      if (it != known_addrs_.end()) {
+        routes.emplace_back(node.id, it->second);
+      } else if (node.port != 0) {
+        known_addrs_[node.id] = node.Address();
+        routes.emplace_back(node.id, node.Address());
+      }
+      // Port-0 peers without a learned address stay unreachable until a
+      // heartbeat from them tells us where they landed.
+    }
+    running_ = true;
+  }
+  // mu_ is a leaf (DESIGN.md §12): network calls happen with it released.
+  for (const auto& [id, addr] : routes) net_->SetRemotePeer(id, addr);
+  HYP_RETURN_IF_ERROR(net_->Start());
+  SendHeartbeats();
+  ScheduleHeartbeat();
+  ScheduleSweep();
+  return Status::OK();
+}
+
+void ClusterNode::Stop() {
+  Network::TimerId heartbeat = 0, sweep = 0;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    heartbeat = heartbeat_timer_;
+    sweep = sweep_timer_;
+  }
+  if (heartbeat != 0) net_->CancelTimer(heartbeat);
+  if (sweep != 0) net_->CancelTimer(sweep);
+  net_->Stop(1'000'000);
+}
+
+void ClusterNode::SetPeerAddress(const std::string& node,
+                                 const std::string& host_port) {
+  bool apply;
+  {
+    MutexLock lock(mu_);
+    known_addrs_[node] = host_port;
+    apply = bound_;
+  }
+  if (apply) net_->SetRemotePeer(node, host_port);
+}
+
+std::vector<uint64_t> ClusterNode::owned_shards() const {
+  return ring_.ShardsOwnedBy(self_spec_.id);
+}
+
+bool ClusterNode::WaitAllAlive(int64_t timeout_us) {
+  return net_->RunUntil([this] { return membership_.AllAlive(); },
+                        timeout_us);
+}
+
+int64_t ClusterNode::NowUs() const { return net_->now_us(); }
+
+void ClusterNode::HandleMessage(const Message& msg) {
+  if (std::holds_alternative<HeartbeatMsg>(msg.payload)) {
+    HandleHeartbeat(msg);
+  } else if (std::holds_alternative<ShardFetchMsg>(msg.payload)) {
+    HandleShardFetch(msg);
+  } else if (const auto* rows = std::get_if<ShardRowsMsg>(&msg.payload)) {
+    if (table_source_ != nullptr) table_source_->OnShardRows(*rows);
+  }
+  // Anything else (discovery, session traffic) belongs to a query
+  // service sharing the transport, not to the cluster runtime.
+}
+
+void ClusterNode::HandleHeartbeat(const Message& msg) {
+  const auto& hb = std::get<HeartbeatMsg>(msg.payload);
+  membership_.Observe(hb.node, NowUs());
+  if (hb.listen_addr.empty() || config_.FindNode(hb.node) == nullptr) return;
+  bool learned = false;
+  {
+    MutexLock lock(mu_);
+    auto it = known_addrs_.find(hb.node);
+    if (it == known_addrs_.end() || it->second != hb.listen_addr) {
+      // Address learning: the sender bound an ephemeral port we did not
+      // know (or moved); route future sends there.
+      known_addrs_[hb.node] = hb.listen_addr;
+      learned = true;
+    }
+  }
+  if (learned) net_->SetRemotePeer(hb.node, hb.listen_addr);
+}
+
+void ClusterNode::HandleShardFetch(const Message& msg) {
+  const auto& fetch = std::get<ShardFetchMsg>(msg.payload);
+  ShardRowsMsg reply;
+  reply.request_id = fetch.request_id;
+  reply.table_name = fetch.table_name;
+  reply.node = self_spec_.id;
+  reply.shard = fetch.shard;
+  if (self_spec_.role != NodeRole::kStorage) {
+    Status status = Status::FailedPrecondition(
+        "node '" + self_spec_.id + "' is not a storage node");
+    reply.error = status.message();
+    reply.error_code = static_cast<int32_t>(status.code());
+  } else {
+    auto it = slices_.find({fetch.table_name, fetch.shard});
+    if (it == slices_.end()) {
+      Status status =
+          fetch.shard >= ring_.shard_count() ||
+                  ring_.OwnerForShard(fetch.shard) != self_spec_.id
+              ? Status::FailedPrecondition(
+                    "node '" + self_spec_.id + "' does not own shard " +
+                    std::to_string(fetch.shard))
+              : Status::NotFound("node '" + self_spec_.id +
+                                 "' has no table '" + fetch.table_name + "'");
+      reply.error = status.message();
+      reply.error_code = static_cast<int32_t>(status.code());
+    } else {
+      const ShardSlice& slice = it->second;
+      reply.version = slice.version;
+      reply.total_rows = slice.total_rows;
+      reply.x_schema = slice.x_schema;
+      reply.y_schema = slice.y_schema;
+      reply.row_indices = slice.row_indices;
+      reply.rows = slice.rows;
+      obs::MetricRegistry::Default()
+          .GetCounter("cluster.shard_rows_served")
+          ->Add(slice.rows.size());
+    }
+  }
+  Message out;
+  out.from = self_spec_.id;
+  out.to = msg.from;
+  out.payload = std::move(reply);
+  (void)net_->Send(std::move(out));
+}
+
+void ClusterNode::SendHeartbeats() {
+  // Resolve our own address before taking mu_ (ListenPort locks the
+  // network; mu_ is a leaf and must not be held across it).
+  auto port = net_->ListenPort(self_spec_.id);
+  std::string listen_addr =
+      self_spec_.host + ":" +
+      std::to_string(port.ok() ? port.value() : self_spec_.port);
+  std::vector<Message> beats;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    uint64_t beat = ++beat_;
+    for (const NodeSpec& node : config_.nodes) {
+      if (node.id == self_spec_.id) continue;
+      // A peer without a known address (ephemeral port, not yet heard
+      // from) cannot be beaten yet; it will reach us first.
+      if (known_addrs_.find(node.id) == known_addrs_.end()) continue;
+      Message msg;
+      msg.from = self_spec_.id;
+      msg.to = node.id;
+      HeartbeatMsg hb;
+      hb.node = self_spec_.id;
+      hb.role = static_cast<uint8_t>(self_spec_.role);
+      hb.listen_addr = listen_addr;
+      hb.incarnation = incarnation_;
+      hb.beat = beat;
+      msg.payload = std::move(hb);
+      beats.push_back(std::move(msg));
+    }
+  }
+  if (!beats.empty()) {
+    obs::MetricRegistry::Default()
+        .GetCounter("cluster.heartbeats_sent")
+        ->Add(beats.size());
+  }
+  for (Message& msg : beats) (void)net_->Send(std::move(msg));
+}
+
+void ClusterNode::ScheduleHeartbeat() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+  }
+  auto timer = net_->ScheduleTimer(
+      self_spec_.id, static_cast<int64_t>(config_.heartbeat_ms) * 1000,
+      [this] {
+        SendHeartbeats();
+        ScheduleHeartbeat();
+      });
+  bool stopped;
+  {
+    MutexLock lock(mu_);
+    heartbeat_timer_ = timer.ok() ? timer.value() : 0;
+    stopped = !running_;
+  }
+  // Stop() may have raced us between the checks; it has already
+  // cancelled whatever id it saw, so cancel the fresh one ourselves.
+  if (stopped && timer.ok()) net_->CancelTimer(timer.value());
+}
+
+void ClusterNode::ScheduleSweep() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+  }
+  // Sweep at half the suspect timeout: fine-grained enough that a dead
+  // node is noticed within ~1.5x the configured silence budget.
+  int64_t period_us = static_cast<int64_t>(config_.suspect_ms) * 500;
+  if (period_us < 1000) period_us = 1000;
+  auto timer = net_->ScheduleTimer(self_spec_.id, period_us, [this] {
+    membership_.SweepAt(NowUs());
+    ScheduleSweep();
+  });
+  bool stopped;
+  {
+    MutexLock lock(mu_);
+    sweep_timer_ = timer.ok() ? timer.value() : 0;
+    stopped = !running_;
+  }
+  if (stopped && timer.ok()) net_->CancelTimer(timer.value());
+}
+
+}  // namespace cluster
+}  // namespace hyperion

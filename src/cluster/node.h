@@ -1,0 +1,142 @@
+// ClusterNode: one process of a hyperion cluster.
+//
+// A node is a TcpNetwork with exactly one registered peer (the node id)
+// plus the role-specific machinery on top:
+//
+//  * storage — slices its TableStore by the shard ring at startup and
+//    answers ShardFetchMsg with the owned slices (shard_split.h);
+//  * coordinator — owns a ClusterTableSource that fans fetches out to
+//    the storage nodes and reassembles tables for the query service.
+//
+// Both roles run the membership protocol: a heartbeat to every known
+// peer each heartbeat_ms, carrying this node's own listen address so
+// nodes that bound ephemeral ports become reachable once anyone hears
+// them (address learning), and a periodic sweep applying the
+// suspect/down timeouts (membership.h).
+//
+// Lifecycle is two-phase so ephemeral ports work across processes:
+//
+//   Bind()   — bind the listener; ListenPort()/WritePortFile() now
+//              report the real port, but nothing runs yet.
+//   Start()  — load shards, connect addresses, start the event loop and
+//              the heartbeat/sweep timers.
+//   Stop()   — cancel timers, stop the loop.
+//
+// The launch script (tools/run_cluster.sh) starts every storage node
+// with port 0, collects the port files, rewrites a resolved config and
+// only then starts the coordinator — no listen-before-connect race.
+
+#ifndef HYPERION_CLUSTER_NODE_H_
+#define HYPERION_CLUSTER_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/membership.h"
+#include "cluster/remote_tables.h"
+#include "cluster/shard_ring.h"
+#include "common/synchronization.h"
+#include "p2p/tcp_network.h"
+#include "storage/shard_split.h"
+#include "storage/table_store.h"
+
+namespace hyperion {
+namespace cluster {
+
+/// \brief One cluster process (storage or coordinator).  Construct via
+/// Create, then Bind → Start → Stop.
+class ClusterNode {
+ public:
+  /// \brief Validates that `self` names a node of `config`.  Storage
+  /// nodes take ownership of `store` (the tables to slice and serve);
+  /// the coordinator ignores it.
+  static Result<std::unique_ptr<ClusterNode>> Create(ClusterConfig config,
+                                                     std::string self,
+                                                     TableStore store);
+
+  ~ClusterNode();
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  /// \brief Binds the listener (config port, or ephemeral when 0).
+  Status Bind();
+
+  /// \brief The bound listen port; requires Bind().
+  Result<uint16_t> ListenPort() const;
+
+  /// \brief Writes "<port>\n" to `path` atomically (write + rename), the
+  /// handshake file launch scripts poll for.  Requires Bind().
+  Status WritePortFile(const std::string& path) const;
+
+  /// \brief Slices the store (storage role), connects every peer whose
+  /// address is known, and starts the event loop and timers.
+  Status Start();
+
+  /// \brief Cancels timers and stops the event loop.  Idempotent.
+  void Stop();
+
+  /// \brief Overrides a peer's address (launch scripts with resolved
+  /// ports call this; heartbeats learn addresses the same way later).
+  void SetPeerAddress(const std::string& node, const std::string& host_port);
+
+  const ClusterConfig& config() const { return config_; }
+  const NodeSpec& self() const { return self_spec_; }
+  const ShardRing& ring() const { return ring_; }
+  MembershipTracker& membership() { return membership_; }
+
+  /// \brief Coordinator only: the table source query services read
+  /// through (nullptr on storage nodes).
+  ClusterTableSource* table_source() { return table_source_.get(); }
+
+  /// \brief Storage only: shards this node owns.
+  std::vector<uint64_t> owned_shards() const;
+
+  /// \brief Blocks until every roster member is alive or `timeout_us`
+  /// elapses; returns the final AllAlive().
+  bool WaitAllAlive(int64_t timeout_us);
+
+  /// \brief The network, for wiring a QueryService onto the coordinator.
+  TcpNetwork& network() { return *net_; }
+
+ private:
+  ClusterNode(ClusterConfig config, NodeSpec self_spec, TableStore store,
+              ShardRing ring);
+
+  void HandleMessage(const Message& msg);
+  void HandleHeartbeat(const Message& msg);
+  void HandleShardFetch(const Message& msg);  // storage role
+  void SendHeartbeats();
+  void ScheduleHeartbeat();
+  void ScheduleSweep();
+  int64_t NowUs() const;
+
+  const ClusterConfig config_;
+  const NodeSpec self_spec_;
+  TableStore store_;
+  const ShardRing ring_;
+  MembershipTracker membership_;
+  std::unique_ptr<TcpNetwork> net_;
+  std::unique_ptr<ClusterTableSource> table_source_;  // coordinator only
+  const uint64_t incarnation_;
+
+  mutable Mutex mu_;
+  bool bound_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  uint64_t beat_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::string> known_addrs_ GUARDED_BY(mu_);
+  Network::TimerId heartbeat_timer_ GUARDED_BY(mu_) = 0;
+  Network::TimerId sweep_timer_ GUARDED_BY(mu_) = 0;
+  // Owned shard slices, immutable after Start() (read from the handler
+  // thread without locking).
+  std::map<std::pair<std::string, uint64_t>, ShardSlice> slices_;
+};
+
+}  // namespace cluster
+}  // namespace hyperion
+
+#endif  // HYPERION_CLUSTER_NODE_H_

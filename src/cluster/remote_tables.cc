@@ -1,0 +1,180 @@
+#include "cluster/remote_tables.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/shard_split.h"
+
+namespace hyperion {
+namespace cluster {
+
+namespace {
+
+ShardSlice SliceOfMsg(const ShardRowsMsg& msg) {
+  ShardSlice slice;
+  slice.table_name = msg.table_name;
+  slice.shard = msg.shard;
+  slice.version = msg.version;
+  slice.total_rows = msg.total_rows;
+  slice.x_schema = msg.x_schema;
+  slice.y_schema = msg.y_schema;
+  slice.row_indices = msg.row_indices;
+  slice.rows = msg.rows;
+  return slice;
+}
+
+}  // namespace
+
+ClusterTableSource::ClusterTableSource(std::string self, Network* net,
+                                       const ShardRing* ring, Options options)
+    : self_(std::move(self)), net_(net), ring_(ring), options_(options) {}
+
+Result<VersionedTable> ClusterTableSource::Fetch(
+    const std::string& name) const {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  {
+    MutexLock lock(mu_);
+    auto it = cache_.find(name);
+    if (it != cache_.end()) {
+      reg.GetCounter("cluster.table_cache_hits")->Add();
+      return it->second;
+    }
+  }
+  reg.GetCounter("cluster.table_cache_misses")->Add();
+  const auto start = std::chrono::steady_clock::now();
+
+  const uint64_t shard_count = ring_->shard_count();
+  std::vector<std::shared_ptr<Pending>> slots;
+  std::vector<uint64_t> ids;
+  slots.reserve(shard_count);
+  ids.reserve(shard_count);
+  {
+    MutexLock lock(mu_);
+    for (uint64_t s = 0; s < shard_count; ++s) {
+      uint64_t id = next_request_id_++;
+      auto slot = std::make_shared<Pending>();
+      pending_.emplace(id, slot);
+      slots.push_back(std::move(slot));
+      ids.push_back(id);
+    }
+  }
+  // Sends happen without mu_ held: the network has its own (leaf) lock.
+  for (uint64_t s = 0; s < shard_count; ++s) {
+    reg.GetCounter("cluster.shard_fetches")->Add();
+    Message msg;
+    msg.from = self_;
+    msg.to = ring_->OwnerForShard(s);
+    ShardFetchMsg fetch;
+    fetch.request_id = ids[s];
+    fetch.table_name = name;
+    fetch.shard = s;
+    msg.payload = std::move(fetch);
+    // Send only fails on local misconfiguration; transport loss shows up
+    // as a missing response, handled by the wait below.
+    (void)net_->Send(std::move(msg));
+  }
+
+  bool all_done;
+  {
+    MutexLock lock(mu_);
+    all_done = cv_.WaitFor(
+        mu_, std::chrono::microseconds(options_.fetch_timeout_us),
+        [&slots]() {
+          for (const auto& slot : slots) {
+            if (!slot->done) return false;
+          }
+          return true;
+        });
+    for (uint64_t id : ids) pending_.erase(id);
+  }
+
+  if (!all_done) {
+    for (uint64_t s = 0; s < shard_count; ++s) {
+      if (slots[s]->done) continue;
+      const std::string& owner = ring_->OwnerForShard(s);
+      reg.GetCounter("cluster.shard_fetch_failures")->Add();
+      obs::TraceEvent ev;
+      ev.peer = self_;
+      ev.kind = "cluster.shard_unreachable";
+      ev.detail = owner;
+      ev.value = static_cast<int64_t>(s);
+      obs::SessionTracer::Default().Record(std::move(ev));
+      return Status::Unavailable(
+          "storage node '" + owner + "' unreachable: no response for shard " +
+          std::to_string(s) + " of table '" + name + "' within " +
+          std::to_string(options_.fetch_timeout_us / 1000) + "ms");
+    }
+  }
+
+  std::vector<ShardSlice> owned;
+  owned.reserve(shard_count);
+  for (uint64_t s = 0; s < shard_count; ++s) {
+    const ShardRowsMsg& response = slots[s]->response;
+    if (!response.error.empty()) {
+      reg.GetCounter("cluster.shard_fetch_failures")->Add();
+      StatusCode code = response.error_code == 0
+                            ? StatusCode::kInternal
+                            : static_cast<StatusCode>(response.error_code);
+      return Status(code, "storage node '" + response.node +
+                              "' failed shard " + std::to_string(s) +
+                              " of table '" + name + "': " + response.error);
+    }
+    reg.GetCounter("cluster.shard_rows_fetched")
+        ->Add(response.rows.size());
+    owned.push_back(SliceOfMsg(response));
+  }
+  std::vector<const ShardSlice*> views;
+  views.reserve(owned.size());
+  for (const ShardSlice& s : owned) views.push_back(&s);
+  HYP_ASSIGN_OR_RETURN(MappingTable table, AssembleTable(name, views));
+
+  VersionedTable vt;
+  vt.version = owned.empty() ? 0 : owned.front().version;
+  vt.table = std::make_shared<const MappingTable>(std::move(table));
+
+  int64_t elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  reg.GetHistogram("cluster.shard_fetch_latency_us", obs::LatencyBoundsUs())
+      ->Observe(elapsed_us);
+  obs::TraceEvent ev;
+  ev.peer = self_;
+  ev.kind = "cluster.table_fetched";
+  ev.detail = name;
+  ev.value = static_cast<int64_t>(vt.table->size());
+  obs::SessionTracer::Default().Record(std::move(ev));
+
+  MutexLock lock(mu_);
+  for (uint64_t s = 0; s < shard_count; ++s) {
+    stats_.push_back(ShardStat{name, s, slots[s]->response.node,
+                               slots[s]->response.rows.size()});
+  }
+  // A concurrent Fetch of the same table may have beaten us here; both
+  // assembled from the same slices, so either copy serves.
+  return cache_.emplace(name, std::move(vt)).first->second;
+}
+
+void ClusterTableSource::OnShardRows(const ShardRowsMsg& msg) {
+  MutexLock lock(mu_);
+  auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) return;  // fetch already failed or finished
+  it->second->response = msg;
+  it->second->done = true;
+  cv_.NotifyAll();
+}
+
+void ClusterTableSource::Evict() {
+  MutexLock lock(mu_);
+  cache_.clear();
+}
+
+std::vector<ClusterTableSource::ShardStat> ClusterTableSource::ShardStats()
+    const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace cluster
+}  // namespace hyperion

@@ -1,0 +1,105 @@
+// ClusterTableSource: the coordinator's TableSource over the wire.
+//
+// Fetch(name) fans one ShardFetchMsg out to the owner of every shard
+// (placement from the ShardRing), waits for the matching ShardRowsMsg
+// responses, and reassembles the original table from the slices
+// (storage/shard_split.h) — byte-identical row order included.  The
+// assembled table is cached, so the expensive fan-out happens once per
+// table per process (Evict() clears the cache, e.g. after a topology
+// change or in fault drills).
+//
+// Failure is loud and names the node: a shard whose owner does not
+// answer within the fetch timeout fails the whole Fetch with
+// kUnavailable("storage node '<id>' unreachable ..."), and a storage-side
+// error travels back in the response's error/error_code fields and is
+// rethrown here with its original status code.  A partial table is never
+// returned — AssembleTable refuses anything short of exact coverage.
+//
+// Threading: Fetch() blocks the calling service worker; OnShardRows()
+// is called from the network's event-loop thread.  The internal mutex
+// is a leaf (DESIGN.md §12): it is never held across Send() or any
+// other lock acquisition.
+
+#ifndef HYPERION_CLUSTER_REMOTE_TABLES_H_
+#define HYPERION_CLUSTER_REMOTE_TABLES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_ring.h"
+#include "common/synchronization.h"
+#include "p2p/message.h"
+#include "p2p/network_interface.h"
+#include "storage/table_source.h"
+
+namespace hyperion {
+namespace cluster {
+
+/// \brief Coordinator-side table source that fetches shard slices from
+/// their owning storage nodes and reassembles full tables.
+class ClusterTableSource : public TableSource {
+ public:
+  struct Options {
+    int64_t fetch_timeout_us = 5'000'000;
+  };
+
+  /// \brief `self` is the coordinator's node id (the network peer the
+  /// fetches are sent from); `net` must outlive this source and have
+  /// `self` registered; `ring` decides shard ownership and must also
+  /// outlive this source.
+  ClusterTableSource(std::string self, Network* net, const ShardRing* ring,
+                     Options options);
+
+  /// \brief Fetches (or serves from cache) the named table.  Blocks up
+  /// to the fetch timeout; kUnavailable names the first unresponsive
+  /// storage node.
+  Result<VersionedTable> Fetch(const std::string& name) const override;
+
+  /// \brief Routes a ShardRowsMsg response to its waiting Fetch.  Call
+  /// from the coordinator's network handler; unknown request ids (e.g.
+  /// a response outrunning its abandoned fetch) are dropped.
+  void OnShardRows(const ShardRowsMsg& msg);
+
+  /// \brief Drops every cached table, forcing the next Fetch of each
+  /// back onto the wire.
+  void Evict();
+
+  /// \brief Rows fetched per (table, shard, owner) so far — the
+  /// per-shard row counts fig_cluster reports.
+  struct ShardStat {
+    std::string table;
+    uint64_t shard = 0;
+    std::string owner;
+    uint64_t rows = 0;
+  };
+  std::vector<ShardStat> ShardStats() const;
+
+ private:
+  // One outstanding shard fetch, keyed by request id.  The response is
+  // copied in under mu_ and the waiting Fetch notified.
+  struct Pending {
+    ShardRowsMsg response;
+    bool done = false;
+  };
+
+  const std::string self_;
+  Network* const net_;
+  const ShardRing* const ring_;
+  const Options options_;
+
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  mutable uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  mutable std::map<uint64_t, std::shared_ptr<Pending>> pending_
+      GUARDED_BY(mu_);
+  mutable std::map<std::string, VersionedTable> cache_ GUARDED_BY(mu_);
+  mutable std::vector<ShardStat> stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace cluster
+}  // namespace hyperion
+
+#endif  // HYPERION_CLUSTER_REMOTE_TABLES_H_

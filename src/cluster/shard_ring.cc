@@ -1,0 +1,126 @@
+#include "cluster/shard_ring.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+namespace hyperion {
+namespace cluster {
+
+uint64_t StableHash64(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
+// FNV-1a diffuses input bytes forward only, so strings that differ just
+// in their trailing characters — exactly the shape of virtual-point
+// names like "shard#5#0".."shard#5#127" — hash to tightly clustered
+// values.  Used raw as ring positions those clusters collapse a
+// member's vnodes into a few arcs and wreck the balance the vnodes
+// exist to provide.  A splitmix64-style finalizer spreads them; it is
+// fixed arithmetic, so cross-process determinism is untouched.
+uint64_t RingPosition(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::string VirtualPointName(std::string_view member, uint64_t replica) {
+  std::string name(member);
+  name.push_back('#');
+  name.append(std::to_string(replica));
+  return name;
+}
+
+void PlantPoints(std::string_view member, uint64_t vnodes,
+                 std::map<uint64_t, std::string>* ring) {
+  for (uint64_t r = 0; r < vnodes; ++r) {
+    uint64_t point = RingPosition(StableHash64(VirtualPointName(member, r)));
+    // Collisions are astronomically unlikely; first-planted wins
+    // deterministically (members are planted in a fixed order).
+    ring->emplace(point, std::string(member));
+  }
+}
+
+std::string ShardRingName(uint64_t shard) {
+  return "shard#" + std::to_string(shard);
+}
+
+}  // namespace
+
+Result<ShardRing> ShardRing::Build(std::vector<std::string> storage_nodes,
+                                   uint64_t shard_count, uint64_t vnodes) {
+  if (storage_nodes.empty()) {
+    return Status::InvalidArgument("shard ring needs at least one node");
+  }
+  if (shard_count == 0 || vnodes == 0) {
+    return Status::InvalidArgument(
+        "shard ring needs positive shard and virtual-node counts");
+  }
+  std::set<std::string> unique(storage_nodes.begin(), storage_nodes.end());
+  if (unique.size() != storage_nodes.size()) {
+    return Status::InvalidArgument("shard ring nodes must be unique");
+  }
+  ShardRing ring;
+  ring.shard_count_ = shard_count;
+  ring.vnodes_ = vnodes;
+  ring.nodes_ = std::move(storage_nodes);
+  for (uint64_t s = 0; s < shard_count; ++s) {
+    PlantPoints(ShardRingName(s), vnodes, &ring.key_ring_);
+  }
+  // Node order must not affect placement: plant in sorted order so two
+  // processes given the same membership in different orders agree.
+  std::vector<std::string> sorted(ring.nodes_);
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::string& node : sorted) {
+    PlantPoints(node, vnodes, &ring.node_ring_);
+  }
+  ring.owner_of_shard_.reserve(shard_count);
+  for (uint64_t s = 0; s < shard_count; ++s) {
+    ring.owner_of_shard_.push_back(RingOwner(
+        ring.node_ring_, RingPosition(StableHash64(ShardRingName(s)))));
+  }
+  return ring;
+}
+
+const std::string& ShardRing::RingOwner(
+    const std::map<uint64_t, std::string>& ring, uint64_t h) {
+  auto it = ring.lower_bound(h);
+  if (it == ring.end()) it = ring.begin();  // wrap
+  return it->second;
+}
+
+uint64_t ShardRing::ShardForKey(std::string_view key) const {
+  const std::string& name = RingOwner(key_ring_, RingPosition(StableHash64(key)));
+  // Ring members are "shard#<n>"; parse the index back out.
+  return std::strtoull(name.c_str() + name.find('#') + 1, nullptr, 10);
+}
+
+const std::string& ShardRing::OwnerForShard(uint64_t shard) const {
+  return owner_of_shard_.at(shard);
+}
+
+std::vector<uint64_t> ShardRing::ShardsOwnedBy(const std::string& node) const {
+  std::vector<uint64_t> owned;
+  for (uint64_t s = 0; s < shard_count_; ++s) {
+    if (owner_of_shard_[s] == node) owned.push_back(s);
+  }
+  return owned;
+}
+
+std::vector<std::string> ShardRing::Placement() const {
+  return owner_of_shard_;
+}
+
+}  // namespace cluster
+}  // namespace hyperion

@@ -1,0 +1,82 @@
+// ShardRing: deterministic consistent-hash placement for the cluster
+// runtime (mosql-storage's peer_for_hash ring, grown two layers).
+//
+// Layer 1 — key → shard.  Each of the `shard_count` shards plants
+// `vnodes` virtual points on a 64-bit ring; a row's canonical shard key
+// hashes to a ring position and belongs to the shard owning the next
+// point clockwise.  Balanced by the virtual points, deterministic across
+// processes because the hash is a fixed FNV-1a (never std::hash, whose
+// value is implementation-defined).
+//
+// Layer 2 — shard → storage node.  Each storage node plants `vnodes`
+// points on a second ring; shard s is owned by the node owning the ring
+// position of s's name.  Adding or removing a node therefore moves only
+// the shards whose arcs the change touches (the consistent-hash minimal
+// movement property, asserted by test_shard_ring.cc) — every other
+// shard keeps its owner, which is what makes rebalancing cheap.
+
+#ifndef HYPERION_CLUSTER_SHARD_RING_H_
+#define HYPERION_CLUSTER_SHARD_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperion {
+namespace cluster {
+
+/// \brief Fixed 64-bit FNV-1a — the one hash every cluster process must
+/// agree on.  Exposed for tests and for key-space diagnostics.
+uint64_t StableHash64(std::string_view bytes);
+
+/// \brief Consistent-hash placement of keys onto shards and shards onto
+/// storage nodes.  Immutable after construction; copy to "add a node".
+class ShardRing {
+ public:
+  /// \brief Builds the two rings.  `storage_nodes` must be nonempty and
+  /// duplicate-free; `shard_count` and `vnodes` must be positive.
+  static Result<ShardRing> Build(std::vector<std::string> storage_nodes,
+                                 uint64_t shard_count, uint64_t vnodes = 64);
+
+  uint64_t shard_count() const { return shard_count_; }
+  uint64_t vnodes() const { return vnodes_; }
+  const std::vector<std::string>& storage_nodes() const { return nodes_; }
+
+  /// \brief The shard a canonical row key (storage/shard_split.h) lives
+  /// on.  Deterministic across processes and runs.
+  uint64_t ShardForKey(std::string_view key) const;
+
+  /// \brief The storage node owning `shard`.  `shard` must be in
+  /// [0, shard_count).
+  const std::string& OwnerForShard(uint64_t shard) const;
+
+  /// \brief Every shard owned by `node`, ascending (empty when the node
+  /// owns nothing or is unknown — small rings can starve a node).
+  std::vector<uint64_t> ShardsOwnedBy(const std::string& node) const;
+
+  /// \brief shard → owner for all shards, for plan printing and tests.
+  std::vector<std::string> Placement() const;
+
+ private:
+  ShardRing() = default;
+
+  // First ring point at or clockwise-after `h` (wrapping).
+  static const std::string& RingOwner(
+      const std::map<uint64_t, std::string>& ring, uint64_t h);
+
+  uint64_t shard_count_ = 0;
+  uint64_t vnodes_ = 0;
+  std::vector<std::string> nodes_;
+  std::map<uint64_t, std::string> key_ring_;    // point -> shard name
+  std::map<uint64_t, std::string> node_ring_;   // point -> node id
+  std::vector<std::string> owner_of_shard_;     // shard -> node id
+};
+
+}  // namespace cluster
+}  // namespace hyperion
+
+#endif  // HYPERION_CLUSTER_SHARD_RING_H_

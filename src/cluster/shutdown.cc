@@ -1,0 +1,32 @@
+#include "cluster/shutdown.h"
+
+#include <csignal>
+
+namespace hyperion {
+namespace cluster {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnShutdownSignal(int /*signo*/) { g_shutdown_requested = 1; }
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a signal must interrupt the REPL's blocking stdin
+  // read so the loop notices the flag promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+void ResetShutdownRequested() { g_shutdown_requested = 0; }
+
+}  // namespace cluster
+}  // namespace hyperion

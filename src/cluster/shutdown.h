@@ -1,0 +1,30 @@
+// Process shutdown signals for the long-running CLI verbs (`serve`,
+// `node`): SIGINT/SIGTERM set a flag the serving loop polls, so the
+// process can drain through QueryService::Shutdown / ClusterNode::Stop
+// instead of dying mid-session.
+//
+// Deliberately minimal: a volatile sig_atomic_t flag is the only thing
+// a signal handler may touch, and the handlers are installed without
+// SA_RESTART so a signal interrupts a blocking read (the REPL's stdin)
+// rather than silently restarting it.
+
+#ifndef HYPERION_CLUSTER_SHUTDOWN_H_
+#define HYPERION_CLUSTER_SHUTDOWN_H_
+
+namespace hyperion {
+namespace cluster {
+
+/// \brief Installs SIGINT/SIGTERM handlers that mark shutdown as
+/// requested.  Idempotent; call once near the top of a serving verb.
+void InstallShutdownSignalHandlers();
+
+/// \brief True once any installed handler has fired.
+bool ShutdownRequested();
+
+/// \brief Testing hook: clears the flag.
+void ResetShutdownRequested();
+
+}  // namespace cluster
+}  // namespace hyperion
+
+#endif  // HYPERION_CLUSTER_SHUTDOWN_H_

@@ -90,6 +90,16 @@ size_t Message::ByteSize() const {
     }
   } else if (std::get_if<AckMsg>(&payload)) {
     bytes += 25;  // session + kind + partition + seq
+  } else if (const auto* hb = std::get_if<HeartbeatMsg>(&payload)) {
+    bytes += 17 + hb->node.size() + hb->listen_addr.size();
+  } else if (const auto* fetch = std::get_if<ShardFetchMsg>(&payload)) {
+    bytes += 16 + fetch->table_name.size();
+  } else if (const auto* slice = std::get_if<ShardRowsMsg>(&payload)) {
+    bytes += 36 + slice->table_name.size() + slice->node.size() +
+             slice->error.size() + EstimateSchemaBytes(slice->x_schema) +
+             EstimateSchemaBytes(slice->y_schema) +
+             8 * slice->row_indices.size();
+    for (const Mapping& m : slice->rows) bytes += EstimateMappingBytes(m);
   }
   return bytes;
 }
@@ -114,6 +124,12 @@ const char* Message::TypeName() const {
       return "SearchHit";
     case 8:
       return "Ack";
+    case 9:
+      return "Heartbeat";
+    case 10:
+      return "ShardFetch";
+    case 11:
+      return "ShardRows";
   }
   return "Unknown";
 }

@@ -17,6 +17,9 @@
 //                      initiator by the partition's terminal peer.
 //  * Ack             — reliability acknowledgement for one sequenced
 //                      session message (peer.h's retransmit layer).
+//  * Heartbeat       — cluster membership beacon (cluster/membership.h).
+//  * ShardFetch /    — coordinator ↔ storage shard transfer for the
+//    ShardRows         cluster runtime (cluster/remote_tables.h).
 
 #ifndef HYPERION_P2P_MESSAGE_H_
 #define HYPERION_P2P_MESSAGE_H_
@@ -171,12 +174,53 @@ struct SearchHitMsg {
   bool complete = true;
 };
 
+/// \brief Cluster membership beacon (cluster/membership.h), sent by every
+/// cluster node to every peer it knows an address for.  Carries the
+/// sender's own listen address so receivers can learn addresses of nodes
+/// that joined on ephemeral ports (the sender may know us before we know
+/// it).  Unsequenced: a lost heartbeat is repaired by the next one.
+struct HeartbeatMsg {
+  std::string node;         // sender's cluster node id
+  uint8_t role = 0;         // cluster::NodeRole as its enum value
+  std::string listen_addr;  // sender's "host:port"
+  uint64_t incarnation = 0; // bumped per process start
+  uint64_t beat = 0;        // monotonic per incarnation
+};
+
+/// \brief Coordinator → storage: send me your slice of one table shard
+/// (cluster/remote_tables.h).  Answered by exactly one ShardRowsMsg.
+struct ShardFetchMsg {
+  uint64_t request_id = 0;  // echoed by the response
+  std::string table_name;
+  uint64_t shard = 0;
+};
+
+/// \brief Storage → coordinator: one shard slice of one table, or a loud
+/// error.  Rows carry their original row indices so the coordinator can
+/// reassemble the source table in its exact row order
+/// (storage/shard_split.h).
+struct ShardRowsMsg {
+  uint64_t request_id = 0;
+  std::string table_name;
+  std::string node;          // responder's cluster node id
+  uint64_t shard = 0;
+  uint64_t version = 0;      // TableStore version the slice was cut at
+  uint64_t total_rows = 0;   // full source table's row count
+  Schema x_schema;
+  Schema y_schema;
+  std::vector<uint64_t> row_indices;  // original positions, ascending
+  std::vector<Mapping> rows;          // parallel to row_indices
+  std::string error;         // nonempty => the fetch failed at the node
+  int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
+};
+
 /// \brief Envelope delivered by the network.
 struct Message {
   std::string from;
   std::string to;
   std::variant<PingMsg, PongMsg, SessionInitMsg, ComputePlanMsg,
-               CoverBatchMsg, FinalRowsMsg, SearchMsg, SearchHitMsg, AckMsg>
+               CoverBatchMsg, FinalRowsMsg, SearchMsg, SearchHitMsg, AckMsg,
+               HeartbeatMsg, ShardFetchMsg, ShardRowsMsg>
       payload;
 
   /// \brief Estimated wire size in bytes (headers + payload).

@@ -528,6 +528,30 @@ void EncodePayload(const Message& msg, std::string* out) {
     PutU8(ack->kind, out);
     PutU64(ack->partition, out);
     PutU64(ack->seq, out);
+  } else if (const auto* hb = std::get_if<HeartbeatMsg>(&msg.payload)) {
+    PutString(hb->node, out);
+    PutU8(hb->role, out);
+    PutString(hb->listen_addr, out);
+    PutU64(hb->incarnation, out);
+    PutU64(hb->beat, out);
+  } else if (const auto* fetch = std::get_if<ShardFetchMsg>(&msg.payload)) {
+    PutU64(fetch->request_id, out);
+    PutString(fetch->table_name, out);
+    PutU64(fetch->shard, out);
+  } else if (const auto* slice = std::get_if<ShardRowsMsg>(&msg.payload)) {
+    PutU64(slice->request_id, out);
+    PutString(slice->table_name, out);
+    PutString(slice->node, out);
+    PutU64(slice->shard, out);
+    PutU64(slice->version, out);
+    PutU64(slice->total_rows, out);
+    PutSchema(slice->x_schema, out);
+    PutSchema(slice->y_schema, out);
+    PutU32(static_cast<uint32_t>(slice->row_indices.size()), out);
+    for (uint64_t index : slice->row_indices) PutU64(index, out);
+    PutMappings(slice->rows, out);
+    PutString(slice->error, out);
+    PutU32(static_cast<uint32_t>(slice->error_code), out);
   }
 }
 
@@ -664,6 +688,54 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       HYP_RETURN_IF_ERROR(r->ReadU64(&ack.partition));
       HYP_RETURN_IF_ERROR(r->ReadU64(&ack.seq));
       msg->payload = std::move(ack);
+      return Status::OK();
+    }
+    case 9: {
+      HeartbeatMsg hb;
+      HYP_RETURN_IF_ERROR(r->ReadString(&hb.node));
+      HYP_RETURN_IF_ERROR(r->ReadU8(&hb.role));
+      HYP_RETURN_IF_ERROR(r->ReadString(&hb.listen_addr));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hb.incarnation));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hb.beat));
+      msg->payload = std::move(hb);
+      return Status::OK();
+    }
+    case 10: {
+      ShardFetchMsg fetch;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&fetch.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&fetch.table_name));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&fetch.shard));
+      msg->payload = std::move(fetch);
+      return Status::OK();
+    }
+    case 11: {
+      ShardRowsMsg slice;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&slice.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&slice.table_name));
+      HYP_RETURN_IF_ERROR(r->ReadString(&slice.node));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&slice.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&slice.version));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&slice.total_rows));
+      HYP_RETURN_IF_ERROR(ReadSchema(r, &slice.x_schema));
+      HYP_RETURN_IF_ERROR(ReadSchema(r, &slice.y_schema));
+      uint32_t n = 0;
+      HYP_RETURN_IF_ERROR(r->ReadCount(8, &n));
+      slice.row_indices.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t index = 0;
+        HYP_RETURN_IF_ERROR(r->ReadU64(&index));
+        slice.row_indices.push_back(index);
+      }
+      HYP_RETURN_IF_ERROR(ReadMappings(r, &slice.rows));
+      if (slice.rows.size() != slice.row_indices.size()) {
+        return Status::InvalidArgument(
+            "wire: shard slice index/row counts disagree");
+      }
+      HYP_RETURN_IF_ERROR(r->ReadString(&slice.error));
+      uint32_t code = 0;
+      HYP_RETURN_IF_ERROR(r->ReadU32(&code));
+      slice.error_code = static_cast<int32_t>(code);
+      msg->payload = std::move(slice);
       return Status::OK();
     }
     default:

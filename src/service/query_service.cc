@@ -48,10 +48,10 @@ void AppendNames(std::string* out, const std::vector<Attribute>& attrs) {
 
 }  // namespace
 
-QueryService::QueryService(const TableStore* store,
+QueryService::QueryService(const TableSource* source,
                            std::vector<PeerSpec> peers,
                            QueryServiceOptions options)
-    : store_(store),
+    : source_(source),
       options_(options),
       cache_(options.cache_entries) {
   for (PeerSpec& spec : peers) {
@@ -105,10 +105,9 @@ Result<QueryService::PathSnapshot> QueryService::Snapshot(
       msg.append("'");
       return Status::NotFound(std::move(msg));
     }
-    std::vector<TableStore::VersionedTable> tables;
+    std::vector<VersionedTable> tables;
     for (const std::string& table_name : edge->second) {
-      HYP_ASSIGN_OR_RETURN(TableStore::VersionedTable vt,
-                           store_->GetWithVersion(table_name));
+      HYP_ASSIGN_OR_RETURN(VersionedTable vt, source_->Fetch(table_name));
       snapshot.versions[table_name] = vt.version;
       tables.push_back(std::move(vt));
     }
@@ -315,7 +314,7 @@ Result<MappingTable> QueryService::RunSession(const QueryRequest& request,
     HYP_RETURN_IF_ERROR(peers.back()->Attach(net));
   }
   for (size_t hop = 0; hop + 1 < peers.size(); ++hop) {
-    for (const TableStore::VersionedTable& vt : snapshot.hop_tables[hop]) {
+    for (const VersionedTable& vt : snapshot.hop_tables[hop]) {
       HYP_RETURN_IF_ERROR(peers[hop]->AddConstraintTo(
           request.path_peers[hop + 1], MappingConstraint(vt.table)));
     }

@@ -135,10 +135,12 @@ struct QueryServiceOptions {
 /// any number of client threads.
 class QueryService {
  public:
-  /// \brief Serves `peers` over the tables of `store`.  Both must outlive
-  /// the service; `store` may be concurrently mutated by a curator (the
-  /// versioned cache keeps served results consistent with it).
-  QueryService(const TableStore* store, std::vector<PeerSpec> peers,
+  /// \brief Serves `peers` over the tables of `source` — a local
+  /// TableStore or a cluster-backed source (cluster/remote_tables.h);
+  /// both must outlive the service.  A TableStore source may be
+  /// concurrently mutated by a curator (the versioned cache keeps served
+  /// results consistent with it).
+  QueryService(const TableSource* source, std::vector<PeerSpec> peers,
                QueryServiceOptions options = {});
   ~QueryService();
 
@@ -192,7 +194,7 @@ class QueryService {
   // specs and the store.  Fails loudly when a peer or table is missing.
   struct PathSnapshot {
     std::vector<const PeerSpec*> specs;           // one per path peer
-    std::vector<std::vector<TableStore::VersionedTable>> hop_tables;
+    std::vector<std::vector<VersionedTable>> hop_tables;
     std::vector<std::vector<std::string>> hop_table_names;
     TableVersions versions;
   };
@@ -213,7 +215,7 @@ class QueryService {
   void FinishFlight(const std::shared_ptr<Flight>& flight,
                     std::shared_ptr<QueryResponse> response);
 
-  const TableStore* store_;
+  const TableSource* source_;
   std::map<std::string, PeerSpec> specs_;
   QueryServiceOptions options_;
   CoverCache cache_;

@@ -1,0 +1,133 @@
+#include "storage/shard_split.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace hyperion {
+
+std::string ShardKeyOfRow(const MappingTable& table, const Mapping& row) {
+  const size_t x_arity = table.x_arity();
+  bool ground_x = true;
+  for (size_t i = 0; i < x_arity && i < row.cells().size(); ++i) {
+    if (!row.cells()[i].is_constant()) {
+      ground_x = false;
+      break;
+    }
+  }
+  std::string key;
+  if (ground_x) {
+    // Type-tagged so the int 5 and the string "5" never collide, and
+    // unit-separated so ("ab","c") and ("a","bc") never collide.
+    for (size_t i = 0; i < x_arity && i < row.cells().size(); ++i) {
+      const Value& v = row.cells()[i].value();
+      key.push_back(v.is_string() ? 's' : 'i');
+      key.append(v.ToString());
+      key.push_back('\x1f');
+    }
+    return key;
+  }
+  // Variable X cells relate unboundedly many values; there is no value
+  // to hash, but the row still needs one deterministic home shard.
+  key.push_back('v');
+  key.append(row.ToString());
+  return key;
+}
+
+std::map<uint64_t, ShardSlice> SliceTable(
+    const MappingTable& table, uint64_t version,
+    const ShardOfKeyFn& shard_of_key,
+    const std::vector<uint64_t>& owned_shards) {
+  std::map<uint64_t, ShardSlice> slices;
+  for (uint64_t shard : owned_shards) {
+    ShardSlice& slice = slices[shard];
+    slice.table_name = table.name();
+    slice.shard = shard;
+    slice.version = version;
+    slice.total_rows = table.size();
+    slice.x_schema = table.x_schema();
+    slice.y_schema = table.y_schema();
+  }
+  for (size_t i = 0; i < table.rows().size(); ++i) {
+    const Mapping& row = table.rows()[i];
+    uint64_t shard = shard_of_key(ShardKeyOfRow(table, row));
+    auto it = slices.find(shard);
+    if (it == slices.end()) continue;  // not ours
+    it->second.row_indices.push_back(i);
+    it->second.rows.push_back(row);
+  }
+  return slices;
+}
+
+Result<std::map<std::pair<std::string, uint64_t>, ShardSlice>> SliceStore(
+    const TableStore& store, const ShardOfKeyFn& shard_of_key,
+    const std::vector<uint64_t>& owned_shards) {
+  std::map<std::pair<std::string, uint64_t>, ShardSlice> out;
+  for (const std::string& name : store.Names()) {
+    HYP_ASSIGN_OR_RETURN(VersionedTable vt, store.GetWithVersion(name));
+    std::map<uint64_t, ShardSlice> slices =
+        SliceTable(*vt.table, vt.version, shard_of_key, owned_shards);
+    for (auto& [shard, slice] : slices) {
+      out.emplace(std::make_pair(name, shard), std::move(slice));
+    }
+  }
+  return out;
+}
+
+Result<MappingTable> AssembleTable(const std::string& name,
+                                   std::vector<const ShardSlice*> slices) {
+  if (slices.empty()) {
+    return Status::Internal("no shard slices to assemble for table '" +
+                            name + "'");
+  }
+  const ShardSlice* first = slices.front();
+  for (const ShardSlice* s : slices) {
+    if (s->version != first->version || s->total_rows != first->total_rows ||
+        !(s->x_schema == first->x_schema) ||
+        !(s->y_schema == first->y_schema)) {
+      return Status::Internal(
+          "shard slices of table '" + name +
+          "' disagree on version/schema/row count (shard " +
+          std::to_string(s->shard) + " vs shard " +
+          std::to_string(first->shard) + ")");
+    }
+  }
+  // Merge by original row index: the reassembled table must replay the
+  // source table's insertion order exactly (covers are byte-identical
+  // only because of this).
+  std::vector<std::pair<uint64_t, const Mapping*>> merged;
+  for (const ShardSlice* s : slices) {
+    if (s->row_indices.size() != s->rows.size()) {
+      return Status::Internal("shard slice of table '" + name +
+                              "' has mismatched index/row vectors");
+    }
+    for (size_t i = 0; i < s->rows.size(); ++i) {
+      merged.emplace_back(s->row_indices[i], &s->rows[i]);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (merged.size() != first->total_rows) {
+    return Status::Internal(
+        "shard slices of table '" + name + "' cover " +
+        std::to_string(merged.size()) + " rows, source table has " +
+        std::to_string(first->total_rows));
+  }
+  for (size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i].first != i) {
+      return Status::Internal("shard slices of table '" + name +
+                              "' miss or duplicate row index " +
+                              std::to_string(i));
+    }
+  }
+  HYP_ASSIGN_OR_RETURN(
+      MappingTable table,
+      MappingTable::Create(first->x_schema, first->y_schema, name));
+  for (const auto& [index, row] : merged) {
+    (void)index;
+    HYP_RETURN_IF_ERROR(table.AddRow(*row));
+  }
+  return table;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,80 @@
+// Shard-restricted table loading: the storage half of the cluster
+// runtime (cluster/).  A mapping table is split into `shard_count`
+// disjoint row slices by hashing each row's canonical shard key; a
+// storage process loads only the slices of the shards it owns, and the
+// coordinator reassembles the original table from the union of slices.
+//
+// Every sliced row carries its original row index, so reassembly can
+// reproduce the source table's exact row order — which is what keeps
+// cluster-served covers byte-identical to single-process ones.
+//
+// The hashing policy itself (consistent-hash ring, virtual nodes) lives
+// in cluster/shard_ring.h; this layer only needs a key→shard function,
+// keeping storage free of any dependency on the cluster subsystem.
+
+#ifndef HYPERION_STORAGE_SHARD_SPLIT_H_
+#define HYPERION_STORAGE_SHARD_SPLIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mapping_table.h"
+#include "storage/table_store.h"
+
+namespace hyperion {
+
+/// \brief The canonical shard key of one table row: the row's ground
+/// X-side values (type-tagged, unit-separated) when the X part is fully
+/// constant, otherwise a canonical rendering of the whole row (variable
+/// rows are rare; they still need a deterministic home shard).
+std::string ShardKeyOfRow(const MappingTable& table, const Mapping& row);
+
+/// \brief One shard's slice of one table: the rows whose key hashed to
+/// the shard, each tagged with its index in the source table.
+struct ShardSlice {
+  std::string table_name;
+  uint64_t shard = 0;
+  uint64_t version = 0;      // TableStore version the slice was cut at
+  uint64_t total_rows = 0;   // row count of the full source table
+  Schema x_schema;
+  Schema y_schema;
+  std::vector<uint64_t> row_indices;  // original positions, ascending
+  std::vector<Mapping> rows;          // parallel to row_indices
+};
+
+/// \brief Maps a shard key to its shard index in [0, shard_count).
+/// Must be deterministic across processes (cluster/shard_ring.h is).
+using ShardOfKeyFn = std::function<uint64_t(const std::string& key)>;
+
+/// \brief Cuts `table` into the slices of the shards listed in
+/// `owned_shards`, dropping every other row.  Slices come back keyed by
+/// shard index; shards that happen to hold no rows still get an (empty)
+/// slice, so an owner can answer for them definitively.
+std::map<uint64_t, ShardSlice> SliceTable(const MappingTable& table,
+                                          uint64_t version,
+                                          const ShardOfKeyFn& shard_of_key,
+                                          const std::vector<uint64_t>& owned_shards);
+
+/// \brief Loads every table of `store`, restricted to `owned_shards`:
+/// the per-(table, shard) slices a storage node serves.  Keys of the
+/// result are (table name, shard).
+Result<std::map<std::pair<std::string, uint64_t>, ShardSlice>>
+SliceStore(const TableStore& store, const ShardOfKeyFn& shard_of_key,
+           const std::vector<uint64_t>& owned_shards);
+
+/// \brief Reassembles a table from the slices of all its shards.  The
+/// slices must agree on schemas, version and total row count, and their
+/// row indices must together cover [0, total_rows) exactly once —
+/// anything else is a loud Internal error (a split-brain or partial
+/// fetch must never silently yield a smaller table).
+Result<MappingTable> AssembleTable(const std::string& name,
+                                   std::vector<const ShardSlice*> slices);
+
+}  // namespace hyperion
+
+#endif  // HYPERION_STORAGE_SHARD_SPLIT_H_

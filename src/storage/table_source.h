@@ -1,0 +1,48 @@
+// TableSource: where a query service gets its mapping tables from.
+//
+// The service core only ever needs one operation — "give me the current
+// immutable handle of the named table, plus the version it was read at" —
+// so that operation is the whole interface.  Two implementations exist:
+//
+//  * TableStore (table_store.h) — the local, directory-backed catalog a
+//    single-process deployment reads directly;
+//  * ClusterTableSource (cluster/remote_tables.h) — the cluster runtime's
+//    coordinator-side source, which assembles each table from the shard
+//    slices owned by remote storage processes.
+//
+// Implementations must be safe for concurrent Fetch() calls from any
+// number of service worker threads.
+
+#ifndef HYPERION_STORAGE_TABLE_SOURCE_H_
+#define HYPERION_STORAGE_TABLE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/mapping_table.h"
+
+namespace hyperion {
+
+/// \brief A table handle together with the catalog version it was read
+/// at (what the query service hashes into its cover-cache key).
+struct VersionedTable {
+  std::shared_ptr<const MappingTable> table;
+  uint64_t version = 0;
+};
+
+/// \brief Abstract supplier of versioned mapping tables.
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+
+  /// \brief Shared handle to the named table plus its version.  Fails
+  /// loudly: NotFound for unknown names, Unavailable when the table's
+  /// shard owners cannot be reached (cluster-backed sources).
+  virtual Result<VersionedTable> Fetch(const std::string& name) const = 0;
+};
+
+}  // namespace hyperion
+
+#endif  // HYPERION_STORAGE_TABLE_SOURCE_H_

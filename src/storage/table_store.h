@@ -34,19 +34,17 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "core/mapping_table.h"
+#include "storage/table_source.h"
 
 namespace hyperion {
 
 /// \brief A named collection of mapping tables, optionally backed by a
 /// directory of table files.  Safe for concurrent use (see file comment).
-class TableStore {
+class TableStore : public TableSource {
  public:
-  /// \brief A table handle together with the catalog version it was read
-  /// at (what the query service hashes into its cover-cache key).
-  struct VersionedTable {
-    std::shared_ptr<const MappingTable> table;
-    uint64_t version = 0;
-  };
+  /// \brief Historical alias: the versioned-handle type now lives in
+  /// table_source.h so cluster sources can return it too.
+  using VersionedTable = hyperion::VersionedTable;
 
   /// \brief Purely in-memory store.
   TableStore() : state_(std::make_unique<State>()) {}
@@ -69,6 +67,11 @@ class TableStore {
 
   /// \brief Shared handle plus the version it was read at.
   Result<VersionedTable> GetWithVersion(const std::string& name) const;
+
+  /// \brief TableSource: same contract as GetWithVersion.
+  Result<VersionedTable> Fetch(const std::string& name) const override {
+    return GetWithVersion(name);
+  }
 
   /// \brief Current version of `name`: 0 if it has never existed,
   /// otherwise the count of successful Put/PutOrReplace/Remove calls that

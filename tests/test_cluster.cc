@@ -1,0 +1,354 @@
+// Cluster runtime: config parsing, membership transitions (fake clock),
+// slice/assemble round-trips, and a full in-process three-node cluster
+// over loopback TCP whose fetched tables must be byte-identical to the
+// local store — plus the loud-failure contract when a storage node dies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/membership.h"
+#include "cluster/node.h"
+#include "cluster/shard_ring.h"
+#include "cluster/shutdown.h"
+#include "service/catalogs.h"
+#include "storage/shard_split.h"
+#include "storage/table_store.h"
+
+namespace hyperion {
+namespace cluster {
+namespace {
+
+constexpr char kSampleConfig[] =
+    "# three-process demo cluster\n"
+    "shards 2\n"
+    "vnodes 64\n"
+    "heartbeat_ms 200\n"
+    "suspect_ms 1000\n"
+    "down_ms 3000\n"
+    "fetch_timeout_ms 5000\n"
+    "node coord  coordinator 127.0.0.1 9100\n"
+    "node store1 storage     127.0.0.1 9101   # comments allowed\n"
+    "node store2 storage     127.0.0.1 0\n";
+
+TEST(ClusterConfigTest, ParsesTheDocumentedFormat) {
+  auto config = ClusterConfig::Parse(kSampleConfig);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config.value().shard_count, 2u);
+  EXPECT_EQ(config.value().vnodes, 64u);
+  EXPECT_EQ(config.value().heartbeat_ms, 200u);
+  ASSERT_EQ(config.value().nodes.size(), 3u);
+  EXPECT_EQ(config.value().nodes[0].role, NodeRole::kCoordinator);
+  EXPECT_EQ(config.value().nodes[1].Address(), "127.0.0.1:9101");
+  EXPECT_EQ(config.value().nodes[2].port, 0);  // ephemeral
+  EXPECT_EQ(config.value().StorageNodeIds(),
+            (std::vector<std::string>{"store1", "store2"}));
+  auto coord = config.value().Coordinator();
+  ASSERT_TRUE(coord.ok());
+  EXPECT_EQ(coord.value().id, "coord");
+}
+
+TEST(ClusterConfigTest, ToStringRoundTrips) {
+  auto config = ClusterConfig::Parse(kSampleConfig);
+  ASSERT_TRUE(config.ok());
+  auto again = ClusterConfig::Parse(config.value().ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().ToString(), config.value().ToString());
+}
+
+TEST(ClusterConfigTest, RejectsBrokenConfigs) {
+  // Errors carry the line number so a bad launch script fails debuggably.
+  auto junk = ClusterConfig::Parse("shards 2 extra\n");
+  EXPECT_FALSE(junk.ok());
+  EXPECT_NE(junk.status().message().find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(ClusterConfig::Parse("flux 3\n").ok());        // directive
+  EXPECT_FALSE(ClusterConfig::Parse("shards two\n").ok());    // number
+  EXPECT_FALSE(
+      ClusterConfig::Parse("node a storage 127.0.0.1 70000\n").ok());
+
+  // No coordinator / two coordinators / duplicate ids / no storage.
+  EXPECT_FALSE(ClusterConfig::Parse("node a storage h 1\n").ok());
+  EXPECT_FALSE(
+      ClusterConfig::Parse("node a coordinator h 1\n"
+                           "node b coordinator h 2\n"
+                           "node c storage h 3\n")
+          .ok());
+  EXPECT_FALSE(
+      ClusterConfig::Parse("node a coordinator h 1\n"
+                           "node a storage h 2\n")
+          .ok());
+  EXPECT_FALSE(ClusterConfig::Parse("node a coordinator h 1\n").ok());
+
+  // Timeout ordering: heartbeat <= suspect <= down.
+  EXPECT_FALSE(
+      ClusterConfig::Parse("heartbeat_ms 500\n"
+                           "suspect_ms 100\n"
+                           "node a coordinator h 1\n"
+                           "node b storage h 2\n")
+          .ok());
+}
+
+TEST(MembershipTest, HeartbeatSilenceAndRepair) {
+  // Clock-free tracker: timestamps are fed in, so the state machine is
+  // exercised deterministically without sleeping.
+  MembershipTracker tracker("self", {"a", "b"}, /*suspect_after_us=*/1000,
+                            /*down_after_us=*/3000);
+  EXPECT_EQ(tracker.StateOf("a"), MemberState::kUnknown);
+  EXPECT_FALSE(tracker.AllAlive());
+
+  tracker.Observe("a", 100);
+  tracker.Observe("b", 100);
+  EXPECT_EQ(tracker.StateOf("a"), MemberState::kAlive);
+  EXPECT_TRUE(tracker.AllAlive());
+
+  // Not on the roster: ignored, not adopted.
+  tracker.Observe("stranger", 100);
+  EXPECT_EQ(tracker.StateOf("stranger"), MemberState::kUnknown);
+
+  // b keeps beating; a goes silent past the suspect deadline...
+  tracker.Observe("b", 1200);
+  auto changed = tracker.SweepAt(1200);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0].node, "a");
+  EXPECT_EQ(changed[0].state, MemberState::kSuspect);
+  EXPECT_EQ(tracker.StateOf("b"), MemberState::kAlive);
+  EXPECT_FALSE(tracker.AllAlive());
+
+  // ...then past the down deadline.
+  tracker.Observe("b", 3200);
+  changed = tracker.SweepAt(3200);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0].state, MemberState::kDown);
+
+  // A heartbeat repairs even a down member.
+  tracker.Observe("a", 3300);
+  EXPECT_EQ(tracker.StateOf("a"), MemberState::kAlive);
+  EXPECT_TRUE(tracker.AllAlive());
+
+  // An idle sweep changes nothing.
+  EXPECT_TRUE(tracker.SweepAt(3400).empty());
+}
+
+TEST(MembershipTest, UnknownMembersHaveNoDeadline) {
+  MembershipTracker tracker("self", {"a"}, 1000, 3000);
+  // Never heard from: silence must not page anyone (the node may simply
+  // not have started yet).
+  EXPECT_TRUE(tracker.SweepAt(1'000'000).empty());
+  EXPECT_EQ(tracker.StateOf("a"), MemberState::kUnknown);
+}
+
+// --- slice / assemble ----------------------------------------------------
+
+class ShardSplitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BioConfig bio;
+    bio.num_entities = 120;
+    auto catalog = BuildBioCatalog(bio);
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    store_ = std::move(catalog.value().store);
+  }
+
+  std::unique_ptr<TableStore> store_;
+};
+
+TEST_F(ShardSplitTest, SliceAndAssembleReproducesEveryTableExactly) {
+  auto ring = ShardRing::Build({"n1", "n2", "n3"}, 4);
+  ASSERT_TRUE(ring.ok());
+  ShardOfKeyFn shard_of = [&](const std::string& key) {
+    return ring.value().ShardForKey(key);
+  };
+  std::vector<uint64_t> all_shards = {0, 1, 2, 3};
+  for (const std::string& name : store_->Names()) {
+    auto vt = store_->GetWithVersion(name);
+    ASSERT_TRUE(vt.ok());
+    auto slices = SliceTable(*vt.value().table, vt.value().version, shard_of,
+                             all_shards);
+    ASSERT_EQ(slices.size(), 4u);  // empty shards still get a slice
+    size_t sliced_rows = 0;
+    std::vector<const ShardSlice*> views;
+    for (auto& [shard, slice] : slices) {
+      sliced_rows += slice.rows.size();
+      views.push_back(&slice);
+    }
+    EXPECT_EQ(sliced_rows, vt.value().table->size());
+    auto assembled = AssembleTable(name, views);
+    ASSERT_TRUE(assembled.ok()) << name << ": " << assembled.status();
+    // Byte-identical, not merely row-equal: ordering matters.
+    EXPECT_EQ(assembled.value().Serialize(), vt.value().table->Serialize());
+  }
+}
+
+TEST_F(ShardSplitTest, MissingShardFailsLoudly) {
+  auto ring = ShardRing::Build({"n1", "n2"}, 4);
+  ASSERT_TRUE(ring.ok());
+  ShardOfKeyFn shard_of = [&](const std::string& key) {
+    return ring.value().ShardForKey(key);
+  };
+  const std::string name = store_->Names().front();
+  auto vt = store_->GetWithVersion(name);
+  ASSERT_TRUE(vt.ok());
+  auto slices = SliceTable(*vt.value().table, vt.value().version, shard_of,
+                           {0, 1, 2, 3});
+  // Drop one non-empty slice: assembly must refuse, never shrink.
+  std::vector<const ShardSlice*> views;
+  bool dropped = false;
+  for (auto& [shard, slice] : slices) {
+    if (!dropped && !slice.rows.empty()) {
+      dropped = true;
+      continue;
+    }
+    views.push_back(&slice);
+  }
+  ASSERT_TRUE(dropped);
+  auto assembled = AssembleTable(name, views);
+  EXPECT_FALSE(assembled.ok());
+}
+
+TEST_F(ShardSplitTest, SliceStoreRestrictsToOwnedShards) {
+  auto ring = ShardRing::Build({"n1", "n2"}, 2);
+  ASSERT_TRUE(ring.ok());
+  ShardOfKeyFn shard_of = [&](const std::string& key) {
+    return ring.value().ShardForKey(key);
+  };
+  auto slices = SliceStore(*store_, shard_of, {1});
+  ASSERT_TRUE(slices.ok());
+  for (const auto& [key, slice] : slices.value()) {
+    EXPECT_EQ(key.second, 1u);
+    EXPECT_EQ(slice.shard, 1u);
+  }
+  // One slice per table for the single owned shard.
+  EXPECT_EQ(slices.value().size(), store_->Names().size());
+}
+
+// --- in-process three-node cluster over loopback TCP ---------------------
+
+class ClusterE2ETest : public ::testing::Test {
+ protected:
+  // Storage nodes bind ephemeral ports first; the coordinator then gets
+  // a resolved config — the same handshake tools/run_cluster.sh uses.
+  void StartCluster(uint64_t fetch_timeout_ms) {
+    BioConfig bio;
+    bio.num_entities = 100;
+
+    ClusterConfig seed;
+    seed.shard_count = 2;
+    seed.heartbeat_ms = 50;
+    seed.suspect_ms = 400;
+    seed.down_ms = 1200;
+    seed.fetch_timeout_ms = fetch_timeout_ms;
+    seed.nodes = {
+        {"coord", NodeRole::kCoordinator, "127.0.0.1", 0},
+        {"s1", NodeRole::kStorage, "127.0.0.1", 0},
+        {"s2", NodeRole::kStorage, "127.0.0.1", 0},
+    };
+
+    for (const std::string id : {"s1", "s2"}) {
+      auto catalog = BuildBioCatalog(bio);
+      ASSERT_TRUE(catalog.ok());
+      auto node = ClusterNode::Create(seed, id,
+                                      std::move(*catalog.value().store));
+      ASSERT_TRUE(node.ok()) << node.status();
+      ASSERT_TRUE(node.value()->Bind().ok());
+      storage_.push_back(std::move(node).value());
+    }
+
+    ClusterConfig resolved = seed;
+    for (auto& node : resolved.nodes) {
+      for (const auto& storage : storage_) {
+        if (storage->self().id == node.id) {
+          auto port = storage->ListenPort();
+          ASSERT_TRUE(port.ok());
+          node.port = port.value();
+        }
+      }
+    }
+    for (const auto& storage : storage_) {
+      ASSERT_TRUE(storage->Start().ok());
+    }
+
+    auto catalog = BuildBioCatalog(bio);
+    ASSERT_TRUE(catalog.ok());
+    reference_ = std::move(catalog.value().store);
+    auto coord = ClusterNode::Create(resolved, "coord", TableStore());
+    ASSERT_TRUE(coord.ok()) << coord.status();
+    ASSERT_TRUE(coord.value()->Bind().ok());
+    ASSERT_TRUE(coord.value()->Start().ok());
+    coord_ = std::move(coord).value();
+    ASSERT_TRUE(coord_->WaitAllAlive(15'000'000))
+        << "cluster did not become fully alive";
+  }
+
+  void TearDown() override {
+    if (coord_) coord_->Stop();
+    for (auto& storage : storage_) storage->Stop();
+  }
+
+  std::vector<std::unique_ptr<ClusterNode>> storage_;
+  std::unique_ptr<ClusterNode> coord_;
+  std::unique_ptr<TableStore> reference_;
+};
+
+TEST_F(ClusterE2ETest, FetchedTablesAreByteIdenticalToLocalStore) {
+  StartCluster(/*fetch_timeout_ms=*/5000);
+  for (const std::string& name : reference_->Names()) {
+    auto want = reference_->GetWithVersion(name);
+    ASSERT_TRUE(want.ok());
+    auto got = coord_->table_source()->Fetch(name);
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status();
+    EXPECT_EQ(got.value().version, want.value().version);
+    EXPECT_EQ(got.value().table->Serialize(),
+              want.value().table->Serialize());
+  }
+  // Second fetch: served from the table cache, same handle semantics.
+  const std::string first = reference_->Names().front();
+  auto again = coord_->table_source()->Fetch(first);
+  ASSERT_TRUE(again.ok());
+}
+
+TEST_F(ClusterE2ETest, UnknownTableFailsWithTheServingNodeNamed) {
+  StartCluster(/*fetch_timeout_ms=*/5000);
+  auto got = coord_->table_source()->Fetch("no_such_table");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  // The error must say which storage node answered.
+  EXPECT_NE(got.status().message().find("storage node"), std::string::npos)
+      << got.status();
+}
+
+TEST_F(ClusterE2ETest, DeadStorageNodeIsLoudlyAttributed) {
+  StartCluster(/*fetch_timeout_ms=*/500);
+  const std::string first = reference_->Names().front();
+  ASSERT_TRUE(coord_->table_source()->Fetch(first).ok());
+
+  // Kill the owner of shard 0, drop the cache, fetch again: the failure
+  // must be kUnavailable and must name the dead node.
+  const std::string victim = coord_->ring().OwnerForShard(0);
+  for (auto& storage : storage_) {
+    if (storage->self().id == victim) storage->Stop();
+  }
+  coord_->table_source()->Evict();
+  auto got = coord_->table_source()->Fetch(first);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << got.status();
+  EXPECT_NE(got.status().message().find("'" + victim + "'"),
+            std::string::npos)
+      << "error does not name the dead node: " << got.status();
+}
+
+TEST(ShutdownFlagTest, InstallAndResetAreIdempotent) {
+  InstallShutdownSignalHandlers();
+  InstallShutdownSignalHandlers();
+  ResetShutdownRequested();
+  EXPECT_FALSE(ShutdownRequested());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace hyperion

@@ -180,6 +180,94 @@ TEST(WireTest, FinalRowsRoundTripCarriesErrorCode) {
   EXPECT_EQ(got.rows, fin.rows);
 }
 
+TEST(WireTest, HeartbeatRoundTrip) {
+  HeartbeatMsg hb;
+  hb.node = "store1";
+  hb.role = 1;
+  hb.listen_addr = "127.0.0.1:9101";
+  hb.incarnation = 1723200000;
+  hb.beat = 42;
+
+  Message got_env = RoundTrip(Message{"store1", "coord", hb});
+  const auto& got = std::get<HeartbeatMsg>(got_env.payload);
+  EXPECT_EQ(got.node, "store1");
+  EXPECT_EQ(got.role, 1);
+  EXPECT_EQ(got.listen_addr, "127.0.0.1:9101");
+  EXPECT_EQ(got.incarnation, 1723200000u);
+  EXPECT_EQ(got.beat, 42u);
+}
+
+TEST(WireTest, ShardFetchRoundTrip) {
+  ShardFetchMsg fetch;
+  fetch.request_id = 77;
+  fetch.table_name = "m5";
+  fetch.shard = 3;
+
+  Message got_env = RoundTrip(Message{"coord", "store2", fetch});
+  const auto& got = std::get<ShardFetchMsg>(got_env.payload);
+  EXPECT_EQ(got.request_id, 77u);
+  EXPECT_EQ(got.table_name, "m5");
+  EXPECT_EQ(got.shard, 3u);
+}
+
+TEST(WireTest, ShardRowsRoundTripPreservesIndicesAndError) {
+  ShardRowsMsg rows;
+  rows.request_id = 77;
+  rows.table_name = "m5";
+  rows.node = "store2";
+  rows.shard = 3;
+  rows.version = 4;
+  rows.total_rows = 1000;
+  rows.x_schema = TestSchema();
+  rows.y_schema = TestSchema();
+  rows.row_indices = {2, 17, 999};
+  rows.rows = TestRows();
+  rows.rows.push_back(TestRows().front());  // indices ∥ rows
+  rows.error = "";
+  rows.error_code = 0;
+
+  Message got_env = RoundTrip(Message{"store2", "coord", rows});
+  const auto& got = std::get<ShardRowsMsg>(got_env.payload);
+  EXPECT_EQ(got.request_id, 77u);
+  EXPECT_EQ(got.table_name, "m5");
+  EXPECT_EQ(got.node, "store2");
+  EXPECT_EQ(got.shard, 3u);
+  EXPECT_EQ(got.version, 4u);
+  EXPECT_EQ(got.total_rows, 1000u);
+  EXPECT_EQ(got.row_indices, (std::vector<uint64_t>{2, 17, 999}));
+  EXPECT_EQ(got.rows, rows.rows);
+  EXPECT_TRUE(got.error.empty());
+
+  // The error form round-trips its code (loud attribution end to end).
+  ShardRowsMsg err;
+  err.request_id = 78;
+  err.table_name = "m5";
+  err.node = "store2";
+  err.shard = 3;
+  err.error = "node 'store2' has no table 'm5'";
+  err.error_code = 5;  // kNotFound
+  Message got_err = RoundTrip(Message{"store2", "coord", err});
+  const auto& e = std::get<ShardRowsMsg>(got_err.payload);
+  EXPECT_EQ(e.error, "node 'store2' has no table 'm5'");
+  EXPECT_EQ(e.error_code, 5);
+}
+
+TEST(WireTest, ShardRowsRejectsIndexRowCountMismatch) {
+  // A slice whose indices and rows disagree is corrupt: the decoder must
+  // refuse it rather than hand storage a half-aligned slice.
+  ShardRowsMsg rows;
+  rows.request_id = 1;
+  rows.table_name = "m1";
+  rows.node = "s";
+  rows.shard = 0;
+  rows.x_schema = TestSchema();
+  rows.y_schema = TestSchema();
+  rows.row_indices = {0, 1, 2};  // three indices...
+  rows.rows = TestRows();        // ...two rows
+  std::string bytes = wire::EncodeMessage(Message{"s", "c", rows});
+  EXPECT_FALSE(wire::DecodeMessage(bytes).ok());
+}
+
 TEST(WireTest, SearchAndHitRoundTrip) {
   SearchMsg search;
   search.search_id = 100;

@@ -24,6 +24,10 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_config.h"
+#include "cluster/node.h"
+#include "cluster/shard_ring.h"
+#include "cluster/shutdown.h"
 #include "core/compose.h"
 #include "core/consistency.h"
 #include "core/curator.h"
@@ -526,13 +530,16 @@ int CmdServe(std::vector<std::string> args) {
   if (!catalog.ok()) return Fail(catalog.status().ToString());
   QueryService service(catalog.value().store.get(), catalog.value().peers,
                        flags.value().options);
+  // SIGINT/SIGTERM interrupt the blocking getline (no SA_RESTART), so a
+  // signal drains through ~QueryService instead of killing mid-session.
+  cluster::InstallShutdownSignalHandlers();
   std::cerr << "serving the bio network ("
             << flags.value().config.num_entities << " entities, "
             << flags.value().options.num_workers << " workers, "
             << ServiceTransportName(flags.value().options.transport)
             << " transport); try: query Hugo,SwissProt,MIM\n";
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!cluster::ShutdownRequested() && std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string verb;
     in >> verb;
@@ -584,6 +591,9 @@ int CmdServe(std::vector<std::string> args) {
     }
     std::cout << "unknown verb '" << verb << "'; try help\n";
   }
+  if (cluster::ShutdownRequested()) {
+    std::cerr << "shutdown signal received; draining\n";
+  }
   return 0;
 }
 
@@ -601,6 +611,7 @@ int CmdQuery(std::vector<std::string> args) {
   }
   std::vector<std::string> dbs = {"Hugo", "SwissProt", "MIM"};
   if (auto v = TakeValueFlag(&args, "--path")) dbs = SplitCommas(*v);
+  auto dump_path = TakeValueFlag(&args, "--dump");
   if (!args.empty()) return Fail("query takes only flags; see usage");
   if (repeat == 0 || threads == 0) {
     return Fail("--repeat and --threads must be positive");
@@ -645,6 +656,236 @@ int CmdQuery(std::vector<std::string> args) {
   if (failed.load() > 0 && !faults_injected) {
     return Fail("fault-free run produced failed responses");
   }
+  if (dump_path) {
+    // One clean execution whose cover goes to a file — the byte-level
+    // reference the cluster conformance check diffs against.
+    QueryRequest r = request.value();
+    QueryResponsePtr response = service.Execute(std::move(r));
+    if (!response->status.ok()) return Fail(response->status.ToString());
+    Status ws = WriteFile(*dump_path, response->cover->Serialize());
+    if (!ws.ok()) return Fail(ws.ToString());
+    std::cerr << "cover (" << response->cover->size() << " rows) written to "
+              << *dump_path << "\n";
+  }
+  return 0;
+}
+
+// cluster plan|check — placement inspection for a cluster config.  Every
+// process computes placement independently from the config file plus the
+// shard ring, so `plan` is how an operator sees (and a script asserts)
+// what the cluster will agree on, without starting any node.
+int CmdCluster(std::vector<std::string> args) {
+  if (args.empty()) return Fail("cluster needs a subcommand: plan or check");
+  std::string sub = args.front();
+  args.erase(args.begin());
+  auto config_path = TakeValueFlag(&args, "--config");
+  if (!config_path) return Fail("cluster " + sub + " requires --config");
+  if (!args.empty()) return Fail("cluster takes only flags; see usage");
+  auto config = cluster::ClusterConfig::FromFile(*config_path);
+  if (!config.ok()) return Fail(config.status().ToString());
+  auto ring = cluster::ShardRing::Build(config.value().StorageNodeIds(),
+                                        config.value().shard_count,
+                                        config.value().vnodes);
+  if (!ring.ok()) return Fail(ring.status().ToString());
+  if (sub == "check") {
+    // FromFile already validated; reaching here means the config and the
+    // ring both build.
+    std::cout << "ok: " << config.value().nodes.size() << " nodes, "
+              << config.value().shard_count << " shards, "
+              << ring.value().storage_nodes().size() << " storage nodes\n";
+    return 0;
+  }
+  if (sub != "plan") return Fail("unknown cluster subcommand '" + sub + "'");
+  std::cout << "shards " << config.value().shard_count << ", vnodes "
+            << config.value().vnodes << "\n";
+  for (uint64_t s = 0; s < config.value().shard_count; ++s) {
+    std::cout << "shard " << s << " -> " << ring.value().OwnerForShard(s)
+              << "\n";
+  }
+  for (const cluster::NodeSpec& node : config.value().nodes) {
+    std::cout << node.id << " (" << cluster::RoleName(node.role) << ")";
+    if (node.role == cluster::NodeRole::kStorage) {
+      std::cout << " owns";
+      for (uint64_t s : ring.value().ShardsOwnedBy(node.id)) {
+        std::cout << " " << s;
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+// node — one process of a cluster (tools/run_cluster.sh starts three).
+// Every node deterministically regenerates the bio catalog; storage
+// nodes serve their shard slice of it, the coordinator keeps only the
+// peer specs and reads tables through the cluster source, so its covers
+// must be byte-identical to a single-process run over the same catalog.
+int CmdNode(std::vector<std::string> args) {
+  auto config_path = TakeValueFlag(&args, "--config");
+  auto id = TakeValueFlag(&args, "--id");
+  auto entities = TakeValueFlag(&args, "--entities");
+  auto workers = TakeValueFlag(&args, "--workers");
+  auto port_file = TakeValueFlag(&args, "--port-file");
+  bool print_port = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--print-port") {
+      print_port = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!config_path || !id) {
+    return Fail("node requires --config <file> and --id <node>");
+  }
+  if (!args.empty()) return Fail("node takes only flags; see usage");
+
+  auto config = cluster::ClusterConfig::FromFile(*config_path);
+  if (!config.ok()) return Fail(config.status().ToString());
+  BioConfig bio;
+  bio.num_entities =
+      entities ? std::strtoul(entities->c_str(), nullptr, 10) : 1000;
+  auto catalog = BuildBioCatalog(bio);
+  if (!catalog.ok()) return Fail(catalog.status().ToString());
+  auto node = cluster::ClusterNode::Create(
+      std::move(config).value(), *id, std::move(*catalog.value().store));
+  if (!node.ok()) return Fail(node.status().ToString());
+
+  cluster::InstallShutdownSignalHandlers();
+  if (Status s = node.value()->Bind(); !s.ok()) return Fail(s.ToString());
+  if (port_file) {
+    if (Status s = node.value()->WritePortFile(*port_file); !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
+  auto port = node.value()->ListenPort();
+  if (!port.ok()) return Fail(port.status().ToString());
+  if (print_port) std::cout << port.value() << std::endl;
+  if (Status s = node.value()->Start(); !s.ok()) return Fail(s.ToString());
+
+  const cluster::NodeSpec& self = node.value()->self();
+  std::cerr << "node '" << self.id << "' ("
+            << cluster::RoleName(self.role) << ") listening on "
+            << self.host << ":" << port.value();
+  if (self.role == cluster::NodeRole::kStorage) {
+    std::cerr << "; owns shards";
+    for (uint64_t s : node.value()->owned_shards()) std::cerr << " " << s;
+  }
+  std::cerr << "\n";
+
+  if (self.role == cluster::NodeRole::kStorage) {
+    // Storage nodes are passive: the event-loop thread answers fetches
+    // and heartbeats; this thread just waits for the shutdown signal.
+    while (!cluster::ShutdownRequested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cerr << "node '" << self.id << "' shutting down\n";
+    node.value()->Stop();
+    return 0;
+  }
+
+  // Coordinator: a QueryService whose tables come through the cluster
+  // source — same REPL shape as `serve`, plus cluster verbs.
+  QueryServiceOptions options;
+  if (workers) {
+    options.num_workers = std::strtoul(workers->c_str(), nullptr, 10);
+  }
+  QueryService service(node.value()->table_source(), catalog.value().peers,
+                       options);
+  std::string line;
+  while (!cluster::ShutdownRequested() && std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) continue;
+    if (verb == "quit" || verb == "exit") break;
+    if (verb == "help") {
+      std::cout << "  query <Db1,Db2,...>      run a cover along the path\n"
+                   "  dump <out> <Db1,...>     run and write the cover file\n"
+                   "  members                  membership states\n"
+                   "  waitalive [timeout_ms]   block until all peers alive\n"
+                   "  shards                   per-shard fetch accounting\n"
+                   "  stats                    service counters\n"
+                   "  evict                    drop the fetched-table cache\n"
+                   "  quit\n";
+      continue;
+    }
+    if (verb == "members") {
+      for (const cluster::MemberInfo& m :
+           node.value()->membership().Snapshot()) {
+        std::cout << m.node << " " << cluster::MemberStateName(m.state)
+                  << " (" << m.beats << " beats)\n";
+      }
+      continue;
+    }
+    if (verb == "waitalive") {
+      int64_t timeout_ms = 10'000;
+      in >> timeout_ms;
+      bool alive = node.value()->WaitAllAlive(timeout_ms * 1000);
+      std::cout << (alive ? "all alive\n" : "timeout: not all alive\n");
+      continue;
+    }
+    if (verb == "shards") {
+      auto stats = node.value()->table_source()->ShardStats();
+      if (stats.empty()) std::cout << "no shard fetches yet\n";
+      for (const auto& st : stats) {
+        std::cout << st.table << " shard " << st.shard << " @ " << st.owner
+                  << ": " << st.rows << " rows\n";
+      }
+      continue;
+    }
+    if (verb == "stats") {
+      QueryService::Stats s = service.stats();
+      std::cout << "submitted " << s.submitted << ", executed " << s.executed
+                << ", cache hits " << s.cache_hits << ", failed " << s.failed
+                << "\n";
+      continue;
+    }
+    if (verb == "evict") {
+      node.value()->table_source()->Evict();
+      std::cout << "table cache dropped\n";
+      continue;
+    }
+    if (verb == "query" || verb == "dump") {
+      std::string out_path;
+      if (verb == "dump") {
+        in >> out_path;
+        if (out_path.empty()) {
+          std::cout << "error: dump needs <out> <Db1,Db2,...>\n";
+          continue;
+        }
+      }
+      std::string path_csv;
+      in >> path_csv;
+      auto request = BioRequest(SplitCommas(path_csv));
+      if (!request.ok()) {
+        std::cout << "error: " << request.status() << "\n";
+        continue;
+      }
+      QueryResponsePtr response = service.Execute(std::move(request).value());
+      if (!response->status.ok()) {
+        std::cout << "error: " << response->status << "\n";
+        continue;
+      }
+      if (verb == "dump") {
+        Status ws = WriteFile(out_path, response->cover->Serialize());
+        if (!ws.ok()) {
+          std::cout << "error: " << ws << "\n";
+          continue;
+        }
+        std::cout << response->cover->size() << " cover rows written to "
+                  << out_path << "\n";
+      } else {
+        std::cout << response->cover->size() << " cover rows in "
+                  << response->latency_us << " us"
+                  << (response->from_cache ? " (cached)" : "") << "\n";
+      }
+      continue;
+    }
+    std::cout << "unknown verb '" << verb << "'; try help\n";
+  }
+  std::cerr << "node '" << self.id << "' shutting down\n";
+  node.value()->Stop();
   return 0;
 }
 
@@ -671,8 +912,16 @@ int Usage() {
          "        REPL over a QueryService on the bio network\n"
          "        (query Db1,Db2,... / paths / stats / quit)\n"
          "  query [--repeat N] [--threads K] [--path Db1,Db2,...]\n"
-         "        [service flags]\n"
-         "        hammer one request from K client threads (CI soak)\n"
+         "        [--dump <file>] [service flags]\n"
+         "        hammer one request from K client threads (CI soak);\n"
+         "        --dump writes one clean cover for conformance diffs\n"
+         "  node --config <file> --id <name> [--entities E] [--workers W]\n"
+         "        [--port-file <path>] [--print-port]\n"
+         "        run one cluster process: storage nodes serve shard\n"
+         "        slices; the coordinator is a REPL (query/dump/members/\n"
+         "        waitalive/shards/stats/evict/quit)\n"
+         "  cluster plan|check --config <file>\n"
+         "        print (plan) or validate (check) the shard placement\n"
          "  service flags: --entities E --workers W --queue Q --no-cache\n"
          "        --drop-rate P --dup-rate P --fault-seed N\n"
          "        --transport sim|threaded|tcp  (tcp = sessions on real\n"
@@ -698,6 +947,8 @@ int Dispatch(const std::string& cmd, std::vector<std::string> args) {
   if (cmd == "stats") return CmdStats(std::move(args));
   if (cmd == "serve") return CmdServe(std::move(args));
   if (cmd == "query") return CmdQuery(std::move(args));
+  if (cmd == "node") return CmdNode(std::move(args));
+  if (cmd == "cluster") return CmdCluster(std::move(args));
   return Usage();
 }
 

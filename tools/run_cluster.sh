@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Launches a three-process hyperion cluster (one coordinator, two
+# storage nodes) on loopback TCP, runs bio-catalog queries through the
+# coordinator REPL, and proves the distributed cover is byte-identical
+# to a single-process run over the same catalog.
+#
+#   tools/run_cluster.sh <path-to-hyperion_cli> [--kill-one]
+#
+# Startup handshake: storage nodes bind ephemeral ports (port 0 in the
+# seed config) and publish them via --port-file; once both files exist
+# the script rewrites a resolved config and only then starts the
+# coordinator — no listen-before-connect race, no fixed ports to
+# collide on in CI.
+#
+# --kill-one additionally SIGKILLs the storage node owning shard 0
+# mid-session and asserts the next query fails *loudly*, naming that
+# node — the cluster must never return a silently partial cover.
+set -euo pipefail
+
+CLI=${1:?usage: run_cluster.sh <path-to-hyperion_cli> [--kill-one]}
+shift || true
+KILL_ONE=0
+for arg in "$@"; do
+  [[ "$arg" == "--kill-one" ]] && KILL_ONE=1
+done
+
+ENTITIES=${ENTITIES:-200}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/hyperion_cluster.XXXXXX")
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "run_cluster: FAIL: $*" >&2
+  for log in "$WORK"/*.log "$WORK"/coord.out; do
+    [[ -f "$log" ]] && { echo "--- $log ---" >&2; tail -20 "$log" >&2; }
+  done
+  exit 1
+}
+
+# Waits (up to $3 seconds, default 20) for $2 to appear in file $1.
+await() {
+  local file=$1 pattern=$2 budget=${3:-20} i
+  for ((i = 0; i < budget * 10; ++i)); do
+    grep -q "$pattern" "$file" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  fail "timed out waiting for '$pattern' in $file"
+}
+
+# --- 1. storage nodes on ephemeral ports --------------------------------
+cat > "$WORK/seed.conf" <<EOF
+shards 2
+heartbeat_ms 100
+suspect_ms 500
+down_ms 1500
+fetch_timeout_ms 2000
+node coord coordinator 127.0.0.1 0
+node store1 storage 127.0.0.1 0
+node store2 storage 127.0.0.1 0
+EOF
+
+declare -A STORE_PID
+for node in store1 store2; do
+  "$CLI" node --config "$WORK/seed.conf" --id "$node" \
+    --entities "$ENTITIES" --port-file "$WORK/$node.port" \
+    > "$WORK/$node.log" 2>&1 &
+  STORE_PID[$node]=$!
+done
+for node in store1 store2; do
+  await "$WORK/$node.port" "[0-9]" 20
+done
+
+# --- 2. resolved config + placement -------------------------------------
+cat > "$WORK/resolved.conf" <<EOF
+shards 2
+heartbeat_ms 100
+suspect_ms 500
+down_ms 1500
+fetch_timeout_ms 2000
+node coord coordinator 127.0.0.1 0
+node store1 storage 127.0.0.1 $(cat "$WORK/store1.port")
+node store2 storage 127.0.0.1 $(cat "$WORK/store2.port")
+EOF
+
+"$CLI" cluster plan --config "$WORK/resolved.conf"
+VICTIM=$("$CLI" cluster plan --config "$WORK/resolved.conf" \
+  | awk '$1 == "shard" && $2 == "0" { print $4 }')
+[[ -n "$VICTIM" ]] || fail "could not determine the owner of shard 0"
+
+# --- 3. coordinator REPL over a fifo ------------------------------------
+mkfifo "$WORK/repl"
+"$CLI" node --config "$WORK/resolved.conf" --id coord \
+  --entities "$ENTITIES" < "$WORK/repl" \
+  > "$WORK/coord.out" 2> "$WORK/coord.log" &
+COORD=$!
+exec 3> "$WORK/repl"
+
+echo "waitalive 10000" >&3
+await "$WORK/coord.out" "all alive" 20
+
+echo "query Hugo,SwissProt,MIM" >&3
+await "$WORK/coord.out" "cover rows in" 20
+grep -q "^error" "$WORK/coord.out" && fail "healthy-cluster query errored"
+
+echo "dump $WORK/cluster_cover.hmt Hugo,SwissProt,MIM" >&3
+await "$WORK/coord.out" "written to" 20
+
+# --- 4. conformance: cluster cover == single-process cover --------------
+"$CLI" query --entities "$ENTITIES" --path Hugo,SwissProt,MIM \
+  --repeat 1 --dump "$WORK/sim_cover.hmt" > /dev/null 2>&1
+cmp "$WORK/sim_cover.hmt" "$WORK/cluster_cover.hmt" \
+  || fail "cluster cover differs from single-process cover"
+echo "run_cluster: covers byte-identical ($(wc -c < "$WORK/sim_cover.hmt") bytes)"
+
+# --- 5. optional: kill a storage node, demand a loud failure ------------
+if [[ "$KILL_ONE" == 1 ]]; then
+  echo "run_cluster: killing $VICTIM (owner of shard 0)"
+  kill -9 "${STORE_PID[$VICTIM]}"
+  wait "${STORE_PID[$VICTIM]}" 2>/dev/null || true
+  # Evict fetched tables and use a fresh path so neither cache layer can
+  # answer without touching the dead node.
+  echo "evict" >&3
+  await "$WORK/coord.out" "cache dropped" 20
+  echo "query Hugo,GDB,MIM" >&3
+  await "$WORK/coord.out" "unreachable" 30
+  grep "storage node '$VICTIM' unreachable" "$WORK/coord.out" > /dev/null \
+    || fail "failure did not name the dead node $VICTIM"
+  echo "run_cluster: dead node loudly attributed: $(grep -o "storage node '$VICTIM' unreachable[^\"]*" "$WORK/coord.out" | head -1)"
+fi
+
+echo "quit" >&3
+exec 3>&-
+wait "$COORD" || fail "coordinator exited non-zero"
+echo "run_cluster: PASS"
