@@ -1,27 +1,39 @@
-// fig_cluster: the multi-process cluster experiment.
+// fig_cluster: the multi-process cluster experiment, swept over the
+// replication factor R ∈ {1, 2, 3}.
 //
-// Forks two storage-node children (before any thread exists in this
-// process — fork and threads do not mix), runs a coordinator in the
-// parent, and drives every Figure 10 Hugo→MIM path through a
-// QueryService whose tables arrive over loopback TCP as shard slices.
+// Every storage child for every round is forked up front (before any
+// thread exists in this process — fork and threads do not mix); each
+// round then runs its own coordinator in the parent against that
+// round's three-node fleet and drives every Figure 10 Hugo→MIM path
+// through a QueryService whose tables arrive over loopback TCP as
+// shard slices.
 //
-// Two claims are checked, loudly:
+// Per round, three claims are checked loudly:
 //
 //  * conformance — every cluster-served cover is byte-identical to the
 //    cover a single-process service computes over the same catalog;
 //  * liveness — the full membership roster reaches "alive" before any
-//    query is issued.
+//    query is issued;
+//  * failover — the primary owner of shard 0 is SIGKILLed mid-workload.
+//    With R ≥ 2 the very next uncached query must still answer
+//    (failover latency is its wall time) and the workload must keep
+//    running at a measured degraded-mode qps with zero failures; with
+//    R = 1 the next query must fail *loudly*, naming the dead node.
 //
-// Output: BENCH_cluster.json with throughput (the table-source cache is
-// evicted between passes, so every pass re-fetches shards over TCP) and
-// the per-shard row placement the ring produced.
+// A storage child that dies during setup fails the run immediately
+// with the child's name, pid, and exit status — never a silent hang.
+//
+// Output: BENCH_cluster.json with a per-R sweep entry (healthy qps,
+// failover latency, degraded qps, replica placement).
 //
 //   fig_cluster [entities=400] [passes=5]
 
+#include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -40,17 +52,24 @@
 namespace hyperion {
 namespace {
 
-cluster::ClusterConfig SeedConfig() {
+const std::vector<std::string> kStoreIds = {"store1", "store2", "store3"};
+
+cluster::ClusterConfig SeedConfig(uint64_t replication) {
   cluster::ClusterConfig config;
   config.shard_count = 2;
+  config.replication = replication;
   config.heartbeat_ms = 100;
   config.suspect_ms = 500;
   config.down_ms = 1500;
   config.fetch_timeout_ms = 5000;
+  config.replica_timeout_ms = 300;
+  config.fetch_attempts = 2;
+  config.fetch_backoff_ms = 50;
   config.nodes = {
       {"coord", cluster::NodeRole::kCoordinator, "127.0.0.1", 0},
       {"store1", cluster::NodeRole::kStorage, "127.0.0.1", 0},
       {"store2", cluster::NodeRole::kStorage, "127.0.0.1", 0},
+      {"store3", cluster::NodeRole::kStorage, "127.0.0.1", 0},
   };
   return config;
 }
@@ -98,9 +117,30 @@ struct Child {
   _exit(0);
 }
 
+// Names the child and decodes its wait status — the diagnostic every
+// setup failure path prints so a dead node is never a silent hang.
+[[noreturn]] void DieOnChild(const std::string& id, pid_t pid) {
+  int status = 0;
+  std::cerr << "fig_cluster: storage child '" << id << "' (pid " << pid
+            << ") ";
+  if (waitpid(pid, &status, WNOHANG) == pid) {
+    if (WIFEXITED(status)) {
+      std::cerr << "exited with status " << WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      std::cerr << "was killed by signal " << WTERMSIG(status);
+    } else {
+      std::cerr << "died (wait status " << status << ")";
+    }
+  } else {
+    std::cerr << "reported no port";
+  }
+  std::cerr << " during setup\n";
+  std::exit(1);
+}
+
 Child SpawnStorage(const cluster::ClusterConfig& config, const std::string& id,
                    const BioConfig& bio,
-                   const std::map<std::string, Child>& siblings) {
+                   const std::vector<Child>& earlier_children) {
   int port_pipe[2], quit_pipe[2];
   if (pipe(port_pipe) != 0 || pipe(quit_pipe) != 0) {
     std::cerr << "pipe failed\n";
@@ -114,22 +154,20 @@ Child SpawnStorage(const cluster::ClusterConfig& config, const std::string& id,
   if (pid == 0) {
     close(port_pipe[0]);
     close(quit_pipe[1]);
-    // Inherited write ends of earlier siblings' quit pipes would keep
-    // those siblings from ever seeing EOF — close them here.
-    for (const auto& [sid, sibling] : siblings) close(sibling.quit_fd);
+    // Inherited write ends of earlier children's quit pipes would keep
+    // those children from ever seeing EOF — close them here.
+    for (const Child& earlier : earlier_children) close(earlier.quit_fd);
     StorageChild(config, id, bio, port_pipe[1], quit_pipe[0]);
   }
   close(port_pipe[1]);
   close(quit_pipe[0]);
-  // Read the child's ephemeral port ("<digits>\n").
+  // Read the child's ephemeral port ("<digits>\n").  EOF before a full
+  // line means the child died — say which one, loudly.
   std::string text;
   char c;
   while (read(port_pipe[0], &c, 1) == 1 && c != '\n') text.push_back(c);
   close(port_pipe[0]);
-  if (text.empty()) {
-    std::cerr << id << ": no port reported\n";
-    std::exit(1);
-  }
+  if (text.empty()) DieOnChild(id, pid);
   Child child;
   child.pid = pid;
   child.quit_fd = quit_pipe[1];
@@ -151,138 +189,236 @@ std::string PathName(const std::vector<std::string>& dbs) {
   return name;
 }
 
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Round {
+  uint64_t replication = 1;
+  cluster::ClusterConfig resolved;
+  std::map<std::string, Child> children;  // id -> child
+};
+
 int Main(int argc, char** argv) {
   BioConfig bio;
   bio.num_entities = bench_util::ArgOr(argc, argv, 1, 400);
   size_t passes = bench_util::ArgOr(argc, argv, 2, 5);
+  const std::vector<uint64_t> kSweep = {1, 2, 3};
 
-  // --- children first: fork before any thread exists -------------------
-  cluster::ClusterConfig seed = SeedConfig();
-  std::map<std::string, Child> children;
-  for (const std::string id : {"store1", "store2"}) {
-    children[id] = SpawnStorage(seed, id, bio, children);
-  }
-  cluster::ClusterConfig resolved = seed;
-  for (cluster::NodeSpec& node : resolved.nodes) {
-    auto it = children.find(node.id);
-    if (it != children.end()) node.port = it->second.port;
+  // --- all children for all rounds first: fork before any thread ------
+  std::vector<Round> rounds;
+  std::vector<Child> forked;  // every child so far, for quit-fd hygiene
+  for (uint64_t replication : kSweep) {
+    Round round;
+    round.replication = replication;
+    cluster::ClusterConfig seed = SeedConfig(replication);
+    for (const std::string& id : kStoreIds) {
+      Child child = SpawnStorage(seed, id, bio, forked);
+      forked.push_back(child);
+      round.children[id] = child;
+    }
+    round.resolved = seed;
+    for (cluster::NodeSpec& node : round.resolved.nodes) {
+      auto it = round.children.find(node.id);
+      if (it != round.children.end()) node.port = it->second.port;
+    }
+    rounds.push_back(std::move(round));
   }
 
-  // --- coordinator (threads are safe from here on) ---------------------
+  // --- coordinator rounds (threads are safe from here on) --------------
   auto catalog = BuildBioCatalog(bio);
   if (!catalog.ok()) {
     std::cerr << "catalog failed: " << catalog.status() << "\n";
     return 1;
   }
-  auto coord = cluster::ClusterNode::Create(resolved, "coord", TableStore());
-  if (!coord.ok()) {
-    std::cerr << "coordinator create failed: " << coord.status() << "\n";
-    return 1;
-  }
-  if (Status s = coord.value()->Bind(); !s.ok()) {
-    std::cerr << "coordinator bind failed: " << s << "\n";
-    return 1;
-  }
-  if (Status s = coord.value()->Start(); !s.ok()) {
-    std::cerr << "coordinator start failed: " << s << "\n";
-    return 1;
-  }
-  if (!coord.value()->WaitAllAlive(10'000'000)) {
-    std::cerr << "cluster did not become fully alive\n";
-    return 1;
-  }
-
   // Cover caching off in both services: every query runs the protocol,
   // so throughput measures work, not cache hits.
   QueryServiceOptions options;
   options.cache_entries = 0;
-  QueryService clustered(coord.value()->table_source(),
-                         catalog.value().peers, options);
   QueryService local(catalog.value().store.get(), catalog.value().peers,
                      options);
-
-  // --- conformance: every path, byte for byte --------------------------
   const auto paths = BioWorkload::HugoMimPaths();
-  obs::JsonValue per_path = obs::JsonValue::Array();
-  for (const auto& dbs : paths) {
-    QueryResponsePtr want = local.Execute(PathRequest(dbs));
-    QueryResponsePtr got = clustered.Execute(PathRequest(dbs));
-    if (!want->status.ok() || !got->status.ok()) {
-      std::cerr << PathName(dbs) << ": query failed: "
-                << (want->status.ok() ? got->status : want->status) << "\n";
-      return 1;
-    }
-    if (want->cover->Serialize() != got->cover->Serialize()) {
-      std::cerr << PathName(dbs)
-                << ": cluster cover differs from single-process cover\n";
-      return 1;
-    }
-    obs::JsonValue entry = obs::JsonValue::Object();
-    entry.Set("path", PathName(dbs));
-    entry.Set("cover_rows", static_cast<uint64_t>(got->cover->size()));
-    per_path.Append(std::move(entry));
-    std::cout << PathName(dbs) << ": " << got->cover->size()
-              << " cover rows, byte-identical\n";
-  }
 
-  // --- throughput: evict between passes so shards re-travel the wire ---
-  auto start = std::chrono::steady_clock::now();
-  size_t queries = 0;
-  for (size_t pass = 0; pass < passes; ++pass) {
-    coord.value()->table_source()->Evict();
+  int rc = 0;
+  obs::JsonValue sweep = obs::JsonValue::Array();
+  for (Round& round : rounds) {
+    std::cout << "=== replication " << round.replication << " ===\n";
+    // Setup sanity: a child that died while earlier rounds ran would
+    // otherwise surface as a 10 s liveness timeout — name it instead.
+    for (const auto& [id, child] : round.children) {
+      if (kill(child.pid, 0) != 0) DieOnChild(id, child.pid);
+    }
+    auto coord =
+        cluster::ClusterNode::Create(round.resolved, "coord", TableStore());
+    if (!coord.ok()) {
+      std::cerr << "coordinator create failed: " << coord.status() << "\n";
+      return 1;
+    }
+    if (Status s = coord.value()->Bind(); !s.ok()) {
+      std::cerr << "coordinator bind failed: " << s << "\n";
+      return 1;
+    }
+    if (Status s = coord.value()->Start(); !s.ok()) {
+      std::cerr << "coordinator start failed: " << s << "\n";
+      return 1;
+    }
+    if (!coord.value()->WaitAllAlive(10'000'000)) {
+      for (const auto& [id, child] : round.children) {
+        if (kill(child.pid, 0) != 0) DieOnChild(id, child.pid);
+      }
+      std::cerr << "cluster did not become fully alive\n";
+      return 1;
+    }
+    QueryService clustered(coord.value()->table_source(),
+                           catalog.value().peers, options);
+
+    // -- conformance: every path, byte for byte --------------------------
     for (const auto& dbs : paths) {
-      QueryResponsePtr response = clustered.Execute(PathRequest(dbs));
-      if (!response->status.ok()) {
-        std::cerr << "pass " << pass << " failed: " << response->status
-                  << "\n";
+      QueryResponsePtr want = local.Execute(PathRequest(dbs));
+      QueryResponsePtr got = clustered.Execute(PathRequest(dbs));
+      if (!want->status.ok() || !got->status.ok()) {
+        std::cerr << PathName(dbs) << ": query failed: "
+                  << (want->status.ok() ? got->status : want->status) << "\n";
         return 1;
       }
-      ++queries;
+      if (want->cover->Serialize() != got->cover->Serialize()) {
+        std::cerr << PathName(dbs)
+                  << ": cluster cover differs from single-process cover\n";
+        return 1;
+      }
     }
-  }
-  double wall_s = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
-  double qps = wall_s > 0 ? static_cast<double>(queries) / wall_s : 0;
-  std::cout << queries << " cluster queries in " << wall_s << " s (" << qps
-            << " qps)\n";
+    std::cout << paths.size() << " paths byte-identical\n";
 
-  obs::JsonValue shards = obs::JsonValue::Array();
-  for (const auto& stat : coord.value()->table_source()->ShardStats()) {
+    // -- healthy throughput: evict between passes so shards re-travel ----
+    int64_t healthy_start = NowUs();
+    size_t queries = 0;
+    for (size_t pass = 0; pass < passes; ++pass) {
+      coord.value()->table_source()->Evict();
+      for (const auto& dbs : paths) {
+        QueryResponsePtr response = clustered.Execute(PathRequest(dbs));
+        if (!response->status.ok()) {
+          std::cerr << "pass " << pass << " failed: " << response->status
+                    << "\n";
+          return 1;
+        }
+        ++queries;
+      }
+    }
+    double healthy_s = static_cast<double>(NowUs() - healthy_start) / 1e6;
+    double healthy_qps =
+        healthy_s > 0 ? static_cast<double>(queries) / healthy_s : 0;
+    std::cout << queries << " healthy queries in " << healthy_s << " s ("
+              << healthy_qps << " qps)\n";
+
+    // -- chaos: SIGKILL the primary of shard 0 mid-workload --------------
+    const std::string victim = coord.value()->ring().OwnerForShard(0);
+    std::cout << "kill -9 " << victim << " (primary of shard 0)\n";
+    kill(round.children[victim].pid, SIGKILL);
+    waitpid(round.children[victim].pid, nullptr, 0);
+    round.children[victim].pid = -1;  // reaped
+    coord.value()->table_source()->Evict();
+
     obs::JsonValue entry = obs::JsonValue::Object();
-    entry.Set("table", stat.table);
-    entry.Set("shard", stat.shard);
-    entry.Set("owner", stat.owner);
-    entry.Set("rows", static_cast<uint64_t>(stat.rows));
-    shards.Append(std::move(entry));
+    entry.Set("replication", round.replication);
+    entry.Set("storage_nodes", static_cast<uint64_t>(round.children.size()));
+    entry.Set("healthy_qps", healthy_qps);
+    entry.Set("victim", victim);
+    if (round.replication == 1) {
+      // Unreplicated: the next fetch must fail loudly, naming the node.
+      QueryResponsePtr response = clustered.Execute(PathRequest(paths[0]));
+      if (response->status.ok()) {
+        std::cerr << "replication=1 query succeeded after losing the only "
+                     "owner of shard 0\n";
+        return 1;
+      }
+      const std::string message = response->status.ToString();
+      if (message.find(victim) == std::string::npos) {
+        std::cerr << "replication=1 failure does not name the dead node: "
+                  << message << "\n";
+        return 1;
+      }
+      std::cout << "dead node loudly attributed: " << message << "\n";
+      entry.Set("failover_survived", false);
+      entry.Set("failure", message);
+    } else {
+      // Replicated: the very next uncached query must still answer; its
+      // wall time is the observed failover latency.
+      int64_t t0 = NowUs();
+      QueryResponsePtr first = clustered.Execute(PathRequest(paths[0]));
+      int64_t failover_latency_us = NowUs() - t0;
+      if (!first->status.ok()) {
+        std::cerr << "failover query failed: " << first->status << "\n";
+        return 1;
+      }
+      // Degraded-mode throughput: same workload, one node short, zero
+      // failures allowed.
+      int64_t degraded_start = NowUs();
+      size_t degraded_queries = 0;
+      for (size_t pass = 0; pass < passes; ++pass) {
+        coord.value()->table_source()->Evict();
+        for (const auto& dbs : paths) {
+          QueryResponsePtr response = clustered.Execute(PathRequest(dbs));
+          if (!response->status.ok()) {
+            std::cerr << "degraded pass " << pass
+                      << " failed: " << response->status << "\n";
+            return 1;
+          }
+          ++degraded_queries;
+        }
+      }
+      double degraded_s =
+          static_cast<double>(NowUs() - degraded_start) / 1e6;
+      double degraded_qps =
+          degraded_s > 0 ? static_cast<double>(degraded_queries) / degraded_s
+                         : 0;
+      std::cout << "failover latency " << failover_latency_us << " us; "
+                << degraded_queries << " degraded queries in " << degraded_s
+                << " s (" << degraded_qps << " qps), 0 failed\n";
+      entry.Set("failover_survived", true);
+      entry.Set("failover_latency_us", static_cast<uint64_t>(
+                                           failover_latency_us));
+      entry.Set("degraded_qps", degraded_qps);
+    }
+
+    obs::JsonValue placement = obs::JsonValue::Array();
+    for (uint64_t shard = 0; shard < round.resolved.shard_count; ++shard) {
+      obs::JsonValue owners = obs::JsonValue::Array();
+      for (const std::string& owner :
+           coord.value()->ring().OwnersForShard(shard)) {
+        owners.Append(owner);
+      }
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("shard", shard);
+      row.Set("owners", std::move(owners));
+      placement.Append(std::move(row));
+    }
+    entry.Set("replica_placement", std::move(placement));
+    sweep.Append(std::move(entry));
+
+    // -- round teardown ---------------------------------------------------
+    coord.value()->Stop();
+    for (auto& [id, child] : round.children) {
+      close(child.quit_fd);
+      if (child.pid < 0) continue;  // the SIGKILLed victim, already reaped
+      int status = 0;
+      waitpid(child.pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::cerr << id << ": child exited abnormally\n";
+        rc = 1;
+      }
+    }
   }
 
   obs::JsonValue root = obs::JsonValue::Object();
   root.Set("entities", static_cast<uint64_t>(bio.num_entities));
-  root.Set("shard_count", resolved.shard_count);
-  root.Set("storage_nodes", static_cast<uint64_t>(children.size()));
+  root.Set("shard_count", SeedConfig(1).shard_count);
   root.Set("paths", static_cast<uint64_t>(paths.size()));
   root.Set("passes", static_cast<uint64_t>(passes));
-  root.Set("queries", static_cast<uint64_t>(queries));
-  root.Set("wall_s", wall_s);
-  root.Set("qps", qps);
   root.Set("conformance", "byte-identical");
-  root.Set("per_path", std::move(per_path));
-  root.Set("shard_placement", std::move(shards));
+  root.Set("sweep", std::move(sweep));
   bench_util::WriteBenchJson("cluster", std::move(root));
-
-  // --- teardown --------------------------------------------------------
-  coord.value()->Stop();
-  int rc = 0;
-  for (auto& [id, child] : children) {
-    close(child.quit_fd);
-    int status = 0;
-    waitpid(child.pid, &status, 0);
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      std::cerr << id << ": child exited abnormally\n";
-      rc = 1;
-    }
-  }
   return rc;
 }
 

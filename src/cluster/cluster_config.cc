@@ -71,17 +71,26 @@ Result<ClusterConfig> ClusterConfig::Parse(const std::string& text) {
       node.port = static_cast<uint16_t>(p);
       config.nodes.push_back(std::move(node));
     } else if (directive == "shards" || directive == "vnodes" ||
-               directive == "heartbeat_ms" || directive == "suspect_ms" ||
-               directive == "down_ms" || directive == "fetch_timeout_ms") {
+               directive == "replication" || directive == "heartbeat_ms" ||
+               directive == "suspect_ms" || directive == "down_ms" ||
+               directive == "fetch_timeout_ms" ||
+               directive == "replica_timeout_ms" ||
+               directive == "fetch_attempts" ||
+               directive == "fetch_backoff_ms" || directive == "hedge_ms") {
       std::string word;
       if (!(fields >> word)) return bad("expected: " + directive + " <n>");
       HYP_ASSIGN_OR_RETURN(uint64_t v, ParseCount(word, directive));
       if (directive == "shards") config.shard_count = v;
       if (directive == "vnodes") config.vnodes = v;
+      if (directive == "replication") config.replication = v;
       if (directive == "heartbeat_ms") config.heartbeat_ms = v;
       if (directive == "suspect_ms") config.suspect_ms = v;
       if (directive == "down_ms") config.down_ms = v;
       if (directive == "fetch_timeout_ms") config.fetch_timeout_ms = v;
+      if (directive == "replica_timeout_ms") config.replica_timeout_ms = v;
+      if (directive == "fetch_attempts") config.fetch_attempts = v;
+      if (directive == "fetch_backoff_ms") config.fetch_backoff_ms = v;
+      if (directive == "hedge_ms") config.hedge_ms = v;
     } else {
       return bad("unknown directive '" + directive + "'");
     }
@@ -109,9 +118,21 @@ Status ClusterConfig::Validate() const {
   if (vnodes == 0) {
     return Status::InvalidArgument("cluster config: vnodes must be positive");
   }
+  if (replication == 0) {
+    return Status::InvalidArgument(
+        "cluster config: replication must be positive");
+  }
   if (heartbeat_ms == 0) {
     return Status::InvalidArgument(
         "cluster config: heartbeat_ms must be positive");
+  }
+  if (replica_timeout_ms == 0) {
+    return Status::InvalidArgument(
+        "cluster config: replica_timeout_ms must be positive");
+  }
+  if (fetch_attempts == 0) {
+    return Status::InvalidArgument(
+        "cluster config: fetch_attempts must be positive");
   }
   if (suspect_ms < heartbeat_ms || down_ms < suspect_ms) {
     return Status::InvalidArgument(
@@ -177,10 +198,15 @@ std::string ClusterConfig::ToString() const {
   std::ostringstream out;
   out << "shards " << shard_count << "\n"
       << "vnodes " << vnodes << "\n"
+      << "replication " << replication << "\n"
       << "heartbeat_ms " << heartbeat_ms << "\n"
       << "suspect_ms " << suspect_ms << "\n"
       << "down_ms " << down_ms << "\n"
-      << "fetch_timeout_ms " << fetch_timeout_ms << "\n";
+      << "fetch_timeout_ms " << fetch_timeout_ms << "\n"
+      << "replica_timeout_ms " << replica_timeout_ms << "\n"
+      << "fetch_attempts " << fetch_attempts << "\n"
+      << "fetch_backoff_ms " << fetch_backoff_ms << "\n"
+      << "hedge_ms " << hedge_ms << "\n";
   for (const NodeSpec& node : nodes) {
     out << "node " << node.id << " " << RoleName(node.role) << " "
         << node.host << " " << node.port << "\n";

@@ -9,10 +9,15 @@
 //
 //   shards 2
 //   vnodes 64
+//   replication 2
 //   heartbeat_ms 200
 //   suspect_ms 1000
 //   down_ms 3000
 //   fetch_timeout_ms 5000
+//   replica_timeout_ms 1000
+//   fetch_attempts 2
+//   fetch_backoff_ms 50
+//   hedge_ms 0
 //   node coord  coordinator 127.0.0.1 9100
 //   node store1 storage     127.0.0.1 9101
 //   node store2 storage     127.0.0.1 9102
@@ -54,10 +59,15 @@ struct ClusterConfig {
   std::vector<NodeSpec> nodes;
   uint64_t shard_count = 2;
   uint64_t vnodes = 64;
+  uint64_t replication = 1;        // copies of each shard (R-way placement)
   uint64_t heartbeat_ms = 200;     // beat period
   uint64_t suspect_ms = 1000;      // silence before alive -> suspect
   uint64_t down_ms = 3000;         // silence before suspect -> down
-  uint64_t fetch_timeout_ms = 5000;  // coordinator shard-fetch deadline
+  uint64_t fetch_timeout_ms = 5000;  // whole-fetch deadline (all shards)
+  uint64_t replica_timeout_ms = 1000;  // one replica attempt's deadline
+  uint64_t fetch_attempts = 2;     // retry rounds over the replica set
+  uint64_t fetch_backoff_ms = 50;  // backoff base between retry rounds
+  uint64_t hedge_ms = 0;           // fire replica 2 after this wait (0=off)
 
   /// \brief Parses the directive format above.  Validates with
   /// Validate() before returning.
@@ -67,7 +77,9 @@ struct ClusterConfig {
   static Result<ClusterConfig> FromFile(const std::string& path);
 
   /// \brief Exactly one coordinator, at least one storage node, unique
-  /// nonempty ids, positive counts, suspect_ms <= down_ms.
+  /// nonempty ids, positive counts, suspect_ms <= down_ms.  A
+  /// replication factor above the storage fleet size is allowed (the
+  /// ring degrades each replica set to the fleet).
   Status Validate() const;
 
   /// \brief The node named `id` (NotFound when absent).

@@ -1,5 +1,6 @@
 #include "cluster/node.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -19,7 +20,7 @@ Result<std::unique_ptr<ClusterNode>> ClusterNode::Create(ClusterConfig config,
   HYP_ASSIGN_OR_RETURN(
       ShardRing ring,
       ShardRing::Build(config.StorageNodeIds(), config.shard_count,
-                       config.vnodes));
+                       config.vnodes, config.replication));
   return std::unique_ptr<ClusterNode>(new ClusterNode(
       std::move(config), std::move(self_spec), std::move(store),
       std::move(ring)));
@@ -98,6 +99,8 @@ Status ClusterNode::Start() {
     if (running_) return Status::OK();
   }
   if (self_spec_.role == NodeRole::kStorage) {
+    // Every shard this node replicates, primary or not: replicas must
+    // hold the slice to take over when the primary dies.
     std::vector<uint64_t> owned = ring_.ShardsOwnedBy(self_spec_.id);
     HYP_ASSIGN_OR_RETURN(
         slices_,
@@ -109,8 +112,14 @@ Status ClusterNode::Start() {
     ClusterTableSource::Options opts;
     opts.fetch_timeout_us =
         static_cast<int64_t>(config_.fetch_timeout_ms) * 1000;
+    opts.replica_timeout_us =
+        static_cast<int64_t>(config_.replica_timeout_ms) * 1000;
+    opts.backoff_base_us =
+        static_cast<int64_t>(config_.fetch_backoff_ms) * 1000;
+    opts.hedge_delay_us = static_cast<int64_t>(config_.hedge_ms) * 1000;
+    opts.attempts_per_replica = static_cast<int>(config_.fetch_attempts);
     table_source_ = std::make_unique<ClusterTableSource>(
-        self_spec_.id, net_.get(), &ring_, opts);
+        self_spec_.id, net_.get(), &ring_, &membership_, opts);
   }
   std::vector<std::pair<std::string, std::string>> routes;
   {
@@ -219,11 +228,19 @@ void ClusterNode::HandleShardFetch(const Message& msg) {
   } else {
     auto it = slices_.find({fetch.table_name, fetch.shard});
     if (it == slices_.end()) {
+      // Replica-aware ownership: any member of the shard's replica set
+      // may legitimately serve it.
+      bool replicates = false;
+      if (fetch.shard < ring_.shard_count()) {
+        const std::vector<std::string>& owners =
+            ring_.OwnersForShard(fetch.shard);
+        replicates = std::find(owners.begin(), owners.end(),
+                               self_spec_.id) != owners.end();
+      }
       Status status =
-          fetch.shard >= ring_.shard_count() ||
-                  ring_.OwnerForShard(fetch.shard) != self_spec_.id
+          !replicates
               ? Status::FailedPrecondition(
-                    "node '" + self_spec_.id + "' does not own shard " +
+                    "node '" + self_spec_.id + "' does not replicate shard " +
                     std::to_string(fetch.shard))
               : Status::NotFound("node '" + self_spec_.id +
                                  "' has no table '" + fetch.table_name + "'");
@@ -319,7 +336,17 @@ void ClusterNode::ScheduleSweep() {
   int64_t period_us = static_cast<int64_t>(config_.suspect_ms) * 500;
   if (period_us < 1000) period_us = 1000;
   auto timer = net_->ScheduleTimer(self_spec_.id, period_us, [this] {
-    membership_.SweepAt(NowUs());
+    std::vector<MemberInfo> changed = membership_.SweepAt(NowUs());
+    // Membership-change hook: an assembled table sourced from a node now
+    // known dead must not outlive that knowledge — a recovered-then-
+    // restarted node could otherwise be shadowed by a stale assembly.
+    if (table_source_ != nullptr) {
+      for (const MemberInfo& member : changed) {
+        if (member.state == MemberState::kDown) {
+          table_source_->OnMemberDown(member.node);
+        }
+      }
+    }
     ScheduleSweep();
   });
   bool stopped;

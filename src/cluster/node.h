@@ -93,7 +93,8 @@ class ClusterNode {
   /// through (nullptr on storage nodes).
   ClusterTableSource* table_source() { return table_source_.get(); }
 
-  /// \brief Storage only: shards this node owns.
+  /// \brief Storage only: every shard this node replicates (primary or
+  /// backup) — exactly the slices it loads and serves.
   std::vector<uint64_t> owned_shards() const;
 
   /// \brief Blocks until every roster member is alive or `timeout_us`

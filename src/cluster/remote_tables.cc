@@ -1,5 +1,6 @@
 #include "cluster/remote_tables.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -11,6 +12,12 @@ namespace hyperion {
 namespace cluster {
 
 namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 ShardSlice SliceOfMsg(const ShardRowsMsg& msg) {
   ShardSlice slice;
@@ -25,11 +32,110 @@ ShardSlice SliceOfMsg(const ShardRowsMsg& msg) {
   return slice;
 }
 
+// Distinct owners tried so far, in first-tried order (the attempt cycle
+// walks candidates round-robin).
+std::vector<std::string> TriedOwners(
+    const std::vector<std::string>& candidates, size_t attempts) {
+  std::vector<std::string> tried;
+  for (size_t i = 0; i < attempts && i < candidates.size(); ++i) {
+    tried.push_back(candidates[i]);
+  }
+  return tried;
+}
+
+// "storage node 'a' unreachable, storage node 'b' unreachable" — every
+// dead replica named, the per-node phrase kept stable for drills that
+// grep for it.
+std::string NameDeadReplicas(const std::vector<std::string>& unreachable,
+                             const std::vector<std::string>& down) {
+  std::string out;
+  for (const std::string& node : unreachable) {
+    if (!out.empty()) out += ", ";
+    out += "storage node '" + node + "' unreachable";
+  }
+  for (const std::string& node : down) {
+    if (!out.empty()) out += ", ";
+    out += "storage node '" + node + "' down";
+  }
+  return out;
+}
+
 }  // namespace
 
 ClusterTableSource::ClusterTableSource(std::string self, Network* net,
-                                       const ShardRing* ring, Options options)
-    : self_(std::move(self)), net_(net), ring_(ring), options_(options) {}
+                                       const ShardRing* ring,
+                                       const MembershipTracker* membership,
+                                       Options options)
+    : self_(std::move(self)),
+      net_(net),
+      ring_(ring),
+      membership_(membership),
+      options_(options) {}
+
+void ClusterTableSource::SendAttempt(const std::string& name,
+                                     ShardState* state, int64_t now_us,
+                                     bool hedge) const {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  const std::string& owner =
+      state->candidates[state->next_attempt % state->candidates.size()];
+  const bool first = state->next_attempt == 0;
+  uint64_t id;
+  {
+    MutexLock lock(mu_);
+    id = next_request_id_++;
+    pending_.emplace(id, state->slot);
+  }
+  state->ids.push_back(id);
+  ++state->next_attempt;
+  state->in_flight = true;
+  state->attempt_sent_us = now_us;
+  if (state->first_sent_us < 0) state->first_sent_us = now_us;
+  if (hedge) state->hedged = true;
+
+  reg.GetCounter("cluster.replica.attempts")->Add();
+  if (first) {
+    reg.GetCounter("cluster.shard_fetches")->Add();
+  } else if (hedge) {
+    reg.GetCounter("cluster.failover.hedged")->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_;
+    ev.kind = "cluster.hedge";
+    ev.detail = name + "#" + std::to_string(state->shard) + " -> " + owner;
+    ev.value = static_cast<int64_t>(state->shard);
+    obs::SessionTracer::Default().Record(std::move(ev));
+  } else {
+    reg.GetCounter("cluster.failover.reroutes")->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_;
+    ev.kind = "cluster.failover";
+    ev.detail = name + "#" + std::to_string(state->shard) +
+                (state->failed.empty() ? "" : " " + state->failed.back()) +
+                " -> " + owner;
+    ev.value = static_cast<int64_t>(state->shard);
+    obs::SessionTracer::Default().Record(std::move(ev));
+  }
+
+  Message msg;
+  msg.from = self_;
+  msg.to = owner;
+  ShardFetchMsg fetch;
+  fetch.request_id = id;
+  fetch.table_name = name;
+  fetch.shard = state->shard;
+  msg.payload = std::move(fetch);
+  // mu_ is a leaf: the network's own lock is taken with it released.
+  Status sent = net_->Send(std::move(msg));
+  if (!sent.ok()) {
+    // A synchronous send failure (no route to the peer) is an instant
+    // failover trigger, not a timeout's worth of waiting.
+    reg.GetCounter("cluster.shard_fetch_failures")->Add();
+    state->in_flight = false;
+    if (std::find(state->failed.begin(), state->failed.end(), owner) ==
+        state->failed.end()) {
+      state->failed.push_back(owner);
+    }
+  }
+}
 
 Result<VersionedTable> ClusterTableSource::Fetch(
     const std::string& name) const {
@@ -39,91 +145,194 @@ Result<VersionedTable> ClusterTableSource::Fetch(
     auto it = cache_.find(name);
     if (it != cache_.end()) {
       reg.GetCounter("cluster.table_cache_hits")->Add();
-      return it->second;
+      return it->second.table;
     }
   }
   reg.GetCounter("cluster.table_cache_misses")->Add();
-  const auto start = std::chrono::steady_clock::now();
-
+  const int64_t t0 = SteadyNowUs();
+  const int64_t overall_deadline = t0 + options_.fetch_timeout_us;
   const uint64_t shard_count = ring_->shard_count();
-  std::vector<std::shared_ptr<Pending>> slots;
-  std::vector<uint64_t> ids;
-  slots.reserve(shard_count);
-  ids.reserve(shard_count);
-  {
-    MutexLock lock(mu_);
-    for (uint64_t s = 0; s < shard_count; ++s) {
-      uint64_t id = next_request_id_++;
-      auto slot = std::make_shared<Pending>();
-      pending_.emplace(id, slot);
-      slots.push_back(std::move(slot));
-      ids.push_back(id);
-    }
-  }
-  // Sends happen without mu_ held: the network has its own (leaf) lock.
+
+  // Build the per-shard failover plans: replicas ordered alive (or
+  // not-yet-heard) first, then suspect; members already marked down are
+  // skipped — they only reappear in the error if the live set fails too.
+  std::vector<ShardState> states(shard_count);
   for (uint64_t s = 0; s < shard_count; ++s) {
-    reg.GetCounter("cluster.shard_fetches")->Add();
-    Message msg;
-    msg.from = self_;
-    msg.to = ring_->OwnerForShard(s);
-    ShardFetchMsg fetch;
-    fetch.request_id = ids[s];
-    fetch.table_name = name;
-    fetch.shard = s;
-    msg.payload = std::move(fetch);
-    // Send only fails on local misconfiguration; transport loss shows up
-    // as a missing response, handled by the wait below.
-    (void)net_->Send(std::move(msg));
-  }
-
-  bool all_done;
-  {
-    MutexLock lock(mu_);
-    all_done = cv_.WaitFor(
-        mu_, std::chrono::microseconds(options_.fetch_timeout_us),
-        [&slots]() {
-          for (const auto& slot : slots) {
-            if (!slot->done) return false;
-          }
-          return true;
-        });
-    for (uint64_t id : ids) pending_.erase(id);
-  }
-
-  if (!all_done) {
-    for (uint64_t s = 0; s < shard_count; ++s) {
-      if (slots[s]->done) continue;
-      const std::string& owner = ring_->OwnerForShard(s);
-      reg.GetCounter("cluster.shard_fetch_failures")->Add();
-      obs::TraceEvent ev;
-      ev.peer = self_;
-      ev.kind = "cluster.shard_unreachable";
-      ev.detail = owner;
-      ev.value = static_cast<int64_t>(s);
-      obs::SessionTracer::Default().Record(std::move(ev));
-      return Status::Unavailable(
-          "storage node '" + owner + "' unreachable: no response for shard " +
-          std::to_string(s) + " of table '" + name + "' within " +
-          std::to_string(options_.fetch_timeout_us / 1000) + "ms");
+    ShardState& st = states[s];
+    st.shard = s;
+    st.slot = std::make_shared<Pending>();
+    st.send_gate_us = t0;
+    std::vector<std::string> suspects;
+    for (const std::string& owner : ring_->OwnersForShard(s)) {
+      MemberState state = membership_ == nullptr ? MemberState::kAlive
+                                                 : membership_->StateOf(owner);
+      if (state == MemberState::kDown) {
+        reg.GetCounter("cluster.replica.skipped_down")->Add();
+        st.skipped_down.push_back(owner);
+      } else if (state == MemberState::kSuspect) {
+        suspects.push_back(owner);
+      } else {
+        st.candidates.push_back(owner);  // alive or unknown
+      }
     }
+    st.candidates.insert(st.candidates.end(), suspects.begin(),
+                         suspects.end());
   }
+
+  auto erase_pending = [&]() {
+    MutexLock lock(mu_);
+    for (const ShardState& st : states) {
+      for (uint64_t id : st.ids) pending_.erase(id);
+    }
+  };
+  auto fail_shard = [&](const ShardState& st,
+                        const std::string& why) -> Status {
+    reg.GetCounter("cluster.failover.exhausted")->Add();
+    std::vector<std::string> dead = TriedOwners(st.candidates,
+                                                st.next_attempt);
+    obs::TraceEvent ev;
+    ev.peer = self_;
+    ev.kind = "cluster.shard_unreachable";
+    ev.detail = NameDeadReplicas(dead, st.skipped_down);
+    ev.value = static_cast<int64_t>(st.shard);
+    obs::SessionTracer::Default().Record(std::move(ev));
+    return Status::Unavailable(
+        "shard " + std::to_string(st.shard) + " of table '" + name + "' " +
+        why + ": " + NameDeadReplicas(dead, st.skipped_down));
+  };
+
+  const size_t rounds =
+      options_.attempts_per_replica < 1 ? 1 : options_.attempts_per_replica;
+  while (true) {
+    int64_t now = SteadyNowUs();
+    bool all_done = true;
+    int64_t next_wake = overall_deadline;
+    std::vector<std::pair<ShardState*, bool>> sends;  // (shard, hedge?)
+    Status terminal = Status::OK();
+    const ShardState* exhausted = nullptr;
+    {
+      MutexLock lock(mu_);
+      for (ShardState& st : states) {
+        if (st.slot->done) {
+          const ShardRowsMsg& response = st.slot->response;
+          if (!response.error.empty()) {
+            reg.GetCounter("cluster.shard_fetch_failures")->Add();
+            StatusCode code = response.error_code == 0
+                                  ? StatusCode::kInternal
+                                  : static_cast<StatusCode>(
+                                        response.error_code);
+            // Replicas hold the same data: a data error from one would
+            // come back from all, so it is terminal, not a failover.
+            terminal = Status(
+                code, "storage node '" + response.node + "' failed shard " +
+                          std::to_string(st.shard) + " of table '" + name +
+                          "': " + response.error);
+            break;
+          }
+          continue;  // resolved with rows
+        }
+        all_done = false;
+        if (st.candidates.empty()) {
+          exhausted = &st;
+          break;
+        }
+        const size_t total_attempts = rounds * st.candidates.size();
+        if (st.in_flight) {
+          int64_t expiry = st.attempt_sent_us + options_.replica_timeout_us;
+          if (now >= expiry) {
+            // This replica's chance is spent: fail over.
+            reg.GetCounter("cluster.shard_fetch_failures")->Add();
+            st.in_flight = false;
+            const std::string& owner =
+                st.candidates[(st.next_attempt - 1) % st.candidates.size()];
+            if (std::find(st.failed.begin(), st.failed.end(), owner) ==
+                st.failed.end()) {
+              st.failed.push_back(owner);
+            }
+            if (st.next_attempt % st.candidates.size() == 0) {
+              // A full round failed: exponential backoff before the next.
+              int64_t round = static_cast<int64_t>(
+                  st.next_attempt / st.candidates.size());
+              st.send_gate_us =
+                  now + (options_.backoff_base_us << (round - 1));
+            } else {
+              st.send_gate_us = now;  // next replica immediately
+            }
+          } else {
+            next_wake = std::min(next_wake, expiry);
+            if (options_.hedge_delay_us > 0 && !st.hedged &&
+                st.next_attempt < total_attempts &&
+                st.candidates.size() > 1) {
+              int64_t hedge_at = st.attempt_sent_us + options_.hedge_delay_us;
+              if (now >= hedge_at) {
+                sends.emplace_back(&st, /*hedge=*/true);
+              } else {
+                next_wake = std::min(next_wake, hedge_at);
+              }
+            }
+          }
+        }
+        if (!st.in_flight) {
+          if (st.next_attempt >= total_attempts) {
+            exhausted = &st;
+            break;
+          }
+          if (now >= st.send_gate_us) {
+            sends.emplace_back(&st, /*hedge=*/false);
+          } else {
+            next_wake = std::min(next_wake, st.send_gate_us);
+          }
+        }
+      }
+    }
+    if (!terminal.ok()) {
+      erase_pending();
+      return terminal;
+    }
+    if (exhausted != nullptr) {
+      erase_pending();
+      return fail_shard(*exhausted,
+                        "unavailable: replica set exhausted after " +
+                            std::to_string(exhausted->next_attempt) +
+                            " attempts");
+    }
+    if (all_done) break;
+    if (now >= overall_deadline) {
+      // Out of budget with shards unresolved: report the first one.
+      erase_pending();
+      for (const ShardState& st : states) {
+        MutexLock lock(mu_);
+        if (!st.slot->done) {
+          return fail_shard(
+              st, "unavailable: no replica answered within " +
+                      std::to_string(options_.fetch_timeout_us / 1000) +
+                      "ms");
+        }
+      }
+    }
+    if (!sends.empty()) {
+      for (auto& [st, hedge] : sends) SendAttempt(name, st, now, hedge);
+      continue;  // recompute deadlines around the new attempts
+    }
+    MutexLock lock(mu_);
+    cv_.WaitFor(mu_, std::chrono::microseconds(
+                         std::max<int64_t>(next_wake - now, 1000)));
+  }
+  erase_pending();
 
   std::vector<ShardSlice> owned;
+  std::set<std::string> sources;
+  bool any_failover = false;
   owned.reserve(shard_count);
-  for (uint64_t s = 0; s < shard_count; ++s) {
-    const ShardRowsMsg& response = slots[s]->response;
-    if (!response.error.empty()) {
-      reg.GetCounter("cluster.shard_fetch_failures")->Add();
-      StatusCode code = response.error_code == 0
-                            ? StatusCode::kInternal
-                            : static_cast<StatusCode>(response.error_code);
-      return Status(code, "storage node '" + response.node +
-                              "' failed shard " + std::to_string(s) +
-                              " of table '" + name + "': " + response.error);
+  {
+    MutexLock lock(mu_);
+    for (ShardState& st : states) {
+      const ShardRowsMsg& response = st.slot->response;
+      reg.GetCounter("cluster.shard_rows_fetched")->Add(response.rows.size());
+      sources.insert(response.node);
+      if (st.next_attempt > 1) any_failover = true;
+      owned.push_back(SliceOfMsg(response));
     }
-    reg.GetCounter("cluster.shard_rows_fetched")
-        ->Add(response.rows.size());
-    owned.push_back(SliceOfMsg(response));
   }
   std::vector<const ShardSlice*> views;
   views.reserve(owned.size());
@@ -134,11 +343,15 @@ Result<VersionedTable> ClusterTableSource::Fetch(
   vt.version = owned.empty() ? 0 : owned.front().version;
   vt.table = std::make_shared<const MappingTable>(std::move(table));
 
-  int64_t elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+  int64_t elapsed_us = SteadyNowUs() - t0;
   reg.GetHistogram("cluster.shard_fetch_latency_us", obs::LatencyBoundsUs())
       ->Observe(elapsed_us);
+  if (any_failover) {
+    // How long a degraded fetch took end to end — the failover latency
+    // the R-sweep in fig_cluster reports.
+    reg.GetHistogram("cluster.failover.latency_us", obs::LatencyBoundsUs())
+        ->Observe(elapsed_us);
+  }
   obs::TraceEvent ev;
   ev.peer = self_;
   ev.kind = "cluster.table_fetched";
@@ -148,21 +361,49 @@ Result<VersionedTable> ClusterTableSource::Fetch(
 
   MutexLock lock(mu_);
   for (uint64_t s = 0; s < shard_count; ++s) {
-    stats_.push_back(ShardStat{name, s, slots[s]->response.node,
-                               slots[s]->response.rows.size()});
+    stats_.push_back(ShardStat{name, s, states[s].slot->response.node,
+                               states[s].slot->response.rows.size()});
   }
   // A concurrent Fetch of the same table may have beaten us here; both
-  // assembled from the same slices, so either copy serves.
-  return cache_.emplace(name, std::move(vt)).first->second;
+  // assembled from the same logical slices, so either copy serves.
+  CacheEntry entry{std::move(vt), std::move(sources)};
+  return cache_.emplace(name, std::move(entry)).first->second.table;
 }
 
 void ClusterTableSource::OnShardRows(const ShardRowsMsg& msg) {
   MutexLock lock(mu_);
   auto it = pending_.find(msg.request_id);
   if (it == pending_.end()) return;  // fetch already failed or finished
+  if (it->second->done) return;      // a faster replica (or hedge) won
   it->second->response = msg;
   it->second->done = true;
   cv_.NotifyAll();
+}
+
+void ClusterTableSource::OnMemberDown(const std::string& node) {
+  std::vector<std::string> evicted;
+  {
+    MutexLock lock(mu_);
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->second.sources.count(node) > 0) {
+        evicted.push_back(it->first);
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (evicted.empty()) return;
+  obs::MetricRegistry::Default()
+      .GetCounter("cluster.replica.cache_evictions")
+      ->Add(evicted.size());
+  for (std::string& table : evicted) {
+    obs::TraceEvent ev;
+    ev.peer = self_;
+    ev.kind = "cluster.cache_evicted";
+    ev.detail = std::move(table) + " (source " + node + " down)";
+    obs::SessionTracer::Default().Record(std::move(ev));
+  }
 }
 
 void ClusterTableSource::Evict() {

@@ -59,13 +59,18 @@ std::string ShardRingName(uint64_t shard) {
 }  // namespace
 
 Result<ShardRing> ShardRing::Build(std::vector<std::string> storage_nodes,
-                                   uint64_t shard_count, uint64_t vnodes) {
+                                   uint64_t shard_count, uint64_t vnodes,
+                                   uint64_t replication) {
   if (storage_nodes.empty()) {
     return Status::InvalidArgument("shard ring needs at least one node");
   }
   if (shard_count == 0 || vnodes == 0) {
     return Status::InvalidArgument(
         "shard ring needs positive shard and virtual-node counts");
+  }
+  if (replication == 0) {
+    return Status::InvalidArgument(
+        "shard ring needs a positive replication factor");
   }
   std::set<std::string> unique(storage_nodes.begin(), storage_nodes.end());
   if (unique.size() != storage_nodes.size()) {
@@ -74,6 +79,7 @@ Result<ShardRing> ShardRing::Build(std::vector<std::string> storage_nodes,
   ShardRing ring;
   ring.shard_count_ = shard_count;
   ring.vnodes_ = vnodes;
+  ring.replication_ = replication;
   ring.nodes_ = std::move(storage_nodes);
   for (uint64_t s = 0; s < shard_count; ++s) {
     PlantPoints(ShardRingName(s), vnodes, &ring.key_ring_);
@@ -85,10 +91,13 @@ Result<ShardRing> ShardRing::Build(std::vector<std::string> storage_nodes,
   for (const std::string& node : sorted) {
     PlantPoints(node, vnodes, &ring.node_ring_);
   }
-  ring.owner_of_shard_.reserve(shard_count);
+  // Replica sets degrade gracefully: a fleet smaller than the requested
+  // factor yields the whole fleet per shard, never an error.
+  ring.owners_of_shard_.reserve(shard_count);
   for (uint64_t s = 0; s < shard_count; ++s) {
-    ring.owner_of_shard_.push_back(RingOwner(
-        ring.node_ring_, RingPosition(StableHash64(ShardRingName(s)))));
+    ring.owners_of_shard_.push_back(
+        RingWalk(ring.node_ring_, RingPosition(StableHash64(ShardRingName(s))),
+                 replication));
   }
   return ring;
 }
@@ -100,6 +109,22 @@ const std::string& ShardRing::RingOwner(
   return it->second;
 }
 
+std::vector<std::string> ShardRing::RingWalk(
+    const std::map<uint64_t, std::string>& ring, uint64_t h, uint64_t want) {
+  std::vector<std::string> members;
+  std::set<std::string> seen;
+  auto it = ring.lower_bound(h);
+  // One full revolution visits every point; vnodes of already-chosen
+  // members are skipped, so the walk yields distinct members in the
+  // order their first points appear clockwise from h.
+  for (size_t steps = 0; steps < ring.size() && seen.size() < want; ++steps) {
+    if (it == ring.end()) it = ring.begin();  // wrap
+    if (seen.insert(it->second).second) members.push_back(it->second);
+    ++it;
+  }
+  return members;
+}
+
 uint64_t ShardRing::ShardForKey(std::string_view key) const {
   const std::string& name = RingOwner(key_ring_, RingPosition(StableHash64(key)));
   // Ring members are "shard#<n>"; parse the index back out.
@@ -107,19 +132,45 @@ uint64_t ShardRing::ShardForKey(std::string_view key) const {
 }
 
 const std::string& ShardRing::OwnerForShard(uint64_t shard) const {
-  return owner_of_shard_.at(shard);
+  return owners_of_shard_.at(shard).front();
+}
+
+const std::vector<std::string>& ShardRing::OwnersForShard(
+    uint64_t shard) const {
+  return owners_of_shard_.at(shard);
 }
 
 std::vector<uint64_t> ShardRing::ShardsOwnedBy(const std::string& node) const {
   std::vector<uint64_t> owned;
   for (uint64_t s = 0; s < shard_count_; ++s) {
-    if (owner_of_shard_[s] == node) owned.push_back(s);
+    const std::vector<std::string>& owners = owners_of_shard_[s];
+    if (std::find(owners.begin(), owners.end(), node) != owners.end()) {
+      owned.push_back(s);
+    }
+  }
+  return owned;
+}
+
+std::vector<uint64_t> ShardRing::PrimaryShardsOf(const std::string& node) const {
+  std::vector<uint64_t> owned;
+  for (uint64_t s = 0; s < shard_count_; ++s) {
+    if (owners_of_shard_[s].front() == node) owned.push_back(s);
   }
   return owned;
 }
 
 std::vector<std::string> ShardRing::Placement() const {
-  return owner_of_shard_;
+  std::vector<std::string> primaries;
+  primaries.reserve(owners_of_shard_.size());
+  for (const std::vector<std::string>& owners : owners_of_shard_) {
+    primaries.push_back(owners.front());
+  }
+  return primaries;
+}
+
+const std::vector<std::vector<std::string>>& ShardRing::ReplicaPlacement()
+    const {
+  return owners_of_shard_;
 }
 
 }  // namespace cluster

@@ -8,12 +8,22 @@
 // processes because the hash is a fixed FNV-1a (never std::hash, whose
 // value is implementation-defined).
 //
-// Layer 2 — shard → storage node.  Each storage node plants `vnodes`
+// Layer 2 — shard → storage nodes.  Each storage node plants `vnodes`
 // points on a second ring; shard s is owned by the node owning the ring
 // position of s's name.  Adding or removing a node therefore moves only
 // the shards whose arcs the change touches (the consistent-hash minimal
 // movement property, asserted by test_shard_ring.cc) — every other
 // shard keeps its owner, which is what makes rebalancing cheap.
+//
+// Replication walks the same ring further: shard s's replica set is the
+// first `replication` *distinct* nodes encountered clockwise from s's
+// ring position (vnodes of already-chosen nodes are skipped), primary
+// first.  Because a fleet change only inserts or deletes that node's
+// points, a replica set that does not involve the changed node is
+// byte-identical before and after — replica placement inherits the
+// minimal-movement property.  When the fleet is smaller than the
+// requested replication factor the set gracefully degrades to the whole
+// fleet.
 
 #ifndef HYPERION_CLUSTER_SHARD_RING_H_
 #define HYPERION_CLUSTER_SHARD_RING_H_
@@ -38,28 +48,45 @@ uint64_t StableHash64(std::string_view bytes);
 class ShardRing {
  public:
   /// \brief Builds the two rings.  `storage_nodes` must be nonempty and
-  /// duplicate-free; `shard_count` and `vnodes` must be positive.
+  /// duplicate-free; `shard_count`, `vnodes` and `replication` must be
+  /// positive.  `replication` larger than the fleet degrades to the
+  /// fleet size per shard.
   static Result<ShardRing> Build(std::vector<std::string> storage_nodes,
-                                 uint64_t shard_count, uint64_t vnodes = 64);
+                                 uint64_t shard_count, uint64_t vnodes = 64,
+                                 uint64_t replication = 1);
 
   uint64_t shard_count() const { return shard_count_; }
   uint64_t vnodes() const { return vnodes_; }
+  uint64_t replication() const { return replication_; }
   const std::vector<std::string>& storage_nodes() const { return nodes_; }
 
   /// \brief The shard a canonical row key (storage/shard_split.h) lives
   /// on.  Deterministic across processes and runs.
   uint64_t ShardForKey(std::string_view key) const;
 
-  /// \brief The storage node owning `shard`.  `shard` must be in
-  /// [0, shard_count).
+  /// \brief The primary storage node of `shard` — the first entry of
+  /// OwnersForShard.  `shard` must be in [0, shard_count).
   const std::string& OwnerForShard(uint64_t shard) const;
 
-  /// \brief Every shard owned by `node`, ascending (empty when the node
-  /// owns nothing or is unknown — small rings can starve a node).
+  /// \brief The full replica set of `shard`: min(replication, fleet)
+  /// distinct nodes, primary first, in ring-walk order.  `shard` must be
+  /// in [0, shard_count).
+  const std::vector<std::string>& OwnersForShard(uint64_t shard) const;
+
+  /// \brief Every shard `node` replicates (primary or not), ascending
+  /// (empty when the node holds nothing or is unknown — small rings can
+  /// starve a node).  Storage nodes load exactly these shards.
   std::vector<uint64_t> ShardsOwnedBy(const std::string& node) const;
 
-  /// \brief shard → owner for all shards, for plan printing and tests.
+  /// \brief Every shard whose *primary* is `node`, ascending.
+  std::vector<uint64_t> PrimaryShardsOf(const std::string& node) const;
+
+  /// \brief shard → primary owner for all shards, for plan printing and
+  /// tests.
   std::vector<std::string> Placement() const;
+
+  /// \brief shard → full replica set for all shards.
+  const std::vector<std::vector<std::string>>& ReplicaPlacement() const;
 
  private:
   ShardRing() = default;
@@ -68,12 +95,20 @@ class ShardRing {
   static const std::string& RingOwner(
       const std::map<uint64_t, std::string>& ring, uint64_t h);
 
+  // First `want` distinct members clockwise from `h` (wrapping), in
+  // walk order; fewer when the ring holds fewer distinct members.
+  static std::vector<std::string> RingWalk(
+      const std::map<uint64_t, std::string>& ring, uint64_t h, uint64_t want);
+
   uint64_t shard_count_ = 0;
   uint64_t vnodes_ = 0;
+  uint64_t replication_ = 1;
   std::vector<std::string> nodes_;
   std::map<uint64_t, std::string> key_ring_;    // point -> shard name
   std::map<uint64_t, std::string> node_ring_;   // point -> node id
-  std::vector<std::string> owner_of_shard_;     // shard -> node id
+  // shard -> replica set (primary first); owners_of_shard_[s][0] is what
+  // OwnerForShard returns.
+  std::vector<std::vector<std::string>> owners_of_shard_;
 };
 
 }  // namespace cluster

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Multi-process cluster end-to-end test: three OS processes on loopback
-# TCP, ephemeral ports handshaken via port files, coordinator covers
-# byte-identical to single-process mode, and a mid-stream storage-node
-# kill attributed loudly to the dead node by name.  All of that logic
-# lives in tools/run_cluster.sh — CI and operators run the same script
-# this test gates.
+# Multi-process cluster end-to-end test: OS processes on loopback TCP,
+# ephemeral ports handshaken via port files, coordinator covers
+# byte-identical to single-process mode — then both fault drills:
+#
+#  * --kill-one   replication=1, a mid-stream storage-node kill must be
+#                 attributed loudly to the dead node by name;
+#  * --failover   replication=2, kill -9 of the shard-0 primary must be
+#                 survived with zero failed queries and byte-identical
+#                 covers.
+#
+# All of that logic lives in tools/run_cluster.sh — CI and operators
+# run the same script this test gates.
 set -euo pipefail
 CLI=${1:?usage: cluster_test.sh <path-to-hyperion_cli>}
 SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
-exec bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --kill-one
+bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --kill-one
+bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --failover

@@ -5,13 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "cluster/cluster_config.h"
+#include "obs/metrics.h"
 #include "cluster/membership.h"
 #include "cluster/node.h"
 #include "cluster/shard_ring.h"
@@ -94,6 +98,37 @@ TEST(ClusterConfigTest, RejectsBrokenConfigs) {
           .ok());
 }
 
+TEST(ClusterConfigTest, ParsesReplicationAndFailoverKnobs) {
+  auto config = ClusterConfig::Parse(
+      "shards 4\n"
+      "replication 2\n"
+      "replica_timeout_ms 250\n"
+      "fetch_attempts 3\n"
+      "fetch_backoff_ms 20\n"
+      "hedge_ms 80\n"
+      "node coord coordinator 127.0.0.1 9100\n"
+      "node store1 storage 127.0.0.1 9101\n");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config.value().replication, 2u);
+  EXPECT_EQ(config.value().replica_timeout_ms, 250u);
+  EXPECT_EQ(config.value().fetch_attempts, 3u);
+  EXPECT_EQ(config.value().fetch_backoff_ms, 20u);
+  EXPECT_EQ(config.value().hedge_ms, 80u);
+  auto again = ClusterConfig::Parse(config.value().ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().ToString(), config.value().ToString());
+
+  // Zero copies / zero attempts are configs that can never answer.
+  EXPECT_FALSE(ClusterConfig::Parse("replication 0\n"
+                                    "node a coordinator h 1\n"
+                                    "node b storage h 2\n")
+                   .ok());
+  EXPECT_FALSE(ClusterConfig::Parse("fetch_attempts 0\n"
+                                    "node a coordinator h 1\n"
+                                    "node b storage h 2\n")
+                   .ok());
+}
+
 TEST(MembershipTest, HeartbeatSilenceAndRepair) {
   // Clock-free tracker: timestamps are fed in, so the state machine is
   // exercised deterministically without sleeping.
@@ -141,6 +176,71 @@ TEST(MembershipTest, UnknownMembersHaveNoDeadline) {
   // not have started yet).
   EXPECT_TRUE(tracker.SweepAt(1'000'000).empty());
   EXPECT_EQ(tracker.StateOf("a"), MemberState::kUnknown);
+}
+
+TEST(MembershipFlappingTest, JitteredHeartbeatsStayAlive) {
+  // Heartbeats with jitter up to just under the suspect timeout: the
+  // member must stay alive through every sweep, with zero suspect or
+  // down transitions recorded.
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  const uint64_t suspects0 =
+      reg.GetCounter("cluster.suspect_transitions")->value();
+  const uint64_t downs0 = reg.GetCounter("cluster.down_transitions")->value();
+
+  MembershipTracker tracker("self", {"a"}, /*suspect_after_us=*/1000,
+                            /*down_after_us=*/3000);
+  // Inter-arrival jitter: 400, 900, 100, 950, 600 µs — all under 1000.
+  const int64_t arrivals[] = {100, 500, 1400, 1500, 2450, 3050};
+  for (int64_t t : arrivals) {
+    tracker.Observe("a", t);
+    EXPECT_TRUE(tracker.SweepAt(t).empty());
+    EXPECT_EQ(tracker.StateOf("a"), MemberState::kAlive);
+  }
+  EXPECT_EQ(reg.GetCounter("cluster.suspect_transitions")->value(),
+            suspects0);
+  EXPECT_EQ(reg.GetCounter("cluster.down_transitions")->value(), downs0);
+}
+
+TEST(MembershipFlappingTest, DelayedHeartbeatsCycleAliveSuspectAlive) {
+  // A member whose heartbeats keep arriving late — past the suspect
+  // deadline but before the down deadline — must flap alive↔suspect
+  // without ever being declared down, and the counters must record
+  // exactly the transitions that happened.
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  const uint64_t alives0 =
+      reg.GetCounter("cluster.alive_transitions")->value();
+  const uint64_t suspects0 =
+      reg.GetCounter("cluster.suspect_transitions")->value();
+  const uint64_t downs0 = reg.GetCounter("cluster.down_transitions")->value();
+
+  MembershipTracker tracker("self", {"a"}, /*suspect_after_us=*/1000,
+                            /*down_after_us=*/3000);
+  int64_t now = 100;
+  tracker.Observe("a", now);  // first contact: unknown -> alive
+  constexpr int kFlaps = 3;
+  for (int flap = 0; flap < kFlaps; ++flap) {
+    // Silence past the suspect deadline...
+    now += 1500;
+    auto changed = tracker.SweepAt(now);
+    ASSERT_EQ(changed.size(), 1u) << "flap " << flap;
+    EXPECT_EQ(changed[0].state, MemberState::kSuspect);
+    // ...sweeping again just shy of the down deadline must not demote
+    // further (no spurious down)...
+    EXPECT_TRUE(tracker.SweepAt(now + 1400).empty());
+    EXPECT_EQ(tracker.StateOf("a"), MemberState::kSuspect);
+    // ...and the late heartbeat repairs the member.
+    now += 1400;
+    tracker.Observe("a", now);
+    EXPECT_EQ(tracker.StateOf("a"), MemberState::kAlive);
+    EXPECT_TRUE(tracker.AllAlive());
+  }
+  // 1 first-contact + kFlaps recoveries; kFlaps suspects; zero downs.
+  EXPECT_EQ(reg.GetCounter("cluster.alive_transitions")->value() - alives0,
+            static_cast<uint64_t>(1 + kFlaps));
+  EXPECT_EQ(
+      reg.GetCounter("cluster.suspect_transitions")->value() - suspects0,
+      static_cast<uint64_t>(kFlaps));
+  EXPECT_EQ(reg.GetCounter("cluster.down_transitions")->value(), downs0);
 }
 
 // --- slice / assemble ----------------------------------------------------
@@ -233,23 +333,31 @@ class ClusterE2ETest : public ::testing::Test {
  protected:
   // Storage nodes bind ephemeral ports first; the coordinator then gets
   // a resolved config — the same handshake tools/run_cluster.sh uses.
-  void StartCluster(uint64_t fetch_timeout_ms) {
+  void StartCluster(uint64_t fetch_timeout_ms, uint64_t replication = 1,
+                    size_t num_storage = 2,
+                    uint64_t replica_timeout_ms = 1000) {
     BioConfig bio;
     bio.num_entities = 100;
 
     ClusterConfig seed;
     seed.shard_count = 2;
+    seed.replication = replication;
     seed.heartbeat_ms = 50;
     seed.suspect_ms = 400;
     seed.down_ms = 1200;
     seed.fetch_timeout_ms = fetch_timeout_ms;
-    seed.nodes = {
-        {"coord", NodeRole::kCoordinator, "127.0.0.1", 0},
-        {"s1", NodeRole::kStorage, "127.0.0.1", 0},
-        {"s2", NodeRole::kStorage, "127.0.0.1", 0},
-    };
+    seed.replica_timeout_ms = replica_timeout_ms;
+    seed.fetch_attempts = 2;
+    seed.fetch_backoff_ms = 20;
+    seed.nodes = {{"coord", NodeRole::kCoordinator, "127.0.0.1", 0}};
+    std::vector<std::string> store_ids;
+    for (size_t i = 1; i <= num_storage; ++i) {
+      store_ids.push_back("s" + std::to_string(i));
+      seed.nodes.push_back({store_ids.back(), NodeRole::kStorage,
+                            "127.0.0.1", 0});
+    }
 
-    for (const std::string id : {"s1", "s2"}) {
+    for (const std::string& id : store_ids) {
       auto catalog = BuildBioCatalog(bio);
       ASSERT_TRUE(catalog.ok());
       auto node = ClusterNode::Create(seed, id,
@@ -288,6 +396,14 @@ class ClusterE2ETest : public ::testing::Test {
   void TearDown() override {
     if (coord_) coord_->Stop();
     for (auto& storage : storage_) storage->Stop();
+  }
+
+  // Simulates a crash of `node`: its listener and event loop stop, so
+  // the coordinator's next send fails or times out.
+  void StopStorageNode(const std::string& node) {
+    for (auto& storage : storage_) {
+      if (storage->self().id == node) storage->Stop();
+    }
   }
 
   std::vector<std::unique_ptr<ClusterNode>> storage_;
@@ -340,6 +456,124 @@ TEST_F(ClusterE2ETest, DeadStorageNodeIsLoudlyAttributed) {
   EXPECT_NE(got.status().message().find("'" + victim + "'"),
             std::string::npos)
       << "error does not name the dead node: " << got.status();
+}
+
+// --- replication=2 failover ----------------------------------------------
+
+class ClusterFailoverE2ETest : public ClusterE2ETest {
+ protected:
+  // Three storage nodes, two copies of every shard, tight per-replica
+  // timeout so a dead primary costs milliseconds, not seconds.
+  void StartReplicatedCluster() {
+    StartCluster(/*fetch_timeout_ms=*/10'000, /*replication=*/2,
+                 /*num_storage=*/3, /*replica_timeout_ms=*/250);
+  }
+};
+
+TEST_F(ClusterFailoverE2ETest, FailsOverToReplicaWhenPrimaryDies) {
+  StartReplicatedCluster();
+  const std::string table = reference_->Names().front();
+  ASSERT_TRUE(coord_->table_source()->Fetch(table).ok());
+
+  // Kill the primary of shard 0 (a replica of every table's shard 0),
+  // drop the cache: the re-fetch must succeed from a surviving replica
+  // and the assembled bytes must be unchanged.
+  const std::string victim = coord_->ring().OwnerForShard(0);
+  StopStorageNode(victim);
+  coord_->table_source()->Evict();
+
+  auto got = coord_->table_source()->Fetch(table);
+  ASSERT_TRUE(got.ok()) << got.status();
+  auto want = reference_->GetWithVersion(table);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got.value().table->Serialize(), want.value().table->Serialize());
+  // The per-shard accounting is append-only; the newest shard-0 entry
+  // for the table must show a survivor served it.
+  std::string last_owner;
+  for (const auto& stat : coord_->table_source()->ShardStats()) {
+    if (stat.table == table && stat.shard == 0) last_owner = stat.owner;
+  }
+  EXPECT_NE(last_owner, victim);
+  EXPECT_FALSE(last_owner.empty());
+}
+
+TEST_F(ClusterFailoverE2ETest, ZeroFailedQueriesMidWorkload) {
+  StartReplicatedCluster();
+  // Warm pass over the whole catalog, then lose the shard-0 primary and
+  // run the full workload again cold: every fetch must still answer,
+  // byte-identical — the paper's covers cannot silently shrink.
+  for (const std::string& name : reference_->Names()) {
+    ASSERT_TRUE(coord_->table_source()->Fetch(name).ok());
+  }
+  const std::string victim = coord_->ring().OwnerForShard(0);
+  StopStorageNode(victim);
+  coord_->table_source()->Evict();
+  for (const std::string& name : reference_->Names()) {
+    auto got = coord_->table_source()->Fetch(name);
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status();
+    auto want = reference_->GetWithVersion(name);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got.value().table->Serialize(),
+              want.value().table->Serialize());
+  }
+}
+
+TEST_F(ClusterFailoverE2ETest, ExhaustedReplicaSetNamesAllDeadNodes) {
+  StartReplicatedCluster();
+  const std::string table = reference_->Names().front();
+  // Kill the whole replica set of shard 0: the fetch must escalate to
+  // kUnavailable and the error must name every dead replica.
+  const std::vector<std::string> owners = coord_->ring().OwnersForShard(0);
+  ASSERT_EQ(owners.size(), 2u);
+  for (const std::string& owner : owners) StopStorageNode(owner);
+  coord_->table_source()->Evict();
+
+  auto got = coord_->table_source()->Fetch(table);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << got.status();
+  for (const std::string& owner : owners) {
+    EXPECT_NE(got.status().message().find("'" + owner + "'"),
+              std::string::npos)
+        << "error does not name dead replica " << owner << ": "
+        << got.status();
+  }
+}
+
+TEST_F(ClusterFailoverE2ETest, MembershipDownEvictsCachedTables) {
+  StartReplicatedCluster();
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  const uint64_t evictions0 =
+      reg.GetCounter("cluster.replica.cache_evictions")->value();
+  const std::string table = reference_->Names().front();
+  ASSERT_TRUE(coord_->table_source()->Fetch(table).ok());
+
+  // Stop the shard-0 primary and wait for the membership sweep to call
+  // it down; the coordinator must drop every cached table assembled
+  // from its slices — without any explicit Evict().
+  const std::string victim = coord_->ring().OwnerForShard(0);
+  StopStorageNode(victim);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (reg.GetCounter("cluster.replica.cache_evictions")->value() ==
+         evictions0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << victim << " never went down / evicted nothing";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(coord_->membership().StateOf(victim), MemberState::kDown);
+
+  // The next fetch re-assembles over the wire from survivors.
+  auto got = coord_->table_source()->Fetch(table);
+  ASSERT_TRUE(got.ok()) << got.status();
+  auto want = reference_->GetWithVersion(table);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got.value().table->Serialize(), want.value().table->Serialize());
+  std::string last_owner;
+  for (const auto& stat : coord_->table_source()->ShardStats()) {
+    if (stat.table == table && stat.shard == 0) last_owner = stat.owner;
+  }
+  EXPECT_NE(last_owner, victim);
+  EXPECT_FALSE(last_owner.empty());
 }
 
 TEST(ShutdownFlagTest, InstallAndResetAreIdempotent) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
@@ -142,6 +143,119 @@ TEST(ShardRingTest, RemovingANodeMovesOnlyItsShards) {
                           << " moved although its owner survived";
     } else {
       EXPECT_NE(now, leaver);
+    }
+  }
+}
+
+// --- R-way replica sets --------------------------------------------------
+
+TEST(ShardRingReplicaTest, ReplicaSetsHaveRDistinctNodesPrimaryFirst) {
+  constexpr uint64_t kShards = 32;
+  auto ring = ShardRing::Build(Nodes(5), kShards, 64, /*replication=*/3);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_EQ(ring.value().replication(), 3u);
+  for (uint64_t s = 0; s < kShards; ++s) {
+    const auto& owners = ring.value().OwnersForShard(s);
+    ASSERT_EQ(owners.size(), 3u) << "shard " << s;
+    EXPECT_EQ(std::set<std::string>(owners.begin(), owners.end()).size(), 3u)
+        << "shard " << s << " repeats a replica";
+    // The primary is by definition the first replica.
+    EXPECT_EQ(owners.front(), ring.value().OwnerForShard(s));
+  }
+}
+
+TEST(ShardRingReplicaTest, DegradesToFleetSizeWhenFleetSmallerThanR) {
+  // Asking for more copies than there are nodes must not fail — a
+  // two-node fleet simply holds two copies of everything.
+  auto ring = ShardRing::Build(Nodes(2), 8, 64, /*replication=*/3);
+  ASSERT_TRUE(ring.ok());
+  for (uint64_t s = 0; s < 8; ++s) {
+    const auto& owners = ring.value().OwnersForShard(s);
+    EXPECT_EQ(owners.size(), 2u) << "shard " << s;
+    EXPECT_NE(owners[0], owners[1]);
+  }
+}
+
+TEST(ShardRingReplicaTest, RejectsZeroReplication) {
+  EXPECT_FALSE(ShardRing::Build(Nodes(2), 8, 64, 0).ok());
+}
+
+TEST(ShardRingReplicaTest, ShardsOwnedByListsEveryReplica) {
+  constexpr uint64_t kShards = 32;
+  auto ring = ShardRing::Build(Nodes(4), kShards, 64, /*replication=*/2);
+  ASSERT_TRUE(ring.ok());
+  // Every shard appears in exactly R nodes' owned sets, and each owned
+  // set agrees with OwnersForShard.
+  std::map<uint64_t, size_t> copies;
+  for (const std::string& node : ring.value().storage_nodes()) {
+    for (uint64_t s : ring.value().ShardsOwnedBy(node)) {
+      ++copies[s];
+      const auto& owners = ring.value().OwnersForShard(s);
+      EXPECT_NE(std::find(owners.begin(), owners.end(), node), owners.end())
+          << node << " claims shard " << s << " it does not replicate";
+    }
+    for (uint64_t s : ring.value().PrimaryShardsOf(node)) {
+      EXPECT_EQ(ring.value().OwnerForShard(s), node);
+    }
+  }
+  for (uint64_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(copies[s], 2u) << "shard " << s << " has wrong copy count";
+  }
+}
+
+TEST(ShardRingReplicaTest, AddingANodeMovesReplicaSetsMinimally) {
+  // The consistent-hashing guarantee extends to replica sets: growing
+  // the fleet may pull the newcomer into some sets, but a set that
+  // changes must contain the newcomer and keep only survivors that were
+  // already replicas of that shard.
+  constexpr uint64_t kShards = 64;
+  auto before = ShardRing::Build(Nodes(4), kShards, 64, /*replication=*/2);
+  auto nodes = Nodes(4);
+  nodes.push_back("newcomer");
+  auto after = ShardRing::Build(nodes, kShards, 64, /*replication=*/2);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  size_t changed = 0;
+  for (uint64_t s = 0; s < kShards; ++s) {
+    const auto& was = before.value().OwnersForShard(s);
+    const auto& now = after.value().OwnersForShard(s);
+    if (was == now) continue;
+    ++changed;
+    EXPECT_NE(std::find(now.begin(), now.end(), "newcomer"), now.end())
+        << "shard " << s << "'s replica set changed without the newcomer";
+    for (const std::string& node : now) {
+      if (node == "newcomer") continue;
+      EXPECT_NE(std::find(was.begin(), was.end(), node), was.end())
+          << "shard " << s << " moved a copy between surviving nodes";
+    }
+  }
+  EXPECT_LT(changed, kShards);  // some sets must survive untouched
+}
+
+TEST(ShardRingReplicaTest, RemovingANodeKeepsSurvivingReplicas) {
+  constexpr uint64_t kShards = 64;
+  auto before = ShardRing::Build(Nodes(5), kShards, 64, /*replication=*/2);
+  auto nodes = Nodes(5);
+  const std::string leaver = nodes.back();
+  nodes.pop_back();
+  auto after = ShardRing::Build(nodes, kShards, 64, /*replication=*/2);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  for (uint64_t s = 0; s < kShards; ++s) {
+    const auto& was = before.value().OwnersForShard(s);
+    const auto& now = after.value().OwnersForShard(s);
+    if (std::find(was.begin(), was.end(), leaver) == was.end()) {
+      EXPECT_EQ(was, now) << "shard " << s
+                          << " reshuffled although no replica left";
+    } else {
+      // Every surviving replica keeps its copy; only the leaver's copy
+      // is re-homed.
+      EXPECT_EQ(std::find(now.begin(), now.end(), leaver), now.end());
+      for (const std::string& node : was) {
+        if (node == leaver) continue;
+        EXPECT_NE(std::find(now.begin(), now.end(), node), now.end())
+            << "shard " << s << " dropped surviving replica " << node;
+      }
     }
   }
 }

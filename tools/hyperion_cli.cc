@@ -685,27 +685,39 @@ int CmdCluster(std::vector<std::string> args) {
   if (!config.ok()) return Fail(config.status().ToString());
   auto ring = cluster::ShardRing::Build(config.value().StorageNodeIds(),
                                         config.value().shard_count,
-                                        config.value().vnodes);
+                                        config.value().vnodes,
+                                        config.value().replication);
   if (!ring.ok()) return Fail(ring.status().ToString());
   if (sub == "check") {
     // FromFile already validated; reaching here means the config and the
     // ring both build.
     std::cout << "ok: " << config.value().nodes.size() << " nodes, "
-              << config.value().shard_count << " shards, "
+              << config.value().shard_count << " shards, replication "
+              << config.value().replication << ", "
               << ring.value().storage_nodes().size() << " storage nodes\n";
     return 0;
   }
   if (sub != "plan") return Fail("unknown cluster subcommand '" + sub + "'");
   std::cout << "shards " << config.value().shard_count << ", vnodes "
-            << config.value().vnodes << "\n";
+            << config.value().vnodes << ", replication "
+            << config.value().replication << "\n";
+  // Full replica set per shard, primary first — scripts take the
+  // primary from column 4, replicas from the columns after it.
   for (uint64_t s = 0; s < config.value().shard_count; ++s) {
-    std::cout << "shard " << s << " -> " << ring.value().OwnerForShard(s)
-              << "\n";
+    std::cout << "shard " << s << " ->";
+    for (const std::string& owner : ring.value().OwnersForShard(s)) {
+      std::cout << " " << owner;
+    }
+    std::cout << "\n";
   }
   for (const cluster::NodeSpec& node : config.value().nodes) {
     std::cout << node.id << " (" << cluster::RoleName(node.role) << ")";
     if (node.role == cluster::NodeRole::kStorage) {
-      std::cout << " owns";
+      std::cout << " primary of";
+      for (uint64_t s : ring.value().PrimaryShardsOf(node.id)) {
+        std::cout << " " << s;
+      }
+      std::cout << "; replicates";
       for (uint64_t s : ring.value().ShardsOwnedBy(node.id)) {
         std::cout << " " << s;
       }

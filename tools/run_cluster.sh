@@ -1,28 +1,43 @@
 #!/usr/bin/env bash
-# Launches a three-process hyperion cluster (one coordinator, two
-# storage nodes) on loopback TCP, runs bio-catalog queries through the
-# coordinator REPL, and proves the distributed cover is byte-identical
-# to a single-process run over the same catalog.
+# Launches a multi-process hyperion cluster on loopback TCP, runs
+# bio-catalog queries through the coordinator REPL, and proves the
+# distributed cover is byte-identical to a single-process run over the
+# same catalog.
 #
-#   tools/run_cluster.sh <path-to-hyperion_cli> [--kill-one]
+#   tools/run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover]
 #
 # Startup handshake: storage nodes bind ephemeral ports (port 0 in the
-# seed config) and publish them via --port-file; once both files exist
+# seed config) and publish them via --port-file; once all files exist
 # the script rewrites a resolved config and only then starts the
 # coordinator — no listen-before-connect race, no fixed ports to
-# collide on in CI.
+# collide on in CI.  A storage node that dies before publishing its
+# port fails the script immediately, by name, with its log tail — a
+# missing port file never hangs the drill until timeout.
 #
-# --kill-one additionally SIGKILLs the storage node owning shard 0
-# mid-session and asserts the next query fails *loudly*, naming that
-# node — the cluster must never return a silently partial cover.
+# --kill-one (replication=1, two storage nodes) SIGKILLs the storage
+# node owning shard 0 mid-session and asserts the next query fails
+# *loudly*, naming that node — an unreplicated cluster must never
+# return a silently partial cover.
+#
+# --failover (replication=2, three storage nodes) is the chaos drill:
+# SIGKILL the *primary* owner of shard 0 mid-workload and assert the
+# cluster keeps answering — zero failed queries, covers byte-identical
+# to the single-process reference, the failover invisible except in the
+# logs.
 set -euo pipefail
 
-CLI=${1:?usage: run_cluster.sh <path-to-hyperion_cli> [--kill-one]}
+CLI=${1:?usage: run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover]}
 shift || true
 KILL_ONE=0
+FAILOVER=0
 for arg in "$@"; do
   [[ "$arg" == "--kill-one" ]] && KILL_ONE=1
+  [[ "$arg" == "--failover" ]] && FAILOVER=1
 done
+if [[ "$KILL_ONE" == 1 && "$FAILOVER" == 1 ]]; then
+  echo "run_cluster: --kill-one (replication=1) and --failover (replication=2) are mutually exclusive" >&2
+  exit 2
+fi
 
 ENTITIES=${ENTITIES:-200}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/hyperion_cluster.XXXXXX")
@@ -42,54 +57,75 @@ fail() {
 }
 
 # Waits (up to $3 seconds, default 20) for $2 to appear in file $1.
+# When $4 names a node and $5 its pid, a dead process fails fast with a
+# named diagnostic instead of burning the whole budget.
 await() {
-  local file=$1 pattern=$2 budget=${3:-20} i
+  local file=$1 pattern=$2 budget=${3:-20} node=${4:-} pid=${5:-} i
   for ((i = 0; i < budget * 10; ++i)); do
     grep -q "$pattern" "$file" 2>/dev/null && return 0
+    if [[ -n "$pid" ]] && ! kill -0 "$pid" 2>/dev/null; then
+      fail "node '$node' (pid $pid) died before '$pattern' appeared in $file"
+    fi
     sleep 0.1
   done
   fail "timed out waiting for '$pattern' in $file"
 }
 
 # --- 1. storage nodes on ephemeral ports --------------------------------
-cat > "$WORK/seed.conf" <<EOF
+if [[ "$FAILOVER" == 1 ]]; then
+  REPLICATION=2
+  STORES=(store1 store2 store3)
+else
+  REPLICATION=1
+  STORES=(store1 store2)
+fi
+
+conf_body() {
+  cat <<EOF
 shards 2
+replication $REPLICATION
 heartbeat_ms 100
 suspect_ms 500
 down_ms 1500
-fetch_timeout_ms 2000
+fetch_timeout_ms 5000
+replica_timeout_ms 400
+fetch_attempts 2
+fetch_backoff_ms 50
 node coord coordinator 127.0.0.1 0
-node store1 storage 127.0.0.1 0
-node store2 storage 127.0.0.1 0
 EOF
+}
+
+{
+  conf_body
+  for node in "${STORES[@]}"; do
+    echo "node $node storage 127.0.0.1 0"
+  done
+} > "$WORK/seed.conf"
 
 declare -A STORE_PID
-for node in store1 store2; do
+for node in "${STORES[@]}"; do
   "$CLI" node --config "$WORK/seed.conf" --id "$node" \
     --entities "$ENTITIES" --port-file "$WORK/$node.port" \
     > "$WORK/$node.log" 2>&1 &
   STORE_PID[$node]=$!
 done
-for node in store1 store2; do
-  await "$WORK/$node.port" "[0-9]" 20
+for node in "${STORES[@]}"; do
+  await "$WORK/$node.port" "[0-9]" 20 "$node" "${STORE_PID[$node]}"
 done
 
 # --- 2. resolved config + placement -------------------------------------
-cat > "$WORK/resolved.conf" <<EOF
-shards 2
-heartbeat_ms 100
-suspect_ms 500
-down_ms 1500
-fetch_timeout_ms 2000
-node coord coordinator 127.0.0.1 0
-node store1 storage 127.0.0.1 $(cat "$WORK/store1.port")
-node store2 storage 127.0.0.1 $(cat "$WORK/store2.port")
-EOF
+{
+  conf_body
+  for node in "${STORES[@]}"; do
+    echo "node $node storage 127.0.0.1 $(cat "$WORK/$node.port")"
+  done
+} > "$WORK/resolved.conf"
 
 "$CLI" cluster plan --config "$WORK/resolved.conf"
+# Column 4 of "shard 0 -> <primary> [replicas...]" is the primary owner.
 VICTIM=$("$CLI" cluster plan --config "$WORK/resolved.conf" \
   | awk '$1 == "shard" && $2 == "0" { print $4 }')
-[[ -n "$VICTIM" ]] || fail "could not determine the owner of shard 0"
+[[ -n "$VICTIM" ]] || fail "could not determine the primary owner of shard 0"
 
 # --- 3. coordinator REPL over a fifo ------------------------------------
 mkfifo "$WORK/repl"
@@ -100,14 +136,14 @@ COORD=$!
 exec 3> "$WORK/repl"
 
 echo "waitalive 10000" >&3
-await "$WORK/coord.out" "all alive" 20
+await "$WORK/coord.out" "all alive" 20 coord "$COORD"
 
 echo "query Hugo,SwissProt,MIM" >&3
-await "$WORK/coord.out" "cover rows in" 20
+await "$WORK/coord.out" "cover rows in" 20 coord "$COORD"
 grep -q "^error" "$WORK/coord.out" && fail "healthy-cluster query errored"
 
 echo "dump $WORK/cluster_cover.hmt Hugo,SwissProt,MIM" >&3
-await "$WORK/coord.out" "written to" 20
+await "$WORK/coord.out" "written to" 20 coord "$COORD"
 
 # --- 4. conformance: cluster cover == single-process cover --------------
 "$CLI" query --entities "$ENTITIES" --path Hugo,SwissProt,MIM \
@@ -124,12 +160,50 @@ if [[ "$KILL_ONE" == 1 ]]; then
   # Evict fetched tables and use a fresh path so neither cache layer can
   # answer without touching the dead node.
   echo "evict" >&3
-  await "$WORK/coord.out" "cache dropped" 20
+  await "$WORK/coord.out" "cache dropped" 20 coord "$COORD"
   echo "query Hugo,GDB,MIM" >&3
-  await "$WORK/coord.out" "unreachable" 30
+  await "$WORK/coord.out" "unreachable" 30 coord "$COORD"
   grep "storage node '$VICTIM' unreachable" "$WORK/coord.out" > /dev/null \
     || fail "failure did not name the dead node $VICTIM"
   echo "run_cluster: dead node loudly attributed: $(grep -o "storage node '$VICTIM' unreachable[^\"]*" "$WORK/coord.out" | head -1)"
+fi
+
+# --- 6. optional: replication=2 chaos drill — kill -9 the primary, ------
+# ---    demand zero failed queries and byte-identical covers ------------
+if [[ "$FAILOVER" == 1 ]]; then
+  echo "run_cluster: kill -9 $VICTIM (primary of shard 0) mid-workload"
+  kill -9 "${STORE_PID[$VICTIM]}"
+  wait "${STORE_PID[$VICTIM]}" 2>/dev/null || true
+  # Drop the assembled-table cache and run only paths the service has
+  # never answered (its cover cache is per-path), so every query below
+  # has to go back on the wire and fail over from the dead primary to a
+  # live replica.
+  echo "evict" >&3
+  await "$WORK/coord.out" "cache dropped" 20 coord "$COORD"
+  DRILL_PATHS=(
+    Hugo,GDB,MIM
+    Hugo,Locus,MIM
+    Hugo,GDB,SwissProt,MIM
+    Hugo,Locus,GDB,MIM
+    Hugo,Locus,Unigene,SwissProt,MIM
+  )
+  for p in "${DRILL_PATHS[@]}"; do
+    echo "query $p" >&3
+  done
+  # The REPL is sequential, so once the dump below has completed every
+  # drill query above has answered too.
+  echo "dump $WORK/failover_cover.hmt Hugo,Locus,GDB,SwissProt,MIM" >&3
+  await "$WORK/coord.out" "failover_cover.hmt" 40 coord "$COORD"
+  grep -q "^error" "$WORK/coord.out" \
+    && fail "query failed during failover drill: $(grep -m1 '^error' "$WORK/coord.out")"
+  ANSWERED=$(grep -c "cover rows in" "$WORK/coord.out")
+  [[ "$ANSWERED" -ge 6 ]] \
+    || fail "expected >= 6 answered queries, got $ANSWERED"
+  "$CLI" query --entities "$ENTITIES" --path Hugo,Locus,GDB,SwissProt,MIM \
+    --repeat 1 --dump "$WORK/sim_failover.hmt" > /dev/null 2>&1
+  cmp "$WORK/sim_failover.hmt" "$WORK/failover_cover.hmt" \
+    || fail "post-failover cover differs from single-process cover"
+  echo "run_cluster: survived kill -9 of $VICTIM: $ANSWERED queries answered, 0 failed, covers byte-identical"
 fi
 
 echo "quit" >&3
