@@ -23,8 +23,17 @@
 // A storage child that dies during setup fails the run immediately
 // with the child's name, pid, and exit status — never a silent hang.
 //
+// After the sweep, a fourth, fork-free round measures the write path
+// in-process (threads are safe by then; no child can be forked anymore):
+// quorum-1 curator writes replicated through a ClusterTableSink give the
+// write throughput, and SIGKILL-equivalent loss of one replica followed
+// by an empty-log restart gives the anti-entropy repair convergence
+// time — the wall clock until the revived node's write-log versions
+// match the cluster's.
+//
 // Output: BENCH_cluster.json with a per-R sweep entry (healthy qps,
-// failover latency, degraded qps, replica placement).
+// failover latency, degraded qps, replica placement) plus a write_path
+// entry (write qps, repair convergence time).
 //
 //   fig_cluster [entities=400] [passes=5]
 
@@ -40,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -411,6 +421,157 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // --- write path: in-process round ------------------------------------
+  // Every forked child is gone; this round runs all four nodes in this
+  // process (the same ClusterNode the children ran), so a "restarted"
+  // replica is simply a fresh instance with an empty write log.
+  obs::JsonValue write_path = obs::JsonValue::Object();
+  {
+    constexpr uint64_t kWrites = 20;
+    cluster::ClusterConfig seed = SeedConfig(2);
+    seed.write_quorum = 1;  // commit off one replica; repair owns the rest
+    seed.write_timeout_ms = 5000;
+    seed.write_attempts = 3;
+    seed.write_backoff_ms = 20;
+    seed.repair_interval_ms = 100;
+
+    std::vector<std::unique_ptr<cluster::ClusterNode>> stores;
+    for (const std::string& id : kStoreIds) {
+      auto node_catalog = BuildBioCatalog(bio);
+      if (!node_catalog.ok()) {
+        std::cerr << id << ": catalog failed: " << node_catalog.status()
+                  << "\n";
+        return 1;
+      }
+      auto node = cluster::ClusterNode::Create(
+          seed, id, std::move(*node_catalog.value().store));
+      if (!node.ok() || !node.value()->Bind().ok()) {
+        std::cerr << id << ": write-path node setup failed\n";
+        return 1;
+      }
+      stores.push_back(std::move(node).value());
+    }
+    cluster::ClusterConfig resolved = seed;
+    for (cluster::NodeSpec& node : resolved.nodes) {
+      for (const auto& store : stores) {
+        if (store->self().id == node.id) {
+          auto port = store->ListenPort();
+          if (!port.ok()) return 1;
+          node.port = port.value();
+        }
+      }
+    }
+    for (const auto& store : stores) {
+      if (Status s = store->Start(); !s.ok()) {
+        std::cerr << "write-path store start failed: " << s << "\n";
+        return 1;
+      }
+    }
+    auto coord = cluster::ClusterNode::Create(resolved, "coord", TableStore());
+    if (!coord.ok() || !coord.value()->Bind().ok() ||
+        !coord.value()->Start().ok()) {
+      std::cerr << "write-path coordinator setup failed\n";
+      return 1;
+    }
+    if (!coord.value()->WaitAllAlive(10'000'000)) {
+      std::cerr << "write-path cluster did not become fully alive\n";
+      return 1;
+    }
+
+    const std::string table = catalog.value().store->Names().front();
+    auto fetched = coord.value()->table_source()->Fetch(table);
+    if (!fetched.ok()) {
+      std::cerr << "write-path fetch failed: " << fetched.status() << "\n";
+      return 1;
+    }
+
+    // -- write throughput: kWrites quorum-1 replicated writes ------------
+    int64_t write_start = NowUs();
+    for (uint64_t i = 1; i <= kWrites; ++i) {
+      auto report = coord.value()->table_sink()->Apply(
+          *fetched.value().table, fetched.value().version + i);
+      if (!report.ok()) {
+        std::cerr << "write " << i << " failed: " << report.status() << "\n";
+        return 1;
+      }
+    }
+    double write_s = static_cast<double>(NowUs() - write_start) / 1e6;
+    double write_qps =
+        write_s > 0 ? static_cast<double>(kWrites) / write_s : 0;
+    std::cout << "=== write path ===\n"
+              << kWrites << " replicated writes in " << write_s << " s ("
+              << write_qps << " writes/s)\n";
+
+    // -- repair convergence: lose a replica, write past it, revive it ----
+    const std::string victim = coord.value()->ring().OwnerForShard(0);
+    for (auto& store : stores) {
+      if (store->self().id == victim) store->Stop();
+    }
+    auto past = coord.value()->table_sink()->Apply(
+        *fetched.value().table, fetched.value().version + kWrites + 1);
+    if (!past.ok()) {
+      std::cerr << "post-kill write failed: " << past.status() << "\n";
+      return 1;
+    }
+    const uint64_t want_version = past.value().sequence;
+
+    cluster::ClusterConfig restart = resolved;
+    for (cluster::NodeSpec& node : restart.nodes) {
+      if (node.id == victim) node.port = 0;
+    }
+    auto revived_catalog = BuildBioCatalog(bio);
+    if (!revived_catalog.ok()) return 1;
+    auto revived = cluster::ClusterNode::Create(
+        restart, victim, std::move(*revived_catalog.value().store));
+    if (!revived.ok() || !revived.value()->Bind().ok()) {
+      std::cerr << "revived node setup failed\n";
+      return 1;
+    }
+    auto revived_port = revived.value()->ListenPort();
+    if (!revived_port.ok()) return 1;
+    int64_t repair_start = NowUs();
+    if (Status s = revived.value()->Start(); !s.ok()) {
+      std::cerr << "revived node start failed: " << s << "\n";
+      return 1;
+    }
+    const std::string addr =
+        "127.0.0.1:" + std::to_string(revived_port.value());
+    coord.value()->SetPeerAddress(victim, addr);
+    for (auto& store : stores) {
+      if (store->self().id != victim) store->SetPeerAddress(victim, addr);
+    }
+    const int64_t repair_deadline = NowUs() + 30'000'000;
+    for (;;) {
+      bool converged = true;
+      for (uint64_t shard : revived.value()->owned_shards()) {
+        if (revived.value()->write_log().VersionOf(shard) < want_version) {
+          converged = false;
+        }
+      }
+      if (converged) break;
+      if (NowUs() > repair_deadline) {
+        std::cerr << "anti-entropy never converged " << victim << "\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    int64_t repair_convergence_us = NowUs() - repair_start;
+    std::cout << victim << " repaired to v" << want_version << " in "
+              << repair_convergence_us << " us\n";
+
+    write_path.Set("writes", kWrites);
+    write_path.Set("write_quorum", seed.write_quorum);
+    write_path.Set("write_qps", write_qps);
+    write_path.Set("repair_convergence_us",
+                   static_cast<uint64_t>(repair_convergence_us));
+    write_path.Set("repaired_to_version", want_version);
+    write_path.Set("victim", victim);
+
+    coord.value()->Stop();
+    revived.value()->Stop();
+    for (auto& store : stores) store->Stop();
+  }
+
   obs::JsonValue root = obs::JsonValue::Object();
   root.Set("entities", static_cast<uint64_t>(bio.num_entities));
   root.Set("shard_count", SeedConfig(1).shard_count);
@@ -418,6 +579,7 @@ int Main(int argc, char** argv) {
   root.Set("passes", static_cast<uint64_t>(passes));
   root.Set("conformance", "byte-identical");
   root.Set("sweep", std::move(sweep));
+  root.Set("write_path", std::move(write_path));
   bench_util::WriteBenchJson("cluster", std::move(root));
   return rc;
 }

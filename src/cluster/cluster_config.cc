@@ -42,6 +42,10 @@ Result<ClusterConfig> ClusterConfig::Parse(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   int line_no = 0;
+  // `replication` may be declared after `write_quorum`, so the quorum's
+  // upper bound is checked once the whole file is read — against the
+  // line the directive appeared on, not the last line of the file.
+  int write_quorum_line = 0;
   while (std::getline(in, line)) {
     ++line_no;
     auto hash = line.find('#');
@@ -76,7 +80,12 @@ Result<ClusterConfig> ClusterConfig::Parse(const std::string& text) {
                directive == "fetch_timeout_ms" ||
                directive == "replica_timeout_ms" ||
                directive == "fetch_attempts" ||
-               directive == "fetch_backoff_ms" || directive == "hedge_ms") {
+               directive == "fetch_backoff_ms" || directive == "hedge_ms" ||
+               directive == "write_quorum" ||
+               directive == "write_timeout_ms" ||
+               directive == "write_attempts" ||
+               directive == "write_backoff_ms" ||
+               directive == "repair_interval_ms") {
       std::string word;
       if (!(fields >> word)) return bad("expected: " + directive + " <n>");
       HYP_ASSIGN_OR_RETURN(uint64_t v, ParseCount(word, directive));
@@ -91,11 +100,29 @@ Result<ClusterConfig> ClusterConfig::Parse(const std::string& text) {
       if (directive == "fetch_attempts") config.fetch_attempts = v;
       if (directive == "fetch_backoff_ms") config.fetch_backoff_ms = v;
       if (directive == "hedge_ms") config.hedge_ms = v;
+      if (directive == "write_quorum") {
+        if (v == 0) {
+          return bad("write_quorum must be at least 1 (omit the directive "
+                     "for all-alive)");
+        }
+        config.write_quorum = v;
+        write_quorum_line = line_no;
+      }
+      if (directive == "write_timeout_ms") config.write_timeout_ms = v;
+      if (directive == "write_attempts") config.write_attempts = v;
+      if (directive == "write_backoff_ms") config.write_backoff_ms = v;
+      if (directive == "repair_interval_ms") config.repair_interval_ms = v;
     } else {
       return bad("unknown directive '" + directive + "'");
     }
     std::string extra;
     if (fields >> extra) return bad("trailing junk '" + extra + "'");
+  }
+  if (config.write_quorum > config.replication) {
+    return Status::InvalidArgument(
+        "cluster config line " + std::to_string(write_quorum_line) +
+        ": write_quorum " + std::to_string(config.write_quorum) +
+        " exceeds replication " + std::to_string(config.replication));
   }
   HYP_RETURN_IF_ERROR(config.Validate());
   return config;
@@ -137,6 +164,22 @@ Status ClusterConfig::Validate() const {
   if (suspect_ms < heartbeat_ms || down_ms < suspect_ms) {
     return Status::InvalidArgument(
         "cluster config: need heartbeat_ms <= suspect_ms <= down_ms");
+  }
+  if (write_quorum > replication) {
+    return Status::InvalidArgument(
+        "cluster config: write_quorum exceeds replication");
+  }
+  if (write_timeout_ms == 0) {
+    return Status::InvalidArgument(
+        "cluster config: write_timeout_ms must be positive");
+  }
+  if (write_attempts == 0) {
+    return Status::InvalidArgument(
+        "cluster config: write_attempts must be positive");
+  }
+  if (repair_interval_ms == 0) {
+    return Status::InvalidArgument(
+        "cluster config: repair_interval_ms must be positive");
   }
   size_t coordinators = 0, storage = 0;
   std::set<std::string> ids;
@@ -207,6 +250,13 @@ std::string ClusterConfig::ToString() const {
       << "fetch_attempts " << fetch_attempts << "\n"
       << "fetch_backoff_ms " << fetch_backoff_ms << "\n"
       << "hedge_ms " << hedge_ms << "\n";
+  // write_quorum 0 is the implicit all-alive default and the parser
+  // rejects an explicit 0, so the directive is emitted only when set.
+  if (write_quorum != 0) out << "write_quorum " << write_quorum << "\n";
+  out << "write_timeout_ms " << write_timeout_ms << "\n"
+      << "write_attempts " << write_attempts << "\n"
+      << "write_backoff_ms " << write_backoff_ms << "\n"
+      << "repair_interval_ms " << repair_interval_ms << "\n";
   for (const NodeSpec& node : nodes) {
     out << "node " << node.id << " " << RoleName(node.role) << " "
         << node.host << " " << node.port << "\n";

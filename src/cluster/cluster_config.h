@@ -18,6 +18,11 @@
 //   fetch_attempts 2
 //   fetch_backoff_ms 50
 //   hedge_ms 0
+//   write_quorum 2
+//   write_timeout_ms 5000
+//   write_attempts 3
+//   write_backoff_ms 50
+//   repair_interval_ms 500
 //   node coord  coordinator 127.0.0.1 9100
 //   node store1 storage     127.0.0.1 9101
 //   node store2 storage     127.0.0.1 9102
@@ -68,6 +73,14 @@ struct ClusterConfig {
   uint64_t fetch_attempts = 2;     // retry rounds over the replica set
   uint64_t fetch_backoff_ms = 50;  // backoff base between retry rounds
   uint64_t hedge_ms = 0;           // fire replica 2 after this wait (0=off)
+  // Write path (cluster/write_path.h).  write_quorum 0 means "all alive
+  // replicas" (the default); an explicit value must lie in
+  // [1, replication] and the parser rejects anything else by line.
+  uint64_t write_quorum = 0;        // acks required per shard (0=all-alive)
+  uint64_t write_timeout_ms = 5000;  // whole-write deadline (all shards)
+  uint64_t write_attempts = 3;      // send rounds per lagging replica
+  uint64_t write_backoff_ms = 50;   // backoff base between send rounds
+  uint64_t repair_interval_ms = 500;  // anti-entropy version-compare period
 
   /// \brief Parses the directive format above.  Validates with
   /// Validate() before returning.

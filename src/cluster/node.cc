@@ -8,6 +8,7 @@
 #include <variant>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyperion {
 namespace cluster {
@@ -108,6 +109,21 @@ Status ClusterNode::Start() {
             store_,
             [this](const std::string& key) { return ring_.ShardForKey(key); },
             owned));
+    if (!write_log_dir_.empty()) {
+      // Replay the writes a previous incarnation applied: entries per
+      // shard in version order, so the final per-(table, shard) state is
+      // each table's latest slice.  The loop has not started; slices_ is
+      // still driver-thread-only.
+      HYP_RETURN_IF_ERROR(
+          write_log_.Open(write_log_dir_, config_.shard_count));
+      for (const auto& [shard, latest] : write_log_.Versions()) {
+        for (uint64_t v = 1; v <= latest; ++v) {
+          HYP_ASSIGN_OR_RETURN(WriteSliceMsg entry,
+                               write_log_.EntryAt(shard, v));
+          InstallSlice(entry);
+        }
+      }
+    }
   } else {
     ClusterTableSource::Options opts;
     opts.fetch_timeout_us =
@@ -120,6 +136,17 @@ Status ClusterNode::Start() {
     opts.attempts_per_replica = static_cast<int>(config_.fetch_attempts);
     table_source_ = std::make_unique<ClusterTableSource>(
         self_spec_.id, net_.get(), &ring_, &membership_, opts);
+    ClusterTableSink::Options wopts;
+    wopts.write_timeout_us =
+        static_cast<int64_t>(config_.write_timeout_ms) * 1000;
+    wopts.replica_timeout_us =
+        static_cast<int64_t>(config_.replica_timeout_ms) * 1000;
+    wopts.backoff_base_us =
+        static_cast<int64_t>(config_.write_backoff_ms) * 1000;
+    wopts.attempts_per_replica = static_cast<int>(config_.write_attempts);
+    wopts.quorum = config_.write_quorum;
+    table_sink_ = std::make_unique<ClusterTableSink>(
+        self_spec_.id, net_.get(), &ring_, &membership_, wopts);
   }
   std::vector<std::pair<std::string, std::string>> routes;
   {
@@ -144,21 +171,34 @@ Status ClusterNode::Start() {
   SendHeartbeats();
   ScheduleHeartbeat();
   ScheduleSweep();
+  if (self_spec_.role == NodeRole::kStorage) ScheduleRepair();
   return Status::OK();
 }
 
 void ClusterNode::Stop() {
-  Network::TimerId heartbeat = 0, sweep = 0;
+  Network::TimerId heartbeat = 0, sweep = 0, repair = 0;
   {
     MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
     heartbeat = heartbeat_timer_;
     sweep = sweep_timer_;
+    repair = repair_timer_;
   }
   if (heartbeat != 0) net_->CancelTimer(heartbeat);
   if (sweep != 0) net_->CancelTimer(sweep);
+  if (repair != 0) net_->CancelTimer(repair);
   net_->Stop(1'000'000);
+}
+
+void ClusterNode::SetWriteLogDir(std::string dir) {
+  write_log_dir_ = std::move(dir);
+}
+
+std::map<std::string, std::map<uint64_t, uint64_t>>
+ClusterNode::PeerShardVersions() const {
+  MutexLock lock(mu_);
+  return peer_shard_versions_;
 }
 
 void ClusterNode::SetPeerAddress(const std::string& node,
@@ -190,6 +230,12 @@ void ClusterNode::HandleMessage(const Message& msg) {
     HandleShardFetch(msg);
   } else if (const auto* rows = std::get_if<ShardRowsMsg>(&msg.payload)) {
     if (table_source_ != nullptr) table_source_->OnShardRows(*rows);
+  } else if (std::holds_alternative<WriteSliceMsg>(msg.payload)) {
+    HandleWriteSlice(msg);
+  } else if (const auto* ack = std::get_if<WriteAckMsg>(&msg.payload)) {
+    if (table_sink_ != nullptr) table_sink_->OnWriteAck(*ack);
+  } else if (std::holds_alternative<RepairFetchMsg>(msg.payload)) {
+    HandleRepairFetch(msg);
   }
   // Anything else (discovery, session traffic) belongs to a query
   // service sharing the transport, not to the cluster runtime.
@@ -198,6 +244,15 @@ void ClusterNode::HandleMessage(const Message& msg) {
 void ClusterNode::HandleHeartbeat(const Message& msg) {
   const auto& hb = std::get<HeartbeatMsg>(msg.payload);
   membership_.Observe(hb.node, NowUs());
+  if (!hb.shards.empty() && hb.shards.size() == hb.shard_versions.size()) {
+    // Piggybacked write-log versions: the anti-entropy loop (and the
+    // coordinator's `versions` verb) compare against these.
+    MutexLock lock(mu_);
+    std::map<uint64_t, uint64_t>& versions = peer_shard_versions_[hb.node];
+    for (size_t i = 0; i < hb.shards.size(); ++i) {
+      versions[hb.shards[i]] = hb.shard_versions[i];
+    }
+  }
   if (hb.listen_addr.empty() || config_.FindNode(hb.node) == nullptr) return;
   bool learned = false;
   {
@@ -266,6 +321,222 @@ void ClusterNode::HandleShardFetch(const Message& msg) {
   (void)net_->Send(std::move(out));
 }
 
+void ClusterNode::InstallSlice(const WriteSliceMsg& slice) {
+  ShardSlice installed;
+  installed.table_name = slice.table_name;
+  installed.shard = slice.shard;
+  installed.version = slice.table_version;
+  installed.total_rows = slice.total_rows;
+  installed.x_schema = slice.x_schema;
+  installed.y_schema = slice.y_schema;
+  installed.row_indices = slice.row_indices;
+  installed.rows = slice.rows;
+  slices_[{slice.table_name, slice.shard}] = std::move(installed);
+}
+
+Result<ApplyOutcome> ClusterNode::ApplyWriteSlice(const WriteSliceMsg& slice) {
+  uint64_t current = write_log_.VersionOf(slice.shard);
+  if (slice.shard_version <= current) return ApplyOutcome::kDuplicate;
+  if (slice.shard_version > current + 1) return ApplyOutcome::kStale;
+  HYP_RETURN_IF_ERROR(write_log_.Append(slice));
+  InstallSlice(slice);
+  return ApplyOutcome::kApplied;
+}
+
+void ClusterNode::HandleWriteSlice(const Message& msg) {
+  const auto& slice = std::get<WriteSliceMsg>(msg.payload);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  if (slice.repair != 0) {
+    // Anti-entropy reply: the outstanding fetch for this shard is over,
+    // whatever it brought.
+    {
+      MutexLock lock(mu_);
+      repair_inflight_.erase(slice.shard);
+    }
+    if (!slice.error.empty()) {
+      reg.GetCounter("cluster.repair.failures")->Add();
+      return;
+    }
+    Result<ApplyOutcome> outcome = ApplyWriteSlice(slice);
+    if (!outcome.ok() || outcome.value() == ApplyOutcome::kStale) {
+      reg.GetCounter("cluster.repair.failures")->Add();
+      return;
+    }
+    if (outcome.value() == ApplyOutcome::kApplied) {
+      reg.GetCounter("cluster.repair.entries_applied")->Add();
+      obs::TraceEvent ev;
+      ev.peer = self_spec_.id;
+      ev.kind = "cluster.repair.applied";
+      ev.detail = slice.table_name + "#" + std::to_string(slice.shard) +
+                  " v" + std::to_string(slice.shard_version) + " from " +
+                  msg.from;
+      ev.value = static_cast<int64_t>(slice.shard_version);
+      obs::SessionTracer::Default().Record(std::move(ev));
+    }
+    // Chain straight into the next pull for this shard (if any): a
+    // replica many writes behind converges at network speed, not at
+    // repair_interval_ms per entry.
+    MaybeRepair(static_cast<int64_t>(slice.shard));
+    return;
+  }
+  WriteAckMsg ack;
+  ack.request_id = slice.request_id;
+  ack.node = self_spec_.id;
+  ack.shard = slice.shard;
+  if (self_spec_.role != NodeRole::kStorage) {
+    Status status = Status::FailedPrecondition(
+        "node '" + self_spec_.id + "' is not a storage node");
+    ack.error = status.message();
+    ack.error_code = static_cast<int32_t>(status.code());
+  } else {
+    Result<ApplyOutcome> outcome = ApplyWriteSlice(slice);
+    if (!outcome.ok()) {
+      ack.error = outcome.status().message();
+      ack.error_code = static_cast<int32_t>(outcome.status().code());
+    } else if (outcome.value() == ApplyOutcome::kStale) {
+      // This replica missed earlier writes; anti-entropy must fill the
+      // gap before this slice can land.  The coordinator sees applied=0
+      // and retries (or commits on quorum without us).
+      reg.GetCounter("cluster.write.stale_rejected")->Add();
+      obs::TraceEvent ev;
+      ev.peer = self_spec_.id;
+      ev.kind = "cluster.write.stale";
+      ev.detail = slice.table_name + "#" + std::to_string(slice.shard) +
+                  " offered v" + std::to_string(slice.shard_version) +
+                  " at v" + std::to_string(write_log_.VersionOf(slice.shard));
+      ev.value = static_cast<int64_t>(slice.shard);
+      obs::SessionTracer::Default().Record(std::move(ev));
+      Status status = Status::FailedPrecondition(
+          "replica '" + self_spec_.id + "' is stale on shard " +
+          std::to_string(slice.shard));
+      ack.error = status.message();
+      ack.error_code = static_cast<int32_t>(status.code());
+    } else {
+      ack.applied = 1;
+      reg.GetCounter(outcome.value() == ApplyOutcome::kApplied
+                         ? "cluster.write.applied"
+                         : "cluster.write.duplicates")
+          ->Add();
+    }
+    ack.shard_version = write_log_.VersionOf(slice.shard);
+  }
+  Message out;
+  out.from = self_spec_.id;
+  out.to = msg.from;
+  out.payload = std::move(ack);
+  (void)net_->Send(std::move(out));
+}
+
+void ClusterNode::HandleRepairFetch(const Message& msg) {
+  const auto& fetch = std::get<RepairFetchMsg>(msg.payload);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  WriteSliceMsg reply;
+  reply.request_id = fetch.request_id;
+  reply.origin = self_spec_.id;
+  reply.shard = fetch.shard;
+  reply.repair = 1;
+  Result<WriteSliceMsg> entry =
+      write_log_.EntryAt(fetch.shard, fetch.from_version + 1);
+  if (entry.ok()) {
+    reply = std::move(entry.value());
+    reply.request_id = fetch.request_id;
+    reply.origin = self_spec_.id;
+    reply.repair = 1;
+    reg.GetCounter("cluster.repair.entries_served")->Add();
+  } else {
+    reply.error = entry.status().message();
+    reply.error_code = static_cast<int32_t>(entry.status().code());
+  }
+  Message out;
+  out.from = self_spec_.id;
+  out.to = msg.from;
+  out.payload = std::move(reply);
+  (void)net_->Send(std::move(out));
+}
+
+void ClusterNode::MaybeRepair(int64_t chain_shard) {
+  if (self_spec_.role != NodeRole::kStorage) return;
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  std::vector<uint64_t> owned = ring_.ShardsOwnedBy(self_spec_.id);
+  // Both write_log_'s mutex and mu_ are leaves: versions first, then
+  // the peer table under mu_, never nested.
+  std::map<uint64_t, uint64_t> mine;
+  for (uint64_t shard : owned) mine[shard] = write_log_.VersionOf(shard);
+  int64_t now = NowUs();
+  int64_t inflight_timeout_us =
+      static_cast<int64_t>(config_.replica_timeout_ms) * 1000;
+  struct Pull {
+    uint64_t shard;
+    std::string peer;
+    uint64_t from;
+  };
+  std::vector<Pull> pulls;
+  bool chained_converged = false;
+  {
+    MutexLock lock(mu_);
+    for (uint64_t shard : owned) {
+      if (chain_shard >= 0 && shard != static_cast<uint64_t>(chain_shard)) {
+        continue;
+      }
+      auto inflight = repair_inflight_.find(shard);
+      if (inflight != repair_inflight_.end()) {
+        if (now - inflight->second < inflight_timeout_us) continue;
+        repair_inflight_.erase(inflight);  // lost reply; ask again
+      }
+      // The most advanced peer is the one to pull from.
+      std::string best;
+      uint64_t best_version = mine[shard];
+      for (const auto& [peer, versions] : peer_shard_versions_) {
+        auto it = versions.find(shard);
+        if (it != versions.end() && it->second > best_version) {
+          best = peer;
+          best_version = it->second;
+        }
+      }
+      if (best.empty()) {
+        if (chain_shard >= 0) chained_converged = true;
+        continue;
+      }
+      pulls.push_back({shard, best, mine[shard]});
+      repair_inflight_[shard] = now;
+    }
+  }
+  if (chained_converged) {
+    // The repair chain for this shard just caught up with every peer.
+    reg.GetCounter("cluster.repair.converged")->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_spec_.id;
+    ev.kind = "cluster.repair.converged";
+    ev.detail = "shard " + std::to_string(chain_shard) + " at v" +
+                std::to_string(mine[static_cast<uint64_t>(chain_shard)]);
+    ev.value = chain_shard;
+    obs::SessionTracer::Default().Record(std::move(ev));
+  }
+  for (const Pull& pull : pulls) {
+    reg.GetCounter("cluster.repair.fetches")->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_spec_.id;
+    ev.kind = "cluster.repair.started";
+    ev.detail = "shard " + std::to_string(pull.shard) + " v" +
+                std::to_string(pull.from) + " <- " + pull.peer;
+    ev.value = static_cast<int64_t>(pull.shard);
+    obs::SessionTracer::Default().Record(std::move(ev));
+    Message msg;
+    msg.from = self_spec_.id;
+    msg.to = pull.peer;
+    RepairFetchMsg fetch;
+    fetch.node = self_spec_.id;
+    fetch.shard = pull.shard;
+    fetch.from_version = pull.from;
+    msg.payload = std::move(fetch);
+    Status sent = net_->Send(std::move(msg));
+    if (!sent.ok()) {
+      MutexLock lock(mu_);
+      repair_inflight_.erase(pull.shard);
+    }
+  }
+}
+
 void ClusterNode::SendHeartbeats() {
   // Resolve our own address before taking mu_ (ListenPort locks the
   // network; mu_ is a leaf and must not be held across it).
@@ -273,6 +544,12 @@ void ClusterNode::SendHeartbeats() {
   std::string listen_addr =
       self_spec_.host + ":" +
       std::to_string(port.ok() ? port.value() : self_spec_.port);
+  // Storage beats piggyback the write-log versions (write_log_'s mutex
+  // is a leaf like mu_, so snapshot before taking mu_ below).
+  std::vector<std::pair<uint64_t, uint64_t>> shard_versions;
+  if (self_spec_.role == NodeRole::kStorage) {
+    shard_versions = write_log_.Versions();
+  }
   std::vector<Message> beats;
   {
     MutexLock lock(mu_);
@@ -292,6 +569,10 @@ void ClusterNode::SendHeartbeats() {
       hb.listen_addr = listen_addr;
       hb.incarnation = incarnation_;
       hb.beat = beat;
+      for (const auto& [shard, version] : shard_versions) {
+        hb.shards.push_back(shard);
+        hb.shard_versions.push_back(version);
+      }
       msg.payload = std::move(hb);
       beats.push_back(std::move(msg));
     }
@@ -353,6 +634,26 @@ void ClusterNode::ScheduleSweep() {
   {
     MutexLock lock(mu_);
     sweep_timer_ = timer.ok() ? timer.value() : 0;
+    stopped = !running_;
+  }
+  if (stopped && timer.ok()) net_->CancelTimer(timer.value());
+}
+
+void ClusterNode::ScheduleRepair() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+  }
+  int64_t period_us = static_cast<int64_t>(config_.repair_interval_ms) * 1000;
+  if (period_us < 1000) period_us = 1000;
+  auto timer = net_->ScheduleTimer(self_spec_.id, period_us, [this] {
+    MaybeRepair(-1);
+    ScheduleRepair();
+  });
+  bool stopped;
+  {
+    MutexLock lock(mu_);
+    repair_timer_ = timer.ok() ? timer.value() : 0;
     stopped = !running_;
   }
   if (stopped && timer.ok()) net_->CancelTimer(timer.value());

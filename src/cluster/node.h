@@ -3,16 +3,25 @@
 // A node is a TcpNetwork with exactly one registered peer (the node id)
 // plus the role-specific machinery on top:
 //
-//  * storage — slices its TableStore by the shard ring at startup and
-//    answers ShardFetchMsg with the owned slices (shard_split.h);
+//  * storage — slices its TableStore by the shard ring at startup,
+//    answers ShardFetchMsg with the owned slices (shard_split.h),
+//    applies replicated write slices through a per-shard monotonic
+//    write log (write_path.h) and runs the anti-entropy repair loop
+//    that pulls the writes it missed while dead;
 //  * coordinator — owns a ClusterTableSource that fans fetches out to
-//    the storage nodes and reassembles tables for the query service.
+//    the storage nodes and reassembles tables for the query service,
+//    plus a ClusterTableSink that replicates curator writes to every
+//    replica under the configured write quorum.
 //
 // Both roles run the membership protocol: a heartbeat to every known
 // peer each heartbeat_ms, carrying this node's own listen address so
 // nodes that bound ephemeral ports become reachable once anyone hears
 // them (address learning), and a periodic sweep applying the
-// suspect/down timeouts (membership.h).
+// suspect/down timeouts (membership.h).  Storage heartbeats also
+// piggyback the node's per-shard write-log versions; every receiver
+// records them, which is how a restarted replica discovers it is
+// stale (a peer advertises a higher version for a shard it owns) and
+// what the coordinator's `versions` REPL verb reports.
 //
 // Lifecycle is two-phase so ephemeral ports work across processes:
 //
@@ -39,6 +48,7 @@
 #include "cluster/membership.h"
 #include "cluster/remote_tables.h"
 #include "cluster/shard_ring.h"
+#include "cluster/write_path.h"
 #include "common/synchronization.h"
 #include "p2p/tcp_network.h"
 #include "storage/shard_split.h"
@@ -93,6 +103,26 @@ class ClusterNode {
   /// through (nullptr on storage nodes).
   ClusterTableSource* table_source() { return table_source_.get(); }
 
+  /// \brief Coordinator only: the write fan-out curator updates go
+  /// through (nullptr on storage nodes).
+  ClusterTableSink* table_sink() { return table_sink_.get(); }
+
+  /// \brief Storage only: persist applied write slices under `dir` (one
+  /// log file per shard) and replay whatever a previous incarnation left
+  /// there at Start().  Call between Create and Start.
+  void SetWriteLogDir(std::string dir);
+
+  /// \brief This node's own per-shard write-log versions (storage role;
+  /// empty elsewhere).
+  const ShardWriteLog& write_log() const { return write_log_; }
+
+  /// \brief Latest per-shard write-log versions each peer's heartbeats
+  /// advertised: node → (shard → version).  The coordinator REPL's
+  /// `versions` verb prints this — it is how the drill detects repair
+  /// convergence.
+  std::map<std::string, std::map<uint64_t, uint64_t>> PeerShardVersions()
+      const;
+
   /// \brief Storage only: every shard this node replicates (primary or
   /// backup) — exactly the slices it loads and serves.
   std::vector<uint64_t> owned_shards() const;
@@ -110,10 +140,24 @@ class ClusterNode {
 
   void HandleMessage(const Message& msg);
   void HandleHeartbeat(const Message& msg);
-  void HandleShardFetch(const Message& msg);  // storage role
+  void HandleShardFetch(const Message& msg);   // storage role
+  void HandleWriteSlice(const Message& msg);   // storage role
+  void HandleRepairFetch(const Message& msg);  // storage role
+  // Offers one slice to the write log + served-slice map; loop thread
+  // only (or driver thread pre-loop, during Start()'s replay).
+  Result<ApplyOutcome> ApplyWriteSlice(const WriteSliceMsg& slice);
+  // Installs a (logged) slice into the served-slice map; same threading
+  // rule as ApplyWriteSlice.
+  void InstallSlice(const WriteSliceMsg& slice);
+  // One anti-entropy pass: for every owned shard a peer is ahead on,
+  // pull the next missing log entry (bounded to one in-flight fetch per
+  // shard).  `chain_shard` != -1 restricts the pass to that shard — the
+  // fast path a just-applied repair entry takes to fetch its successor.
+  void MaybeRepair(int64_t chain_shard);
   void SendHeartbeats();
   void ScheduleHeartbeat();
   void ScheduleSweep();
+  void ScheduleRepair();  // storage role
   int64_t NowUs() const;
 
   const ClusterConfig config_;
@@ -123,7 +167,13 @@ class ClusterNode {
   MembershipTracker membership_;
   std::unique_ptr<TcpNetwork> net_;
   std::unique_ptr<ClusterTableSource> table_source_;  // coordinator only
+  std::unique_ptr<ClusterTableSink> table_sink_;      // coordinator only
   const uint64_t incarnation_;
+  // Storage role.  write_log_ is internally synchronized (its mutex is
+  // a leaf, like mu_ — never take one while holding the other);
+  // write_log_dir_ is set pre-Start from the driver thread only.
+  ShardWriteLog write_log_;
+  std::string write_log_dir_;
 
   mutable Mutex mu_;
   bool bound_ GUARDED_BY(mu_) = false;
@@ -132,8 +182,17 @@ class ClusterNode {
   std::map<std::string, std::string> known_addrs_ GUARDED_BY(mu_);
   Network::TimerId heartbeat_timer_ GUARDED_BY(mu_) = 0;
   Network::TimerId sweep_timer_ GUARDED_BY(mu_) = 0;
-  // Owned shard slices, immutable after Start() (read from the handler
-  // thread without locking).
+  Network::TimerId repair_timer_ GUARDED_BY(mu_) = 0;
+  // node → (shard → write-log version), learned from heartbeats.
+  std::map<std::string, std::map<uint64_t, uint64_t>> peer_shard_versions_
+      GUARDED_BY(mu_);
+  // shard → NowUs() the outstanding repair fetch was sent (bounds the
+  // anti-entropy loop to one in-flight pull per shard).
+  std::map<uint64_t, int64_t> repair_inflight_ GUARDED_BY(mu_);
+  // Owned shard slices.  Filled by Start() (driver thread, before the
+  // event loop runs) and thereafter mutated only by the write/repair
+  // handlers on the loop thread — the same thread that reads it to
+  // answer fetches, so no lock is needed.
   std::map<std::pair<std::string, uint64_t>, ShardSlice> slices_;
 };
 

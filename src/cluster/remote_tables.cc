@@ -169,6 +169,14 @@ Result<VersionedTable> ClusterTableSource::Fetch(
       if (state == MemberState::kDown) {
         reg.GetCounter("cluster.replica.skipped_down")->Add();
         st.skipped_down.push_back(owner);
+        // Member-named trace, matching the convention of every other
+        // cluster event: which replica was passed over, for which shard.
+        obs::TraceEvent ev;
+        ev.peer = self_;
+        ev.kind = "cluster.replica.skipped_down";
+        ev.detail = name + "#" + std::to_string(s) + " skipped " + owner;
+        ev.value = static_cast<int64_t>(s);
+        obs::SessionTracer::Default().Record(std::move(ev));
       } else if (state == MemberState::kSuspect) {
         suspects.push_back(owner);
       } else {
@@ -409,6 +417,11 @@ void ClusterTableSource::OnMemberDown(const std::string& node) {
 void ClusterTableSource::Evict() {
   MutexLock lock(mu_);
   cache_.clear();
+}
+
+void ClusterTableSource::EvictTable(const std::string& name) {
+  MutexLock lock(mu_);
+  cache_.erase(name);
 }
 
 std::vector<ClusterTableSource::ShardStat> ClusterTableSource::ShardStats()

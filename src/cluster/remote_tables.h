@@ -99,6 +99,11 @@ class ClusterTableSource : public TableSource {
   /// back onto the wire.
   void Evict();
 
+  /// \brief Drops one cached table.  The write path calls this after a
+  /// replicated write commits: the next Fetch re-pulls the table at its
+  /// new version, which in turn invalidates covers keyed on the old one.
+  void EvictTable(const std::string& name);
+
   /// \brief Rows fetched per (table, shard, serving node) so far — the
   /// per-shard row counts fig_cluster reports.  `owner` is the node that
   /// actually served the slice, which under failover may not be the

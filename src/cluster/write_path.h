@@ -1,0 +1,186 @@
+// The distributed write path: curator updates as first-class cluster
+// operations.
+//
+// Reads became cluster-native in PR 6/7 (sharded placement, R-way
+// replication, failover); this file adds the write half:
+//
+//  * ClusterTableSink — the coordinator-side dual of ClusterTableSource.
+//    Apply(table, version) slices the post-write table with the shard
+//    ring (storage/shard_split.h — original row indices included, so
+//    replicas reassemble byte-identically), stamps every slice with one
+//    global write sequence number, fans each shard's slice out to EVERY
+//    replica of that shard, and blocks until a configurable write quorum
+//    of per-replica acks arrives — retrying lagging replicas with
+//    exponential backoff until the write deadline.
+//
+//  * ShardWriteLog — the storage-side per-shard monotonic version
+//    counter plus the ordered log of applied write slices behind it.
+//    A replica applies a slice iff its sequence number is exactly the
+//    shard's current version + 1; anything at or below the current
+//    version is an idempotent duplicate (acked, not re-applied), and a
+//    gap means the replica is stale — it rejects the slice and waits for
+//    anti-entropy to fill the hole.  The log optionally persists to a
+//    directory (one frame-appended file per shard, the wire codec's own
+//    format) so a restarted node resumes from its pre-crash state.
+//
+// Version semantics: every write ships one slice per shard — empty
+// slices included, since a write may delete a shard's rows — so all
+// shard versions advance in lockstep and the per-shard version IS the
+// global write sequence.  A replica whose heartbeat advertises shard
+// versions behind a peer's is detectably stale; ClusterNode's
+// anti-entropy pass pulls the missing entries one at a time
+// (RepairFetchMsg → WriteSliceMsg with the repair flag) until the
+// versions agree.
+//
+// Quorum: `quorum` 0 (the default) means "every replica the membership
+// tracker currently believes alive" — re-evaluated while waiting, so a
+// replica that dies mid-write and transitions to down stops being
+// required.  An explicit quorum in [1, R] commits as soon as that many
+// replicas of every shard acked, leaving the rest to anti-entropy.
+//
+// Threading: Apply() blocks the calling (REPL/driver) thread;
+// OnWriteAck() is called from the network's event-loop thread.  The
+// mutex is a leaf (DESIGN.md §12): never held across Send().
+
+#ifndef HYPERION_CLUSTER_WRITE_PATH_H_
+#define HYPERION_CLUSTER_WRITE_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/membership.h"
+#include "cluster/shard_ring.h"
+#include "common/synchronization.h"
+#include "core/mapping_table.h"
+#include "p2p/message.h"
+#include "p2p/network_interface.h"
+
+namespace hyperion {
+namespace cluster {
+
+/// \brief Storage-side outcome of offering one write slice to a replica.
+enum class ApplyOutcome {
+  kApplied,    // sequence was current + 1: applied and logged
+  kDuplicate,  // sequence at or below current: idempotent no-op
+  kStale,      // gap: this replica is missing earlier writes
+};
+
+/// \brief Per-shard monotonic write log: the version counter replicas
+/// ack against plus the entries anti-entropy replays.  Thread-safe; the
+/// internal mutex is a leaf.
+class ShardWriteLog {
+ public:
+  /// \brief Enables persistence under `dir` (created if absent) and
+  /// loads any entries a previous incarnation left there.  Call before
+  /// the first Append; never calling it keeps the log memory-only.
+  Status Open(const std::string& dir, uint64_t shard_count);
+
+  /// \brief Current version of `shard` (0 = no writes applied).
+  uint64_t VersionOf(uint64_t shard) const;
+
+  /// \brief (shard, version) for every shard with at least one entry —
+  /// the piggyback heartbeats carry.  Shards ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> Versions() const;
+
+  /// \brief Appends `entry` (its shard_version must be exactly
+  /// VersionOf(shard) + 1) and persists it when Open() was called.
+  Status Append(const WriteSliceMsg& entry);
+
+  /// \brief The entry that moved `shard` to `version` (NotFound when the
+  /// log has no such entry — e.g. a memory-only log of a younger node).
+  Result<WriteSliceMsg> EntryAt(uint64_t shard, uint64_t version) const;
+
+ private:
+  mutable Mutex mu_;
+  std::string dir_ GUARDED_BY(mu_);  // empty = memory-only
+  // shard -> (version -> the slice that created that version).
+  std::map<uint64_t, std::map<uint64_t, WriteSliceMsg>> entries_
+      GUARDED_BY(mu_);
+};
+
+/// \brief Coordinator-side write fan-out: slices a curator's post-write
+/// table and replicates every shard's slice to the shard's full replica
+/// set under a write quorum.
+class ClusterTableSink {
+ public:
+  struct Options {
+    int64_t write_timeout_us = 5'000'000;    // whole write, all shards
+    int64_t replica_timeout_us = 1'000'000;  // one replica attempt
+    int64_t backoff_base_us = 50'000;        // doubles every retry round
+    int attempts_per_replica = 3;            // send rounds per replica
+    uint64_t quorum = 0;                     // 0 = all currently alive
+  };
+
+  /// \brief `self` is the coordinator's node id; `net`, `ring` and
+  /// `membership` must outlive this sink (nullptr membership = treat
+  /// every replica as alive).
+  ClusterTableSink(std::string self, Network* net, const ShardRing* ring,
+                   const MembershipTracker* membership, Options options);
+
+  /// \brief How one committed write went.
+  struct WriteReport {
+    uint64_t sequence = 0;       // the write's global sequence number
+    uint64_t table_version = 0;  // version replicas now serve the table at
+    size_t acks = 0;             // replica acks received before commit
+    /// Replicas that never acked (dead or slow) — anti-entropy's job now.
+    std::vector<std::string> lagging;
+  };
+
+  /// \brief Replicates `table` (the full post-write state) at
+  /// `table_version` to every replica of every shard.  Blocks until the
+  /// quorum is met on every shard or the write deadline passes;
+  /// kUnavailable names every replica that never acked.
+  Result<WriteReport> Apply(const MappingTable& table, uint64_t table_version);
+
+  /// \brief Routes a WriteAckMsg to its waiting Apply.  Call from the
+  /// coordinator's network handler; unknown request ids are dropped.
+  void OnWriteAck(const WriteAckMsg& msg);
+
+  /// \brief Global sequence number of the last committed write.
+  uint64_t sequence() const;
+
+ private:
+  struct Pending {
+    WriteAckMsg response;
+    bool done = false;
+  };
+
+  // One (shard, replica) delivery the fan-out drives to acked-or-spent.
+  struct Target {
+    uint64_t shard = 0;
+    std::string replica;
+    const WriteSliceMsg* slice = nullptr;  // into Apply()'s slice map
+    std::shared_ptr<Pending> slot;
+    std::vector<uint64_t> ids;     // request ids issued so far
+    int attempts = 0;
+    int64_t attempt_sent_us = -1;  // latest in-flight attempt
+    int64_t send_gate_us = 0;      // backoff: no send before this
+    bool in_flight = false;
+    bool acked = false;
+    bool spent = false;            // attempts exhausted, gave up
+  };
+
+  // Sends one WriteSliceMsg for `target`.  Registers the request id
+  // under mu_, sends with mu_ released.
+  void SendAttempt(Target* target, int64_t now_us);
+
+  const std::string self_;
+  Network* const net_;
+  const ShardRing* const ring_;
+  const MembershipTracker* const membership_;
+  const Options options_;
+
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  uint64_t write_seq_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, std::shared_ptr<Pending>> pending_ GUARDED_BY(mu_);
+};
+
+}  // namespace cluster
+}  // namespace hyperion
+
+#endif  // HYPERION_CLUSTER_WRITE_PATH_H_

@@ -91,7 +91,8 @@ size_t Message::ByteSize() const {
   } else if (std::get_if<AckMsg>(&payload)) {
     bytes += 25;  // session + kind + partition + seq
   } else if (const auto* hb = std::get_if<HeartbeatMsg>(&payload)) {
-    bytes += 17 + hb->node.size() + hb->listen_addr.size();
+    bytes += 17 + hb->node.size() + hb->listen_addr.size() +
+             16 * hb->shards.size();
   } else if (const auto* fetch = std::get_if<ShardFetchMsg>(&payload)) {
     bytes += 16 + fetch->table_name.size();
   } else if (const auto* slice = std::get_if<ShardRowsMsg>(&payload)) {
@@ -100,6 +101,15 @@ size_t Message::ByteSize() const {
              EstimateSchemaBytes(slice->y_schema) +
              8 * slice->row_indices.size();
     for (const Mapping& m : slice->rows) bytes += EstimateMappingBytes(m);
+  } else if (const auto* ws = std::get_if<WriteSliceMsg>(&payload)) {
+    bytes += 49 + ws->origin.size() + ws->table_name.size() +
+             ws->error.size() + EstimateSchemaBytes(ws->x_schema) +
+             EstimateSchemaBytes(ws->y_schema) + 8 * ws->row_indices.size();
+    for (const Mapping& m : ws->rows) bytes += EstimateMappingBytes(m);
+  } else if (const auto* wa = std::get_if<WriteAckMsg>(&payload)) {
+    bytes += 29 + wa->node.size() + wa->error.size();
+  } else if (const auto* rf = std::get_if<RepairFetchMsg>(&payload)) {
+    bytes += 32 + rf->node.size();
   }
   return bytes;
 }
@@ -130,6 +140,12 @@ const char* Message::TypeName() const {
       return "ShardFetch";
     case 11:
       return "ShardRows";
+    case 12:
+      return "WriteSlice";
+    case 13:
+      return "WriteAck";
+    case 14:
+      return "RepairFetch";
   }
   return "Unknown";
 }

@@ -185,6 +185,12 @@ struct HeartbeatMsg {
   std::string listen_addr;  // sender's "host:port"
   uint64_t incarnation = 0; // bumped per process start
   uint64_t beat = 0;        // monotonic per incarnation
+  /// Storage nodes piggyback the write version of every shard they
+  /// replicate (cluster/write_path.h); parallel vectors, shards
+  /// ascending.  Empty for coordinators and pre-write-path senders —
+  /// anti-entropy treats an absent shard as "nothing to compare".
+  std::vector<uint64_t> shards;
+  std::vector<uint64_t> shard_versions;  // parallel to `shards`
 };
 
 /// \brief Coordinator → storage: send me your slice of one table shard
@@ -214,13 +220,63 @@ struct ShardRowsMsg {
   int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
 };
 
+/// \brief Coordinator → storage: apply one shard slice of one curator
+/// write (cluster/write_path.h).  `shard_version` is the per-shard write
+/// sequence number: the receiver applies the slice iff it equals its
+/// current version + 1, acks-without-applying duplicates (≤ current),
+/// and rejects gaps as stale so anti-entropy can fill them.  Also the
+/// reply to a RepairFetchMsg (with `repair` set); `error` is nonempty
+/// when a repair source cannot serve the requested entry.
+struct WriteSliceMsg {
+  uint64_t request_id = 0;   // echoed by the WriteAckMsg / repair reply
+  std::string origin;        // sender's cluster node id
+  std::string table_name;
+  uint64_t shard = 0;
+  uint64_t shard_version = 0;  // per-shard write sequence this slice is
+  uint64_t table_version = 0;  // coordinator TableStore version to adopt
+  uint64_t total_rows = 0;     // full post-write table's row count
+  Schema x_schema;
+  Schema y_schema;
+  std::vector<uint64_t> row_indices;  // original positions, ascending
+  std::vector<Mapping> rows;          // parallel to row_indices
+  uint8_t repair = 0;        // 1 => reply to a RepairFetchMsg
+  std::string error;         // repair replies only: fetch failed loudly
+  int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
+};
+
+/// \brief Storage → coordinator: outcome of applying one WriteSliceMsg.
+/// `shard_version` reports the replica's current version after the
+/// attempt, so a coordinator can tell a duplicate (acked, version
+/// already ≥) from a stale replica (version behind, `applied` = 0).
+struct WriteAckMsg {
+  uint64_t request_id = 0;
+  std::string node;          // responder's cluster node id
+  uint64_t shard = 0;
+  uint8_t applied = 0;       // 1 => slice applied or was a duplicate
+  uint64_t shard_version = 0;  // replica's version after the attempt
+  std::string error;         // nonempty => the apply failed at the node
+  int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
+};
+
+/// \brief Storage → storage: anti-entropy pull.  "Your heartbeat says
+/// your `shard` is at a newer version than my `from_version`; send me
+/// write-log entry `from_version` + 1."  Answered by one WriteSliceMsg
+/// with `repair` set (or with `error` if the entry is gone).
+struct RepairFetchMsg {
+  uint64_t request_id = 0;
+  std::string node;          // requester's cluster node id
+  uint64_t shard = 0;
+  uint64_t from_version = 0;  // requester's current shard version
+};
+
 /// \brief Envelope delivered by the network.
 struct Message {
   std::string from;
   std::string to;
   std::variant<PingMsg, PongMsg, SessionInitMsg, ComputePlanMsg,
                CoverBatchMsg, FinalRowsMsg, SearchMsg, SearchHitMsg, AckMsg,
-               HeartbeatMsg, ShardFetchMsg, ShardRowsMsg>
+               HeartbeatMsg, ShardFetchMsg, ShardRowsMsg, WriteSliceMsg,
+               WriteAckMsg, RepairFetchMsg>
       payload;
 
   /// \brief Estimated wire size in bytes (headers + payload).

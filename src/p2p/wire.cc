@@ -534,6 +534,11 @@ void EncodePayload(const Message& msg, std::string* out) {
     PutString(hb->listen_addr, out);
     PutU64(hb->incarnation, out);
     PutU64(hb->beat, out);
+    PutU32(static_cast<uint32_t>(hb->shards.size()), out);
+    for (size_t i = 0; i < hb->shards.size(); ++i) {
+      PutU64(hb->shards[i], out);
+      PutU64(i < hb->shard_versions.size() ? hb->shard_versions[i] : 0, out);
+    }
   } else if (const auto* fetch = std::get_if<ShardFetchMsg>(&msg.payload)) {
     PutU64(fetch->request_id, out);
     PutString(fetch->table_name, out);
@@ -552,6 +557,35 @@ void EncodePayload(const Message& msg, std::string* out) {
     PutMappings(slice->rows, out);
     PutString(slice->error, out);
     PutU32(static_cast<uint32_t>(slice->error_code), out);
+  } else if (const auto* ws = std::get_if<WriteSliceMsg>(&msg.payload)) {
+    PutU64(ws->request_id, out);
+    PutString(ws->origin, out);
+    PutString(ws->table_name, out);
+    PutU64(ws->shard, out);
+    PutU64(ws->shard_version, out);
+    PutU64(ws->table_version, out);
+    PutU64(ws->total_rows, out);
+    PutSchema(ws->x_schema, out);
+    PutSchema(ws->y_schema, out);
+    PutU32(static_cast<uint32_t>(ws->row_indices.size()), out);
+    for (uint64_t index : ws->row_indices) PutU64(index, out);
+    PutMappings(ws->rows, out);
+    PutU8(ws->repair, out);
+    PutString(ws->error, out);
+    PutU32(static_cast<uint32_t>(ws->error_code), out);
+  } else if (const auto* wa = std::get_if<WriteAckMsg>(&msg.payload)) {
+    PutU64(wa->request_id, out);
+    PutString(wa->node, out);
+    PutU64(wa->shard, out);
+    PutU8(wa->applied, out);
+    PutU64(wa->shard_version, out);
+    PutString(wa->error, out);
+    PutU32(static_cast<uint32_t>(wa->error_code), out);
+  } else if (const auto* rf = std::get_if<RepairFetchMsg>(&msg.payload)) {
+    PutU64(rf->request_id, out);
+    PutString(rf->node, out);
+    PutU64(rf->shard, out);
+    PutU64(rf->from_version, out);
   }
 }
 
@@ -697,6 +731,18 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       HYP_RETURN_IF_ERROR(r->ReadString(&hb.listen_addr));
       HYP_RETURN_IF_ERROR(r->ReadU64(&hb.incarnation));
       HYP_RETURN_IF_ERROR(r->ReadU64(&hb.beat));
+      uint32_t n = 0;
+      HYP_RETURN_IF_ERROR(r->ReadCount(16, &n));
+      hb.shards.reserve(n);
+      hb.shard_versions.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t shard = 0;
+        uint64_t version = 0;
+        HYP_RETURN_IF_ERROR(r->ReadU64(&shard));
+        HYP_RETURN_IF_ERROR(r->ReadU64(&version));
+        hb.shards.push_back(shard);
+        hb.shard_versions.push_back(version);
+      }
       msg->payload = std::move(hb);
       return Status::OK();
     }
@@ -736,6 +782,61 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       HYP_RETURN_IF_ERROR(r->ReadU32(&code));
       slice.error_code = static_cast<int32_t>(code);
       msg->payload = std::move(slice);
+      return Status::OK();
+    }
+    case 12: {
+      WriteSliceMsg ws;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&ws.origin));
+      HYP_RETURN_IF_ERROR(r->ReadString(&ws.table_name));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.shard_version));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.table_version));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.total_rows));
+      HYP_RETURN_IF_ERROR(ReadSchema(r, &ws.x_schema));
+      HYP_RETURN_IF_ERROR(ReadSchema(r, &ws.y_schema));
+      uint32_t n = 0;
+      HYP_RETURN_IF_ERROR(r->ReadCount(8, &n));
+      ws.row_indices.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t index = 0;
+        HYP_RETURN_IF_ERROR(r->ReadU64(&index));
+        ws.row_indices.push_back(index);
+      }
+      HYP_RETURN_IF_ERROR(ReadMappings(r, &ws.rows));
+      if (ws.rows.size() != ws.row_indices.size()) {
+        return Status::InvalidArgument(
+            "wire: write slice index/row counts disagree");
+      }
+      HYP_RETURN_IF_ERROR(r->ReadU8(&ws.repair));
+      HYP_RETURN_IF_ERROR(r->ReadString(&ws.error));
+      uint32_t code = 0;
+      HYP_RETURN_IF_ERROR(r->ReadU32(&code));
+      ws.error_code = static_cast<int32_t>(code);
+      msg->payload = std::move(ws);
+      return Status::OK();
+    }
+    case 13: {
+      WriteAckMsg wa;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&wa.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&wa.node));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&wa.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU8(&wa.applied));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&wa.shard_version));
+      HYP_RETURN_IF_ERROR(r->ReadString(&wa.error));
+      uint32_t code = 0;
+      HYP_RETURN_IF_ERROR(r->ReadU32(&code));
+      wa.error_code = static_cast<int32_t>(code);
+      msg->payload = std::move(wa);
+      return Status::OK();
+    }
+    case 14: {
+      RepairFetchMsg rf;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&rf.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&rf.node));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&rf.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&rf.from_version));
+      msg->payload = std::move(rf);
       return Status::OK();
     }
     default:

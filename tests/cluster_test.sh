@@ -3,11 +3,17 @@
 # ephemeral ports handshaken via port files, coordinator covers
 # byte-identical to single-process mode — then both fault drills:
 #
-#  * --kill-one   replication=1, a mid-stream storage-node kill must be
-#                 attributed loudly to the dead node by name;
-#  * --failover   replication=2, kill -9 of the shard-0 primary must be
-#                 survived with zero failed queries and byte-identical
-#                 covers.
+#  * --kill-one    replication=1, a mid-stream storage-node kill must be
+#                  attributed loudly to the dead node by name;
+#  * --failover    replication=2, kill -9 of the shard-0 primary must be
+#                  survived with zero failed queries and byte-identical
+#                  covers;
+#  * --write-path  replication=2 with per-node write logs: a curator
+#                  write replicated while one replica is SIGKILLed must
+#                  commit under write_quorum 1, and the restarted
+#                  replica must be repaired by anti-entropy until the
+#                  cluster cover is byte-identical to a single-process
+#                  replay of the same write sequence.
 #
 # All of that logic lives in tools/run_cluster.sh — CI and operators
 # run the same script this test gates.
@@ -16,3 +22,4 @@ CLI=${1:?usage: cluster_test.sh <path-to-hyperion_cli>}
 SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
 bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --kill-one
 bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --failover
+bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --write-path

@@ -129,6 +129,96 @@ TEST(ClusterConfigTest, ParsesReplicationAndFailoverKnobs) {
                    .ok());
 }
 
+TEST(ClusterConfigTest, WritePathKnobsRoundTripFullyPopulated) {
+  // Every knob the format knows — replication/failover (PR 7) plus the
+  // write path — set to a non-default value: parse(ToString(c)) must
+  // reproduce c exactly, field for field.
+  auto config = ClusterConfig::Parse(
+      "shards 4\n"
+      "vnodes 32\n"
+      "replication 2\n"
+      "heartbeat_ms 100\n"
+      "suspect_ms 600\n"
+      "down_ms 2000\n"
+      "fetch_timeout_ms 7000\n"
+      "replica_timeout_ms 250\n"
+      "fetch_attempts 3\n"
+      "fetch_backoff_ms 20\n"
+      "hedge_ms 80\n"
+      "write_quorum 1\n"
+      "write_timeout_ms 9000\n"
+      "write_attempts 4\n"
+      "write_backoff_ms 30\n"
+      "repair_interval_ms 150\n"
+      "node coord coordinator 127.0.0.1 9100\n"
+      "node store1 storage 127.0.0.1 9101\n"
+      "node store2 storage 127.0.0.1 0\n");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config.value().write_quorum, 1u);
+  EXPECT_EQ(config.value().write_timeout_ms, 9000u);
+  EXPECT_EQ(config.value().write_attempts, 4u);
+  EXPECT_EQ(config.value().write_backoff_ms, 30u);
+  EXPECT_EQ(config.value().repair_interval_ms, 150u);
+
+  auto again = ClusterConfig::Parse(config.value().ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().ToString(), config.value().ToString());
+  EXPECT_EQ(again.value().write_quorum, config.value().write_quorum);
+  EXPECT_EQ(again.value().write_timeout_ms, config.value().write_timeout_ms);
+  EXPECT_EQ(again.value().write_attempts, config.value().write_attempts);
+  EXPECT_EQ(again.value().write_backoff_ms, config.value().write_backoff_ms);
+  EXPECT_EQ(again.value().repair_interval_ms,
+            config.value().repair_interval_ms);
+
+  // The default (0 = all-alive) round-trips too: ToString omits the
+  // directive rather than emit a value the parser refuses.
+  auto implicit = ClusterConfig::Parse(
+      "node a coordinator h 1\n"
+      "node b storage h 2\n");
+  ASSERT_TRUE(implicit.ok());
+  EXPECT_EQ(implicit.value().write_quorum, 0u);
+  auto implicit_again = ClusterConfig::Parse(implicit.value().ToString());
+  ASSERT_TRUE(implicit_again.ok()) << implicit_again.status();
+  EXPECT_EQ(implicit_again.value().write_quorum, 0u);
+}
+
+TEST(ClusterConfigTest, RejectsImpossibleWriteQuorums) {
+  // An explicit quorum of zero could never commit a write; the rejection
+  // must carry the offending line number.
+  auto zero = ClusterConfig::Parse(
+      "replication 2\n"
+      "write_quorum 0\n"
+      "node a coordinator h 1\n"
+      "node b storage h 2\n"
+      "node c storage h 3\n");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().message().find("line 2"), std::string::npos)
+      << zero.status();
+
+  // A quorum above the replication factor can never be met either —
+  // caught even though replication appears later in the file.
+  auto high = ClusterConfig::Parse(
+      "write_quorum 3\n"
+      "replication 2\n"
+      "node a coordinator h 1\n"
+      "node b storage h 2\n"
+      "node c storage h 3\n");
+  ASSERT_FALSE(high.ok());
+  EXPECT_NE(high.status().message().find("line 1"), std::string::npos)
+      << high.status();
+
+  // Zero write attempts / a zero repair interval are configs that can
+  // never converge.
+  EXPECT_FALSE(ClusterConfig::Parse("write_attempts 0\n"
+                                    "node a coordinator h 1\n"
+                                    "node b storage h 2\n")
+                   .ok());
+  EXPECT_FALSE(ClusterConfig::Parse("repair_interval_ms 0\n"
+                                    "node a coordinator h 1\n"
+                                    "node b storage h 2\n")
+                   .ok());
+}
+
 TEST(MembershipTest, HeartbeatSilenceAndRepair) {
   // Clock-free tracker: timestamps are fed in, so the state machine is
   // exercised deterministically without sleeping.

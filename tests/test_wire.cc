@@ -197,6 +197,138 @@ TEST(WireTest, HeartbeatRoundTrip) {
   EXPECT_EQ(got.beat, 42u);
 }
 
+TEST(WireTest, HeartbeatShardVersionPiggybackRoundTrip) {
+  // Storage heartbeats advertise per-shard write-log versions; the pairs
+  // must survive the wire exactly — anti-entropy staleness detection
+  // rests on them.
+  HeartbeatMsg hb;
+  hb.node = "store2";
+  hb.role = 1;
+  hb.listen_addr = "127.0.0.1:9102";
+  hb.incarnation = 9;
+  hb.beat = 7;
+  hb.shards = {0, 2, 5};
+  hb.shard_versions = {4, 4, 3};
+
+  Message got_env = RoundTrip(Message{"store2", "coord", hb});
+  const auto& got = std::get<HeartbeatMsg>(got_env.payload);
+  EXPECT_EQ(got.shards, (std::vector<uint64_t>{0, 2, 5}));
+  EXPECT_EQ(got.shard_versions, (std::vector<uint64_t>{4, 4, 3}));
+
+  // The encoder writes interleaved (shard, version) pairs keyed off
+  // shards.size(), so a short shard_versions vector can never misalign
+  // the stream: the missing slots go out as version 0 ("unknown"),
+  // which the repair path already treats as maximally stale.
+  HeartbeatMsg padded = hb;
+  padded.shard_versions.pop_back();
+  Message padded_env = RoundTrip(Message{"store2", "coord", padded});
+  const auto& got_padded = std::get<HeartbeatMsg>(padded_env.payload);
+  EXPECT_EQ(got_padded.shards, (std::vector<uint64_t>{0, 2, 5}));
+  EXPECT_EQ(got_padded.shard_versions, (std::vector<uint64_t>{4, 4, 0}));
+}
+
+TEST(WireTest, WriteSliceRoundTripPreservesRepairAndError) {
+  WriteSliceMsg slice;
+  slice.request_id = 501;
+  slice.origin = "coord";
+  slice.table_name = "m5";
+  slice.shard = 1;
+  slice.shard_version = 6;
+  slice.table_version = 9;
+  slice.total_rows = 44;
+  slice.x_schema = TestSchema();
+  slice.y_schema = TestSchema();
+  slice.row_indices = {3, 8, 40};
+  slice.rows = TestRows();
+  slice.rows.push_back(TestRows().front());  // indices ∥ rows
+
+  Message got_env = RoundTrip(Message{"coord", "store1", slice});
+  const auto& got = std::get<WriteSliceMsg>(got_env.payload);
+  EXPECT_EQ(got.request_id, 501u);
+  EXPECT_EQ(got.origin, "coord");
+  EXPECT_EQ(got.table_name, "m5");
+  EXPECT_EQ(got.shard, 1u);
+  EXPECT_EQ(got.shard_version, 6u);
+  EXPECT_EQ(got.table_version, 9u);
+  EXPECT_EQ(got.total_rows, 44u);
+  EXPECT_EQ(got.x_schema.arity(), 3u);
+  EXPECT_EQ(got.row_indices, (std::vector<uint64_t>{3, 8, 40}));
+  EXPECT_EQ(got.rows, slice.rows);
+  EXPECT_EQ(got.repair, 0);
+  EXPECT_TRUE(got.error.empty());
+
+  // Repair replies carry the flag and, on failure, the loud error.
+  WriteSliceMsg repair;
+  repair.request_id = 502;
+  repair.origin = "store2";
+  repair.shard = 1;
+  repair.repair = 1;
+  repair.error = "no write-log entry for shard 1 version 7";
+  repair.error_code = 5;  // kNotFound
+  Message got_rep = RoundTrip(Message{"store2", "store1", repair});
+  const auto& r = std::get<WriteSliceMsg>(got_rep.payload);
+  EXPECT_EQ(r.repair, 1);
+  EXPECT_EQ(r.error, "no write-log entry for shard 1 version 7");
+  EXPECT_EQ(r.error_code, 5);
+}
+
+TEST(WireTest, WriteSliceRejectsIndexRowCountMismatch) {
+  WriteSliceMsg slice;
+  slice.request_id = 1;
+  slice.origin = "coord";
+  slice.table_name = "m1";
+  slice.shard = 0;
+  slice.shard_version = 1;
+  slice.x_schema = TestSchema();
+  slice.y_schema = TestSchema();
+  slice.row_indices = {0, 1, 2};  // three indices...
+  slice.rows = TestRows();        // ...two rows
+  std::string bytes = wire::EncodeMessage(Message{"c", "s", slice});
+  EXPECT_FALSE(wire::DecodeMessage(bytes).ok());
+}
+
+TEST(WireTest, WriteAckAndRepairFetchRoundTrip) {
+  WriteAckMsg ack;
+  ack.request_id = 501;
+  ack.node = "store1";
+  ack.shard = 1;
+  ack.applied = 1;
+  ack.shard_version = 6;
+  Message a_env = RoundTrip(Message{"store1", "coord", ack});
+  const auto& a = std::get<WriteAckMsg>(a_env.payload);
+  EXPECT_EQ(a.request_id, 501u);
+  EXPECT_EQ(a.node, "store1");
+  EXPECT_EQ(a.shard, 1u);
+  EXPECT_EQ(a.applied, 1);
+  EXPECT_EQ(a.shard_version, 6u);
+  EXPECT_TRUE(a.error.empty());
+
+  WriteAckMsg refusal;
+  refusal.request_id = 503;
+  refusal.node = "store3";
+  refusal.shard = 0;
+  refusal.shard_version = 2;
+  refusal.error = "replica 'store3' is stale on shard 0";
+  refusal.error_code = 10;  // kFailedPrecondition
+  Message r_env = RoundTrip(Message{"store3", "coord", refusal});
+  const auto& r = std::get<WriteAckMsg>(r_env.payload);
+  EXPECT_EQ(r.applied, 0);
+  EXPECT_EQ(r.error, "replica 'store3' is stale on shard 0");
+  EXPECT_EQ(r.error_code, 10);
+
+  RepairFetchMsg fetch;
+  fetch.request_id = 88;
+  fetch.node = "store3";
+  fetch.shard = 1;
+  fetch.from_version = 4;
+  Message f_env = RoundTrip(Message{"store3", "store1", fetch});
+  const auto& f = std::get<RepairFetchMsg>(f_env.payload);
+  EXPECT_EQ(f.request_id, 88u);
+  EXPECT_EQ(f.node, "store3");
+  EXPECT_EQ(f.shard, 1u);
+  EXPECT_EQ(f.from_version, 4u);
+}
+
 TEST(WireTest, ShardFetchRoundTrip) {
   ShardFetchMsg fetch;
   fetch.request_id = 77;

@@ -1,0 +1,376 @@
+// The distributed write path: ShardWriteLog monotonicity + persistence,
+// replicated curator writes through a full in-process cluster (fan-out,
+// quorum, refetched bytes), and anti-entropy repair of a replica that
+// was dead while writes committed.
+
+#include "cluster/write_path.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node.h"
+#include "common/status.h"
+#include "core/curator.h"
+#include "core/mapping_table.h"
+#include "obs/metrics.h"
+#include "service/catalogs.h"
+#include "storage/table_store.h"
+
+namespace hyperion {
+namespace cluster {
+namespace {
+
+WriteSliceMsg LogEntry(uint64_t shard, uint64_t version,
+                       const std::string& table = "m5") {
+  WriteSliceMsg entry;
+  entry.origin = "coord";
+  entry.table_name = table;
+  entry.shard = shard;
+  entry.shard_version = version;
+  entry.table_version = version + 10;
+  return entry;
+}
+
+TEST(ClusterWriteLogTest, AppendIsMonotonicPerShard) {
+  ShardWriteLog log;  // memory-only: Open never called
+  EXPECT_EQ(log.VersionOf(0), 0u);
+  EXPECT_TRUE(log.Versions().empty());
+
+  ASSERT_TRUE(log.Append(LogEntry(0, 1)).ok());
+  ASSERT_TRUE(log.Append(LogEntry(0, 2)).ok());
+  ASSERT_TRUE(log.Append(LogEntry(1, 1)).ok());
+  EXPECT_EQ(log.VersionOf(0), 2u);
+  EXPECT_EQ(log.VersionOf(1), 1u);
+  EXPECT_EQ(log.Versions(),
+            (std::vector<std::pair<uint64_t, uint64_t>>{{0, 2}, {1, 1}}));
+
+  // Anything but current + 1 is refused: a gap would silently lose a
+  // write, a replay would fork history.
+  EXPECT_FALSE(log.Append(LogEntry(0, 2)).ok());  // duplicate
+  EXPECT_FALSE(log.Append(LogEntry(0, 4)).ok());  // gap
+  EXPECT_EQ(log.VersionOf(0), 2u);
+
+  auto entry = log.EntryAt(0, 2);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().table_name, "m5");
+  EXPECT_EQ(entry.value().table_version, 12u);
+  EXPECT_EQ(log.EntryAt(0, 3).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(log.EntryAt(7, 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterWriteLogTest, PersistsAcrossReopenAndToleratesTornTail) {
+  const std::string dir = ::testing::TempDir() + "write_log_reopen";
+  std::filesystem::remove_all(dir);  // TempDir persists across runs
+  {
+    ShardWriteLog log;
+    ASSERT_TRUE(log.Open(dir, /*shard_count=*/2).ok());
+    ASSERT_TRUE(log.Append(LogEntry(0, 1)).ok());
+    ASSERT_TRUE(log.Append(LogEntry(0, 2)).ok());
+    ASSERT_TRUE(log.Append(LogEntry(1, 1)).ok());
+  }
+  // A crash mid-append leaves a torn frame at the tail; loading must
+  // keep every complete entry and ignore the fragment.
+  {
+    std::ofstream out(dir + "/shard_0.log",
+                      std::ios::app | std::ios::binary);
+    out.write("\x03\x01", 2);  // shorter than a frame header
+  }
+  ShardWriteLog reopened;
+  ASSERT_TRUE(reopened.Open(dir, 2).ok());
+  EXPECT_EQ(reopened.VersionOf(0), 2u);
+  EXPECT_EQ(reopened.VersionOf(1), 1u);
+  auto entry = reopened.EntryAt(0, 2);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().table_name, "m5");
+  EXPECT_EQ(entry.value().shard_version, 2u);
+
+  // The reopened log resumes exactly where the crash left it.
+  ASSERT_TRUE(reopened.Append(LogEntry(0, 3)).ok());
+  EXPECT_FALSE(reopened.Append(LogEntry(1, 3)).ok());  // gap survives reopen
+
+  ShardWriteLog third;
+  ASSERT_TRUE(third.Open(dir, 2).ok());
+  EXPECT_EQ(third.VersionOf(0), 3u);
+}
+
+// --- in-process cluster with the write path enabled ----------------------
+
+class ClusterWriteE2ETest : public ::testing::Test {
+ protected:
+  // Three storage nodes, two copies of every shard, fast heartbeats and
+  // a 100 ms anti-entropy period so repair converges in test time.
+  void StartWriteCluster(uint64_t write_quorum) {
+    bio_.num_entities = 100;
+
+    seed_.shard_count = 2;
+    seed_.replication = 2;
+    seed_.heartbeat_ms = 50;
+    seed_.suspect_ms = 400;
+    seed_.down_ms = 1200;
+    seed_.fetch_timeout_ms = 10'000;
+    seed_.replica_timeout_ms = 250;
+    seed_.fetch_attempts = 2;
+    seed_.fetch_backoff_ms = 20;
+    seed_.write_quorum = write_quorum;
+    seed_.write_timeout_ms = 3000;
+    seed_.write_attempts = 2;
+    seed_.write_backoff_ms = 20;
+    seed_.repair_interval_ms = 100;
+    seed_.nodes = {{"coord", NodeRole::kCoordinator, "127.0.0.1", 0},
+                   {"s1", NodeRole::kStorage, "127.0.0.1", 0},
+                   {"s2", NodeRole::kStorage, "127.0.0.1", 0},
+                   {"s3", NodeRole::kStorage, "127.0.0.1", 0}};
+
+    for (const std::string id : {"s1", "s2", "s3"}) {
+      auto catalog = BuildBioCatalog(bio_);
+      ASSERT_TRUE(catalog.ok());
+      auto node =
+          ClusterNode::Create(seed_, id, std::move(*catalog.value().store));
+      ASSERT_TRUE(node.ok()) << node.status();
+      ASSERT_TRUE(node.value()->Bind().ok());
+      storage_.push_back(std::move(node).value());
+    }
+
+    resolved_ = seed_;
+    for (auto& node : resolved_.nodes) {
+      for (const auto& storage : storage_) {
+        if (storage->self().id == node.id) {
+          auto port = storage->ListenPort();
+          ASSERT_TRUE(port.ok());
+          node.port = port.value();
+        }
+      }
+    }
+    for (const auto& storage : storage_) {
+      ASSERT_TRUE(storage->Start().ok());
+    }
+
+    auto catalog = BuildBioCatalog(bio_);
+    ASSERT_TRUE(catalog.ok());
+    reference_ = std::move(catalog.value().store);
+    auto coord = ClusterNode::Create(resolved_, "coord", TableStore());
+    ASSERT_TRUE(coord.ok()) << coord.status();
+    ASSERT_TRUE(coord.value()->Bind().ok());
+    ASSERT_TRUE(coord.value()->Start().ok());
+    coord_ = std::move(coord).value();
+    ASSERT_TRUE(coord_->WaitAllAlive(15'000'000))
+        << "cluster did not become fully alive";
+  }
+
+  void TearDown() override {
+    if (coord_) coord_->Stop();
+    for (auto& storage : storage_) storage->Stop();
+  }
+
+  void StopStorageNode(const std::string& node) {
+    for (auto& storage : storage_) {
+      if (storage->self().id == node) storage->Stop();
+    }
+  }
+
+  // Replaces the stopped `node` with a fresh incarnation on a new
+  // ephemeral port — an empty write log, like a process that lost its
+  // disk — and tells every survivor the new address.
+  void RestartStorageNode(const std::string& node) {
+    ClusterConfig restart = resolved_;
+    for (auto& spec : restart.nodes) {
+      if (spec.id == node) spec.port = 0;
+    }
+    auto catalog = BuildBioCatalog(bio_);
+    ASSERT_TRUE(catalog.ok());
+    auto fresh =
+        ClusterNode::Create(restart, node, std::move(*catalog.value().store));
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    ASSERT_TRUE(fresh.value()->Bind().ok());
+    auto port = fresh.value()->ListenPort();
+    ASSERT_TRUE(port.ok());
+    ASSERT_TRUE(fresh.value()->Start().ok());
+    const std::string addr = "127.0.0.1:" + std::to_string(port.value());
+    coord_->SetPeerAddress(node, addr);
+    for (auto& storage : storage_) {
+      if (storage->self().id == node) {
+        storage = std::move(fresh).value();
+      } else {
+        storage->SetPeerAddress(node, addr);
+      }
+    }
+  }
+
+  ClusterNode* StorageNode(const std::string& node) {
+    for (auto& storage : storage_) {
+      if (storage->self().id == node) return storage.get();
+    }
+    return nullptr;
+  }
+
+  // One curator update: the post-write table with (x, y) unioned in.
+  static Result<MappingTable> Written(const MappingTable& table,
+                                      const std::string& x,
+                                      const std::string& y) {
+    HYP_ASSIGN_OR_RETURN(
+        MappingTable delta,
+        MappingTable::Create(table.x_schema(), table.y_schema(),
+                             table.name()));
+    HYP_RETURN_IF_ERROR(delta.AddPair({Value(x)}, {Value(y)}));
+    return MergeUnion(table, delta, table.name());
+  }
+
+  BioConfig bio_;
+  ClusterConfig seed_;
+  ClusterConfig resolved_;
+  std::vector<std::unique_ptr<ClusterNode>> storage_;
+  std::unique_ptr<ClusterNode> coord_;
+  std::unique_ptr<TableStore> reference_;
+};
+
+TEST_F(ClusterWriteE2ETest, ReplicatedWriteIsVisibleInRefetchedTable) {
+  StartWriteCluster(/*write_quorum=*/0);  // all-alive
+  const std::string name = reference_->Names().front();
+  auto fetched = coord_->table_source()->Fetch(name);
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+
+  auto merged = Written(*fetched.value().table, "writx", "writy");
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  auto report = coord_->table_sink()->Apply(merged.value(),
+                                            fetched.value().version + 1);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().sequence, 1u);
+  // All-alive quorum with everyone up: 2 shards × 2 replicas, every
+  // target must have acked before the commit.
+  EXPECT_EQ(report.value().acks, 4u);
+  EXPECT_TRUE(report.value().lagging.empty());
+  EXPECT_EQ(coord_->table_sink()->sequence(), 1u);
+
+  // Every replica applied the write, both shards in lockstep.
+  for (const auto& storage : storage_) {
+    for (uint64_t shard : storage->owned_shards()) {
+      EXPECT_EQ(storage->write_log().VersionOf(shard), 1u)
+          << storage->self().id << " shard " << shard;
+    }
+  }
+
+  // The refetched table is the post-write table, byte for byte, at the
+  // version the write stamped.
+  coord_->table_source()->EvictTable(name);
+  auto again = coord_->table_source()->Fetch(name);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().version, fetched.value().version + 1);
+  EXPECT_EQ(again.value().table->Serialize(), merged.value().Serialize());
+
+  // A second write continues the sequence.
+  auto twice = Written(merged.value(), "writx2", "writy2");
+  ASSERT_TRUE(twice.ok());
+  auto second = coord_->table_sink()->Apply(twice.value(),
+                                            fetched.value().version + 2);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value().sequence, 2u);
+}
+
+TEST_F(ClusterWriteE2ETest, QuorumShortfallFailsNamingTheDeadReplica) {
+  StartWriteCluster(/*write_quorum=*/2);
+  const std::string name = reference_->Names().front();
+  auto fetched = coord_->table_source()->Fetch(name);
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+
+  // Kill one replica of shard 0: a quorum of 2 can never be met there.
+  const std::string victim = coord_->ring().OwnerForShard(0);
+  StopStorageNode(victim);
+
+  auto merged = Written(*fetched.value().table, "writx", "writy");
+  ASSERT_TRUE(merged.ok());
+  auto report = coord_->table_sink()->Apply(merged.value(),
+                                            fetched.value().version + 1);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable)
+      << report.status();
+  EXPECT_NE(report.status().message().find("'" + victim + "'"),
+            std::string::npos)
+      << "error does not name the dead replica: " << report.status();
+}
+
+// --- anti-entropy repair --------------------------------------------------
+
+using RepairE2ETest = ClusterWriteE2ETest;
+
+TEST_F(RepairE2ETest, AntiEntropyConvergesARestartedReplica) {
+  StartWriteCluster(/*write_quorum=*/1);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  const uint64_t repaired0 =
+      reg.GetCounter("cluster.repair.entries_applied")->value();
+  const std::string name = reference_->Names().front();
+  auto fetched = coord_->table_source()->Fetch(name);
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+
+  // Write 1 lands everywhere; then the shard-0 primary dies and write 2
+  // commits off the surviving replicas under quorum 1.
+  auto once = Written(*fetched.value().table, "writx1", "writy1");
+  ASSERT_TRUE(once.ok());
+  auto first = coord_->table_sink()->Apply(once.value(),
+                                           fetched.value().version + 1);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  const std::string victim = coord_->ring().OwnerForShard(0);
+  StopStorageNode(victim);
+
+  auto twice = Written(once.value(), "writx2", "writy2");
+  ASSERT_TRUE(twice.ok());
+  auto second = coord_->table_sink()->Apply(twice.value(),
+                                            fetched.value().version + 2);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value().sequence, 2u);
+  // The dead replica is exactly what the commit left behind.
+  EXPECT_EQ(std::count(second.value().lagging.begin(),
+                       second.value().lagging.end(), victim),
+            1);
+
+  // Restart the victim empty: peer heartbeats advertise v2, so the
+  // anti-entropy loop must pull both missed writes for every shard it
+  // owns — with no coordinator involvement at all.
+  RestartStorageNode(victim);
+  ClusterNode* revived = StorageNode(victim);
+  ASSERT_NE(revived, nullptr);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    bool converged = true;
+    for (uint64_t shard : revived->owned_shards()) {
+      if (revived->write_log().VersionOf(shard) < 2) converged = false;
+    }
+    if (converged) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << victim << " never converged via anti-entropy";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (uint64_t shard : revived->owned_shards()) {
+    EXPECT_EQ(revived->write_log().VersionOf(shard), 2u) << "shard " << shard;
+  }
+  // Two writes × the victim's owned shards were pulled and applied.
+  EXPECT_GE(reg.GetCounter("cluster.repair.entries_applied")->value(),
+            repaired0 + 2 * revived->owned_shards().size());
+
+  // Proof the repaired slices serve reads: lose the *other* replica of
+  // shard 0, so the refetch must assemble from the revived node — and
+  // the bytes must be the post-write-2 table.
+  for (const std::string& owner : coord_->ring().OwnersForShard(0)) {
+    if (owner != victim) StopStorageNode(owner);
+  }
+  coord_->table_source()->Evict();
+  auto again = coord_->table_source()->Fetch(name);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().version, fetched.value().version + 2);
+  EXPECT_EQ(again.value().table->Serialize(), twice.value().Serialize());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace hyperion

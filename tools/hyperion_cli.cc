@@ -463,6 +463,42 @@ std::vector<std::string> SplitCommas(const std::string& csv) {
   return out;
 }
 
+// Parses "v1,v2,..." against `table`'s schemas into a one-row delta
+// table and union-merges it in — the one curator-write primitive the
+// cluster REPL's `write` verb and `query --write` share, so a cluster
+// write sequence and its single-process replay produce byte-identical
+// tables.
+Result<MappingTable> CuratorWrite(const MappingTable& table,
+                                  const std::string& row_csv) {
+  std::vector<std::string> cells = SplitCommas(row_csv);
+  const size_t x_arity = table.x_arity();
+  const size_t y_arity = table.y_schema().arity();
+  if (cells.size() != x_arity + y_arity) {
+    return Status::InvalidArgument(
+        "write row has " + std::to_string(cells.size()) + " values; table '" +
+        table.name() + "' needs " + std::to_string(x_arity + y_arity));
+  }
+  auto value_of = [](const Schema& schema, size_t i, const std::string& word) {
+    return schema.attr(i).domain()->value_type() == ValueType::kInt
+               ? Value(std::strtoll(word.c_str(), nullptr, 10))
+               : Value(word);
+  };
+  Tuple x, y;
+  for (size_t i = 0; i < x_arity; ++i) {
+    x.push_back(value_of(table.x_schema(), i, cells[i]));
+  }
+  for (size_t i = 0; i < y_arity; ++i) {
+    y.push_back(value_of(table.y_schema(), i, cells[x_arity + i]));
+  }
+  HYP_ASSIGN_OR_RETURN(
+      MappingTable delta,
+      MappingTable::Create(table.x_schema(), table.y_schema(), table.name()));
+  HYP_RETURN_IF_ERROR(delta.AddPair(x, y));
+  HYP_ASSIGN_OR_RETURN(MappingTable merged,
+                       MergeUnion(table, delta, table.name()));
+  return merged;
+}
+
 // Builds the QueryRequest for a database path like "Hugo,SwissProt,MIM":
 // translate the initiator's ids into the terminal database's ids.
 Result<QueryRequest> BioRequest(const std::vector<std::string>& dbs) {
@@ -612,12 +648,34 @@ int CmdQuery(std::vector<std::string> args) {
   std::vector<std::string> dbs = {"Hugo", "SwissProt", "MIM"};
   if (auto v = TakeValueFlag(&args, "--path")) dbs = SplitCommas(*v);
   auto dump_path = TakeValueFlag(&args, "--dump");
+  std::vector<std::string> writes;  // repeatable --write "table:v1,v2,..."
+  while (auto v = TakeValueFlag(&args, "--write")) writes.push_back(*v);
   if (!args.empty()) return Fail("query takes only flags; see usage");
   if (repeat == 0 || threads == 0) {
     return Fail("--repeat and --threads must be positive");
   }
   auto catalog = BuildBioCatalog(flags.value().config);
   if (!catalog.ok()) return Fail(catalog.status().ToString());
+  // Replay curator writes into the local store, in order — the
+  // single-process reference for the cluster write-path drill: the same
+  // write sequence applied through ClusterTableSink must leave the
+  // cluster serving byte-identical tables (and covers) to these.
+  for (const std::string& spec : writes) {
+    size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+      return Fail("--write needs <table>:<v1,v2,...>");
+    }
+    std::string table_name = spec.substr(0, colon);
+    auto current = catalog.value().store->Get(table_name);
+    if (!current.ok()) return Fail(current.status().ToString());
+    auto merged = CuratorWrite(*current.value(), spec.substr(colon + 1));
+    if (!merged.ok()) return Fail(merged.status().ToString());
+    if (Status s =
+            catalog.value().store->PutOrReplace(std::move(merged).value());
+        !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
   QueryService service(catalog.value().store.get(), catalog.value().peers,
                        flags.value().options);
   auto request = BioRequest(dbs);
@@ -738,6 +796,7 @@ int CmdNode(std::vector<std::string> args) {
   auto entities = TakeValueFlag(&args, "--entities");
   auto workers = TakeValueFlag(&args, "--workers");
   auto port_file = TakeValueFlag(&args, "--port-file");
+  auto log_dir = TakeValueFlag(&args, "--log-dir");
   bool print_port = false;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--print-port") {
@@ -762,6 +821,7 @@ int CmdNode(std::vector<std::string> args) {
   auto node = cluster::ClusterNode::Create(
       std::move(config).value(), *id, std::move(*catalog.value().store));
   if (!node.ok()) return Fail(node.status().ToString());
+  if (log_dir) node.value()->SetWriteLogDir(*log_dir);
 
   cluster::InstallShutdownSignalHandlers();
   if (Status s = node.value()->Bind(); !s.ok()) return Fail(s.ToString());
@@ -814,12 +874,81 @@ int CmdNode(std::vector<std::string> args) {
     if (verb == "help") {
       std::cout << "  query <Db1,Db2,...>      run a cover along the path\n"
                    "  dump <out> <Db1,...>     run and write the cover file\n"
+                   "  write <table> <v1,v2,..> replicate a curator write\n"
+                   "  versions                 per-node shard write versions\n"
                    "  members                  membership states\n"
                    "  waitalive [timeout_ms]   block until all peers alive\n"
                    "  shards                   per-shard fetch accounting\n"
                    "  stats                    service counters\n"
                    "  evict                    drop the fetched-table cache\n"
                    "  quit\n";
+      continue;
+    }
+    if (verb == "write") {
+      std::string table_name, row_csv;
+      in >> table_name >> row_csv;
+      if (table_name.empty() || row_csv.empty()) {
+        std::cout << "error: write needs <table> <v1,v2,...>\n";
+        continue;
+      }
+      auto fetched = node.value()->table_source()->Fetch(table_name);
+      if (!fetched.ok()) {
+        std::cout << "error: " << fetched.status() << "\n";
+        continue;
+      }
+      auto merged = CuratorWrite(*fetched.value().table, row_csv);
+      if (!merged.ok()) {
+        std::cout << "error: " << merged.status() << "\n";
+        continue;
+      }
+      auto report = node.value()->table_sink()->Apply(
+          merged.value(), fetched.value().version + 1);
+      if (!report.ok()) {
+        std::cout << "error: " << report.status() << "\n";
+        continue;
+      }
+      // The committed write made the cached assembly stale; the next
+      // fetch re-pulls at the new version, which invalidates covers
+      // keyed on the old one.
+      node.value()->table_source()->EvictTable(table_name);
+      std::cout << "write ok " << table_name << " seq "
+                << report.value().sequence << " acks "
+                << report.value().acks;
+      if (!report.value().lagging.empty()) {
+        std::cout << " lagging";
+        for (const std::string& replica : report.value().lagging) {
+          std::cout << " " << replica;
+        }
+      }
+      std::cout << "\n";
+      continue;
+    }
+    if (verb == "versions") {
+      // One line per storage node: how many of its owned shards it has
+      // advertised versions for, and the minimum — the drill polls for
+      // "min v<seq>" to detect anti-entropy convergence.
+      auto peers = node.value()->PeerShardVersions();
+      for (const std::string& sid : node.value()->config().StorageNodeIds()) {
+        std::vector<uint64_t> owned = node.value()->ring().ShardsOwnedBy(sid);
+        auto it = peers.find(sid);
+        uint64_t min_version = 0;
+        size_t reported = 0;
+        bool first = true;
+        for (uint64_t s : owned) {
+          uint64_t v = 0;
+          if (it != peers.end()) {
+            auto f = it->second.find(s);
+            if (f != it->second.end()) {
+              v = f->second;
+              ++reported;
+            }
+          }
+          if (first || v < min_version) min_version = v;
+          first = false;
+        }
+        std::cout << sid << " shards " << reported << "/" << owned.size()
+                  << " min v" << min_version << "\n";
+      }
       continue;
     }
     if (verb == "members") {
@@ -924,14 +1053,18 @@ int Usage() {
          "        REPL over a QueryService on the bio network\n"
          "        (query Db1,Db2,... / paths / stats / quit)\n"
          "  query [--repeat N] [--threads K] [--path Db1,Db2,...]\n"
-         "        [--dump <file>] [service flags]\n"
+         "        [--dump <file>] [--write t:v1,v2,... ...] [service flags]\n"
          "        hammer one request from K client threads (CI soak);\n"
-         "        --dump writes one clean cover for conformance diffs\n"
+         "        --dump writes one clean cover for conformance diffs;\n"
+         "        --write (repeatable, in order) union-merges one row\n"
+         "        into a table first — the single-process reference for\n"
+         "        the cluster write-path drill\n"
          "  node --config <file> --id <name> [--entities E] [--workers W]\n"
-         "        [--port-file <path>] [--print-port]\n"
+         "        [--port-file <path>] [--print-port] [--log-dir <dir>]\n"
          "        run one cluster process: storage nodes serve shard\n"
-         "        slices; the coordinator is a REPL (query/dump/members/\n"
-         "        waitalive/shards/stats/evict/quit)\n"
+         "        slices (--log-dir persists applied writes for restart\n"
+         "        recovery); the coordinator is a REPL (query/dump/write/\n"
+         "        versions/members/waitalive/shards/stats/evict/quit)\n"
          "  cluster plan|check --config <file>\n"
          "        print (plan) or validate (check) the shard placement\n"
          "  service flags: --entities E --workers W --queue Q --no-cache\n"

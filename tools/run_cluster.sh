@@ -4,7 +4,7 @@
 # distributed cover is byte-identical to a single-process run over the
 # same catalog.
 #
-#   tools/run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover]
+#   tools/run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover] [--write-path]
 #
 # Startup handshake: storage nodes bind ephemeral ports (port 0 in the
 # seed config) and publish them via --port-file; once all files exist
@@ -24,24 +24,42 @@
 # cluster keeps answering — zero failed queries, covers byte-identical
 # to the single-process reference, the failover invisible except in the
 # logs.
+#
+# --write-path (replication=2, three storage nodes, write_quorum 1,
+# per-node write logs) is the durability drill: replicate a curator
+# write, kill -9 one replica, replicate a second write while it is
+# down, restart it, wait for anti-entropy to repair it to the latest
+# write sequence, and assert the final cluster cover is byte-identical
+# to a single-process run that applied the same write sequence — with
+# zero failed queries and zero failed writes along the way.
 set -euo pipefail
 
-CLI=${1:?usage: run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover]}
+CLI=${1:?usage: run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover] [--write-path]}
 shift || true
 KILL_ONE=0
 FAILOVER=0
+WRITE_PATH=0
 for arg in "$@"; do
   [[ "$arg" == "--kill-one" ]] && KILL_ONE=1
   [[ "$arg" == "--failover" ]] && FAILOVER=1
+  [[ "$arg" == "--write-path" ]] && WRITE_PATH=1
 done
-if [[ "$KILL_ONE" == 1 && "$FAILOVER" == 1 ]]; then
-  echo "run_cluster: --kill-one (replication=1) and --failover (replication=2) are mutually exclusive" >&2
+if (( KILL_ONE + FAILOVER + WRITE_PATH > 1 )); then
+  echo "run_cluster: --kill-one, --failover and --write-path are mutually exclusive" >&2
   exit 2
 fi
 
 ENTITIES=${ENTITIES:-200}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/hyperion_cluster.XXXXXX")
+# Every spawned node pid lands here the moment it exists, so the EXIT
+# trap can kill -9 the whole fleet on ANY early exit (a fail(), a
+# set -e abort, a signal) — no orphaned storage processes outliving a
+# broken drill, no port files leaking into the next CI step.
+NODE_PIDS=()
 cleanup() {
+  if ((${#NODE_PIDS[@]} > 0)); then
+    kill -9 "${NODE_PIDS[@]}" 2>/dev/null || true
+  fi
   # shellcheck disable=SC2046
   kill $(jobs -p) 2>/dev/null || true
   rm -rf "$WORK"
@@ -72,7 +90,7 @@ await() {
 }
 
 # --- 1. storage nodes on ephemeral ports --------------------------------
-if [[ "$FAILOVER" == 1 ]]; then
+if [[ "$FAILOVER" == 1 || "$WRITE_PATH" == 1 ]]; then
   REPLICATION=2
   STORES=(store1 store2 store3)
 else
@@ -91,8 +109,29 @@ fetch_timeout_ms 5000
 replica_timeout_ms 400
 fetch_attempts 2
 fetch_backoff_ms 50
-node coord coordinator 127.0.0.1 0
 EOF
+  if [[ "$WRITE_PATH" == 1 ]]; then
+    # quorum 1: the write issued while one replica is SIGKILLed (but not
+    # yet marked down) must commit off the surviving replica alone;
+    # anti-entropy owes the dead one its catch-up.
+    cat <<EOF
+write_quorum 1
+write_timeout_ms 5000
+write_attempts 3
+write_backoff_ms 50
+repair_interval_ms 200
+EOF
+  fi
+  echo "node coord coordinator 127.0.0.1 0"
+}
+
+# Storage nodes in a write-path drill persist applied writes, so a
+# restarted replica resumes from its pre-crash write log.
+store_flags() {
+  local node=$1
+  if [[ "$WRITE_PATH" == 1 ]]; then
+    echo "--log-dir $WORK/$node.wal"
+  fi
 }
 
 {
@@ -104,10 +143,13 @@ EOF
 
 declare -A STORE_PID
 for node in "${STORES[@]}"; do
+  # shellcheck disable=SC2046
   "$CLI" node --config "$WORK/seed.conf" --id "$node" \
     --entities "$ENTITIES" --port-file "$WORK/$node.port" \
+    $(store_flags "$node") \
     > "$WORK/$node.log" 2>&1 &
   STORE_PID[$node]=$!
+  NODE_PIDS+=($!)
 done
 for node in "${STORES[@]}"; do
   await "$WORK/$node.port" "[0-9]" 20 "$node" "${STORE_PID[$node]}"
@@ -130,9 +172,10 @@ VICTIM=$("$CLI" cluster plan --config "$WORK/resolved.conf" \
 # --- 3. coordinator REPL over a fifo ------------------------------------
 mkfifo "$WORK/repl"
 "$CLI" node --config "$WORK/resolved.conf" --id coord \
-  --entities "$ENTITIES" < "$WORK/repl" \
+  --entities "$ENTITIES" --port-file "$WORK/coord.port" < "$WORK/repl" \
   > "$WORK/coord.out" 2> "$WORK/coord.log" &
 COORD=$!
+NODE_PIDS+=($!)
 exec 3> "$WORK/repl"
 
 echo "waitalive 10000" >&3
@@ -204,6 +247,83 @@ if [[ "$FAILOVER" == 1 ]]; then
   cmp "$WORK/sim_failover.hmt" "$WORK/failover_cover.hmt" \
     || fail "post-failover cover differs from single-process cover"
   echo "run_cluster: survived kill -9 of $VICTIM: $ANSWERED queries answered, 0 failed, covers byte-identical"
+fi
+
+# --- 7. optional: distributed write path + anti-entropy repair drill ----
+if [[ "$WRITE_PATH" == 1 ]]; then
+  # The query path Hugo,SwissProt,MIM composes m5 (Hugo->SwissProt) with
+  # m11 (SwissProt->MIM); writing a linking row into each makes the new
+  # pair visible in the cover, so the final byte-compare proves the
+  # writes actually replicated.
+  echo "run_cluster: write 1 (all replicas alive)"
+  echo "write m5 drillhugo,drillswiss" >&3
+  await "$WORK/coord.out" "write ok m5 seq 1" 20 coord "$COORD"
+
+  echo "run_cluster: kill -9 $VICTIM (primary of shard 0), then write 2"
+  kill -9 "${STORE_PID[$VICTIM]}"
+  wait "${STORE_PID[$VICTIM]}" 2>/dev/null || true
+  echo "write m11 drillswiss,drillmim" >&3
+  await "$WORK/coord.out" "write ok m11 seq 2" 30 coord "$COORD"
+
+  # Restart the victim: same node id, fresh ephemeral port (its old one
+  # may linger in TIME_WAIT), same write log.  Its config must carry the
+  # coordinator's RESOLVED port (the seed says 0): the survivors only
+  # know the victim's dead old address, so the victim has to dial out
+  # first — peers then learn its new address from those heartbeats, and
+  # anti-entropy sees its shard versions behind and feeds it the writes
+  # it slept through.
+  {
+    conf_body
+    for node in "${STORES[@]}"; do
+      if [[ "$node" == "$VICTIM" ]]; then
+        echo "node $node storage 127.0.0.1 0"
+      else
+        echo "node $node storage 127.0.0.1 $(cat "$WORK/$node.port")"
+      fi
+    done
+  } | sed "s/node coord coordinator 127.0.0.1 0/node coord coordinator 127.0.0.1 $(cat "$WORK/coord.port")/" \
+    > "$WORK/restart.conf"
+  # shellcheck disable=SC2046
+  "$CLI" node --config "$WORK/restart.conf" --id "$VICTIM" \
+    --entities "$ENTITIES" --port-file "$WORK/$VICTIM.port2" \
+    $(store_flags "$VICTIM") \
+    > "$WORK/$VICTIM.restart.log" 2>&1 &
+  STORE_PID[$VICTIM]=$!
+  NODE_PIDS+=($!)
+  await "$WORK/$VICTIM.port2" "[0-9]" 20 "$VICTIM" "${STORE_PID[$VICTIM]}"
+
+  echo "run_cluster: waiting for anti-entropy to repair $VICTIM to seq 2"
+  CONVERGED=0
+  for ((i = 0; i < 150; ++i)); do
+    echo "versions" >&3
+    sleep 0.2
+    if grep -q "^$VICTIM shards [0-9]*/[0-9]* min v2" "$WORK/coord.out"; then
+      CONVERGED=1
+      break
+    fi
+    kill -0 "${STORE_PID[$VICTIM]}" 2>/dev/null \
+      || fail "restarted node $VICTIM died during repair"
+  done
+  [[ "$CONVERGED" == 1 ]] \
+    || fail "$VICTIM never converged to write seq 2 (see 'versions' output)"
+
+  # Final conformance: the cluster cover after (write, crash, write,
+  # repair) must equal a single-process run that just applied both
+  # writes — byte-identical, zero failed queries, zero failed writes.
+  echo "evict" >&3
+  await "$WORK/coord.out" "cache dropped" 20 coord "$COORD"
+  echo "dump $WORK/write_cover.hmt Hugo,SwissProt,MIM" >&3
+  await "$WORK/coord.out" "write_cover.hmt" 30 coord "$COORD"
+  grep -q "^error" "$WORK/coord.out" \
+    && fail "write-path drill produced an error: $(grep -m1 '^error' "$WORK/coord.out")"
+  "$CLI" query --entities "$ENTITIES" --path Hugo,SwissProt,MIM \
+    --write m5:drillhugo,drillswiss --write m11:drillswiss,drillmim \
+    --repeat 1 --dump "$WORK/sim_write.hmt" > /dev/null 2>&1
+  cmp "$WORK/sim_write.hmt" "$WORK/write_cover.hmt" \
+    || fail "post-repair cover differs from single-process write replay"
+  grep -q "drillmim" "$WORK/write_cover.hmt" \
+    || fail "replicated writes never reached the cover"
+  echo "run_cluster: write path survived kill -9 of $VICTIM: repaired to seq 2, covers byte-identical"
 fi
 
 echo "quit" >&3
