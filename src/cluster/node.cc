@@ -111,16 +111,19 @@ Status ClusterNode::Start() {
             owned));
     if (!write_log_dir_.empty()) {
       // Replay the writes a previous incarnation applied: entries per
-      // shard in version order, so the final per-(table, shard) state is
-      // each table's latest slice.  The loop has not started; slices_ is
+      // shard in version order (stepping over burned sequences the log
+      // never held), so the final per-(table, shard) state is each
+      // table's latest slice.  The loop has not started; slices_ is
       // still driver-thread-only.
       HYP_RETURN_IF_ERROR(
           write_log_.Open(write_log_dir_, config_.shard_count));
       for (const auto& [shard, latest] : write_log_.Versions()) {
-        for (uint64_t v = 1; v <= latest; ++v) {
+        uint64_t v = 0;
+        while (v < latest) {
           HYP_ASSIGN_OR_RETURN(WriteSliceMsg entry,
-                               write_log_.EntryAt(shard, v));
+                               write_log_.EntryAfter(shard, v));
           InstallSlice(entry);
+          v = entry.shard_version;
         }
       }
     }
@@ -337,7 +340,12 @@ void ClusterNode::InstallSlice(const WriteSliceMsg& slice) {
 Result<ApplyOutcome> ClusterNode::ApplyWriteSlice(const WriteSliceMsg& slice) {
   uint64_t current = write_log_.VersionOf(slice.shard);
   if (slice.shard_version <= current) return ApplyOutcome::kDuplicate;
-  if (slice.shard_version > current + 1) return ApplyOutcome::kStale;
+  // A gap above the slice's committed floor holds only sequences burned
+  // by failed writes — the slice is full shard state, so jumping them
+  // loses nothing.  Below the floor the replica is missing committed
+  // writes (possibly of other tables): applying would skip them forever,
+  // since the shard version would advance past what repair compares.
+  if (current < slice.committed_floor) return ApplyOutcome::kStale;
   HYP_RETURN_IF_ERROR(write_log_.Append(slice));
   InstallSlice(slice);
   return ApplyOutcome::kApplied;
@@ -347,11 +355,19 @@ void ClusterNode::HandleWriteSlice(const Message& msg) {
   const auto& slice = std::get<WriteSliceMsg>(msg.payload);
   obs::MetricRegistry& reg = obs::MetricRegistry::Default();
   if (slice.repair != 0) {
-    // Anti-entropy reply: the outstanding fetch for this shard is over,
-    // whatever it brought.
+    // Anti-entropy reply: it only counts if it echoes the request id of
+    // the fetch still outstanding for this shard — a delayed reply from
+    // a timed-out earlier fetch must not clear a newer fetch's slot (or
+    // sneak its payload in under it).
     {
       MutexLock lock(mu_);
-      repair_inflight_.erase(slice.shard);
+      auto inflight = repair_inflight_.find(slice.shard);
+      if (inflight == repair_inflight_.end() ||
+          inflight->second.request_id != slice.request_id) {
+        reg.GetCounter("cluster.repair.ignored_replies")->Add();
+        return;
+      }
+      repair_inflight_.erase(inflight);
     }
     if (!slice.error.empty()) {
       reg.GetCounter("cluster.repair.failures")->Add();
@@ -394,16 +410,17 @@ void ClusterNode::HandleWriteSlice(const Message& msg) {
       ack.error = outcome.status().message();
       ack.error_code = static_cast<int32_t>(outcome.status().code());
     } else if (outcome.value() == ApplyOutcome::kStale) {
-      // This replica missed earlier writes; anti-entropy must fill the
-      // gap before this slice can land.  The coordinator sees applied=0
-      // and retries (or commits on quorum without us).
+      // This replica missed committed writes; anti-entropy must fill
+      // the gap before this slice can land.  The coordinator sees
+      // applied=0 and retries (or commits on quorum without us).
       reg.GetCounter("cluster.write.stale_rejected")->Add();
       obs::TraceEvent ev;
       ev.peer = self_spec_.id;
       ev.kind = "cluster.write.stale";
       ev.detail = slice.table_name + "#" + std::to_string(slice.shard) +
                   " offered v" + std::to_string(slice.shard_version) +
-                  " at v" + std::to_string(write_log_.VersionOf(slice.shard));
+                  " (floor v" + std::to_string(slice.committed_floor) +
+                  ") at v" + std::to_string(write_log_.VersionOf(slice.shard));
       ev.value = static_cast<int64_t>(slice.shard);
       obs::SessionTracer::Default().Record(std::move(ev));
       Status status = Status::FailedPrecondition(
@@ -435,8 +452,10 @@ void ClusterNode::HandleRepairFetch(const Message& msg) {
   reply.origin = self_spec_.id;
   reply.shard = fetch.shard;
   reply.repair = 1;
+  // The oldest entry above the requester's version: steps over burned
+  // sequences this log never held.
   Result<WriteSliceMsg> entry =
-      write_log_.EntryAt(fetch.shard, fetch.from_version + 1);
+      write_log_.EntryAfter(fetch.shard, fetch.from_version);
   if (entry.ok()) {
     reply = std::move(entry.value());
     reply.request_id = fetch.request_id;
@@ -469,6 +488,7 @@ void ClusterNode::MaybeRepair(int64_t chain_shard) {
     uint64_t shard;
     std::string peer;
     uint64_t from;
+    uint64_t request_id;
   };
   std::vector<Pull> pulls;
   bool chained_converged = false;
@@ -480,8 +500,11 @@ void ClusterNode::MaybeRepair(int64_t chain_shard) {
       }
       auto inflight = repair_inflight_.find(shard);
       if (inflight != repair_inflight_.end()) {
-        if (now - inflight->second < inflight_timeout_us) continue;
-        repair_inflight_.erase(inflight);  // lost reply; ask again
+        if (now - inflight->second.sent_us < inflight_timeout_us) continue;
+        // Lost reply; ask again.  The stale fetch's id stops mattering
+        // the moment the slot is re-armed below — a late reply to it is
+        // dropped by the id check in HandleWriteSlice.
+        repair_inflight_.erase(inflight);
       }
       // The most advanced peer is the one to pull from.
       std::string best;
@@ -497,8 +520,9 @@ void ClusterNode::MaybeRepair(int64_t chain_shard) {
         if (chain_shard >= 0) chained_converged = true;
         continue;
       }
-      pulls.push_back({shard, best, mine[shard]});
-      repair_inflight_[shard] = now;
+      uint64_t request_id = next_repair_id_++;
+      pulls.push_back({shard, best, mine[shard], request_id});
+      repair_inflight_[shard] = {request_id, now};
     }
   }
   if (chained_converged) {
@@ -525,14 +549,21 @@ void ClusterNode::MaybeRepair(int64_t chain_shard) {
     msg.from = self_spec_.id;
     msg.to = pull.peer;
     RepairFetchMsg fetch;
+    fetch.request_id = pull.request_id;
     fetch.node = self_spec_.id;
     fetch.shard = pull.shard;
     fetch.from_version = pull.from;
     msg.payload = std::move(fetch);
     Status sent = net_->Send(std::move(msg));
     if (!sent.ok()) {
+      // Free the slot only if it is still ours: a concurrent pass may
+      // have timed this fetch out and re-armed the shard already.
       MutexLock lock(mu_);
-      repair_inflight_.erase(pull.shard);
+      auto inflight = repair_inflight_.find(pull.shard);
+      if (inflight != repair_inflight_.end() &&
+          inflight->second.request_id == pull.request_id) {
+        repair_inflight_.erase(inflight);
+      }
     }
   }
 }

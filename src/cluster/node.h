@@ -186,9 +186,15 @@ class ClusterNode {
   // node → (shard → write-log version), learned from heartbeats.
   std::map<std::string, std::map<uint64_t, uint64_t>> peer_shard_versions_
       GUARDED_BY(mu_);
-  // shard → NowUs() the outstanding repair fetch was sent (bounds the
-  // anti-entropy loop to one in-flight pull per shard).
-  std::map<uint64_t, int64_t> repair_inflight_ GUARDED_BY(mu_);
+  // One outstanding repair fetch per shard.  The request id is what a
+  // reply must echo to count: a delayed reply from a timed-out earlier
+  // fetch must not clear the slot a newer fetch holds.
+  struct RepairFetch {
+    uint64_t request_id = 0;
+    int64_t sent_us = 0;  // NowUs() at send, for the in-flight timeout
+  };
+  uint64_t next_repair_id_ GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, RepairFetch> repair_inflight_ GUARDED_BY(mu_);
   // Owned shard slices.  Filled by Start() (driver thread, before the
   // event loop runs) and thereafter mutated only by the write/repair
   // handlers on the loop thread — the same thread that reads it to

@@ -100,9 +100,12 @@ Status ShardWriteLog::Append(const WriteSliceMsg& entry) {
   MutexLock lock(mu_);
   auto& log = entries_[entry.shard];
   uint64_t current = log.empty() ? 0 : log.rbegin()->first;
-  if (entry.shard_version != current + 1) {
+  // Monotonic only: a gap is legal (it holds sequences burned by failed
+  // writes — each slice is full shard state, so nothing is lost), but a
+  // replay at or below the current version would fork history.
+  if (entry.shard_version <= current) {
     return Status::Internal(
-        "write log append out of order: shard " +
+        "write log append not monotonic: shard " +
         std::to_string(entry.shard) + " at version " +
         std::to_string(current) + ", entry is " +
         std::to_string(entry.shard_version));
@@ -140,6 +143,19 @@ Result<WriteSliceMsg> ShardWriteLog::EntryAt(uint64_t shard,
                           std::to_string(version));
 }
 
+Result<WriteSliceMsg> ShardWriteLog::EntryAfter(uint64_t shard,
+                                                uint64_t version) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(shard);
+  if (it != entries_.end()) {
+    auto entry = it->second.upper_bound(version);
+    if (entry != it->second.end()) return entry->second;
+  }
+  return Status::NotFound("write log has no entry for shard " +
+                          std::to_string(shard) + " above version " +
+                          std::to_string(version));
+}
+
 // ---- ClusterTableSink ----------------------------------------------------
 
 ClusterTableSink::ClusterTableSink(std::string self, Network* net,
@@ -155,6 +171,11 @@ ClusterTableSink::ClusterTableSink(std::string self, Network* net,
 uint64_t ClusterTableSink::sequence() const {
   MutexLock lock(mu_);
   return write_seq_;
+}
+
+uint64_t ClusterTableSink::committed_sequence() const {
+  MutexLock lock(mu_);
+  return committed_seq_;
 }
 
 void ClusterTableSink::SendAttempt(Target* target, int64_t now_us) {
@@ -203,15 +224,25 @@ void ClusterTableSink::SendAttempt(Target* target, int64_t now_us) {
 
 Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
     const MappingTable& table, uint64_t table_version) {
+  // One writer at a time: a second caller queues here instead of
+  // racing the first for a sequence number.
+  MutexLock apply_lock(apply_mu_);
   obs::MetricRegistry& reg = obs::MetricRegistry::Default();
   reg.GetCounter("cluster.write.requests")->Add();
   const int64_t t0 = SteadyNowUs();
   const int64_t deadline = t0 + options_.write_timeout_us;
   const uint64_t shard_count = ring_->shard_count();
-  uint64_t seq;
+  uint64_t seq, committed_floor;
   {
+    // Reserve the sequence up front: if this write fails it is BURNED,
+    // never reused — some replica may have applied it on a lost or
+    // post-deadline ack, and a different write at the same sequence
+    // would be swallowed there as a "duplicate" — permanent divergence
+    // at identical versions.  The floor tells replicas
+    // which gaps are safe to jump (burned) vs missing committed writes.
     MutexLock lock(mu_);
-    seq = write_seq_ + 1;
+    seq = ++write_seq_;
+    committed_floor = committed_seq_;
   }
 
   // One slice per shard, empty shards included: a write may delete a
@@ -231,6 +262,7 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
     ws.table_name = table.name();
     ws.shard = shard;
     ws.shard_version = seq;
+    ws.committed_floor = committed_floor;
     ws.table_version = table_version;
     ws.total_rows = slice.total_rows;
     ws.x_schema = std::move(slice.x_schema);
@@ -295,7 +327,8 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
     ev.peer = self_;
     ev.kind = "cluster.write.failed";
     ev.detail = table.name() + "#" + std::to_string(shard) + " " + why +
-                ": " + unacked_of(shard);
+                ": " + unacked_of(shard) + " (seq " + std::to_string(seq) +
+                " burned)";
     ev.value = static_cast<int64_t>(shard);
     obs::SessionTracer::Default().Record(std::move(ev));
     return Status::Unavailable("write seq " + std::to_string(seq) +
@@ -414,8 +447,9 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
   }
   report.lagging.assign(lagging.begin(), lagging.end());
   {
+    // write_seq_ already advanced at entry; only the commit point moves.
     MutexLock lock(mu_);
-    write_seq_ = seq;
+    committed_seq_ = seq;
   }
 
   int64_t elapsed_us = SteadyNowUs() - t0;

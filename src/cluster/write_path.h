@@ -15,22 +15,37 @@
 //
 //  * ShardWriteLog — the storage-side per-shard monotonic version
 //    counter plus the ordered log of applied write slices behind it.
-//    A replica applies a slice iff its sequence number is exactly the
-//    shard's current version + 1; anything at or below the current
-//    version is an idempotent duplicate (acked, not re-applied), and a
-//    gap means the replica is stale — it rejects the slice and waits for
-//    anti-entropy to fill the hole.  The log optionally persists to a
+//    Anything at or below the current version is an idempotent
+//    duplicate (acked, not re-applied); versions above it may be
+//    appended even across a gap (burned sequences, below), so the log
+//    only enforces monotonicity.  The log optionally persists to a
 //    directory (one frame-appended file per shard, the wire codec's own
 //    format) so a restarted node resumes from its pre-crash state.
 //
 // Version semantics: every write ships one slice per shard — empty
 // slices included, since a write may delete a shard's rows — so all
 // shard versions advance in lockstep and the per-shard version IS the
-// global write sequence.  A replica whose heartbeat advertises shard
+// global write sequence.  A sequence number is reserved when Apply()
+// starts and is BURNED if the write fails: a quorum-failed write may
+// already have landed on some replicas (lost or post-deadline ack), so
+// reusing its sequence for a different write would let those replicas
+// ack the new write as a "duplicate" while still holding the aborted
+// content — permanent divergence at identical versions, invisible to
+// version-comparing anti-entropy.  Every slice therefore carries
+// `committed_floor`, the last sequence that actually committed before
+// it: a replica at or past the floor may apply the slice even across a
+// gap (the gap holds only burned sequences, and a slice is full shard
+// state, so the jump loses nothing), while a replica below the floor is
+// genuinely stale — it is missing committed writes, possibly of other
+// tables — and must reject.  A replica whose heartbeat advertises shard
 // versions behind a peer's is detectably stale; ClusterNode's
 // anti-entropy pass pulls the missing entries one at a time
-// (RepairFetchMsg → WriteSliceMsg with the repair flag) until the
-// versions agree.
+// (RepairFetchMsg → WriteSliceMsg with the repair flag, gap-tolerant
+// via EntryAfter) until the versions agree.  One residue is accepted
+// and documented (DESIGN.md §14 non-goals): replicas that applied a
+// slice of a FAILED write keep that content until the next committed
+// write of the same table overwrites it — a failed write is
+// indeterminate, never silently resurrected as a later "duplicate".
 //
 // Quorum: `quorum` 0 (the default) means "every replica the membership
 // tracker currently believes alive" — re-evaluated while waiting, so a
@@ -38,9 +53,11 @@
 // required.  An explicit quorum in [1, R] commits as soon as that many
 // replicas of every shard acked, leaving the rest to anti-entropy.
 //
-// Threading: Apply() blocks the calling (REPL/driver) thread;
-// OnWriteAck() is called from the network's event-loop thread.  The
-// mutex is a leaf (DESIGN.md §12): never held across Send().
+// Threading: Apply() blocks the calling (REPL/driver) thread and is
+// serialized by its own writer mutex, so concurrent callers queue
+// rather than minting the same sequence; OnWriteAck() is called from
+// the network's event-loop thread.  mu_ is a leaf (DESIGN.md §12):
+// never held across Send(), and only ever taken after apply_mu_.
 
 #ifndef HYPERION_CLUSTER_WRITE_PATH_H_
 #define HYPERION_CLUSTER_WRITE_PATH_H_
@@ -63,9 +80,9 @@ namespace cluster {
 
 /// \brief Storage-side outcome of offering one write slice to a replica.
 enum class ApplyOutcome {
-  kApplied,    // sequence was current + 1: applied and logged
+  kApplied,    // at or past the slice's committed floor: applied, logged
   kDuplicate,  // sequence at or below current: idempotent no-op
-  kStale,      // gap: this replica is missing earlier writes
+  kStale,      // below the floor: this replica is missing committed writes
 };
 
 /// \brief Per-shard monotonic write log: the version counter replicas
@@ -85,13 +102,19 @@ class ShardWriteLog {
   /// the piggyback heartbeats carry.  Shards ascending.
   std::vector<std::pair<uint64_t, uint64_t>> Versions() const;
 
-  /// \brief Appends `entry` (its shard_version must be exactly
-  /// VersionOf(shard) + 1) and persists it when Open() was called.
+  /// \brief Appends `entry` (its shard_version must be above
+  /// VersionOf(shard); gaps are legal — they hold burned sequences) and
+  /// persists it when Open() was called.
   Status Append(const WriteSliceMsg& entry);
 
   /// \brief The entry that moved `shard` to `version` (NotFound when the
   /// log has no such entry — e.g. a memory-only log of a younger node).
   Result<WriteSliceMsg> EntryAt(uint64_t shard, uint64_t version) const;
+
+  /// \brief The oldest entry of `shard` with a version strictly above
+  /// `version` — what a repair source serves, stepping over burned
+  /// sequences the log never held (NotFound when nothing is newer).
+  Result<WriteSliceMsg> EntryAfter(uint64_t shard, uint64_t version) const;
 
  private:
   mutable Mutex mu_;
@@ -139,8 +162,14 @@ class ClusterTableSink {
   /// coordinator's network handler; unknown request ids are dropped.
   void OnWriteAck(const WriteAckMsg& msg);
 
-  /// \brief Global sequence number of the last committed write.
+  /// \brief Global sequence number of the last write ATTEMPT — a failed
+  /// Apply burns its sequence, so this may run ahead of
+  /// committed_sequence().
   uint64_t sequence() const;
+
+  /// \brief Global sequence number of the last committed write — the
+  /// floor stamped onto the next write's slices.
+  uint64_t committed_sequence() const;
 
  private:
   struct Pending {
@@ -173,10 +202,19 @@ class ClusterTableSink {
   const MembershipTracker* const membership_;
   const Options options_;
 
+  // Serializes whole Apply() calls: the second concurrent writer queues
+  // behind the first instead of minting the same sequence.  Always taken
+  // before mu_, never the other way around.
+  Mutex apply_mu_ ACQUIRED_BEFORE(mu_);
+
   mutable Mutex mu_;
   mutable CondVar cv_;
   uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  // Sequence of the last write attempt; advanced at Apply() entry, so a
+  // failed write burns its number instead of leaking it to the next one.
   uint64_t write_seq_ GUARDED_BY(mu_) = 0;
+  // Sequence of the last write that met its quorum (<= write_seq_).
+  uint64_t committed_seq_ GUARDED_BY(mu_) = 0;
   std::map<uint64_t, std::shared_ptr<Pending>> pending_ GUARDED_BY(mu_);
 };
 

@@ -102,7 +102,7 @@ size_t Message::ByteSize() const {
              8 * slice->row_indices.size();
     for (const Mapping& m : slice->rows) bytes += EstimateMappingBytes(m);
   } else if (const auto* ws = std::get_if<WriteSliceMsg>(&payload)) {
-    bytes += 49 + ws->origin.size() + ws->table_name.size() +
+    bytes += 57 + ws->origin.size() + ws->table_name.size() +
              ws->error.size() + EstimateSchemaBytes(ws->x_schema) +
              EstimateSchemaBytes(ws->y_schema) + 8 * ws->row_indices.size();
     for (const Mapping& m : ws->rows) bytes += EstimateMappingBytes(m);

@@ -222,17 +222,23 @@ struct ShardRowsMsg {
 
 /// \brief Coordinator → storage: apply one shard slice of one curator
 /// write (cluster/write_path.h).  `shard_version` is the per-shard write
-/// sequence number: the receiver applies the slice iff it equals its
-/// current version + 1, acks-without-applying duplicates (≤ current),
-/// and rejects gaps as stale so anti-entropy can fill them.  Also the
-/// reply to a RepairFetchMsg (with `repair` set); `error` is nonempty
-/// when a repair source cannot serve the requested entry.
+/// sequence number: the receiver applies the slice iff its current
+/// version is at least `committed_floor` (every sequence in between was
+/// burned by a failed write, and a slice is full shard state, so the
+/// jump loses nothing), acks-without-applying duplicates (≤ current),
+/// and rejects gaps below the floor as stale so anti-entropy can fill
+/// them.  Also the reply to a RepairFetchMsg (with `repair` set);
+/// `error` is nonempty when a repair source cannot serve an entry.
 struct WriteSliceMsg {
   uint64_t request_id = 0;   // echoed by the WriteAckMsg / repair reply
   std::string origin;        // sender's cluster node id
   std::string table_name;
   uint64_t shard = 0;
   uint64_t shard_version = 0;  // per-shard write sequence this slice is
+  // Last sequence the coordinator committed before this write: every
+  // sequence in (committed_floor, shard_version) was burned by a failed
+  // write, so a replica at or past the floor may apply across the gap.
+  uint64_t committed_floor = 0;
   uint64_t table_version = 0;  // coordinator TableStore version to adopt
   uint64_t total_rows = 0;     // full post-write table's row count
   Schema x_schema;

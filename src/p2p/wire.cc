@@ -563,6 +563,7 @@ void EncodePayload(const Message& msg, std::string* out) {
     PutString(ws->table_name, out);
     PutU64(ws->shard, out);
     PutU64(ws->shard_version, out);
+    PutU64(ws->committed_floor, out);
     PutU64(ws->table_version, out);
     PutU64(ws->total_rows, out);
     PutSchema(ws->x_schema, out);
@@ -791,6 +792,7 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       HYP_RETURN_IF_ERROR(r->ReadString(&ws.table_name));
       HYP_RETURN_IF_ERROR(r->ReadU64(&ws.shard));
       HYP_RETURN_IF_ERROR(r->ReadU64(&ws.shard_version));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.committed_floor));
       HYP_RETURN_IF_ERROR(r->ReadU64(&ws.table_version));
       HYP_RETURN_IF_ERROR(r->ReadU64(&ws.total_rows));
       HYP_RETURN_IF_ERROR(ReadSchema(r, &ws.x_schema));

@@ -234,6 +234,7 @@ TEST(WireTest, WriteSliceRoundTripPreservesRepairAndError) {
   slice.table_name = "m5";
   slice.shard = 1;
   slice.shard_version = 6;
+  slice.committed_floor = 4;  // seq 5 burned by a failed write
   slice.table_version = 9;
   slice.total_rows = 44;
   slice.x_schema = TestSchema();
@@ -249,6 +250,7 @@ TEST(WireTest, WriteSliceRoundTripPreservesRepairAndError) {
   EXPECT_EQ(got.table_name, "m5");
   EXPECT_EQ(got.shard, 1u);
   EXPECT_EQ(got.shard_version, 6u);
+  EXPECT_EQ(got.committed_floor, 4u);
   EXPECT_EQ(got.table_version, 9u);
   EXPECT_EQ(got.total_rows, 44u);
   EXPECT_EQ(got.x_schema.arity(), 3u);

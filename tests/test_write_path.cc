@@ -54,11 +54,13 @@ TEST(ClusterWriteLogTest, AppendIsMonotonicPerShard) {
   EXPECT_EQ(log.Versions(),
             (std::vector<std::pair<uint64_t, uint64_t>>{{0, 2}, {1, 1}}));
 
-  // Anything but current + 1 is refused: a gap would silently lose a
-  // write, a replay would fork history.
+  // At or below the current version is refused (a replay would fork
+  // history); a gap is legal — it holds sequences burned by failed
+  // writes, which no log anywhere ever held.
   EXPECT_FALSE(log.Append(LogEntry(0, 2)).ok());  // duplicate
-  EXPECT_FALSE(log.Append(LogEntry(0, 4)).ok());  // gap
-  EXPECT_EQ(log.VersionOf(0), 2u);
+  EXPECT_FALSE(log.Append(LogEntry(0, 1)).ok());  // regression
+  ASSERT_TRUE(log.Append(LogEntry(0, 4)).ok());   // gap: seq 3 burned
+  EXPECT_EQ(log.VersionOf(0), 4u);
 
   auto entry = log.EntryAt(0, 2);
   ASSERT_TRUE(entry.ok());
@@ -66,6 +68,15 @@ TEST(ClusterWriteLogTest, AppendIsMonotonicPerShard) {
   EXPECT_EQ(entry.value().table_version, 12u);
   EXPECT_EQ(log.EntryAt(0, 3).status().code(), StatusCode::kNotFound);
   EXPECT_EQ(log.EntryAt(7, 1).status().code(), StatusCode::kNotFound);
+
+  // EntryAfter is what repair serves: the oldest entry strictly above
+  // the requester's version, stepping over the burned hole at 3.
+  auto after = log.EntryAfter(0, 2);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().shard_version, 4u);
+  EXPECT_EQ(log.EntryAfter(0, 0).value().shard_version, 1u);
+  EXPECT_EQ(log.EntryAfter(0, 4).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(log.EntryAfter(7, 0).status().code(), StatusCode::kNotFound);
 }
 
 TEST(ClusterWriteLogTest, PersistsAcrossReopenAndToleratesTornTail) {
@@ -94,13 +105,18 @@ TEST(ClusterWriteLogTest, PersistsAcrossReopenAndToleratesTornTail) {
   EXPECT_EQ(entry.value().table_name, "m5");
   EXPECT_EQ(entry.value().shard_version, 2u);
 
-  // The reopened log resumes exactly where the crash left it.
+  // The reopened log resumes exactly where the crash left it: replays
+  // still refused, gapped appends (burned sequences) still legal.
   ASSERT_TRUE(reopened.Append(LogEntry(0, 3)).ok());
-  EXPECT_FALSE(reopened.Append(LogEntry(1, 3)).ok());  // gap survives reopen
+  EXPECT_FALSE(reopened.Append(LogEntry(1, 1)).ok());  // replay after reopen
+  ASSERT_TRUE(reopened.Append(LogEntry(1, 3)).ok());   // gap: seq 2 burned
 
   ShardWriteLog third;
   ASSERT_TRUE(third.Open(dir, 2).ok());
   EXPECT_EQ(third.VersionOf(0), 3u);
+  EXPECT_EQ(third.VersionOf(1), 3u);
+  // The hole persists too: repair steps from 1 straight to 3.
+  EXPECT_EQ(third.EntryAfter(1, 1).value().shard_version, 3u);
 }
 
 // --- in-process cluster with the write path enabled ----------------------
@@ -296,6 +312,93 @@ TEST_F(ClusterWriteE2ETest, QuorumShortfallFailsNamingTheDeadReplica) {
   EXPECT_NE(report.status().message().find("'" + victim + "'"),
             std::string::npos)
       << "error does not name the dead replica: " << report.status();
+}
+
+TEST_F(ClusterWriteE2ETest, FailedWriteBurnsItsSequence) {
+  StartWriteCluster(/*write_quorum=*/2);
+  const std::string name = reference_->Names().front();
+  auto fetched = coord_->table_source()->Fetch(name);
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+
+  // Kill one replica of shard 0: quorum 2 cannot be met there and the
+  // write fails — but shard 1's replicas (and shard 0's survivor) may
+  // already have applied its slices before the verdict.
+  const std::string victim = coord_->ring().OwnerForShard(0);
+  StopStorageNode(victim);
+  auto aborted = Written(*fetched.value().table, "lostx", "losty");
+  ASSERT_TRUE(aborted.ok());
+  auto report = coord_->table_sink()->Apply(aborted.value(),
+                                            fetched.value().version + 1);
+  ASSERT_FALSE(report.ok());
+  // The failed write's sequence is burned, never committed.
+  EXPECT_EQ(coord_->table_sink()->sequence(), 1u);
+  EXPECT_EQ(coord_->table_sink()->committed_sequence(), 0u);
+
+  // Revive the victim and run a DIFFERENT write.  It must ship under a
+  // fresh sequence: reusing the burned one would let every replica that
+  // applied the aborted slices ack this write as a "duplicate" while
+  // still serving the aborted rows — divergence no version comparison
+  // could ever see.
+  RestartStorageNode(victim);
+  ASSERT_TRUE(coord_->WaitAllAlive(15'000'000));
+  auto merged = Written(*fetched.value().table, "keptx", "kepty");
+  ASSERT_TRUE(merged.ok());
+  auto second = coord_->table_sink()->Apply(merged.value(),
+                                            fetched.value().version + 1);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value().sequence, 2u);
+  EXPECT_EQ(coord_->table_sink()->committed_sequence(), 2u);
+
+  // Every replica converges on the committed write's sequence — the
+  // revived node jumps the burned hole via the committed floor — and
+  // serves its bytes, not the aborted write's.
+  for (const auto& storage : storage_) {
+    for (uint64_t shard : storage->owned_shards()) {
+      EXPECT_EQ(storage->write_log().VersionOf(shard), 2u)
+          << storage->self().id << " shard " << shard;
+    }
+  }
+  coord_->table_source()->Evict();
+  auto again = coord_->table_source()->Fetch(name);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().version, fetched.value().version + 1);
+  EXPECT_EQ(again.value().table->Serialize(), merged.value().Serialize());
+}
+
+TEST_F(ClusterWriteE2ETest, ConcurrentAppliesGetDistinctSequences) {
+  StartWriteCluster(/*write_quorum=*/0);
+  const auto names = reference_->Names();
+  ASSERT_GE(names.size(), 2u);
+
+  // Two writer threads, two tables: the sink serializes them, so each
+  // write mints its own sequence instead of racing for the same one.
+  Result<VersionedTable> fetched[2] = {coord_->table_source()->Fetch(names[0]),
+                                       coord_->table_source()->Fetch(names[1])};
+  Result<MappingTable> written[2] = {
+      Status::Internal("unset"), Status::Internal("unset")};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(fetched[i].ok()) << fetched[i].status();
+    written[i] = Written(*fetched[i].value().table, "conx", "cony");
+    ASSERT_TRUE(written[i].ok()) << written[i].status();
+  }
+  Result<ClusterTableSink::WriteReport> reports[2] = {
+      Status::Internal("unset"), Status::Internal("unset")};
+  std::thread writers[2];
+  for (int i = 0; i < 2; ++i) {
+    writers[i] = std::thread([&, i] {
+      reports[i] = coord_->table_sink()->Apply(
+          written[i].value(), fetched[i].value().version + 1);
+    });
+  }
+  for (auto& writer : writers) writer.join();
+
+  ASSERT_TRUE(reports[0].ok()) << reports[0].status();
+  ASSERT_TRUE(reports[1].ok()) << reports[1].status();
+  std::vector<uint64_t> seqs = {reports[0].value().sequence,
+                                reports[1].value().sequence};
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(coord_->table_sink()->committed_sequence(), 2u);
 }
 
 // --- anti-entropy repair --------------------------------------------------
