@@ -31,9 +31,16 @@
 // time — the wall clock until the revived node's write-log versions
 // match the cluster's.
 //
+// A fifth round (also in-process and fork-free) measures live
+// rebalancing: a fourth node joins the R=2 ring (epoch 2, handoff
+// ships its gained shards), then the primary of shard 0 is
+// decommissioned (epoch 3); each transition's convergence is its wall
+// clock from Start* to the committed epoch.
+//
 // Output: BENCH_cluster.json with a per-R sweep entry (healthy qps,
 // failover latency, degraded qps, replica placement) plus a write_path
-// entry (write qps, repair convergence time).
+// entry (write qps, repair convergence time) and a rebalance entry
+// (join/decommission convergence, rows shipped).
 //
 //   fig_cluster [entities=400] [passes=5]
 
@@ -55,6 +62,7 @@
 #include "bench_util.h"
 #include "cluster/cluster_config.h"
 #include "cluster/node.h"
+#include "obs/metrics.h"
 #include "service/catalogs.h"
 #include "service/query_service.h"
 #include "workload/bio_network.h"
@@ -323,7 +331,7 @@ int Main(int argc, char** argv) {
               << healthy_qps << " qps)\n";
 
     // -- chaos: SIGKILL the primary of shard 0 mid-workload --------------
-    const std::string victim = coord.value()->ring().OwnerForShard(0);
+    const std::string victim = coord.value()->ring()->OwnerForShard(0);
     std::cout << "kill -9 " << victim << " (primary of shard 0)\n";
     kill(round.children[victim].pid, SIGKILL);
     waitpid(round.children[victim].pid, nullptr, 0);
@@ -396,7 +404,7 @@ int Main(int argc, char** argv) {
     for (uint64_t shard = 0; shard < round.resolved.shard_count; ++shard) {
       obs::JsonValue owners = obs::JsonValue::Array();
       for (const std::string& owner :
-           coord.value()->ring().OwnersForShard(shard)) {
+           coord.value()->ring()->OwnersForShard(shard)) {
         owners.Append(owner);
       }
       obs::JsonValue row = obs::JsonValue::Object();
@@ -503,7 +511,7 @@ int Main(int argc, char** argv) {
               << write_qps << " writes/s)\n";
 
     // -- repair convergence: lose a replica, write past it, revive it ----
-    const std::string victim = coord.value()->ring().OwnerForShard(0);
+    const std::string victim = coord.value()->ring()->OwnerForShard(0);
     for (auto& store : stores) {
       if (store->self().id == victim) store->Stop();
     }
@@ -572,6 +580,158 @@ int Main(int argc, char** argv) {
     for (auto& store : stores) store->Stop();
   }
 
+  // --- rebalance: in-process join + decommission round ------------------
+  // Measures live membership change on a loaded ring: a fourth node
+  // joins (epoch 2, handoff ships its gained shards), then the primary
+  // of shard 0 is decommissioned (epoch 3).  Convergence is the wall
+  // clock from StartJoin/StartDecommission to the committed epoch;
+  // rows_shipped is the coordinator's counter delta across both moves.
+  obs::JsonValue rebalance = obs::JsonValue::Object();
+  {
+    cluster::ClusterConfig seed = SeedConfig(2);
+    seed.shard_count = 16;  // enough shards that a joiner gains several
+    seed.write_timeout_ms = 5000;
+    seed.write_attempts = 3;
+    seed.write_backoff_ms = 20;
+    seed.repair_interval_ms = 100;
+
+    std::vector<std::unique_ptr<cluster::ClusterNode>> stores;
+    for (const std::string& id : kStoreIds) {
+      auto node_catalog = BuildBioCatalog(bio);
+      if (!node_catalog.ok()) return 1;
+      auto node = cluster::ClusterNode::Create(
+          seed, id, std::move(*node_catalog.value().store));
+      if (!node.ok() || !node.value()->Bind().ok()) {
+        std::cerr << id << ": rebalance node setup failed\n";
+        return 1;
+      }
+      stores.push_back(std::move(node).value());
+    }
+    cluster::ClusterConfig resolved = seed;
+    for (cluster::NodeSpec& node : resolved.nodes) {
+      for (const auto& store : stores) {
+        if (store->self().id == node.id) {
+          auto port = store->ListenPort();
+          if (!port.ok()) return 1;
+          node.port = port.value();
+        }
+      }
+    }
+    for (const auto& store : stores) {
+      if (Status s = store->Start(); !s.ok()) {
+        std::cerr << "rebalance store start failed: " << s << "\n";
+        return 1;
+      }
+    }
+    auto coord = cluster::ClusterNode::Create(resolved, "coord", TableStore());
+    if (!coord.ok() || !coord.value()->Bind().ok() ||
+        !coord.value()->Start().ok()) {
+      std::cerr << "rebalance coordinator setup failed\n";
+      return 1;
+    }
+    if (!coord.value()->WaitAllAlive(10'000'000)) {
+      std::cerr << "rebalance cluster did not become fully alive\n";
+      return 1;
+    }
+
+    // A write before the churn so the handoff ships real shard state.
+    const std::string table = catalog.value().store->Names().front();
+    auto fetched = coord.value()->table_source()->Fetch(table);
+    if (!fetched.ok()) return 1;
+    auto seeded = coord.value()->table_sink()->Apply(
+        *fetched.value().table, fetched.value().version + 1);
+    if (!seeded.ok()) {
+      std::cerr << "rebalance seed write failed: " << seeded.status() << "\n";
+      return 1;
+    }
+
+    obs::Counter* shipped =
+        obs::MetricRegistry::Default().GetCounter(
+            "cluster.rebalance.rows_shipped");
+    const uint64_t shipped_before = shipped->value();
+    auto wait_stable = [&](uint64_t epoch) {
+      const int64_t deadline = NowUs() + 30'000'000;
+      while (coord.value()->ring_epoch() < epoch ||
+             coord.value()->pending_epoch() != 0) {
+        if (NowUs() > deadline) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return true;
+    };
+
+    // -- join: a fourth storage node enters the ring ---------------------
+    cluster::ClusterConfig extended = resolved;
+    extended.nodes.push_back(
+        {"store4", cluster::NodeRole::kStorage, "127.0.0.1", 0});
+    auto joiner_catalog = BuildBioCatalog(bio);
+    if (!joiner_catalog.ok()) return 1;
+    auto joiner = cluster::ClusterNode::Create(
+        extended, "store4", std::move(*joiner_catalog.value().store));
+    if (!joiner.ok() || !joiner.value()->Bind().ok() ||
+        !joiner.value()->Start().ok()) {
+      std::cerr << "joiner setup failed\n";
+      return 1;
+    }
+    auto joiner_port = joiner.value()->ListenPort();
+    if (!joiner_port.ok()) return 1;
+    int64_t join_start = NowUs();
+    auto join_epoch = coord.value()->StartJoin(
+        "store4", "127.0.0.1:" + std::to_string(joiner_port.value()));
+    if (!join_epoch.ok()) {
+      std::cerr << "join failed: " << join_epoch.status() << "\n";
+      return 1;
+    }
+    if (!wait_stable(join_epoch.value())) {
+      std::cerr << "join transition never committed\n";
+      return 1;
+    }
+    int64_t join_convergence_us = NowUs() - join_start;
+
+    // -- decommission: the primary of shard 0 leaves ---------------------
+    const std::string victim = coord.value()->ring()->OwnerForShard(0);
+    int64_t decom_start = NowUs();
+    auto decom_epoch = coord.value()->StartDecommission(victim);
+    if (!decom_epoch.ok()) {
+      std::cerr << "decommission failed: " << decom_epoch.status() << "\n";
+      return 1;
+    }
+    if (!wait_stable(decom_epoch.value())) {
+      std::cerr << "decommission transition never committed\n";
+      return 1;
+    }
+    int64_t decom_convergence_us = NowUs() - decom_start;
+    const uint64_t rows_shipped = shipped->value() - shipped_before;
+
+    // The rehomed ring still answers, byte-identical to single-process.
+    coord.value()->table_source()->Evict();
+    QueryService rebalanced(coord.value()->table_source(),
+                            catalog.value().peers, options);
+    QueryResponsePtr want = local.Execute(PathRequest(paths[0]));
+    QueryResponsePtr got = rebalanced.Execute(PathRequest(paths[0]));
+    if (!want->status.ok() || !got->status.ok() ||
+        want->cover->Serialize() != got->cover->Serialize()) {
+      std::cerr << "post-rebalance cover differs or failed\n";
+      return 1;
+    }
+    std::cout << "=== rebalance ===\n"
+              << "join committed in " << join_convergence_us
+              << " us; decommission of " << victim << " committed in "
+              << decom_convergence_us << " us; " << rows_shipped
+              << " rows shipped\n";
+
+    rebalance.Set("join_convergence_us",
+                  static_cast<uint64_t>(join_convergence_us));
+    rebalance.Set("decommission_convergence_us",
+                  static_cast<uint64_t>(decom_convergence_us));
+    rebalance.Set("rows_shipped", rows_shipped);
+    rebalance.Set("joined", "store4");
+    rebalance.Set("decommissioned", victim);
+
+    coord.value()->Stop();
+    joiner.value()->Stop();
+    for (auto& store : stores) store->Stop();
+  }
+
   obs::JsonValue root = obs::JsonValue::Object();
   root.Set("entities", static_cast<uint64_t>(bio.num_entities));
   root.Set("shard_count", SeedConfig(1).shard_count);
@@ -580,6 +740,7 @@ int Main(int argc, char** argv) {
   root.Set("conformance", "byte-identical");
   root.Set("sweep", std::move(sweep));
   root.Set("write_path", std::move(write_path));
+  root.Set("rebalance", std::move(rebalance));
   bench_util::WriteBenchJson("cluster", std::move(root));
   return rc;
 }

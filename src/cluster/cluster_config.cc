@@ -85,7 +85,8 @@ Result<ClusterConfig> ClusterConfig::Parse(const std::string& text) {
                directive == "write_timeout_ms" ||
                directive == "write_attempts" ||
                directive == "write_backoff_ms" ||
-               directive == "repair_interval_ms") {
+               directive == "repair_interval_ms" ||
+               directive == "decommission_after_ms") {
       std::string word;
       if (!(fields >> word)) return bad("expected: " + directive + " <n>");
       HYP_ASSIGN_OR_RETURN(uint64_t v, ParseCount(word, directive));
@@ -112,6 +113,7 @@ Result<ClusterConfig> ClusterConfig::Parse(const std::string& text) {
       if (directive == "write_attempts") config.write_attempts = v;
       if (directive == "write_backoff_ms") config.write_backoff_ms = v;
       if (directive == "repair_interval_ms") config.repair_interval_ms = v;
+      if (directive == "decommission_after_ms") config.decommission_after_ms = v;
     } else {
       return bad("unknown directive '" + directive + "'");
     }
@@ -256,7 +258,8 @@ std::string ClusterConfig::ToString() const {
   out << "write_timeout_ms " << write_timeout_ms << "\n"
       << "write_attempts " << write_attempts << "\n"
       << "write_backoff_ms " << write_backoff_ms << "\n"
-      << "repair_interval_ms " << repair_interval_ms << "\n";
+      << "repair_interval_ms " << repair_interval_ms << "\n"
+      << "decommission_after_ms " << decommission_after_ms << "\n";
   for (const NodeSpec& node : nodes) {
     out << "node " << node.id << " " << RoleName(node.role) << " "
         << node.host << " " << node.port << "\n";

@@ -23,6 +23,7 @@
 //   write_attempts 3
 //   write_backoff_ms 50
 //   repair_interval_ms 500
+//   decommission_after_ms 0
 //   node coord  coordinator 127.0.0.1 9100
 //   node store1 storage     127.0.0.1 9101
 //   node store2 storage     127.0.0.1 9102
@@ -81,6 +82,11 @@ struct ClusterConfig {
   uint64_t write_attempts = 3;      // send rounds per lagging replica
   uint64_t write_backoff_ms = 50;   // backoff base between send rounds
   uint64_t repair_interval_ms = 500;  // anti-entropy version-compare period
+  // Rebalancing (cluster/placement.h): a storage node held kDown past
+  // this deadline is decommissioned automatically by the coordinator —
+  // its shards move to the surviving fleet.  0 disables the automatism;
+  // operator join/decommission verbs work either way.
+  uint64_t decommission_after_ms = 0;
 
   /// \brief Parses the directive format above.  Validates with
   /// Validate() before returning.

@@ -153,5 +153,25 @@ bool MembershipTracker::AllAlive() const {
   });
 }
 
+void MembershipTracker::AddMember(const std::string& node) {
+  MutexLock lock(mu_);
+  members_.emplace(node, Entry{});  // no-op when already tracked
+}
+
+void MembershipTracker::RemoveMember(const std::string& node) {
+  MutexLock lock(mu_);
+  if (members_.erase(node) == 0) return;
+  int64_t alive = 0;
+  for (const auto& [id, e] : members_) {
+    if (e.state == MemberState::kAlive) ++alive;
+  }
+  m_members_alive_->Set(alive);
+}
+
+bool MembershipTracker::Contains(const std::string& node) const {
+  MutexLock lock(mu_);
+  return members_.find(node) != members_.end();
+}
+
 }  // namespace cluster
 }  // namespace hyperion

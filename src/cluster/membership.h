@@ -47,9 +47,10 @@ struct MemberInfo {
   uint64_t beats = 0;         // heartbeats observed
 };
 
-/// \brief Tracks liveness of a fixed member set from observation
-/// timestamps.  Records `cluster.*` transition metrics and trace events
-/// on behalf of the owning node.
+/// \brief Tracks liveness of the cluster roster from observation
+/// timestamps.  The roster starts from the config and changes only via
+/// AddMember/RemoveMember (rebalance transitions).  Records `cluster.*`
+/// transition metrics and trace events on behalf of the owning node.
 class MembershipTracker {
  public:
   /// \brief `members` is the full expected roster (this node excluded);
@@ -58,9 +59,9 @@ class MembershipTracker {
                     int64_t suspect_after_us, int64_t down_after_us);
 
   /// \brief A heartbeat (or any authenticated traffic) arrived from
-  /// `node` at `now_us`.  Unknown senders are ignored — the roster is
-  /// fixed by the cluster config.  A suspect/down member heard from
-  /// again returns to kAlive (with a recovery trace event).
+  /// `node` at `now_us`.  Senders off the roster are ignored.  A
+  /// suspect/down member heard from again returns to kAlive (with a
+  /// recovery trace event).
   void Observe(const std::string& node, int64_t now_us);
 
   /// \brief Applies the timeouts as of `now_us`, demoting silent
@@ -74,6 +75,17 @@ class MembershipTracker {
 
   /// \brief True when every member of the roster is currently kAlive.
   bool AllAlive() const;
+
+  /// \brief Grows the roster with `node` in kUnknown (rebalance join).
+  /// No-op when the node is already tracked — a rejoin keeps its state.
+  void AddMember(const std::string& node);
+
+  /// \brief Drops `node` from the roster (rebalance decommission).  Its
+  /// silence stops counting toward failure detection immediately.
+  void RemoveMember(const std::string& node);
+
+  /// \brief Whether `node` is on the roster (any state).
+  bool Contains(const std::string& node) const;
 
  private:
   struct Entry {

@@ -32,7 +32,11 @@ ClusterNode::ClusterNode(ClusterConfig config, NodeSpec self_spec,
     : config_(std::move(config)),
       self_spec_(std::move(self_spec)),
       store_(std::move(store)),
-      ring_(std::move(ring)),
+      // The coordinator is the epoch authority: it mints epoch 1 for the
+      // config-time ring; everyone else starts at 0 and adopts the
+      // committed epoch from the first heartbeat that announces one.
+      placement_(std::move(ring),
+                 self_spec_.role == NodeRole::kCoordinator ? 1 : 0),
       membership_(
           self_spec_.id,
           [this] {
@@ -44,7 +48,12 @@ ClusterNode::ClusterNode(ClusterConfig config, NodeSpec self_spec,
           }(),
           static_cast<int64_t>(config_.suspect_ms) * 1000,
           static_cast<int64_t>(config_.down_ms) * 1000),
-      incarnation_(static_cast<uint64_t>(std::time(nullptr))) {}
+      incarnation_(static_cast<uint64_t>(std::time(nullptr))) {
+  MutexLock lock(mu_);
+  for (const NodeSpec& node : config_.nodes) {
+    if (node.id != self_spec_.id) roster_.insert(node.id);
+  }
+}
 
 ClusterNode::~ClusterNode() { Stop(); }
 
@@ -101,13 +110,16 @@ Status ClusterNode::Start() {
   }
   if (self_spec_.role == NodeRole::kStorage) {
     // Every shard this node replicates, primary or not: replicas must
-    // hold the slice to take over when the primary dies.
-    std::vector<uint64_t> owned = ring_.ShardsOwnedBy(self_spec_.id);
+    // hold the slice to take over when the primary dies.  The slicing
+    // lambda keeps its own ring snapshot — an epoch adopted later
+    // re-routes fetches, not this one-time load.
+    std::shared_ptr<const ShardRing> ring = placement_.Committed().ring;
+    std::vector<uint64_t> owned = ring->ShardsOwnedBy(self_spec_.id);
     HYP_ASSIGN_OR_RETURN(
         slices_,
         SliceStore(
             store_,
-            [this](const std::string& key) { return ring_.ShardForKey(key); },
+            [ring](const std::string& key) { return ring->ShardForKey(key); },
             owned));
     if (!write_log_dir_.empty()) {
       // Replay the writes a previous incarnation applied: entries per
@@ -120,10 +132,10 @@ Status ClusterNode::Start() {
       for (const auto& [shard, latest] : write_log_.Versions()) {
         uint64_t v = 0;
         while (v < latest) {
-          HYP_ASSIGN_OR_RETURN(WriteSliceMsg entry,
-                               write_log_.EntryAfter(shard, v));
-          InstallSlice(entry);
-          v = entry.shard_version;
+          Result<WriteSliceMsg> entry = write_log_.EntryAfter(shard, v);
+          if (!entry.ok()) break;  // nothing persisted above v
+          InstallSlice(entry.value());
+          v = entry.value().shard_version;
         }
       }
     }
@@ -138,7 +150,7 @@ Status ClusterNode::Start() {
     opts.hedge_delay_us = static_cast<int64_t>(config_.hedge_ms) * 1000;
     opts.attempts_per_replica = static_cast<int>(config_.fetch_attempts);
     table_source_ = std::make_unique<ClusterTableSource>(
-        self_spec_.id, net_.get(), &ring_, &membership_, opts);
+        self_spec_.id, net_.get(), &placement_, &membership_, opts);
     ClusterTableSink::Options wopts;
     wopts.write_timeout_us =
         static_cast<int64_t>(config_.write_timeout_ms) * 1000;
@@ -149,7 +161,7 @@ Status ClusterNode::Start() {
     wopts.attempts_per_replica = static_cast<int>(config_.write_attempts);
     wopts.quorum = config_.write_quorum;
     table_sink_ = std::make_unique<ClusterTableSink>(
-        self_spec_.id, net_.get(), &ring_, &membership_, wopts);
+        self_spec_.id, net_.get(), &placement_, &membership_, wopts);
   }
   std::vector<std::pair<std::string, std::string>> routes;
   {
@@ -216,7 +228,7 @@ void ClusterNode::SetPeerAddress(const std::string& node,
 }
 
 std::vector<uint64_t> ClusterNode::owned_shards() const {
-  return ring_.ShardsOwnedBy(self_spec_.id);
+  return ring()->ShardsOwnedBy(self_spec_.id);
 }
 
 bool ClusterNode::WaitAllAlive(int64_t timeout_us) {
@@ -225,6 +237,189 @@ bool ClusterNode::WaitAllAlive(int64_t timeout_us) {
 }
 
 int64_t ClusterNode::NowUs() const { return net_->now_us(); }
+
+Result<uint64_t> ClusterNode::StartJoin(const std::string& id,
+                                        const std::string& host_port) {
+  if (self_spec_.role != NodeRole::kCoordinator) {
+    return Status::FailedPrecondition(
+        "only the coordinator starts a rebalance");
+  }
+  if (id == self_spec_.id || membership_.Contains(id)) {
+    return Status::InvalidArgument("node '" + id +
+                                   "' is already on the roster");
+  }
+  if (host_port.empty()) {
+    return Status::InvalidArgument("join needs the node's host:port");
+  }
+  const PlacementState::Snapshot committed = placement_.Committed();
+  std::vector<std::string> nodes = committed.ring->storage_nodes();
+  nodes.push_back(id);
+  std::sort(nodes.begin(), nodes.end());
+  HYP_ASSIGN_OR_RETURN(
+      ShardRing next,
+      ShardRing::Build(std::move(nodes), config_.shard_count, config_.vnodes,
+                       config_.replication));
+  // Route to the joiner before announcing it, so its heartbeats and
+  // handoff acks flow the moment anyone learns the pending ring.
+  {
+    MutexLock lock(mu_);
+    known_addrs_[id] = host_port;
+  }
+  net_->SetRemotePeer(id, host_port);
+  return BeginTransition(std::move(next), "join", id);
+}
+
+Result<uint64_t> ClusterNode::StartDecommission(const std::string& id) {
+  if (self_spec_.role != NodeRole::kCoordinator) {
+    return Status::FailedPrecondition(
+        "only the coordinator starts a rebalance");
+  }
+  const PlacementState::Snapshot committed = placement_.Committed();
+  std::vector<std::string> nodes = committed.ring->storage_nodes();
+  auto it = std::find(nodes.begin(), nodes.end(), id);
+  if (it == nodes.end()) {
+    return Status::NotFound("node '" + id + "' is not on the storage ring");
+  }
+  nodes.erase(it);
+  if (nodes.empty()) {
+    return Status::FailedPrecondition(
+        "cannot decommission the last storage node");
+  }
+  HYP_ASSIGN_OR_RETURN(
+      ShardRing next,
+      ShardRing::Build(std::move(nodes), config_.shard_count, config_.vnodes,
+                       config_.replication));
+  return BeginTransition(std::move(next), "decommission", id);
+}
+
+Result<uint64_t> ClusterNode::BeginTransition(ShardRing next,
+                                              const std::string& verb,
+                                              const std::string& subject) {
+  const PlacementState::Snapshot committed = placement_.Committed();
+  const uint64_t epoch = committed.epoch + 1;
+  std::vector<ShardMove> moves = ShardRing::Diff(*committed.ring, next);
+  // Every gained shard needs an alive handoff source among its
+  // committed owners, or the new owner could never catch up.  A
+  // decommissioned node that is still alive may itself be the source;
+  // one the failure detector already marked down may not.
+  for (const ShardMove& move : moves) {
+    if (move.gained.empty()) continue;
+    bool source = false;
+    for (const std::string& owner :
+         committed.ring->OwnersForShard(move.shard)) {
+      if (membership_.StateOf(owner) != MemberState::kDown) {
+        source = true;
+        break;
+      }
+    }
+    if (!source) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(move.shard) +
+          " has no alive handoff source; refusing to " + verb + " '" +
+          subject + "'");
+    }
+  }
+  std::set<std::pair<uint64_t, std::string>> waiting;
+  for (const ShardMove& move : moves) {
+    for (const std::string& node : move.gained) {
+      waiting.insert({move.shard, node});
+    }
+  }
+  const int64_t now = NowUs();
+  {
+    MutexLock lock(mu_);
+    if (transition_ != nullptr) {
+      return Status::FailedPrecondition(
+          "a rebalance transition is already in flight (epoch " +
+          std::to_string(transition_->epoch) + ")");
+    }
+    // The ledger goes in before the pending epoch is announced: a
+    // handoff ack can only arrive after a heartbeat carried the pending
+    // ring, which happens after SetPending below.
+    transition_ = std::make_unique<Transition>();
+    transition_->epoch = epoch;
+    transition_->waiting = std::move(waiting);
+    transition_->started_us = now;
+    transition_->moves = moves.size();
+  }
+  if (!placement_.SetPending(std::move(next), epoch)) {
+    MutexLock lock(mu_);
+    transition_.reset();
+    return Status::FailedPrecondition("placement refused pending epoch " +
+                                      std::to_string(epoch));
+  }
+  SyncRosterToPlacement(/*drop_unowned=*/false);
+  obs::MetricRegistry::Default()
+      .GetCounter("cluster.rebalance.started")
+      ->Add();
+  obs::TraceEvent ev;
+  ev.peer = self_spec_.id;
+  ev.kind = "cluster.rebalance.started";
+  ev.detail = verb + " '" + subject + "' -> epoch " + std::to_string(epoch) +
+              " (" + std::to_string(moves.size()) + " moves)";
+  ev.value = static_cast<int64_t>(epoch);
+  obs::SessionTracer::Default().Record(std::move(ev));
+  SendHeartbeats();
+  // A transition that moves nothing (or only sheds replicas) commits as
+  // soon as something notices the empty ledger.
+  MaybeCommitEpoch();
+  return epoch;
+}
+
+void ClusterNode::SyncRosterToPlacement(bool drop_unowned) {
+  const PlacementState::Snapshot committed = placement_.Committed();
+  const PlacementState::Snapshot pending = placement_.Pending();
+  std::set<std::string> desired;
+  for (const std::string& id : committed.ring->storage_nodes()) {
+    desired.insert(id);
+  }
+  if (pending.ring != nullptr) {
+    for (const std::string& id : pending.ring->storage_nodes()) {
+      desired.insert(id);
+    }
+  }
+  for (const NodeSpec& node : config_.nodes) {
+    if (node.role == NodeRole::kCoordinator) desired.insert(node.id);
+  }
+  desired.erase(self_spec_.id);
+  std::vector<std::string> added, removed;
+  {
+    MutexLock lock(mu_);
+    for (const std::string& id : desired) {
+      if (roster_.find(id) == roster_.end()) added.push_back(id);
+    }
+    for (const std::string& id : roster_) {
+      if (desired.find(id) == desired.end()) removed.push_back(id);
+    }
+    roster_ = std::move(desired);
+    for (const std::string& id : removed) peer_shard_versions_.erase(id);
+  }
+  // membership_'s mutex is its own leaf — updated with mu_ released.
+  for (const std::string& id : added) membership_.AddMember(id);
+  for (const std::string& id : removed) membership_.RemoveMember(id);
+  if (drop_unowned && self_spec_.role == NodeRole::kStorage) {
+    // Shards this node no longer replicates stop being served; the
+    // coordinator's next fetch re-resolves onto the new owners.  The
+    // union with pending keeps handoff-installed slices alive while a
+    // further transition is still converging.
+    std::set<uint64_t> owned;
+    for (uint64_t shard : committed.ring->ShardsOwnedBy(self_spec_.id)) {
+      owned.insert(shard);
+    }
+    if (pending.ring != nullptr) {
+      for (uint64_t shard : pending.ring->ShardsOwnedBy(self_spec_.id)) {
+        owned.insert(shard);
+      }
+    }
+    for (auto it = slices_.begin(); it != slices_.end();) {
+      if (owned.find(it->first.second) == owned.end()) {
+        it = slices_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
 
 void ClusterNode::HandleMessage(const Message& msg) {
   if (std::holds_alternative<HeartbeatMsg>(msg.payload)) {
@@ -239,13 +434,74 @@ void ClusterNode::HandleMessage(const Message& msg) {
     if (table_sink_ != nullptr) table_sink_->OnWriteAck(*ack);
   } else if (std::holds_alternative<RepairFetchMsg>(msg.payload)) {
     HandleRepairFetch(msg);
+  } else if (std::holds_alternative<HandoffFetchMsg>(msg.payload)) {
+    HandleHandoffFetch(msg);
+  } else if (std::holds_alternative<HandoffRowsMsg>(msg.payload)) {
+    HandleHandoffRows(msg);
+  } else if (std::holds_alternative<HandoffAckMsg>(msg.payload)) {
+    HandleHandoffAck(msg);
   }
   // Anything else (discovery, session traffic) belongs to a query
   // service sharing the transport, not to the cluster runtime.
 }
 
+void ClusterNode::AdoptFromHeartbeat(const HeartbeatMsg& hb) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  if (!hb.ring_nodes.empty() && hb.ring_epoch > placement_.epoch()) {
+    std::vector<std::string> nodes = hb.ring_nodes;
+    std::sort(nodes.begin(), nodes.end());
+    Result<ShardRing> ring =
+        ShardRing::Build(std::move(nodes), config_.shard_count,
+                         config_.vnodes, config_.replication);
+    if (ring.ok() &&
+        placement_.Adopt(std::move(ring.value()), hb.ring_epoch)) {
+      // Adoption resolves any pending transition at or below the new
+      // epoch (placement_ cleared it); drop the handoff pulls armed for
+      // it so a late reply cannot install under the committed ring.
+      if (!placement_.HasPending()) {
+        MutexLock lock(mu_);
+        handoff_inflight_.clear();
+      }
+      SyncRosterToPlacement(/*drop_unowned=*/true);
+      reg.GetCounter("cluster.epoch.adopted")->Add();
+      obs::TraceEvent ev;
+      ev.peer = self_spec_.id;
+      ev.kind = "cluster.epoch.adopted";
+      ev.detail = "epoch " + std::to_string(hb.ring_epoch) + " from " +
+                  hb.node + " (" + std::to_string(hb.ring_nodes.size()) +
+                  " storage nodes)";
+      ev.value = static_cast<int64_t>(hb.ring_epoch);
+      obs::SessionTracer::Default().Record(std::move(ev));
+    }
+  }
+  if (!hb.pending_nodes.empty() && hb.pending_epoch > placement_.epoch()) {
+    std::vector<std::string> nodes = hb.pending_nodes;
+    std::sort(nodes.begin(), nodes.end());
+    Result<ShardRing> ring =
+        ShardRing::Build(std::move(nodes), config_.shard_count,
+                         config_.vnodes, config_.replication);
+    if (ring.ok() &&
+        placement_.SetPending(std::move(ring.value()), hb.pending_epoch)) {
+      // Joining members enter the roster now (their heartbeats must be
+      // heard); leavers stay until the epoch commits.
+      SyncRosterToPlacement(/*drop_unowned=*/false);
+      if (self_spec_.role == NodeRole::kStorage) MaybeHandoff();
+    }
+  }
+}
+
 void ClusterNode::HandleHeartbeat(const Message& msg) {
   const auto& hb = std::get<HeartbeatMsg>(msg.payload);
+  // Epoch adoption first: the announcement may put the sender (a
+  // joining node heard of via the pending ring) onto the roster the
+  // rest of this handler is gated by.
+  AdoptFromHeartbeat(hb);
+  bool in_roster;
+  {
+    MutexLock lock(mu_);
+    in_roster = roster_.find(hb.node) != roster_.end();
+  }
+  if (!in_roster) return;
   membership_.Observe(hb.node, NowUs());
   if (!hb.shards.empty() && hb.shards.size() == hb.shard_versions.size()) {
     // Piggybacked write-log versions: the anti-entropy loop (and the
@@ -256,42 +512,89 @@ void ClusterNode::HandleHeartbeat(const Message& msg) {
       versions[hb.shards[i]] = hb.shard_versions[i];
     }
   }
-  if (hb.listen_addr.empty() || config_.FindNode(hb.node) == nullptr) return;
-  bool learned = false;
-  {
-    MutexLock lock(mu_);
-    auto it = known_addrs_.find(hb.node);
-    if (it == known_addrs_.end() || it->second != hb.listen_addr) {
-      // Address learning: the sender bound an ephemeral port we did not
-      // know (or moved); route future sends there.
-      known_addrs_[hb.node] = hb.listen_addr;
-      learned = true;
+  if (!hb.listen_addr.empty()) {
+    bool learned = false;
+    {
+      MutexLock lock(mu_);
+      auto it = known_addrs_.find(hb.node);
+      if (it == known_addrs_.end() || it->second != hb.listen_addr) {
+        // Address learning: the sender bound an ephemeral port we did
+        // not know (or moved); route future sends there.
+        known_addrs_[hb.node] = hb.listen_addr;
+        learned = true;
+      }
     }
+    if (learned) net_->SetRemotePeer(hb.node, hb.listen_addr);
   }
-  if (learned) net_->SetRemotePeer(hb.node, hb.listen_addr);
+  if (!hb.peer_nodes.empty() &&
+      hb.peer_nodes.size() == hb.peer_addrs.size()) {
+    // Gossiped third-party addresses fill gaps only: a peer we have an
+    // entry for keeps it (that peer's own listen_addr is authoritative
+    // for moves; stale gossip must not undo a direct learning).
+    std::vector<std::pair<std::string, std::string>> filled;
+    {
+      MutexLock lock(mu_);
+      for (size_t i = 0; i < hb.peer_nodes.size(); ++i) {
+        const std::string& peer = hb.peer_nodes[i];
+        const std::string& addr = hb.peer_addrs[i];
+        if (peer == self_spec_.id || addr.empty()) continue;
+        if (known_addrs_.find(peer) != known_addrs_.end()) continue;
+        known_addrs_[peer] = addr;
+        filled.emplace_back(peer, addr);
+      }
+    }
+    for (const auto& [peer, addr] : filled) net_->SetRemotePeer(peer, addr);
+  }
+  // The beat may carry the last advertised write-log version the
+  // commit gate was waiting on.
+  if (self_spec_.role == NodeRole::kCoordinator) MaybeCommitEpoch();
 }
 
 void ClusterNode::HandleShardFetch(const Message& msg) {
   const auto& fetch = std::get<ShardFetchMsg>(msg.payload);
+  const PlacementState::Snapshot committed = placement_.Committed();
   ShardRowsMsg reply;
   reply.request_id = fetch.request_id;
   reply.table_name = fetch.table_name;
   reply.node = self_spec_.id;
   reply.shard = fetch.shard;
+  reply.ring_epoch = committed.epoch;
   if (self_spec_.role != NodeRole::kStorage) {
     Status status = Status::FailedPrecondition(
         "node '" + self_spec_.id + "' is not a storage node");
     reply.error = status.message();
     reply.error_code = static_cast<int32_t>(status.code());
+  } else if (fetch.ring_epoch != 0 && fetch.ring_epoch < committed.epoch) {
+    // The fetcher resolved placement under a ring this node has already
+    // replaced — its owner choice is unreliable (this node may have
+    // dropped the slice at the commit).  Reject loudly; the coordinator
+    // re-resolves and refetches.
+    Status status = Status::FailedPrecondition(
+        "stale ring epoch " + std::to_string(fetch.ring_epoch) + " (node '" +
+        self_spec_.id + "' is at " + std::to_string(committed.epoch) + ")");
+    reply.error = status.message();
+    reply.error_code = static_cast<int32_t>(status.code());
+    obs::MetricRegistry::Default()
+        .GetCounter("cluster.epoch.stale_rejected")
+        ->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_spec_.id;
+    ev.kind = "cluster.epoch.stale";
+    ev.detail = "fetch " + fetch.table_name + "#" +
+                std::to_string(fetch.shard) + " at epoch " +
+                std::to_string(fetch.ring_epoch) + " < " +
+                std::to_string(committed.epoch) + " from " + msg.from;
+    ev.value = static_cast<int64_t>(fetch.ring_epoch);
+    obs::SessionTracer::Default().Record(std::move(ev));
   } else {
     auto it = slices_.find({fetch.table_name, fetch.shard});
     if (it == slices_.end()) {
       // Replica-aware ownership: any member of the shard's replica set
       // may legitimately serve it.
       bool replicates = false;
-      if (fetch.shard < ring_.shard_count()) {
+      if (fetch.shard < committed.ring->shard_count()) {
         const std::vector<std::string>& owners =
-            ring_.OwnersForShard(fetch.shard);
+            committed.ring->OwnersForShard(fetch.shard);
         replicates = std::find(owners.begin(), owners.end(),
                                self_spec_.id) != owners.end();
       }
@@ -399,12 +702,18 @@ void ClusterNode::HandleWriteSlice(const Message& msg) {
   ack.request_id = slice.request_id;
   ack.node = self_spec_.id;
   ack.shard = slice.shard;
+  ack.ring_epoch = placement_.epoch();
   if (self_spec_.role != NodeRole::kStorage) {
     Status status = Status::FailedPrecondition(
         "node '" + self_spec_.id + "' is not a storage node");
     ack.error = status.message();
     ack.error_code = static_cast<int32_t>(status.code());
   } else {
+    // No epoch gate here, deliberately: a write racing an epoch commit
+    // is stamped with the just-replaced epoch, and rejecting it would
+    // fail its quorum for no safety gain — shard-version monotonicity
+    // and the committed floor already reject every unsafe application
+    // (DESIGN.md §15).
     Result<ApplyOutcome> outcome = ApplyWriteSlice(slice);
     if (!outcome.ok()) {
       ack.error = outcome.status().message();
@@ -473,10 +782,343 @@ void ClusterNode::HandleRepairFetch(const Message& msg) {
   (void)net_->Send(std::move(out));
 }
 
+void ClusterNode::HandleHandoffFetch(const Message& msg) {
+  const auto& fetch = std::get<HandoffFetchMsg>(msg.payload);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  const uint64_t epoch = placement_.epoch();
+  HandoffRowsMsg reply;
+  reply.request_id = fetch.request_id;
+  reply.node = self_spec_.id;
+  reply.shard = fetch.shard;
+  if (self_spec_.role != NodeRole::kStorage) {
+    Status status = Status::FailedPrecondition(
+        "node '" + self_spec_.id + "' is not a storage node");
+    reply.error = status.message();
+    reply.error_code = static_cast<int32_t>(status.code());
+  } else if (fetch.ring_epoch != 0 && fetch.ring_epoch < epoch) {
+    // The puller is converging on a transition this node has already
+    // seen committed (or superseded) — its snapshot request is moot.
+    Status status = Status::FailedPrecondition(
+        "stale ring epoch " + std::to_string(fetch.ring_epoch) + " (node '" +
+        self_spec_.id + "' is at " + std::to_string(epoch) + ")");
+    reply.error = status.message();
+    reply.error_code = static_cast<int32_t>(status.code());
+    reg.GetCounter("cluster.epoch.stale_rejected")->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_spec_.id;
+    ev.kind = "cluster.epoch.stale";
+    ev.detail = "handoff fetch shard " + std::to_string(fetch.shard) +
+                " at epoch " + std::to_string(fetch.ring_epoch) + " < " +
+                std::to_string(epoch) + " from " + msg.from;
+    ev.value = static_cast<int64_t>(fetch.ring_epoch);
+    obs::SessionTracer::Default().Record(std::move(ev));
+  } else {
+    // Full shard state: one slice per served table, all stamped with
+    // this log's current version, which the receiver adopts as its
+    // write-log floor.  Anti-entropy covers anything newer.
+    reply.shard_version = write_log_.VersionOf(fetch.shard);
+    for (const auto& [key, slice] : slices_) {
+      if (key.second != fetch.shard) continue;
+      WriteSliceMsg ws;
+      ws.origin = self_spec_.id;
+      ws.table_name = key.first;
+      ws.shard = fetch.shard;
+      ws.shard_version = reply.shard_version;
+      ws.table_version = slice.version;
+      ws.total_rows = slice.total_rows;
+      ws.x_schema = slice.x_schema;
+      ws.y_schema = slice.y_schema;
+      ws.row_indices = slice.row_indices;
+      ws.rows = slice.rows;
+      ws.ring_epoch = epoch;
+      reply.slices.push_back(std::move(ws));
+    }
+    reg.GetCounter("cluster.rebalance.handoff_served")->Add();
+  }
+  Message out;
+  out.from = self_spec_.id;
+  out.to = msg.from;
+  out.payload = std::move(reply);
+  (void)net_->Send(std::move(out));
+}
+
+void ClusterNode::HandleHandoffRows(const Message& msg) {
+  const auto& rows = std::get<HandoffRowsMsg>(msg.payload);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  bool matched;
+  {
+    MutexLock lock(mu_);
+    auto inflight = handoff_inflight_.find(rows.shard);
+    matched = inflight != handoff_inflight_.end() &&
+              inflight->second.request_id == rows.request_id;
+    if (matched) handoff_inflight_.erase(inflight);
+  }
+  if (!rows.error.empty()) {
+    // Only the reply the slot is waiting on may fail the pull; a late
+    // error belongs to a retry that was already re-armed.
+    if (matched) {
+      reg.GetCounter("cluster.rebalance.handoff_failures")->Add();
+    }
+    return;  // the next handoff pass re-pulls (possibly elsewhere)
+  }
+  // Successful snapshots install even when the pull timed out and was
+  // re-armed (`matched` false): the payload is complete, version-
+  // stamped committed state, installs are idempotent, and the
+  // coordinator max-merges duplicate acks.  Dropping late replies
+  // would livelock a slow environment where every round trip exceeds
+  // replica_timeout_ms — each retry restarts the same too-small
+  // budget and no reply is ever current by the time it lands.
+  const PlacementState::Snapshot pending = placement_.Pending();
+  if (pending.ring == nullptr) return;  // transition resolved meanwhile
+  uint64_t installed_rows = 0;
+  if (write_log_.VersionOf(rows.shard) <= rows.shard_version) {
+    // The slices are full shard state at the source's write-log version
+    // — installed directly (several tables share one version, which a
+    // log Append per table would violate); the floor adopts the version
+    // so later writes and anti-entropy chain from it.
+    for (const WriteSliceMsg& ws : rows.slices) {
+      InstallSlice(ws);
+      installed_rows += ws.rows.size();
+    }
+    write_log_.SetFloor(rows.shard, rows.shard_version);
+  }
+  obs::TraceEvent ev;
+  ev.peer = self_spec_.id;
+  ev.kind = "cluster.rebalance.handoff";
+  ev.detail = "shard " + std::to_string(rows.shard) + " v" +
+              std::to_string(rows.shard_version) + " (" +
+              std::to_string(rows.slices.size()) + " tables, " +
+              std::to_string(installed_rows) + " rows) from " + msg.from;
+  ev.value = static_cast<int64_t>(rows.shard);
+  obs::SessionTracer::Default().Record(std::move(ev));
+  Result<NodeSpec> coordinator = config_.Coordinator();
+  if (coordinator.ok()) {
+    HandoffAckMsg ack;
+    ack.request_id = rows.request_id;
+    ack.node = self_spec_.id;
+    ack.shard = rows.shard;
+    ack.shard_version = write_log_.VersionOf(rows.shard);
+    ack.rows = installed_rows;
+    ack.ring_epoch = pending.epoch;
+    Message out;
+    out.from = self_spec_.id;
+    out.to = coordinator.value().id;
+    out.payload = std::move(ack);
+    (void)net_->Send(std::move(out));
+  }
+  // Writes that landed on the old owners after the snapshot are above
+  // the floor now — chain anti-entropy to pull them.
+  MaybeRepair(static_cast<int64_t>(rows.shard));
+}
+
+void ClusterNode::HandleHandoffAck(const Message& msg) {
+  const auto& ack = std::get<HandoffAckMsg>(msg.payload);
+  if (self_spec_.role != NodeRole::kCoordinator) return;
+  bool counted = false;
+  {
+    MutexLock lock(mu_);
+    if (transition_ == nullptr || transition_->epoch != ack.ring_epoch) {
+      return;
+    }
+    const auto key = std::make_pair(ack.shard, ack.node);
+    if (transition_->waiting.erase(key) != 0) {
+      transition_->acked[key] = ack.shard_version;
+      counted = true;
+    } else {
+      // Duplicate ack after a re-pull: keep the freshest version.
+      auto it = transition_->acked.find(key);
+      if (it != transition_->acked.end()) {
+        it->second = std::max(it->second, ack.shard_version);
+      }
+    }
+  }
+  if (counted) {
+    obs::MetricRegistry::Default()
+        .GetCounter("cluster.rebalance.rows_shipped")
+        ->Add(ack.rows);
+  }
+  MaybeCommitEpoch();
+}
+
+void ClusterNode::MaybeCommitEpoch() {
+  if (self_spec_.role != NodeRole::kCoordinator) return;
+  // Both the sink's and placement's mutexes are leaves like mu_ —
+  // snapshot the committed write sequence before taking mu_.
+  const uint64_t committed_seq =
+      table_sink_ != nullptr ? table_sink_->committed_sequence() : 0;
+  const int64_t now = NowUs();
+  uint64_t epoch = 0;
+  size_t moves = 0;
+  int64_t started_us = 0;
+  {
+    MutexLock lock(mu_);
+    if (transition_ == nullptr || !transition_->waiting.empty()) return;
+    for (const auto& [key, acked_version] : transition_->acked) {
+      // The gained owner must have caught up to every write committed
+      // so far — via the handoff snapshot or anti-entropy since; its
+      // heartbeat-advertised version may run ahead of the ack's.
+      uint64_t have = acked_version;
+      auto peer = peer_shard_versions_.find(key.second);
+      if (peer != peer_shard_versions_.end()) {
+        auto shard = peer->second.find(key.first);
+        if (shard != peer->second.end()) {
+          have = std::max(have, shard->second);
+        }
+      }
+      if (have < committed_seq) return;
+    }
+    epoch = transition_->epoch;
+    moves = transition_->moves;
+    started_us = transition_->started_us;
+    transition_.reset();
+  }
+  // Bookkeeping before Commit(): the moment the epoch flips, observers
+  // polling the committed snapshot must already find the transition
+  // counted — counting after would open a window where the new epoch is
+  // visible but cluster.rebalance.committed still reads the old total.
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  reg.GetCounter("cluster.rebalance.committed")->Add();
+  reg.GetHistogram("cluster.rebalance.convergence_us", obs::LatencyBoundsUs())
+      ->Observe(now - started_us);
+  obs::TraceEvent ev;
+  ev.peer = self_spec_.id;
+  ev.kind = "cluster.rebalance.committed";
+  ev.detail = "epoch " + std::to_string(epoch) + " (" +
+              std::to_string(moves) + " moves, " +
+              std::to_string(now - started_us) + " us)";
+  ev.value = static_cast<int64_t>(epoch);
+  obs::SessionTracer::Default().Record(std::move(ev));
+  placement_.Commit();
+  // Leavers drop off the roster; cached assemblies resolved under the
+  // old ring are dropped so the next fetch routes to the new owners.
+  SyncRosterToPlacement(/*drop_unowned=*/true);
+  if (table_source_ != nullptr) table_source_->Evict();
+  // Announce the commit immediately instead of waiting out a beat.
+  SendHeartbeats();
+}
+
+void ClusterNode::MaybeAutoDecommission(
+    const std::vector<MemberInfo>& members) {
+  if (self_spec_.role != NodeRole::kCoordinator) return;
+  if (config_.decommission_after_ms == 0) return;
+  if (placement_.HasPending()) return;
+  const PlacementState::Snapshot committed = placement_.Committed();
+  const std::vector<std::string>& storage = committed.ring->storage_nodes();
+  const int64_t deadline_us =
+      static_cast<int64_t>(config_.down_ms + config_.decommission_after_ms) *
+      1000;
+  const int64_t now = NowUs();
+  for (const MemberInfo& member : members) {
+    if (member.state != MemberState::kDown) continue;
+    if (member.last_heard_us == 0) continue;  // never launched
+    if (now - member.last_heard_us < deadline_us) continue;
+    if (std::find(storage.begin(), storage.end(), member.node) ==
+        storage.end()) {
+      continue;
+    }
+    Result<uint64_t> epoch = StartDecommission(member.node);
+    // e.g. no alive handoff source left: skip, retried next sweep.
+    if (!epoch.ok()) continue;
+    obs::MetricRegistry::Default()
+        .GetCounter("cluster.rebalance.auto_decommissions")
+        ->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_spec_.id;
+    ev.kind = "cluster.rebalance.auto_decommission";
+    ev.detail = "node '" + member.node + "' silent " +
+                std::to_string((now - member.last_heard_us) / 1000) +
+                " ms -> epoch " + std::to_string(epoch.value());
+    ev.value = static_cast<int64_t>(epoch.value());
+    obs::SessionTracer::Default().Record(std::move(ev));
+    return;  // one transition at a time
+  }
+}
+
+void ClusterNode::MaybeHandoff() {
+  if (self_spec_.role != NodeRole::kStorage) return;
+  const PlacementState::Snapshot pending = placement_.Pending();
+  if (pending.ring == nullptr) return;
+  const PlacementState::Snapshot committed = placement_.Committed();
+  std::vector<uint64_t> current =
+      committed.ring->ShardsOwnedBy(self_spec_.id);
+  std::set<uint64_t> have(current.begin(), current.end());
+  // Source choice happens before mu_ (membership_'s mutex is a leaf):
+  // the first committed owner the failure detector does not call down.
+  struct Pull {
+    uint64_t shard = 0;
+    std::string source;
+    uint64_t request_id = 0;
+  };
+  std::vector<Pull> candidates;
+  for (uint64_t shard : pending.ring->ShardsOwnedBy(self_spec_.id)) {
+    if (have.find(shard) != have.end()) continue;  // already a replica
+    for (const std::string& owner : committed.ring->OwnersForShard(shard)) {
+      if (membership_.StateOf(owner) != MemberState::kDown) {
+        candidates.push_back({shard, owner, 0});
+        break;
+      }
+    }
+  }
+  if (candidates.empty()) return;
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  const int64_t now = NowUs();
+  const int64_t inflight_timeout_us =
+      static_cast<int64_t>(config_.replica_timeout_ms) * 1000;
+  std::vector<Pull> pulls;
+  {
+    MutexLock lock(mu_);
+    for (Pull& pull : candidates) {
+      auto inflight = handoff_inflight_.find(pull.shard);
+      if (inflight != handoff_inflight_.end()) {
+        if (now - inflight->second.sent_us < inflight_timeout_us) continue;
+        // Lost reply; pull again — the late reply is dropped by the
+        // request-id check in HandleHandoffRows.
+        handoff_inflight_.erase(inflight);
+      }
+      pull.request_id = next_repair_id_++;
+      handoff_inflight_[pull.shard] = {pull.request_id, now};
+      pulls.push_back(pull);
+    }
+  }
+  for (const Pull& pull : pulls) {
+    reg.GetCounter("cluster.rebalance.handoff_fetches")->Add();
+    Message msg;
+    msg.from = self_spec_.id;
+    msg.to = pull.source;
+    HandoffFetchMsg fetch;
+    fetch.request_id = pull.request_id;
+    fetch.node = self_spec_.id;
+    fetch.shard = pull.shard;
+    fetch.ring_epoch = pending.epoch;
+    msg.payload = std::move(fetch);
+    Status sent = net_->Send(std::move(msg));
+    if (!sent.ok()) {
+      // Free the slot only if it is still ours (mirrors MaybeRepair).
+      MutexLock lock(mu_);
+      auto inflight = handoff_inflight_.find(pull.shard);
+      if (inflight != handoff_inflight_.end() &&
+          inflight->second.request_id == pull.request_id) {
+        handoff_inflight_.erase(inflight);
+      }
+    }
+  }
+}
+
 void ClusterNode::MaybeRepair(int64_t chain_shard) {
   if (self_spec_.role != NodeRole::kStorage) return;
   obs::MetricRegistry& reg = obs::MetricRegistry::Default();
-  std::vector<uint64_t> owned = ring_.ShardsOwnedBy(self_spec_.id);
+  // Owned = union of committed and pending ownership: a gained shard
+  // keeps converging on post-handoff writes before the epoch commits.
+  const PlacementState::Snapshot committed = placement_.Committed();
+  const PlacementState::Snapshot pending = placement_.Pending();
+  std::vector<uint64_t> owned = committed.ring->ShardsOwnedBy(self_spec_.id);
+  if (pending.ring != nullptr) {
+    std::set<uint64_t> merged(owned.begin(), owned.end());
+    for (uint64_t shard : pending.ring->ShardsOwnedBy(self_spec_.id)) {
+      merged.insert(shard);
+    }
+    owned.assign(merged.begin(), merged.end());
+  }
   // Both write_log_'s mutex and mu_ are leaves: versions first, then
   // the peer table under mu_, never nested.
   std::map<uint64_t, uint64_t> mine;
@@ -498,6 +1140,10 @@ void ClusterNode::MaybeRepair(int64_t chain_shard) {
       if (chain_shard >= 0 && shard != static_cast<uint64_t>(chain_shard)) {
         continue;
       }
+      // A shard whose handoff snapshot is still on its way gets its
+      // state wholesale; entry-by-entry replay would race it (and the
+      // source's log may not reach below its own handoff floor).
+      if (handoff_inflight_.find(shard) != handoff_inflight_.end()) continue;
       auto inflight = repair_inflight_.find(shard);
       if (inflight != repair_inflight_.end()) {
         if (now - inflight->second.sent_us < inflight_timeout_us) continue;
@@ -576,24 +1222,40 @@ void ClusterNode::SendHeartbeats() {
       self_spec_.host + ":" +
       std::to_string(port.ok() ? port.value() : self_spec_.port);
   // Storage beats piggyback the write-log versions (write_log_'s mutex
-  // is a leaf like mu_, so snapshot before taking mu_ below).
+  // is a leaf like mu_, so snapshot before taking mu_ below).  The
+  // placement snapshot rides along the same way: every beat announces
+  // the committed epoch and storage roster (plus the pending ones while
+  // a transition converges), which is what peers adopt from.
   std::vector<std::pair<uint64_t, uint64_t>> shard_versions;
   if (self_spec_.role == NodeRole::kStorage) {
     shard_versions = write_log_.Versions();
   }
+  const PlacementState::Snapshot committed = placement_.Committed();
+  const PlacementState::Snapshot pending = placement_.Pending();
   std::vector<Message> beats;
   {
     MutexLock lock(mu_);
     if (!running_) return;
     uint64_t beat = ++beat_;
-    for (const NodeSpec& node : config_.nodes) {
-      if (node.id == self_spec_.id) continue;
+    // Address gossip: share every roster address we know.  Storage
+    // siblings boot blind to each other (seed configs carry port 0)
+    // and handoff pulls need them to dial each other directly; the
+    // coordinator knows everyone, so its beats close the loop.
+    std::vector<std::string> gossip_nodes;
+    std::vector<std::string> gossip_addrs;
+    for (const std::string& member : roster_) {
+      auto it = known_addrs_.find(member);
+      if (it == known_addrs_.end() || it->second.empty()) continue;
+      gossip_nodes.push_back(member);
+      gossip_addrs.push_back(it->second);
+    }
+    for (const std::string& peer : roster_) {
       // A peer without a known address (ephemeral port, not yet heard
       // from) cannot be beaten yet; it will reach us first.
-      if (known_addrs_.find(node.id) == known_addrs_.end()) continue;
+      if (known_addrs_.find(peer) == known_addrs_.end()) continue;
       Message msg;
       msg.from = self_spec_.id;
-      msg.to = node.id;
+      msg.to = peer;
       HeartbeatMsg hb;
       hb.node = self_spec_.id;
       hb.role = static_cast<uint8_t>(self_spec_.role);
@@ -604,6 +1266,14 @@ void ClusterNode::SendHeartbeats() {
         hb.shards.push_back(shard);
         hb.shard_versions.push_back(version);
       }
+      hb.ring_epoch = committed.epoch;
+      hb.ring_nodes = committed.ring->storage_nodes();
+      if (pending.ring != nullptr) {
+        hb.pending_epoch = pending.epoch;
+        hb.pending_nodes = pending.ring->storage_nodes();
+      }
+      hb.peer_nodes = gossip_nodes;
+      hb.peer_addrs = gossip_addrs;
       msg.payload = std::move(hb);
       beats.push_back(std::move(msg));
     }
@@ -659,6 +1329,13 @@ void ClusterNode::ScheduleSweep() {
         }
       }
     }
+    if (self_spec_.role == NodeRole::kCoordinator) {
+      // The commit gate and the held-down deadline both ride the sweep:
+      // a transition with nothing left to hand off (or whose last ack
+      // raced a heartbeat) still commits promptly.
+      MaybeCommitEpoch();
+      MaybeAutoDecommission(membership_.Snapshot());
+    }
     ScheduleSweep();
   });
   bool stopped;
@@ -679,6 +1356,8 @@ void ClusterNode::ScheduleRepair() {
   if (period_us < 1000) period_us = 1000;
   auto timer = net_->ScheduleTimer(self_spec_.id, period_us, [this] {
     MaybeRepair(-1);
+    // Retries timed-out handoff pulls; a no-op without a pending ring.
+    MaybeHandoff();
     ScheduleRepair();
   });
   bool stopped;

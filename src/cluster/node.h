@@ -6,14 +6,19 @@
 //  * storage — slices its TableStore by the shard ring at startup,
 //    answers ShardFetchMsg with the owned slices (shard_split.h),
 //    applies replicated write slices through a per-shard monotonic
-//    write log (write_path.h) and runs the anti-entropy repair loop
-//    that pulls the writes it missed while dead;
+//    write log (write_path.h), runs the anti-entropy repair loop that
+//    pulls the writes it missed while dead, and pulls handoff snapshots
+//    of the shards it gains during a rebalance transition;
 //  * coordinator — owns a ClusterTableSource that fans fetches out to
 //    the storage nodes and reassembles tables for the query service,
 //    plus a ClusterTableSink that replicates curator writes to every
-//    replica under the configured write quorum.
+//    replica under the configured write quorum.  It is also the ring
+//    epoch authority: `join`/`decommission` (or the auto-decommission
+//    deadline) start an epoch transition, and the coordinator commits
+//    the new epoch only once every gained shard's handoff has acked
+//    and caught up to the committed write sequence.
 //
-// Both roles run the membership protocol: a heartbeat to every known
+// Both roles run the membership protocol: a heartbeat to every roster
 // peer each heartbeat_ms, carrying this node's own listen address so
 // nodes that bound ephemeral ports become reachable once anyone hears
 // them (address learning), and a periodic sweep applying the
@@ -21,7 +26,12 @@
 // piggyback the node's per-shard write-log versions; every receiver
 // records them, which is how a restarted replica discovers it is
 // stale (a peer advertises a higher version for a shard it owns) and
-// what the coordinator's `versions` REPL verb reports.
+// what the coordinator's `versions` REPL verb reports.  Heartbeats
+// additionally announce the sender's committed (and, mid-transition,
+// pending) ring epoch and storage roster; every node adopts a strictly
+// higher committed epoch from ANY peer — symmetric adoption, so a
+// restarted coordinator relearns the live epoch from its own fleet
+// within one beat instead of resurrecting the config-time ring.
 //
 // Lifecycle is two-phase so ephemeral ports work across processes:
 //
@@ -41,11 +51,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster_config.h"
 #include "cluster/membership.h"
+#include "cluster/placement.h"
 #include "cluster/remote_tables.h"
 #include "cluster/shard_ring.h"
 #include "cluster/write_path.h"
@@ -96,8 +108,36 @@ class ClusterNode {
 
   const ClusterConfig& config() const { return config_; }
   const NodeSpec& self() const { return self_spec_; }
-  const ShardRing& ring() const { return ring_; }
+
+  /// \brief The committed shard ring.  A snapshot: rebalance commits
+  /// swap the placement under running code, so callers hold the ring
+  /// they resolved against even while the epoch moves on.
+  std::shared_ptr<const ShardRing> ring() const {
+    return placement_.Committed().ring;
+  }
+
+  /// \brief The committed ring epoch (coordinator mints 1 at startup;
+  /// storage nodes start at 0 and adopt from heartbeats).
+  uint64_t ring_epoch() const { return placement_.epoch(); }
+
+  /// \brief The in-flight transition's target epoch (0 = none).
+  uint64_t pending_epoch() const { return placement_.pending_epoch(); }
+
   MembershipTracker& membership() { return membership_; }
+
+  /// \brief Coordinator only: starts an epoch transition that adds
+  /// storage node `id` (listening at `host_port`) to the ring.  Returns
+  /// the pending epoch; the commit happens asynchronously once every
+  /// gained shard's handoff acked.  Fails while another transition is
+  /// in flight or `id` is already on the roster.
+  Result<uint64_t> StartJoin(const std::string& id,
+                             const std::string& host_port);
+
+  /// \brief Coordinator only: starts an epoch transition that removes
+  /// storage node `id` from the ring.  Refuses when another transition
+  /// is in flight, when `id` is the last storage node, or when some
+  /// shard would have no alive handoff source left.
+  Result<uint64_t> StartDecommission(const std::string& id);
 
   /// \brief Coordinator only: the table source query services read
   /// through (nullptr on storage nodes).
@@ -124,7 +164,7 @@ class ClusterNode {
       const;
 
   /// \brief Storage only: every shard this node replicates (primary or
-  /// backup) — exactly the slices it loads and serves.
+  /// backup) under the committed ring — exactly the slices it serves.
   std::vector<uint64_t> owned_shards() const;
 
   /// \brief Blocks until every roster member is alive or `timeout_us`
@@ -140,9 +180,12 @@ class ClusterNode {
 
   void HandleMessage(const Message& msg);
   void HandleHeartbeat(const Message& msg);
-  void HandleShardFetch(const Message& msg);   // storage role
-  void HandleWriteSlice(const Message& msg);   // storage role
-  void HandleRepairFetch(const Message& msg);  // storage role
+  void HandleShardFetch(const Message& msg);    // storage role
+  void HandleWriteSlice(const Message& msg);    // storage role
+  void HandleRepairFetch(const Message& msg);   // storage role
+  void HandleHandoffFetch(const Message& msg);  // storage role (source)
+  void HandleHandoffRows(const Message& msg);   // storage role (receiver)
+  void HandleHandoffAck(const Message& msg);    // coordinator role
   // Offers one slice to the write log + served-slice map; loop thread
   // only (or driver thread pre-loop, during Start()'s replay).
   Result<ApplyOutcome> ApplyWriteSlice(const WriteSliceMsg& slice);
@@ -153,7 +196,36 @@ class ClusterNode {
   // pull the next missing log entry (bounded to one in-flight fetch per
   // shard).  `chain_shard` != -1 restricts the pass to that shard — the
   // fast path a just-applied repair entry takes to fetch its successor.
+  // "Owned" is the union of committed and pending ownership, so a new
+  // owner keeps converging on writes that landed after its handoff;
+  // shards with a handoff still in flight are skipped (the handoff
+  // snapshot supersedes entry-by-entry replay).
   void MaybeRepair(int64_t chain_shard);
+  // One handoff pass (storage role): for every shard gained in the
+  // pending ring without a handoff in flight, pull the full shard
+  // snapshot from an alive committed owner (bounded to one in-flight
+  // pull per shard; timed-out pulls re-arm like repair fetches do).
+  void MaybeHandoff();
+  // Adopts a strictly higher committed epoch and/or a pending
+  // transition announced by `hb`, rebuilding the ring from the
+  // announced roster.  Loop thread.
+  void AdoptFromHeartbeat(const HeartbeatMsg& hb);
+  // Recomputes the heartbeat/membership roster from the committed and
+  // pending rings plus the config coordinators; call after any
+  // placement change.  `drop_unowned` additionally drops served slices
+  // of shards this node no longer replicates (storage, loop thread).
+  void SyncRosterToPlacement(bool drop_unowned);
+  // Coordinator: commits the pending epoch once every gained
+  // (shard, node) pair acked its handoff and advertised a write-log
+  // version at or past the committed write sequence.
+  void MaybeCommitEpoch();
+  // Coordinator sweep hook: starts a decommission transition for a
+  // storage member silent past down_ms + decommission_after_ms.
+  void MaybeAutoDecommission(const std::vector<MemberInfo>& members);
+  // Shared tail of StartJoin/StartDecommission: diffs committed →
+  // `next`, installs the pending epoch and the transition ledger.
+  Result<uint64_t> BeginTransition(ShardRing next, const std::string& verb,
+                                   const std::string& subject);
   void SendHeartbeats();
   void ScheduleHeartbeat();
   void ScheduleSweep();
@@ -163,7 +235,10 @@ class ClusterNode {
   const ClusterConfig config_;
   const NodeSpec self_spec_;
   TableStore store_;
-  const ShardRing ring_;
+  // The live placement (committed + pending rings with their epochs).
+  // Internally synchronized; its mutex is a leaf like mu_ — never take
+  // one while holding the other.
+  PlacementState placement_;
   MembershipTracker membership_;
   std::unique_ptr<TcpNetwork> net_;
   std::unique_ptr<ClusterTableSource> table_source_;  // coordinator only
@@ -180,25 +255,43 @@ class ClusterNode {
   bool running_ GUARDED_BY(mu_) = false;
   uint64_t beat_ GUARDED_BY(mu_) = 0;
   std::map<std::string, std::string> known_addrs_ GUARDED_BY(mu_);
+  // Peers this node heartbeats and accepts heartbeats from.  Starts as
+  // the config roster; rebalance transitions add pending members at
+  // announcement time and drop decommissioned ones at commit.
+  std::set<std::string> roster_ GUARDED_BY(mu_);
   Network::TimerId heartbeat_timer_ GUARDED_BY(mu_) = 0;
   Network::TimerId sweep_timer_ GUARDED_BY(mu_) = 0;
   Network::TimerId repair_timer_ GUARDED_BY(mu_) = 0;
   // node → (shard → write-log version), learned from heartbeats.
   std::map<std::string, std::map<uint64_t, uint64_t>> peer_shard_versions_
       GUARDED_BY(mu_);
-  // One outstanding repair fetch per shard.  The request id is what a
-  // reply must echo to count: a delayed reply from a timed-out earlier
-  // fetch must not clear the slot a newer fetch holds.
+  // One outstanding repair (or handoff) fetch per shard.  The request
+  // id is what a reply must echo to count: a delayed reply from a
+  // timed-out earlier fetch must not clear the slot a newer fetch holds.
   struct RepairFetch {
     uint64_t request_id = 0;
     int64_t sent_us = 0;  // NowUs() at send, for the in-flight timeout
   };
   uint64_t next_repair_id_ GUARDED_BY(mu_) = 1;
   std::map<uint64_t, RepairFetch> repair_inflight_ GUARDED_BY(mu_);
+  std::map<uint64_t, RepairFetch> handoff_inflight_ GUARDED_BY(mu_);
+  // Coordinator: the in-flight epoch transition's ledger — every
+  // (shard, gained node) pair still owed a handoff ack, the write-log
+  // version each ack reported (the commit gate compares it, or the
+  // newer heartbeat-advertised one, against the committed write
+  // sequence), and the start time for the convergence histogram.
+  struct Transition {
+    uint64_t epoch = 0;
+    std::set<std::pair<uint64_t, std::string>> waiting;
+    std::map<std::pair<uint64_t, std::string>, uint64_t> acked;
+    int64_t started_us = 0;
+    size_t moves = 0;
+  };
+  std::unique_ptr<Transition> transition_ GUARDED_BY(mu_);
   // Owned shard slices.  Filled by Start() (driver thread, before the
-  // event loop runs) and thereafter mutated only by the write/repair
-  // handlers on the loop thread — the same thread that reads it to
-  // answer fetches, so no lock is needed.
+  // event loop runs) and thereafter mutated only by the write/repair/
+  // handoff/adoption handlers on the loop thread — the same thread that
+  // reads it to answer fetches, so no lock is needed.
   std::map<std::pair<std::string, uint64_t>, ShardSlice> slices_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -63,12 +64,12 @@ std::string NameDeadReplicas(const std::vector<std::string>& unreachable,
 }  // namespace
 
 ClusterTableSource::ClusterTableSource(std::string self, Network* net,
-                                       const ShardRing* ring,
+                                       const PlacementState* placement,
                                        const MembershipTracker* membership,
                                        Options options)
     : self_(std::move(self)),
       net_(net),
-      ring_(ring),
+      placement_(placement),
       membership_(membership),
       options_(options) {}
 
@@ -122,6 +123,7 @@ void ClusterTableSource::SendAttempt(const std::string& name,
   fetch.request_id = id;
   fetch.table_name = name;
   fetch.shard = state->shard;
+  fetch.ring_epoch = state->ring_epoch;
   msg.payload = std::move(fetch);
   // mu_ is a leaf: the network's own lock is taken with it released.
   Status sent = net_->Send(std::move(msg));
@@ -140,6 +142,35 @@ void ClusterTableSource::SendAttempt(const std::string& name,
 Result<VersionedTable> ClusterTableSource::Fetch(
     const std::string& name) const {
   obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  // Stale-epoch rejections re-resolve placement and retry: the fresh
+  // FetchOnce snapshots the placement again, which by then has adopted
+  // (or is one heartbeat away from adopting) the rejecting node's newer
+  // ring.  Bounded — anything else still failing after the retries is a
+  // real error.
+  constexpr int kEpochRetries = 3;
+  for (int attempt = 0;; ++attempt) {
+    Result<VersionedTable> result = FetchOnce(name);
+    if (result.ok() || attempt >= kEpochRetries) return result;
+    const Status& status = result.status();
+    if (status.code() != StatusCode::kFailedPrecondition ||
+        status.message().find("stale ring epoch") == std::string::npos) {
+      return result;
+    }
+    reg.GetCounter("cluster.epoch.refetches")->Add();
+    obs::TraceEvent ev;
+    ev.peer = self_;
+    ev.kind = "cluster.epoch.refetch";
+    ev.detail = name + " (attempt " + std::to_string(attempt + 1) + ")";
+    obs::SessionTracer::Default().Record(std::move(ev));
+    // The adoption travels on heartbeats; give one a moment to land.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.backoff_base_us));
+  }
+}
+
+Result<VersionedTable> ClusterTableSource::FetchOnce(
+    const std::string& name) const {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
   {
     MutexLock lock(mu_);
     auto it = cache_.find(name);
@@ -151,7 +182,11 @@ Result<VersionedTable> ClusterTableSource::Fetch(
   reg.GetCounter("cluster.table_cache_misses")->Add();
   const int64_t t0 = SteadyNowUs();
   const int64_t overall_deadline = t0 + options_.fetch_timeout_us;
-  const uint64_t shard_count = ring_->shard_count();
+  // Reads are served by COMMITTED owners throughout a transition — that
+  // placement is what every replica still holds slices for.
+  const PlacementState::Snapshot placement = placement_->Committed();
+  const ShardRing& ring = *placement.ring;
+  const uint64_t shard_count = ring.shard_count();
 
   // Build the per-shard failover plans: replicas ordered alive (or
   // not-yet-heard) first, then suspect; members already marked down are
@@ -160,10 +195,11 @@ Result<VersionedTable> ClusterTableSource::Fetch(
   for (uint64_t s = 0; s < shard_count; ++s) {
     ShardState& st = states[s];
     st.shard = s;
+    st.ring_epoch = placement.epoch;
     st.slot = std::make_shared<Pending>();
     st.send_gate_us = t0;
     std::vector<std::string> suspects;
-    for (const std::string& owner : ring_->OwnersForShard(s)) {
+    for (const std::string& owner : ring.OwnersForShard(s)) {
       MemberState state = membership_ == nullptr ? MemberState::kAlive
                                                  : membership_->StateOf(owner);
       if (state == MemberState::kDown) {

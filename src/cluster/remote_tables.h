@@ -2,7 +2,9 @@
 // replica-aware failover.
 //
 // Fetch(name) runs one ShardFetchMsg conversation per shard against the
-// shard's replica set (placement from the ShardRing), reassembles the
+// shard's replica set (placement from the committed ring of a
+// PlacementState snapshot, its epoch stamped into every fetch),
+// reassembles the
 // original table from the slices (storage/shard_split.h) — byte-identical
 // row order included — and caches the assembled table together with the
 // set of storage nodes that served it.
@@ -50,6 +52,7 @@
 #include <vector>
 
 #include "cluster/membership.h"
+#include "cluster/placement.h"
 #include "cluster/shard_ring.h"
 #include "common/synchronization.h"
 #include "p2p/message.h"
@@ -73,15 +76,21 @@ class ClusterTableSource : public TableSource {
 
   /// \brief `self` is the coordinator's node id (the network peer the
   /// fetches are sent from); `net` must outlive this source and have
-  /// `self` registered; `ring` decides replica placement; `membership`
-  /// orders replicas by liveness (nullptr = treat everyone as alive).
-  /// `net`, `ring` and `membership` must outlive this source.
-  ClusterTableSource(std::string self, Network* net, const ShardRing* ring,
+  /// `self` registered; `placement` decides replica placement (each
+  /// fetch snapshots its committed ring and stamps its epoch into every
+  /// ShardFetchMsg); `membership` orders replicas by liveness (nullptr =
+  /// treat everyone as alive).  `net`, `placement` and `membership` must
+  /// outlive this source.
+  ClusterTableSource(std::string self, Network* net,
+                     const PlacementState* placement,
                      const MembershipTracker* membership, Options options);
 
   /// \brief Fetches (or serves from cache) the named table.  Blocks up
   /// to the fetch timeout; kUnavailable names every dead replica of the
-  /// shard that exhausted its set.
+  /// shard that exhausted its set.  A storage node rejecting the fetch
+  /// as epoch-stale (it committed a newer ring than this fetch resolved
+  /// placement under) triggers a bounded re-resolve-and-retry
+  /// (`cluster.epoch.refetches`) instead of failing the query.
   Result<VersionedTable> Fetch(const std::string& name) const override;
 
   /// \brief Routes a ShardRowsMsg response to its waiting Fetch.  Call
@@ -137,6 +146,7 @@ class ClusterTableSource : public TableSource {
   // steady-clock microseconds.
   struct ShardState {
     uint64_t shard = 0;
+    uint64_t ring_epoch = 0;              // epoch placement was resolved at
     std::vector<std::string> candidates;  // liveness-ordered replicas
     std::vector<std::string> skipped_down;
     std::vector<std::string> failed;      // candidates that timed out
@@ -157,9 +167,13 @@ class ClusterTableSource : public TableSource {
   void SendAttempt(const std::string& name, ShardState* state, int64_t now_us,
                    bool hedge) const;
 
+  // One fetch conversation against one placement snapshot; Fetch() wraps
+  // it with the stale-epoch re-resolution loop.
+  Result<VersionedTable> FetchOnce(const std::string& name) const;
+
   const std::string self_;
   Network* const net_;
-  const ShardRing* const ring_;
+  const PlacementState* const placement_;
   const MembershipTracker* const membership_;
   const Options options_;
 

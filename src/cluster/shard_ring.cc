@@ -173,5 +173,34 @@ const std::vector<std::vector<std::string>>& ShardRing::ReplicaPlacement()
   return owners_of_shard_;
 }
 
+std::vector<ShardMove> ShardRing::Diff(const ShardRing& before,
+                                       const ShardRing& after) {
+  std::vector<ShardMove> moves;
+  uint64_t shards = std::min(before.shard_count_, after.shard_count_);
+  for (uint64_t s = 0; s < shards; ++s) {
+    const std::vector<std::string>& old_owners = before.owners_of_shard_[s];
+    const std::vector<std::string>& new_owners = after.owners_of_shard_[s];
+    ShardMove move;
+    move.shard = s;
+    for (const std::string& node : new_owners) {
+      if (std::find(old_owners.begin(), old_owners.end(), node) ==
+          old_owners.end()) {
+        move.gained.push_back(node);
+      }
+    }
+    for (const std::string& node : old_owners) {
+      if (std::find(new_owners.begin(), new_owners.end(), node) ==
+          new_owners.end()) {
+        move.lost.push_back(node);
+      }
+    }
+    if (move.gained.empty() && move.lost.empty()) continue;
+    std::sort(move.gained.begin(), move.gained.end());
+    std::sort(move.lost.begin(), move.lost.end());
+    moves.push_back(std::move(move));
+  }
+  return moves;
+}
+
 }  // namespace cluster
 }  // namespace hyperion

@@ -43,6 +43,15 @@ namespace cluster {
 /// agree on.  Exposed for tests and for key-space diagnostics.
 uint64_t StableHash64(std::string_view bytes);
 
+/// \brief One shard's replica-set change between two ring builds: which
+/// nodes gained a copy and which lost one (ShardRing::Diff).  Shards
+/// whose replica sets are identical do not appear in a diff.
+struct ShardMove {
+  uint64_t shard = 0;
+  std::vector<std::string> gained;  // in `after` but not `before`
+  std::vector<std::string> lost;    // in `before` but not `after`
+};
+
 /// \brief Consistent-hash placement of keys onto shards and shards onto
 /// storage nodes.  Immutable after construction; copy to "add a node".
 class ShardRing {
@@ -87,6 +96,15 @@ class ShardRing {
 
   /// \brief shard → full replica set for all shards.
   const std::vector<std::vector<std::string>>& ReplicaPlacement() const;
+
+  /// \brief The per-shard replica-set changes going from `before` to
+  /// `after` (which must share a shard count), ascending by shard, with
+  /// each move's gained/lost node lists sorted.  The rebalance planner
+  /// turns every (shard, gained node) pair into one handoff pull;
+  /// Diff(b, a) and Diff(a, b) are exact inverses (gained and lost
+  /// swapped), which is what makes a join-back cancel a leave.
+  static std::vector<ShardMove> Diff(const ShardRing& before,
+                                     const ShardRing& after);
 
  private:
   ShardRing() = default;

@@ -81,25 +81,41 @@ Status ShardWriteLog::Open(const std::string& dir, uint64_t shard_count) {
 
 uint64_t ShardWriteLog::VersionOf(uint64_t shard) const {
   MutexLock lock(mu_);
+  uint64_t version = 0;
+  auto floor = floors_.find(shard);
+  if (floor != floors_.end()) version = floor->second;
   auto it = entries_.find(shard);
-  if (it == entries_.end() || it->second.empty()) return 0;
-  return it->second.rbegin()->first;
+  if (it != entries_.end() && !it->second.empty()) {
+    version = std::max(version, it->second.rbegin()->first);
+  }
+  return version;
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> ShardWriteLog::Versions() const {
   MutexLock lock(mu_);
-  std::vector<std::pair<uint64_t, uint64_t>> out;
-  out.reserve(entries_.size());
+  // Floors and entries both advertise a shard's version; a shard may
+  // appear in either map alone, so merge rather than iterate one.
+  std::map<uint64_t, uint64_t> merged(floors_);
   for (const auto& [shard, log] : entries_) {
-    if (!log.empty()) out.emplace_back(shard, log.rbegin()->first);
+    if (log.empty()) continue;
+    uint64_t& v = merged[shard];
+    v = std::max(v, log.rbegin()->first);
   }
-  return out;
+  return {merged.begin(), merged.end()};
+}
+
+void ShardWriteLog::SetFloor(uint64_t shard, uint64_t version) {
+  MutexLock lock(mu_);
+  uint64_t& floor = floors_[shard];
+  floor = std::max(floor, version);
 }
 
 Status ShardWriteLog::Append(const WriteSliceMsg& entry) {
   MutexLock lock(mu_);
   auto& log = entries_[entry.shard];
   uint64_t current = log.empty() ? 0 : log.rbegin()->first;
+  auto floor = floors_.find(entry.shard);
+  if (floor != floors_.end()) current = std::max(current, floor->second);
   // Monotonic only: a gap is legal (it holds sequences burned by failed
   // writes — each slice is full shard state, so nothing is lost), but a
   // replay at or below the current version would fork history.
@@ -159,12 +175,12 @@ Result<WriteSliceMsg> ShardWriteLog::EntryAfter(uint64_t shard,
 // ---- ClusterTableSink ----------------------------------------------------
 
 ClusterTableSink::ClusterTableSink(std::string self, Network* net,
-                                   const ShardRing* ring,
+                                   const PlacementState* placement,
                                    const MembershipTracker* membership,
                                    Options options)
     : self_(std::move(self)),
       net_(net),
-      ring_(ring),
+      placement_(placement),
       membership_(membership),
       options_(options) {}
 
@@ -231,7 +247,13 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
   reg.GetCounter("cluster.write.requests")->Add();
   const int64_t t0 = SteadyNowUs();
   const int64_t deadline = t0 + options_.write_timeout_us;
-  const uint64_t shard_count = ring_->shard_count();
+  // One placement snapshot per write: a transition committing mid-Apply
+  // does not reshuffle this write's targets (its slices carry the epoch
+  // they were fanned out under, so receivers can tell).
+  const PlacementState::Snapshot committed = placement_->Committed();
+  const PlacementState::Snapshot pending = placement_->Pending();
+  const ShardRing& ring = *committed.ring;
+  const uint64_t shard_count = ring.shard_count();
   uint64_t seq, committed_floor;
   {
     // Reserve the sequence up front: if this write fails it is BURNED,
@@ -253,7 +275,7 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
   for (uint64_t s = 0; s < shard_count; ++s) all_shards.push_back(s);
   std::map<uint64_t, ShardSlice> slices = SliceTable(
       table, table_version,
-      [this](const std::string& key) { return ring_->ShardForKey(key); },
+      [&ring](const std::string& key) { return ring.ShardForKey(key); },
       all_shards);
   std::map<uint64_t, WriteSliceMsg> shard_msgs;
   for (auto& [shard, slice] : slices) {
@@ -269,19 +291,39 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
     ws.y_schema = std::move(slice.y_schema);
     ws.row_indices = std::move(slice.row_indices);
     ws.rows = std::move(slice.rows);
+    ws.ring_epoch = committed.epoch;
     shard_msgs.emplace(shard, std::move(ws));
   }
 
-  // Every replica of every shard is a delivery target.
+  // Every committed replica of every shard is a quorum-counted delivery
+  // target; mid-transition, pending-only owners join the fan-out
+  // best-effort (the union-write invariant: a write landed during a
+  // rebalance reaches the new owners too, so no committed write is lost
+  // when the epoch flips).
   std::vector<Target> targets;
   for (uint64_t s = 0; s < shard_count; ++s) {
-    for (const std::string& owner : ring_->OwnersForShard(s)) {
+    const std::vector<std::string>& owners = ring.OwnersForShard(s);
+    for (const std::string& owner : owners) {
       Target t;
       t.shard = s;
       t.replica = owner;
       t.slice = &shard_msgs.at(s);
       t.slot = std::make_shared<Pending>();
       t.send_gate_us = t0;
+      targets.push_back(std::move(t));
+    }
+    if (pending.ring == nullptr) continue;
+    for (const std::string& owner : pending.ring->OwnersForShard(s)) {
+      if (std::find(owners.begin(), owners.end(), owner) != owners.end()) {
+        continue;  // already a committed target
+      }
+      Target t;
+      t.shard = s;
+      t.replica = owner;
+      t.slice = &shard_msgs.at(s);
+      t.slot = std::make_shared<Pending>();
+      t.send_gate_us = t0;
+      t.counted = false;
       targets.push_back(std::move(t));
     }
   }
@@ -291,7 +333,7 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
   // stops being required — the write commits without it and anti-entropy
   // repairs it later.
   auto required_for = [&](uint64_t shard) -> size_t {
-    const std::vector<std::string>& owners = ring_->OwnersForShard(shard);
+    const std::vector<std::string>& owners = ring.OwnersForShard(shard);
     if (options_.quorum > 0) {
       return std::min<size_t>(options_.quorum, owners.size());
     }
@@ -314,7 +356,7 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
   auto unacked_of = [&](uint64_t shard) {
     std::string out;
     for (const Target& t : targets) {
-      if (t.shard != shard || t.acked) continue;
+      if (t.shard != shard || t.acked || !t.counted) continue;
       if (!out.empty()) out += ", ";
       out += "storage node '" + t.replica + "' unacked";
     }
@@ -390,12 +432,13 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
       }
     }
 
-    // Quorum check (acked/spent are Apply-thread-only state).
+    // Quorum check (acked/spent are Apply-thread-only state).  Only
+    // committed owners count; pending-only targets never gate commit.
     bool all_quorate = true;
     for (uint64_t s = 0; s < shard_count; ++s) {
       size_t acked = 0, resolved = 0, total = 0;
       for (const Target& t : targets) {
-        if (t.shard != s) continue;
+        if (t.shard != s || !t.counted) continue;
         ++total;
         if (t.acked) ++acked;
         if (t.acked || t.spent) ++resolved;
@@ -415,7 +458,7 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
       for (uint64_t s = 0; s < shard_count; ++s) {
         size_t acked = 0;
         for (const Target& t : targets) {
-          if (t.shard == s && t.acked) ++acked;
+          if (t.shard == s && t.counted && t.acked) ++acked;
         }
         if (acked < required_for(s)) {
           return fail(s, "timed out after " +
@@ -439,6 +482,9 @@ Result<ClusterTableSink::WriteReport> ClusterTableSink::Apply(
   report.table_version = table_version;
   std::set<std::string> lagging;
   for (const Target& t : targets) {
+    // Pending-only targets are invisible in the report: their catch-up
+    // is the handoff protocol's job, not anti-entropy's.
+    if (!t.counted) continue;
     if (t.acked) {
       ++report.acks;
     } else {

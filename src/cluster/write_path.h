@@ -69,6 +69,7 @@
 #include <vector>
 
 #include "cluster/membership.h"
+#include "cluster/placement.h"
 #include "cluster/shard_ring.h"
 #include "common/synchronization.h"
 #include "core/mapping_table.h"
@@ -116,12 +117,22 @@ class ShardWriteLog {
   /// sequences the log never held (NotFound when nothing is newer).
   Result<WriteSliceMsg> EntryAfter(uint64_t shard, uint64_t version) const;
 
+  /// \brief Raises `shard`'s version to at least `version` without an
+  /// entry — how a handoff receiver adopts the source's write history it
+  /// installed as live state rather than log entries.  VersionOf and the
+  /// heartbeat piggyback report the floor; Append stays monotonic
+  /// against it; anti-entropy chains from it.  Memory-only (a restart
+  /// falls back to the log, DESIGN.md §15 non-goals).
+  void SetFloor(uint64_t shard, uint64_t version);
+
  private:
   mutable Mutex mu_;
   std::string dir_ GUARDED_BY(mu_);  // empty = memory-only
   // shard -> (version -> the slice that created that version).
   std::map<uint64_t, std::map<uint64_t, WriteSliceMsg>> entries_
       GUARDED_BY(mu_);
+  // shard -> handoff-installed version floor (see SetFloor).
+  std::map<uint64_t, uint64_t> floors_ GUARDED_BY(mu_);
 };
 
 /// \brief Coordinator-side write fan-out: slices a curator's post-write
@@ -137,10 +148,15 @@ class ClusterTableSink {
     uint64_t quorum = 0;                     // 0 = all currently alive
   };
 
-  /// \brief `self` is the coordinator's node id; `net`, `ring` and
+  /// \brief `self` is the coordinator's node id; `net`, `placement` and
   /// `membership` must outlive this sink (nullptr membership = treat
-  /// every replica as alive).
-  ClusterTableSink(std::string self, Network* net, const ShardRing* ring,
+  /// every replica as alive).  Each Apply() snapshots the placement at
+  /// entry: slices go to the COMMITTED owners of each shard (those count
+  /// toward the quorum) and, mid-transition, additionally to the PENDING
+  /// owners best-effort — so a write landed during a rebalance is
+  /// already on the new owners when the epoch commits.
+  ClusterTableSink(std::string self, Network* net,
+                   const PlacementState* placement,
                    const MembershipTracker* membership, Options options);
 
   /// \brief How one committed write went.
@@ -190,6 +206,9 @@ class ClusterTableSink {
     bool in_flight = false;
     bool acked = false;
     bool spent = false;            // attempts exhausted, gave up
+    // Committed owners count toward the quorum; pending-only owners are
+    // best-effort union fan-out and never gate the commit.
+    bool counted = true;
   };
 
   // Sends one WriteSliceMsg for `target`.  Registers the request id
@@ -198,7 +217,7 @@ class ClusterTableSink {
 
   const std::string self_;
   Network* const net_;
-  const ShardRing* const ring_;
+  const PlacementState* const placement_;
   const MembershipTracker* const membership_;
   const Options options_;
 

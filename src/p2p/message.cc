@@ -34,6 +34,14 @@ size_t EstimateSpecBytes(const SessionSpec& spec) {
   return bytes;
 }
 
+size_t EstimateWriteSliceBytes(const WriteSliceMsg& ws) {
+  size_t bytes = 65 + ws.origin.size() + ws.table_name.size() +
+                 ws.error.size() + EstimateSchemaBytes(ws.x_schema) +
+                 EstimateSchemaBytes(ws.y_schema) + 8 * ws.row_indices.size();
+  for (const Mapping& m : ws.rows) bytes += EstimateMappingBytes(m);
+  return bytes;
+}
+
 }  // namespace
 
 size_t EstimateMappingBytes(const Mapping& m) {
@@ -91,25 +99,35 @@ size_t Message::ByteSize() const {
   } else if (std::get_if<AckMsg>(&payload)) {
     bytes += 25;  // session + kind + partition + seq
   } else if (const auto* hb = std::get_if<HeartbeatMsg>(&payload)) {
-    bytes += 17 + hb->node.size() + hb->listen_addr.size() +
+    bytes += 33 + hb->node.size() + hb->listen_addr.size() +
              16 * hb->shards.size();
+    for (const std::string& n : hb->ring_nodes) bytes += n.size() + 4;
+    for (const std::string& n : hb->pending_nodes) bytes += n.size() + 4;
+    for (const std::string& n : hb->peer_nodes) bytes += n.size() + 4;
+    for (const std::string& n : hb->peer_addrs) bytes += n.size() + 4;
   } else if (const auto* fetch = std::get_if<ShardFetchMsg>(&payload)) {
-    bytes += 16 + fetch->table_name.size();
+    bytes += 24 + fetch->table_name.size();
   } else if (const auto* slice = std::get_if<ShardRowsMsg>(&payload)) {
-    bytes += 36 + slice->table_name.size() + slice->node.size() +
+    bytes += 44 + slice->table_name.size() + slice->node.size() +
              slice->error.size() + EstimateSchemaBytes(slice->x_schema) +
              EstimateSchemaBytes(slice->y_schema) +
              8 * slice->row_indices.size();
     for (const Mapping& m : slice->rows) bytes += EstimateMappingBytes(m);
   } else if (const auto* ws = std::get_if<WriteSliceMsg>(&payload)) {
-    bytes += 57 + ws->origin.size() + ws->table_name.size() +
-             ws->error.size() + EstimateSchemaBytes(ws->x_schema) +
-             EstimateSchemaBytes(ws->y_schema) + 8 * ws->row_indices.size();
-    for (const Mapping& m : ws->rows) bytes += EstimateMappingBytes(m);
+    bytes += EstimateWriteSliceBytes(*ws);
   } else if (const auto* wa = std::get_if<WriteAckMsg>(&payload)) {
-    bytes += 29 + wa->node.size() + wa->error.size();
+    bytes += 37 + wa->node.size() + wa->error.size();
   } else if (const auto* rf = std::get_if<RepairFetchMsg>(&payload)) {
     bytes += 32 + rf->node.size();
+  } else if (const auto* hf = std::get_if<HandoffFetchMsg>(&payload)) {
+    bytes += 24 + hf->node.size();
+  } else if (const auto* hr = std::get_if<HandoffRowsMsg>(&payload)) {
+    bytes += 28 + hr->node.size() + hr->error.size();
+    for (const WriteSliceMsg& s : hr->slices) {
+      bytes += EstimateWriteSliceBytes(s);
+    }
+  } else if (const auto* ha = std::get_if<HandoffAckMsg>(&payload)) {
+    bytes += 40 + ha->node.size();
   }
   return bytes;
 }
@@ -146,6 +164,12 @@ const char* Message::TypeName() const {
       return "WriteAck";
     case 14:
       return "RepairFetch";
+    case 15:
+      return "HandoffFetch";
+    case 16:
+      return "HandoffRows";
+    case 17:
+      return "HandoffAck";
   }
   return "Unknown";
 }

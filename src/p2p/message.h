@@ -191,6 +191,26 @@ struct HeartbeatMsg {
   /// anti-entropy treats an absent shard as "nothing to compare".
   std::vector<uint64_t> shards;
   std::vector<uint64_t> shard_versions;  // parallel to `shards`
+  /// Live placement (cluster/placement.h): the sender's committed ring
+  /// epoch and the storage roster that ring was built from.  Receivers
+  /// adopt a strictly higher epoch by rebuilding the ring from
+  /// `ring_nodes` (deterministic: the ring plants nodes sorted).  0 =
+  /// pre-rebalance sender, nothing to adopt.
+  uint64_t ring_epoch = 0;
+  std::vector<std::string> ring_nodes;
+  /// Mid-transition only (coordinator-announced): the epoch and roster
+  /// the cluster is converging toward.  0/empty = no transition.
+  uint64_t pending_epoch = 0;
+  std::vector<std::string> pending_nodes;
+  /// Address gossip: every roster member address the sender knows, as
+  /// parallel vectors.  Storage siblings boot with unresolved (port 0)
+  /// addresses for each other and cannot dial a peer they have never
+  /// heard from; the coordinator knows everyone (config or StartJoin),
+  /// so one beat fills the gaps.  Receivers only learn addresses for
+  /// nodes they have no entry for — a node's own listen_addr remains
+  /// authoritative for moves.
+  std::vector<std::string> peer_nodes;
+  std::vector<std::string> peer_addrs;  // parallel to `peer_nodes`
 };
 
 /// \brief Coordinator → storage: send me your slice of one table shard
@@ -199,6 +219,12 @@ struct ShardFetchMsg {
   uint64_t request_id = 0;  // echoed by the response
   std::string table_name;
   uint64_t shard = 0;
+  /// Ring epoch the sender resolved `shard`'s placement under.  A
+  /// receiver whose committed epoch is higher rejects the fetch loudly
+  /// (`cluster.epoch.stale`) so the sender re-resolves instead of
+  /// reading a slice the receiver may have dropped.  0 = unstamped
+  /// (pre-rebalance sender), always accepted.
+  uint64_t ring_epoch = 0;
 };
 
 /// \brief Storage → coordinator: one shard slice of one table, or a loud
@@ -218,6 +244,7 @@ struct ShardRowsMsg {
   std::vector<Mapping> rows;          // parallel to row_indices
   std::string error;         // nonempty => the fetch failed at the node
   int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
+  uint64_t ring_epoch = 0;   // responder's committed ring epoch
 };
 
 /// \brief Coordinator → storage: apply one shard slice of one curator
@@ -248,6 +275,11 @@ struct WriteSliceMsg {
   uint8_t repair = 0;        // 1 => reply to a RepairFetchMsg
   std::string error;         // repair replies only: fetch failed loudly
   int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
+  /// Ring epoch the write was fanned out under (0 = unstamped/repair).
+  /// Purely diagnostic on the write path today: the coordinator's epoch
+  /// is never behind a replica's, so the stale gate exists as a loud
+  /// guardrail against reordered or replayed traffic.
+  uint64_t ring_epoch = 0;
 };
 
 /// \brief Storage → coordinator: outcome of applying one WriteSliceMsg.
@@ -262,6 +294,7 @@ struct WriteAckMsg {
   uint64_t shard_version = 0;  // replica's version after the attempt
   std::string error;         // nonempty => the apply failed at the node
   int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
+  uint64_t ring_epoch = 0;   // responder's committed ring epoch
 };
 
 /// \brief Storage → storage: anti-entropy pull.  "Your heartbeat says
@@ -275,6 +308,51 @@ struct RepairFetchMsg {
   uint64_t from_version = 0;  // requester's current shard version
 };
 
+/// \brief Storage → storage: rebalance handoff pull (cluster/node.h).
+/// "The pending epoch makes me an owner of `shard`; send me your full
+/// served state for it."  Sent by a new owner to one committed owner,
+/// answered by exactly one HandoffRowsMsg.  Unlike anti-entropy (one
+/// write-log entry per exchange), a handoff ships the whole shard in one
+/// reply: the puller may own nothing yet, and the transition cannot
+/// commit until it has everything.
+struct HandoffFetchMsg {
+  uint64_t request_id = 0;   // echoed by the HandoffRowsMsg
+  std::string node;          // requester's cluster node id
+  uint64_t shard = 0;
+  /// The pending epoch being converged.  A receiver that knows a higher
+  /// committed epoch rejects the pull (`cluster.epoch.stale`) — the
+  /// transition it belonged to is already over.
+  uint64_t ring_epoch = 0;
+};
+
+/// \brief Storage → storage: full-shard handoff snapshot, or a loud
+/// error.  `slices` holds one WriteSliceMsg per table the responder
+/// serves on `shard` (its live served state, not raw log entries);
+/// `shard_version` is the responder's write-log version for the shard,
+/// which the receiver installs as its version floor so later writes and
+/// anti-entropy chain correctly from it.
+struct HandoffRowsMsg {
+  uint64_t request_id = 0;
+  std::string node;          // responder's cluster node id
+  uint64_t shard = 0;
+  uint64_t shard_version = 0;  // responder's write-log shard version
+  std::vector<WriteSliceMsg> slices;  // one per served table on `shard`
+  std::string error;         // nonempty => the handoff failed at the node
+  int32_t error_code = 0;    // StatusCode of `error` (0 = unset)
+};
+
+/// \brief Storage → coordinator: one gained shard is caught up.  The
+/// coordinator commits the pending epoch only once every (shard, new
+/// owner) pair of the transition's diff has acked it.
+struct HandoffAckMsg {
+  uint64_t request_id = 0;   // the HandoffFetchMsg id that completed
+  std::string node;          // the new owner acking
+  uint64_t shard = 0;
+  uint64_t shard_version = 0;  // version floor the owner installed
+  uint64_t rows = 0;         // mapping rows shipped (rows_shipped metric)
+  uint64_t ring_epoch = 0;   // the pending epoch being acked
+};
+
 /// \brief Envelope delivered by the network.
 struct Message {
   std::string from;
@@ -282,7 +360,8 @@ struct Message {
   std::variant<PingMsg, PongMsg, SessionInitMsg, ComputePlanMsg,
                CoverBatchMsg, FinalRowsMsg, SearchMsg, SearchHitMsg, AckMsg,
                HeartbeatMsg, ShardFetchMsg, ShardRowsMsg, WriteSliceMsg,
-               WriteAckMsg, RepairFetchMsg>
+               WriteAckMsg, RepairFetchMsg, HandoffFetchMsg, HandoffRowsMsg,
+               HandoffAckMsg>
       payload;
 
   /// \brief Estimated wire size in bytes (headers + payload).

@@ -153,6 +153,28 @@ void PutSummaries(const std::vector<PartitionSummary>& ps, std::string* out) {
   for (const PartitionSummary& p : ps) PutSummary(p, out);
 }
 
+// Shared by the WriteSlice payload (tag 12) and the slice vector nested
+// in HandoffRows (tag 16) — one encoding, decoded by one reader.
+void PutWriteSlice(const WriteSliceMsg& ws, std::string* out) {
+  PutU64(ws.request_id, out);
+  PutString(ws.origin, out);
+  PutString(ws.table_name, out);
+  PutU64(ws.shard, out);
+  PutU64(ws.shard_version, out);
+  PutU64(ws.committed_floor, out);
+  PutU64(ws.table_version, out);
+  PutU64(ws.total_rows, out);
+  PutSchema(ws.x_schema, out);
+  PutSchema(ws.y_schema, out);
+  PutU32(static_cast<uint32_t>(ws.row_indices.size()), out);
+  for (uint64_t index : ws.row_indices) PutU64(index, out);
+  PutMappings(ws.rows, out);
+  PutU8(ws.repair, out);
+  PutString(ws.error, out);
+  PutU32(static_cast<uint32_t>(ws.error_code), out);
+  PutU64(ws.ring_epoch, out);
+}
+
 // ---- decoding primitives -------------------------------------------------
 
 // Bounds-checked cursor over the input; every Read* fails loudly on
@@ -466,6 +488,39 @@ Status ReadSummaries(Reader* r, std::vector<PartitionSummary>* out) {
   return Status::OK();
 }
 
+Status ReadWriteSlice(Reader* r, WriteSliceMsg* ws) {
+  HYP_RETURN_IF_ERROR(r->ReadU64(&ws->request_id));
+  HYP_RETURN_IF_ERROR(r->ReadString(&ws->origin));
+  HYP_RETURN_IF_ERROR(r->ReadString(&ws->table_name));
+  HYP_RETURN_IF_ERROR(r->ReadU64(&ws->shard));
+  HYP_RETURN_IF_ERROR(r->ReadU64(&ws->shard_version));
+  HYP_RETURN_IF_ERROR(r->ReadU64(&ws->committed_floor));
+  HYP_RETURN_IF_ERROR(r->ReadU64(&ws->table_version));
+  HYP_RETURN_IF_ERROR(r->ReadU64(&ws->total_rows));
+  HYP_RETURN_IF_ERROR(ReadSchema(r, &ws->x_schema));
+  HYP_RETURN_IF_ERROR(ReadSchema(r, &ws->y_schema));
+  uint32_t n = 0;
+  HYP_RETURN_IF_ERROR(r->ReadCount(8, &n));
+  ws->row_indices.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t index = 0;
+    HYP_RETURN_IF_ERROR(r->ReadU64(&index));
+    ws->row_indices.push_back(index);
+  }
+  HYP_RETURN_IF_ERROR(ReadMappings(r, &ws->rows));
+  if (ws->rows.size() != ws->row_indices.size()) {
+    return Status::InvalidArgument(
+        "wire: write slice index/row counts disagree");
+  }
+  HYP_RETURN_IF_ERROR(r->ReadU8(&ws->repair));
+  HYP_RETURN_IF_ERROR(r->ReadString(&ws->error));
+  uint32_t code = 0;
+  HYP_RETURN_IF_ERROR(r->ReadU32(&code));
+  ws->error_code = static_cast<int32_t>(code);
+  HYP_RETURN_IF_ERROR(r->ReadU64(&ws->ring_epoch));
+  return Status::OK();
+}
+
 // ---- per-payload encode/decode -------------------------------------------
 
 void EncodePayload(const Message& msg, std::string* out) {
@@ -539,10 +594,17 @@ void EncodePayload(const Message& msg, std::string* out) {
       PutU64(hb->shards[i], out);
       PutU64(i < hb->shard_versions.size() ? hb->shard_versions[i] : 0, out);
     }
+    PutU64(hb->ring_epoch, out);
+    PutStrings(hb->ring_nodes, out);
+    PutU64(hb->pending_epoch, out);
+    PutStrings(hb->pending_nodes, out);
+    PutStrings(hb->peer_nodes, out);
+    PutStrings(hb->peer_addrs, out);
   } else if (const auto* fetch = std::get_if<ShardFetchMsg>(&msg.payload)) {
     PutU64(fetch->request_id, out);
     PutString(fetch->table_name, out);
     PutU64(fetch->shard, out);
+    PutU64(fetch->ring_epoch, out);
   } else if (const auto* slice = std::get_if<ShardRowsMsg>(&msg.payload)) {
     PutU64(slice->request_id, out);
     PutString(slice->table_name, out);
@@ -557,23 +619,9 @@ void EncodePayload(const Message& msg, std::string* out) {
     PutMappings(slice->rows, out);
     PutString(slice->error, out);
     PutU32(static_cast<uint32_t>(slice->error_code), out);
+    PutU64(slice->ring_epoch, out);
   } else if (const auto* ws = std::get_if<WriteSliceMsg>(&msg.payload)) {
-    PutU64(ws->request_id, out);
-    PutString(ws->origin, out);
-    PutString(ws->table_name, out);
-    PutU64(ws->shard, out);
-    PutU64(ws->shard_version, out);
-    PutU64(ws->committed_floor, out);
-    PutU64(ws->table_version, out);
-    PutU64(ws->total_rows, out);
-    PutSchema(ws->x_schema, out);
-    PutSchema(ws->y_schema, out);
-    PutU32(static_cast<uint32_t>(ws->row_indices.size()), out);
-    for (uint64_t index : ws->row_indices) PutU64(index, out);
-    PutMappings(ws->rows, out);
-    PutU8(ws->repair, out);
-    PutString(ws->error, out);
-    PutU32(static_cast<uint32_t>(ws->error_code), out);
+    PutWriteSlice(*ws, out);
   } else if (const auto* wa = std::get_if<WriteAckMsg>(&msg.payload)) {
     PutU64(wa->request_id, out);
     PutString(wa->node, out);
@@ -582,11 +630,33 @@ void EncodePayload(const Message& msg, std::string* out) {
     PutU64(wa->shard_version, out);
     PutString(wa->error, out);
     PutU32(static_cast<uint32_t>(wa->error_code), out);
+    PutU64(wa->ring_epoch, out);
   } else if (const auto* rf = std::get_if<RepairFetchMsg>(&msg.payload)) {
     PutU64(rf->request_id, out);
     PutString(rf->node, out);
     PutU64(rf->shard, out);
     PutU64(rf->from_version, out);
+  } else if (const auto* hf = std::get_if<HandoffFetchMsg>(&msg.payload)) {
+    PutU64(hf->request_id, out);
+    PutString(hf->node, out);
+    PutU64(hf->shard, out);
+    PutU64(hf->ring_epoch, out);
+  } else if (const auto* hr = std::get_if<HandoffRowsMsg>(&msg.payload)) {
+    PutU64(hr->request_id, out);
+    PutString(hr->node, out);
+    PutU64(hr->shard, out);
+    PutU64(hr->shard_version, out);
+    PutU32(static_cast<uint32_t>(hr->slices.size()), out);
+    for (const WriteSliceMsg& slice : hr->slices) PutWriteSlice(slice, out);
+    PutString(hr->error, out);
+    PutU32(static_cast<uint32_t>(hr->error_code), out);
+  } else if (const auto* ha = std::get_if<HandoffAckMsg>(&msg.payload)) {
+    PutU64(ha->request_id, out);
+    PutString(ha->node, out);
+    PutU64(ha->shard, out);
+    PutU64(ha->shard_version, out);
+    PutU64(ha->rows, out);
+    PutU64(ha->ring_epoch, out);
   }
 }
 
@@ -744,6 +814,12 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
         hb.shards.push_back(shard);
         hb.shard_versions.push_back(version);
       }
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hb.ring_epoch));
+      HYP_RETURN_IF_ERROR(ReadStrings(r, &hb.ring_nodes));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hb.pending_epoch));
+      HYP_RETURN_IF_ERROR(ReadStrings(r, &hb.pending_nodes));
+      HYP_RETURN_IF_ERROR(ReadStrings(r, &hb.peer_nodes));
+      HYP_RETURN_IF_ERROR(ReadStrings(r, &hb.peer_addrs));
       msg->payload = std::move(hb);
       return Status::OK();
     }
@@ -752,6 +828,7 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       HYP_RETURN_IF_ERROR(r->ReadU64(&fetch.request_id));
       HYP_RETURN_IF_ERROR(r->ReadString(&fetch.table_name));
       HYP_RETURN_IF_ERROR(r->ReadU64(&fetch.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&fetch.ring_epoch));
       msg->payload = std::move(fetch);
       return Status::OK();
     }
@@ -782,39 +859,13 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       uint32_t code = 0;
       HYP_RETURN_IF_ERROR(r->ReadU32(&code));
       slice.error_code = static_cast<int32_t>(code);
+      HYP_RETURN_IF_ERROR(r->ReadU64(&slice.ring_epoch));
       msg->payload = std::move(slice);
       return Status::OK();
     }
     case 12: {
       WriteSliceMsg ws;
-      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.request_id));
-      HYP_RETURN_IF_ERROR(r->ReadString(&ws.origin));
-      HYP_RETURN_IF_ERROR(r->ReadString(&ws.table_name));
-      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.shard));
-      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.shard_version));
-      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.committed_floor));
-      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.table_version));
-      HYP_RETURN_IF_ERROR(r->ReadU64(&ws.total_rows));
-      HYP_RETURN_IF_ERROR(ReadSchema(r, &ws.x_schema));
-      HYP_RETURN_IF_ERROR(ReadSchema(r, &ws.y_schema));
-      uint32_t n = 0;
-      HYP_RETURN_IF_ERROR(r->ReadCount(8, &n));
-      ws.row_indices.reserve(n);
-      for (uint32_t i = 0; i < n; ++i) {
-        uint64_t index = 0;
-        HYP_RETURN_IF_ERROR(r->ReadU64(&index));
-        ws.row_indices.push_back(index);
-      }
-      HYP_RETURN_IF_ERROR(ReadMappings(r, &ws.rows));
-      if (ws.rows.size() != ws.row_indices.size()) {
-        return Status::InvalidArgument(
-            "wire: write slice index/row counts disagree");
-      }
-      HYP_RETURN_IF_ERROR(r->ReadU8(&ws.repair));
-      HYP_RETURN_IF_ERROR(r->ReadString(&ws.error));
-      uint32_t code = 0;
-      HYP_RETURN_IF_ERROR(r->ReadU32(&code));
-      ws.error_code = static_cast<int32_t>(code);
+      HYP_RETURN_IF_ERROR(ReadWriteSlice(r, &ws));
       msg->payload = std::move(ws);
       return Status::OK();
     }
@@ -829,6 +880,7 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       uint32_t code = 0;
       HYP_RETURN_IF_ERROR(r->ReadU32(&code));
       wa.error_code = static_cast<int32_t>(code);
+      HYP_RETURN_IF_ERROR(r->ReadU64(&wa.ring_epoch));
       msg->payload = std::move(wa);
       return Status::OK();
     }
@@ -839,6 +891,49 @@ Status DecodePayload(uint8_t tag, Reader* r, Message* msg) {
       HYP_RETURN_IF_ERROR(r->ReadU64(&rf.shard));
       HYP_RETURN_IF_ERROR(r->ReadU64(&rf.from_version));
       msg->payload = std::move(rf);
+      return Status::OK();
+    }
+    case 15: {
+      HandoffFetchMsg hf;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hf.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&hf.node));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hf.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hf.ring_epoch));
+      msg->payload = std::move(hf);
+      return Status::OK();
+    }
+    case 16: {
+      HandoffRowsMsg hr;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hr.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&hr.node));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hr.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&hr.shard_version));
+      uint32_t n = 0;
+      // A slice is at minimum its fixed-width fields plus empty schemas
+      // and strings — comfortably more than 64 bytes on the wire.
+      HYP_RETURN_IF_ERROR(r->ReadCount(64, &n));
+      hr.slices.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        WriteSliceMsg ws;
+        HYP_RETURN_IF_ERROR(ReadWriteSlice(r, &ws));
+        hr.slices.push_back(std::move(ws));
+      }
+      HYP_RETURN_IF_ERROR(r->ReadString(&hr.error));
+      uint32_t code = 0;
+      HYP_RETURN_IF_ERROR(r->ReadU32(&code));
+      hr.error_code = static_cast<int32_t>(code);
+      msg->payload = std::move(hr);
+      return Status::OK();
+    }
+    case 17: {
+      HandoffAckMsg ha;
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ha.request_id));
+      HYP_RETURN_IF_ERROR(r->ReadString(&ha.node));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ha.shard));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ha.shard_version));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ha.rows));
+      HYP_RETURN_IF_ERROR(r->ReadU64(&ha.ring_epoch));
+      msg->payload = std::move(ha);
       return Status::OK();
     }
     default:

@@ -5,7 +5,7 @@
 // bytes with full fidelity, because the conformance suite demands
 // byte-identical covers no matter which transport carried the session.
 //
-// Format (version 1, all integers little-endian, fixed width):
+// Format (version 2, all integers little-endian, fixed width):
 //
 //   message  := u8 version | u8 payload-tag | str from | str to | payload
 //   str      := u32 length | bytes
@@ -36,7 +36,10 @@
 namespace hyperion {
 namespace wire {
 
-inline constexpr uint8_t kWireVersion = 1;
+// Version 2: ring-epoch fields on cluster messages and the rebalance
+// handoff tags (15–17).  Versions never mix on one cluster — peers run
+// the same build — so decoding rejects any other version outright.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// \brief Frame header: u32 payload length + u64 origin token.
 inline constexpr size_t kFrameHeaderBytes = 12;
@@ -45,7 +48,7 @@ inline constexpr size_t kFrameHeaderBytes = 12;
 /// corrupt or hostile stream and fail the connection loudly.
 inline constexpr size_t kMaxFramePayloadBytes = 256u << 20;  // 256 MB
 
-/// \brief Serializes `msg` (envelope + payload) to version-1 wire bytes.
+/// \brief Serializes `msg` (envelope + payload) to versioned wire bytes.
 std::string EncodeMessage(const Message& msg);
 
 /// \brief Parses wire bytes back into a Message.  Fails with

@@ -14,6 +14,11 @@
 #                  replica must be repaired by anti-entropy until the
 #                  cluster cover is byte-identical to a single-process
 #                  replay of the same write sequence.
+#  * --rebalance   replication=2, 16 shards: a fourth store joins
+#                  mid-workload (handoff must ship rows and commit
+#                  epoch 2), then an original owner is decommissioned
+#                  and SIGKILLed; zero failed queries, final cover
+#                  byte-identical to a single-process replay.
 #
 # All of that logic lives in tools/run_cluster.sh — CI and operators
 # run the same script this test gates.
@@ -23,3 +28,4 @@ SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
 bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --kill-one
 bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --failover
 bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --write-path
+bash "$SCRIPT_DIR/../tools/run_cluster.sh" "$CLI" --rebalance

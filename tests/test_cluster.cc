@@ -535,7 +535,7 @@ TEST_F(ClusterE2ETest, DeadStorageNodeIsLoudlyAttributed) {
 
   // Kill the owner of shard 0, drop the cache, fetch again: the failure
   // must be kUnavailable and must name the dead node.
-  const std::string victim = coord_->ring().OwnerForShard(0);
+  const std::string victim = coord_->ring()->OwnerForShard(0);
   for (auto& storage : storage_) {
     if (storage->self().id == victim) storage->Stop();
   }
@@ -568,7 +568,7 @@ TEST_F(ClusterFailoverE2ETest, FailsOverToReplicaWhenPrimaryDies) {
   // Kill the primary of shard 0 (a replica of every table's shard 0),
   // drop the cache: the re-fetch must succeed from a surviving replica
   // and the assembled bytes must be unchanged.
-  const std::string victim = coord_->ring().OwnerForShard(0);
+  const std::string victim = coord_->ring()->OwnerForShard(0);
   StopStorageNode(victim);
   coord_->table_source()->Evict();
 
@@ -595,7 +595,7 @@ TEST_F(ClusterFailoverE2ETest, ZeroFailedQueriesMidWorkload) {
   for (const std::string& name : reference_->Names()) {
     ASSERT_TRUE(coord_->table_source()->Fetch(name).ok());
   }
-  const std::string victim = coord_->ring().OwnerForShard(0);
+  const std::string victim = coord_->ring()->OwnerForShard(0);
   StopStorageNode(victim);
   coord_->table_source()->Evict();
   for (const std::string& name : reference_->Names()) {
@@ -613,7 +613,7 @@ TEST_F(ClusterFailoverE2ETest, ExhaustedReplicaSetNamesAllDeadNodes) {
   const std::string table = reference_->Names().front();
   // Kill the whole replica set of shard 0: the fetch must escalate to
   // kUnavailable and the error must name every dead replica.
-  const std::vector<std::string> owners = coord_->ring().OwnersForShard(0);
+  const std::vector<std::string> owners = coord_->ring()->OwnersForShard(0);
   ASSERT_EQ(owners.size(), 2u);
   for (const std::string& owner : owners) StopStorageNode(owner);
   coord_->table_source()->Evict();
@@ -640,7 +640,7 @@ TEST_F(ClusterFailoverE2ETest, MembershipDownEvictsCachedTables) {
   // Stop the shard-0 primary and wait for the membership sweep to call
   // it down; the coordinator must drop every cached table assembled
   // from its slices — without any explicit Evict().
-  const std::string victim = coord_->ring().OwnerForShard(0);
+  const std::string victim = coord_->ring()->OwnerForShard(0);
   StopStorageNode(victim);
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(15);

@@ -1,0 +1,125 @@
+// PlacementState epoch semantics: the committed/pending two-slot state
+// machine live rebalancing rests on.  Epochs are monotonic, pending
+// transitions sit exactly one adoption away from committed, Commit()
+// promotes atomically, and Adopt() (the follower path) only moves
+// forward — a stale announcement can never roll a node back.
+
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/shard_ring.h"
+
+namespace hyperion {
+namespace cluster {
+namespace {
+
+ShardRing Ring(const std::vector<std::string>& nodes) {
+  auto ring = ShardRing::Build(nodes, /*shard_count=*/8, /*vnodes=*/16,
+                               /*replication=*/2);
+  EXPECT_TRUE(ring.ok()) << ring.status();
+  return std::move(ring).value();
+}
+
+TEST(EpochPlacementTest, StartsCommittedWithNoPending) {
+  PlacementState state(Ring({"a", "b"}), 1);
+  EXPECT_EQ(state.epoch(), 1u);
+  EXPECT_EQ(state.pending_epoch(), 0u);
+  EXPECT_FALSE(state.HasPending());
+  PlacementState::Snapshot committed = state.Committed();
+  ASSERT_NE(committed.ring, nullptr);
+  EXPECT_EQ(committed.epoch, 1u);
+  EXPECT_EQ(committed.ring->storage_nodes(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(state.Pending().ring, nullptr);
+  EXPECT_EQ(state.Pending().epoch, 0u);
+}
+
+TEST(EpochPlacementTest, SetPendingRequiresStrictlyHigherEpoch) {
+  PlacementState state(Ring({"a", "b"}), 3);
+  EXPECT_FALSE(state.SetPending(Ring({"a", "b", "c"}), 3));
+  EXPECT_FALSE(state.SetPending(Ring({"a", "b", "c"}), 2));
+  EXPECT_FALSE(state.HasPending());
+  EXPECT_TRUE(state.SetPending(Ring({"a", "b", "c"}), 4));
+  EXPECT_TRUE(state.HasPending());
+  EXPECT_EQ(state.pending_epoch(), 4u);
+  // Repeated announcements of the same (or an older) pending epoch are
+  // de-duplicated; the committed slot never moved.
+  EXPECT_FALSE(state.SetPending(Ring({"a", "b", "c"}), 4));
+  EXPECT_EQ(state.epoch(), 3u);
+}
+
+TEST(EpochPlacementTest, CommitPromotesPendingAtomically) {
+  PlacementState state(Ring({"a", "b"}), 1);
+  ASSERT_TRUE(state.SetPending(Ring({"a", "b", "c"}), 2));
+  PlacementState::Snapshot committed = state.Commit();
+  EXPECT_EQ(committed.epoch, 2u);
+  EXPECT_EQ(committed.ring->storage_nodes(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(state.epoch(), 2u);
+  EXPECT_FALSE(state.HasPending());
+  // Commit with nothing in flight is a no-op snapshot, not a change.
+  PlacementState::Snapshot again = state.Commit();
+  EXPECT_EQ(again.epoch, 2u);
+}
+
+TEST(EpochPlacementTest, InFlightSnapshotSurvivesCommit) {
+  // A fetch holds the ring it started with even if the epoch commits
+  // under it — the shared_ptr keeps the old placement alive.
+  PlacementState state(Ring({"a", "b"}), 1);
+  PlacementState::Snapshot held = state.Committed();
+  ASSERT_TRUE(state.SetPending(Ring({"a", "b", "c"}), 2));
+  state.Commit();
+  EXPECT_EQ(held.epoch, 1u);
+  EXPECT_EQ(held.ring->storage_nodes(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(state.Committed().epoch, 2u);
+}
+
+TEST(EpochPlacementTest, AdoptOnlyMovesForward) {
+  PlacementState state(Ring({"a", "b"}), 2);
+  EXPECT_FALSE(state.Adopt(Ring({"z"}), 2));
+  EXPECT_FALSE(state.Adopt(Ring({"z"}), 1));
+  EXPECT_EQ(state.Committed().ring->storage_nodes(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(state.Adopt(Ring({"a", "b", "c"}), 5));
+  EXPECT_EQ(state.epoch(), 5u);
+  EXPECT_EQ(state.Committed().ring->storage_nodes(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(EpochPlacementTest, AdoptClearsResolvedPendingTransitions) {
+  // Adopting a committed epoch at or above the pending one means the
+  // transition resolved elsewhere; the local pending slot is stale.
+  PlacementState state(Ring({"a", "b"}), 1);
+  ASSERT_TRUE(state.SetPending(Ring({"a", "b", "c"}), 2));
+  EXPECT_TRUE(state.Adopt(Ring({"a", "b", "c"}), 2));
+  EXPECT_FALSE(state.HasPending());
+  EXPECT_EQ(state.epoch(), 2u);
+
+  // But a pending epoch ABOVE the adopted committed one is still in
+  // flight and must survive the adoption.
+  ASSERT_TRUE(state.SetPending(Ring({"a", "b", "c", "d"}), 4));
+  EXPECT_TRUE(state.Adopt(Ring({"b", "c"}), 3));
+  EXPECT_TRUE(state.HasPending());
+  EXPECT_EQ(state.pending_epoch(), 4u);
+  EXPECT_EQ(state.epoch(), 3u);
+}
+
+TEST(EpochPlacementTest, ClearPendingAbortsTheTransition) {
+  PlacementState state(Ring({"a", "b"}), 1);
+  ASSERT_TRUE(state.SetPending(Ring({"a", "b", "c"}), 2));
+  state.ClearPending();
+  EXPECT_FALSE(state.HasPending());
+  EXPECT_EQ(state.pending_epoch(), 0u);
+  EXPECT_EQ(state.epoch(), 1u);
+  // The epoch was never consumed: the same number can be re-proposed.
+  EXPECT_TRUE(state.SetPending(Ring({"a", "b", "c"}), 2));
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace hyperion

@@ -1,0 +1,228 @@
+// Randomized churn property test for ShardRing: over seeded random
+// join/leave/join-back sequences the ring must keep its placement
+// invariants (distinct replica sets, primary first), move no more data
+// than a topology change justifies, and produce epoch diffs that are
+// exact inverses when a node leaves and joins straight back.
+//
+// Each seed drives one independent sequence; a failure prints the
+// reproducing seed (the SCOPED_TRACE below), matching the idiom of
+// test_random_topology.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_ring.h"
+#include "common/random.h"
+
+namespace hyperion {
+namespace cluster {
+namespace {
+
+constexpr uint64_t kShards = 16;
+constexpr uint64_t kVnodes = 64;
+constexpr uint64_t kReplication = 2;
+
+Result<ShardRing> BuildSorted(std::set<std::string> nodes) {
+  return ShardRing::Build(
+      std::vector<std::string>(nodes.begin(), nodes.end()), kShards,
+      kVnodes, kReplication);
+}
+
+// Replica sets must be duplicate-free, nonempty, primary-first, and no
+// larger than min(replication, fleet).
+void CheckPlacementInvariants(const ShardRing& ring) {
+  const size_t fleet = ring.storage_nodes().size();
+  const size_t want =
+      std::min<size_t>(static_cast<size_t>(kReplication), fleet);
+  for (uint64_t shard = 0; shard < kShards; ++shard) {
+    const std::vector<std::string>& owners = ring.OwnersForShard(shard);
+    ASSERT_EQ(owners.size(), want) << "shard " << shard;
+    std::set<std::string> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(distinct.size(), owners.size())
+        << "shard " << shard << " has a duplicate replica";
+    EXPECT_EQ(owners.front(), ring.OwnerForShard(shard))
+        << "shard " << shard << " primary is not owners front";
+    for (const std::string& owner : owners) {
+      EXPECT_TRUE(std::find(ring.storage_nodes().begin(),
+                            ring.storage_nodes().end(),
+                            owner) != ring.storage_nodes().end())
+          << "shard " << shard << " owned by unknown node " << owner;
+    }
+  }
+}
+
+// Total replica-set slots that changed hands in `moves`.
+size_t MovedSlots(const std::vector<ShardMove>& moves) {
+  size_t n = 0;
+  for (const ShardMove& move : moves) n += move.gained.size();
+  return n;
+}
+
+class ChurnRingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnRingTest, RandomChurnKeepsPlacementInvariants) {
+  const int seed = 71000 + GetParam();
+  SCOPED_TRACE("reproduce with seed " + std::to_string(seed));
+  Rng rng(static_cast<uint64_t>(seed));
+
+  // Start from 2..4 nodes; churn through joins, leaves and join-backs.
+  std::set<std::string> fleet;
+  const size_t initial = 2 + static_cast<size_t>(rng.Uniform(0, 2));
+  size_t next_id = 0;
+  for (size_t i = 0; i < initial; ++i) {
+    fleet.insert("n" + std::to_string(next_id++));
+  }
+  auto ring = BuildSorted(fleet);
+  ASSERT_TRUE(ring.ok()) << ring.status();
+  CheckPlacementInvariants(ring.value());
+
+  std::vector<std::string> departed;
+  const size_t steps = 6 + static_cast<size_t>(rng.Uniform(0, 6));
+  for (size_t step = 0; step < steps; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step) + ", fleet size " +
+                 std::to_string(fleet.size()));
+    std::set<std::string> next = fleet;
+    const int64_t dice = rng.Uniform(0, 2);
+    if (dice == 0 || fleet.size() <= 2) {
+      // Join: brand-new node, or a departed node coming back.
+      if (!departed.empty() && rng.Bernoulli(0.5)) {
+        next.insert(departed.back());
+        departed.pop_back();
+      } else {
+        next.insert("n" + std::to_string(next_id++));
+      }
+    } else {
+      // Leave: random member departs.
+      auto it = fleet.begin();
+      std::advance(it, static_cast<size_t>(
+                           rng.Uniform(0, static_cast<int64_t>(
+                                              fleet.size()) -
+                                              1)));
+      departed.push_back(*it);
+      next.erase(*it);
+    }
+
+    auto after = BuildSorted(next);
+    ASSERT_TRUE(after.ok()) << after.status();
+    CheckPlacementInvariants(after.value());
+
+    const std::vector<ShardMove> moves =
+        ShardRing::Diff(ring.value(), after.value());
+
+    // Moves are per-shard, ascending, duplicate-free, and only name
+    // real replica-set changes.
+    uint64_t last_shard = 0;
+    bool first = true;
+    for (const ShardMove& move : moves) {
+      if (!first) {
+        EXPECT_GT(move.shard, last_shard) << "diff not ascending";
+      }
+      last_shard = move.shard;
+      first = false;
+      EXPECT_FALSE(move.gained.empty() && move.lost.empty());
+      const auto& before_owners = ring.value().OwnersForShard(move.shard);
+      const auto& after_owners = after.value().OwnersForShard(move.shard);
+      for (const std::string& g : move.gained) {
+        EXPECT_TRUE(std::find(after_owners.begin(), after_owners.end(),
+                              g) != after_owners.end());
+        EXPECT_TRUE(std::find(before_owners.begin(), before_owners.end(),
+                              g) == before_owners.end());
+      }
+      for (const std::string& l : move.lost) {
+        EXPECT_TRUE(std::find(before_owners.begin(), before_owners.end(),
+                              l) != before_owners.end());
+        EXPECT_TRUE(std::find(after_owners.begin(), after_owners.end(),
+                              l) == after_owners.end());
+      }
+    }
+
+    // Minimal-movement bound: a single-node topology change may only
+    // touch replica slots the changed node itself gains or loses —
+    // every move must involve it (consistent hashing's whole point).
+    std::set<std::string> changed;
+    for (const std::string& n : fleet) {
+      if (next.find(n) == next.end()) changed.insert(n);
+    }
+    for (const std::string& n : next) {
+      if (fleet.find(n) == fleet.end()) changed.insert(n);
+    }
+    ASSERT_EQ(changed.size(), 1u);
+    const std::string& subject = *changed.begin();
+    for (const ShardMove& move : moves) {
+      const bool involves_subject =
+          std::find(move.gained.begin(), move.gained.end(), subject) !=
+              move.gained.end() ||
+          std::find(move.lost.begin(), move.lost.end(), subject) !=
+              move.lost.end();
+      EXPECT_TRUE(involves_subject)
+          << "shard " << move.shard
+          << " moved without involving the churned node " << subject;
+    }
+    // And never more slots than the subject's full ownership footprint.
+    const ShardRing& bigger =
+        next.size() > fleet.size() ? after.value() : ring.value();
+    EXPECT_LE(MovedSlots(moves), bigger.ShardsOwnedBy(subject).size());
+
+    fleet = std::move(next);
+    ring = std::move(after);
+  }
+}
+
+TEST_P(ChurnRingTest, LeaveThenJoinBackDiffsAreExactInverses) {
+  const int seed = 72000 + GetParam();
+  SCOPED_TRACE("reproduce with seed " + std::to_string(seed));
+  Rng rng(static_cast<uint64_t>(seed));
+
+  std::set<std::string> fleet;
+  const size_t initial = 3 + static_cast<size_t>(rng.Uniform(0, 3));
+  for (size_t i = 0; i < initial; ++i) {
+    fleet.insert("n" + std::to_string(i));
+  }
+  auto before = BuildSorted(fleet);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  // A random member leaves...
+  auto it = fleet.begin();
+  std::advance(it, static_cast<size_t>(rng.Uniform(
+                       0, static_cast<int64_t>(fleet.size()) - 1)));
+  const std::string leaver = *it;
+  std::set<std::string> without = fleet;
+  without.erase(leaver);
+  auto smaller = BuildSorted(without);
+  ASSERT_TRUE(smaller.ok()) << smaller.status();
+
+  // ...and joins straight back: the rebuilt ring is identical (the
+  // build is a pure function of the sorted roster), so the two diffs
+  // must be exact inverses, shard by shard, gained <-> lost.
+  auto back = BuildSorted(fleet);
+  ASSERT_TRUE(back.ok()) << back.status();
+
+  const std::vector<ShardMove> out =
+      ShardRing::Diff(before.value(), smaller.value());
+  const std::vector<ShardMove> in =
+      ShardRing::Diff(smaller.value(), back.value());
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].shard, in[i].shard);
+    EXPECT_EQ(out[i].gained, in[i].lost) << "shard " << out[i].shard;
+    EXPECT_EQ(out[i].lost, in[i].gained) << "shard " << out[i].shard;
+  }
+
+  // Placement itself round-trips bit-for-bit.
+  for (uint64_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_EQ(before.value().OwnersForShard(shard),
+              back.value().OwnersForShard(shard));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChurnSeeds, ChurnRingTest,
+                         ::testing::Range(0, 120));
+
+}  // namespace
+}  // namespace cluster
+}  // namespace hyperion

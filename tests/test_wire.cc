@@ -402,6 +402,195 @@ TEST(WireTest, ShardRowsRejectsIndexRowCountMismatch) {
   EXPECT_FALSE(wire::DecodeMessage(bytes).ok());
 }
 
+TEST(WireTest, HandoffFetchRowsAndAckRoundTrip) {
+  // The rebalance handoff triplet (fetch → rows → ack) must survive the
+  // wire with full fidelity: a dropped field here silently loses shard
+  // state during an epoch transition.
+  HandoffFetchMsg fetch;
+  fetch.request_id = 9001;
+  fetch.node = "store4";
+  fetch.shard = 13;
+  fetch.ring_epoch = 2;
+  Message f_env = RoundTrip(Message{"store4", "store1", fetch});
+  const auto& f = std::get<HandoffFetchMsg>(f_env.payload);
+  EXPECT_EQ(f.request_id, 9001u);
+  EXPECT_EQ(f.node, "store4");
+  EXPECT_EQ(f.shard, 13u);
+  EXPECT_EQ(f.ring_epoch, 2u);
+
+  WriteSliceMsg slice;
+  slice.origin = "store1";
+  slice.table_name = "m5";
+  slice.shard = 13;
+  slice.shard_version = 6;
+  slice.table_version = 9;
+  slice.total_rows = 44;
+  slice.x_schema = TestSchema();
+  slice.y_schema = TestSchema();
+  slice.row_indices = {3, 8};
+  slice.rows = TestRows();
+
+  HandoffRowsMsg rows;
+  rows.request_id = 9001;
+  rows.node = "store1";
+  rows.shard = 13;
+  rows.shard_version = 6;
+  rows.slices = {slice, slice};
+  Message r_env = RoundTrip(Message{"store1", "store4", rows});
+  const auto& r = std::get<HandoffRowsMsg>(r_env.payload);
+  EXPECT_EQ(r.request_id, 9001u);
+  EXPECT_EQ(r.node, "store1");
+  EXPECT_EQ(r.shard, 13u);
+  EXPECT_EQ(r.shard_version, 6u);
+  ASSERT_EQ(r.slices.size(), 2u);
+  EXPECT_EQ(r.slices[0].table_name, "m5");
+  EXPECT_EQ(r.slices[0].shard_version, 6u);
+  EXPECT_EQ(r.slices[0].row_indices, (std::vector<uint64_t>{3, 8}));
+  EXPECT_EQ(r.slices[0].rows, slice.rows);
+  EXPECT_TRUE(r.error.empty());
+
+  // Failed handoffs travel as a loud error, not silence.
+  HandoffRowsMsg failed;
+  failed.request_id = 9002;
+  failed.node = "store2";
+  failed.shard = 5;
+  failed.error = "stale ring epoch 2 (committed 3)";
+  failed.error_code = 10;  // kFailedPrecondition
+  Message e_env = RoundTrip(Message{"store2", "store4", failed});
+  const auto& e = std::get<HandoffRowsMsg>(e_env.payload);
+  EXPECT_TRUE(e.slices.empty());
+  EXPECT_EQ(e.error, "stale ring epoch 2 (committed 3)");
+  EXPECT_EQ(e.error_code, 10);
+
+  HandoffAckMsg ack;
+  ack.request_id = 9001;
+  ack.node = "store4";
+  ack.shard = 13;
+  ack.shard_version = 6;
+  ack.rows = 44;
+  ack.ring_epoch = 2;
+  Message a_env = RoundTrip(Message{"store4", "coord", ack});
+  const auto& a = std::get<HandoffAckMsg>(a_env.payload);
+  EXPECT_EQ(a.request_id, 9001u);
+  EXPECT_EQ(a.node, "store4");
+  EXPECT_EQ(a.shard, 13u);
+  EXPECT_EQ(a.shard_version, 6u);
+  EXPECT_EQ(a.rows, 44u);
+  EXPECT_EQ(a.ring_epoch, 2u);
+}
+
+TEST(WireTest, EpochStampsAndPlacementGossipSurviveTheWire) {
+  // Every epoch-stamped variant added for live rebalancing: heartbeat
+  // placement announcement (committed + pending rosters and the peer
+  // address gossip), and the ring_epoch stamps on shard fetches, shard
+  // rows, and write slices.  Stale-epoch rejection is only as good as
+  // these stamps' fidelity.
+  HeartbeatMsg hb;
+  hb.node = "coord";
+  hb.role = 0;
+  hb.listen_addr = "127.0.0.1:9100";
+  hb.incarnation = 3;
+  hb.beat = 11;
+  hb.ring_epoch = 2;
+  hb.ring_nodes = {"store1", "store2", "store3"};
+  hb.pending_epoch = 3;
+  hb.pending_nodes = {"store2", "store3", "store4"};
+  hb.peer_nodes = {"store1", "store2"};
+  hb.peer_addrs = {"127.0.0.1:9101", "127.0.0.1:9102"};
+  Message hb_env = RoundTrip(Message{"coord", "store1", hb});
+  const auto& got = std::get<HeartbeatMsg>(hb_env.payload);
+  EXPECT_EQ(got.ring_epoch, 2u);
+  EXPECT_EQ(got.ring_nodes,
+            (std::vector<std::string>{"store1", "store2", "store3"}));
+  EXPECT_EQ(got.pending_epoch, 3u);
+  EXPECT_EQ(got.pending_nodes,
+            (std::vector<std::string>{"store2", "store3", "store4"}));
+  EXPECT_EQ(got.peer_nodes, (std::vector<std::string>{"store1", "store2"}));
+  EXPECT_EQ(got.peer_addrs,
+            (std::vector<std::string>{"127.0.0.1:9101", "127.0.0.1:9102"}));
+
+  ShardFetchMsg fetch;
+  fetch.request_id = 7;
+  fetch.table_name = "m5";
+  fetch.shard = 3;
+  fetch.ring_epoch = 4;
+  Message f_env = RoundTrip(Message{"coord", "store2", fetch});
+  EXPECT_EQ(std::get<ShardFetchMsg>(f_env.payload).ring_epoch, 4u);
+
+  ShardRowsMsg rows;
+  rows.request_id = 7;
+  rows.table_name = "m5";
+  rows.node = "store2";
+  rows.shard = 3;
+  rows.x_schema = TestSchema();
+  rows.y_schema = TestSchema();
+  rows.ring_epoch = 4;
+  Message r_env = RoundTrip(Message{"store2", "coord", rows});
+  EXPECT_EQ(std::get<ShardRowsMsg>(r_env.payload).ring_epoch, 4u);
+
+  WriteSliceMsg slice;
+  slice.origin = "coord";
+  slice.table_name = "m5";
+  slice.shard = 3;
+  slice.x_schema = TestSchema();
+  slice.y_schema = TestSchema();
+  slice.ring_epoch = 4;
+  Message w_env = RoundTrip(Message{"coord", "store2", slice});
+  EXPECT_EQ(std::get<WriteSliceMsg>(w_env.payload).ring_epoch, 4u);
+}
+
+TEST(WireTest, HandoffMessagesRejectHostileBytes) {
+  // Same discipline as RejectsHostileBytes, applied to the handoff
+  // triplet: every strict prefix fails, and XOR-0xff single-byte
+  // corruption never crashes the decoder.
+  HandoffFetchMsg fetch;
+  fetch.request_id = 9001;
+  fetch.node = "store4";
+  fetch.shard = 13;
+  fetch.ring_epoch = 2;
+
+  WriteSliceMsg slice;
+  slice.origin = "store1";
+  slice.table_name = "m5";
+  slice.shard = 13;
+  slice.x_schema = TestSchema();
+  slice.y_schema = TestSchema();
+  slice.row_indices = {3, 8};
+  slice.rows = TestRows();
+
+  HandoffRowsMsg rows;
+  rows.request_id = 9001;
+  rows.node = "store1";
+  rows.shard = 13;
+  rows.shard_version = 6;
+  rows.slices = {slice};
+
+  HandoffAckMsg ack;
+  ack.request_id = 9001;
+  ack.node = "store4";
+  ack.shard = 13;
+  ack.ring_epoch = 2;
+
+  const std::vector<std::string> encodings = {
+      wire::EncodeMessage(Message{"store4", "store1", fetch}),
+      wire::EncodeMessage(Message{"store1", "store4", rows}),
+      wire::EncodeMessage(Message{"store4", "coord", ack}),
+  };
+  for (const std::string& good : encodings) {
+    ASSERT_TRUE(wire::DecodeMessage(good).ok());
+    for (size_t len = 0; len < good.size(); ++len) {
+      EXPECT_FALSE(wire::DecodeMessage(good.substr(0, len)).ok())
+          << "prefix of length " << len << " decoded";
+    }
+    EXPECT_FALSE(wire::DecodeMessage(good + "x").ok());
+    for (size_t i = 0; i < good.size(); ++i) {
+      std::string mutated = good;
+      mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+      (void)wire::DecodeMessage(mutated);
+    }
+  }
+}
+
 TEST(WireTest, SearchAndHitRoundTrip) {
   SearchMsg search;
   search.search_id = 100;

@@ -299,7 +299,7 @@ TEST_F(ClusterWriteE2ETest, QuorumShortfallFailsNamingTheDeadReplica) {
   ASSERT_TRUE(fetched.ok()) << fetched.status();
 
   // Kill one replica of shard 0: a quorum of 2 can never be met there.
-  const std::string victim = coord_->ring().OwnerForShard(0);
+  const std::string victim = coord_->ring()->OwnerForShard(0);
   StopStorageNode(victim);
 
   auto merged = Written(*fetched.value().table, "writx", "writy");
@@ -323,7 +323,7 @@ TEST_F(ClusterWriteE2ETest, FailedWriteBurnsItsSequence) {
   // Kill one replica of shard 0: quorum 2 cannot be met there and the
   // write fails — but shard 1's replicas (and shard 0's survivor) may
   // already have applied its slices before the verdict.
-  const std::string victim = coord_->ring().OwnerForShard(0);
+  const std::string victim = coord_->ring()->OwnerForShard(0);
   StopStorageNode(victim);
   auto aborted = Written(*fetched.value().table, "lostx", "losty");
   ASSERT_TRUE(aborted.ok());
@@ -422,7 +422,7 @@ TEST_F(RepairE2ETest, AntiEntropyConvergesARestartedReplica) {
                                            fetched.value().version + 1);
   ASSERT_TRUE(first.ok()) << first.status();
 
-  const std::string victim = coord_->ring().OwnerForShard(0);
+  const std::string victim = coord_->ring()->OwnerForShard(0);
   StopStorageNode(victim);
 
   auto twice = Written(once.value(), "writx2", "writy2");
@@ -464,7 +464,7 @@ TEST_F(RepairE2ETest, AntiEntropyConvergesARestartedReplica) {
   // Proof the repaired slices serve reads: lose the *other* replica of
   // shard 0, so the refetch must assemble from the revived node — and
   // the bytes must be the post-write-2 table.
-  for (const std::string& owner : coord_->ring().OwnersForShard(0)) {
+  for (const std::string& owner : coord_->ring()->OwnersForShard(0)) {
     if (owner != victim) StopStorageNode(owner);
   }
   coord_->table_source()->Evict();

@@ -876,9 +876,13 @@ int CmdNode(std::vector<std::string> args) {
                    "  dump <out> <Db1,...>     run and write the cover file\n"
                    "  write <table> <v1,v2,..> replicate a curator write\n"
                    "  versions                 per-node shard write versions\n"
+                   "  join <id> <host:port>    add a storage node (rebalance)\n"
+                   "  decommission <id>        retire a storage node\n"
+                   "  epoch                    committed/pending ring epoch\n"
                    "  members                  membership states\n"
                    "  waitalive [timeout_ms]   block until all peers alive\n"
                    "  shards                   per-shard fetch accounting\n"
+                   "  counters [prefix]        metric counters (optional prefix)\n"
                    "  stats                    service counters\n"
                    "  evict                    drop the fetched-table cache\n"
                    "  quit\n";
@@ -923,13 +927,51 @@ int CmdNode(std::vector<std::string> args) {
       std::cout << "\n";
       continue;
     }
+    if (verb == "join" || verb == "decommission") {
+      std::string target_id, target_addr;
+      in >> target_id;
+      if (verb == "join") in >> target_addr;
+      if (target_id.empty() || (verb == "join" && target_addr.empty())) {
+        std::cout << "error: " << verb << " needs <id>"
+                  << (verb == "join" ? " <host:port>" : "") << "\n";
+        continue;
+      }
+      auto epoch = verb == "join"
+                       ? node.value()->StartJoin(target_id, target_addr)
+                       : node.value()->StartDecommission(target_id);
+      if (!epoch.ok()) {
+        std::cout << "error: " << epoch.status() << "\n";
+        continue;
+      }
+      std::cout << verb << " of '" << target_id << "' started: epoch "
+                << epoch.value() << " pending\n";
+      continue;
+    }
+    if (verb == "epoch") {
+      // `epoch N (stable): n1 n2 ...` once a transition commits — the
+      // rebalance drill polls for exactly that line.
+      uint64_t pending = node.value()->pending_epoch();
+      std::cout << "epoch " << node.value()->ring_epoch()
+                << (pending != 0
+                        ? " (transition to " + std::to_string(pending) +
+                              " in flight)"
+                        : " (stable)")
+                << ":";
+      for (const std::string& sid : node.value()->ring()->storage_nodes()) {
+        std::cout << " " << sid;
+      }
+      std::cout << "\n";
+      continue;
+    }
     if (verb == "versions") {
       // One line per storage node: how many of its owned shards it has
       // advertised versions for, and the minimum — the drill polls for
-      // "min v<seq>" to detect anti-entropy convergence.
+      // "min v<seq>" to detect anti-entropy convergence.  Iterates the
+      // *live* committed ring, not the boot config, so joined nodes show
+      // up and decommissioned ones drop out.
       auto peers = node.value()->PeerShardVersions();
-      for (const std::string& sid : node.value()->config().StorageNodeIds()) {
-        std::vector<uint64_t> owned = node.value()->ring().ShardsOwnedBy(sid);
+      for (const std::string& sid : node.value()->ring()->storage_nodes()) {
+        std::vector<uint64_t> owned = node.value()->ring()->ShardsOwnedBy(sid);
         auto it = peers.find(sid);
         uint64_t min_version = 0;
         size_t reported = 0;
@@ -985,6 +1027,21 @@ int CmdNode(std::vector<std::string> args) {
     if (verb == "evict") {
       node.value()->table_source()->Evict();
       std::cout << "table cache dropped\n";
+      continue;
+    }
+    if (verb == "counters") {
+      // `counters cluster.rebalance` — the rebalance drill polls these
+      // to assert rows actually shipped during a handoff.
+      std::string prefix;
+      in >> prefix;
+      obs::MetricsSnapshot snap = obs::MetricRegistry::Default().Snapshot();
+      size_t shown = 0;
+      for (const obs::CounterSnapshot& c : snap.counters) {
+        if (!prefix.empty() && c.name.rfind(prefix, 0) != 0) continue;
+        std::cout << c.name << " " << c.value << "\n";
+        ++shown;
+      }
+      std::cout << "end counters (" << shown << ")\n";
       continue;
     }
     if (verb == "query" || verb == "dump") {

@@ -4,7 +4,7 @@
 # distributed cover is byte-identical to a single-process run over the
 # same catalog.
 #
-#   tools/run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover] [--write-path]
+#   tools/run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover] [--write-path] [--rebalance]
 #
 # Startup handshake: storage nodes bind ephemeral ports (port 0 in the
 # seed config) and publish them via --port-file; once all files exist
@@ -32,20 +32,33 @@
 # write sequence, and assert the final cluster cover is byte-identical
 # to a single-process run that applied the same write sequence — with
 # zero failed queries and zero failed writes along the way.
+#
+# --rebalance (replication=2, three storage nodes + one joiner) is the
+# live-topology drill: seed curator writes, start a fourth storage node
+# that is in NOBODY's boot config, `join` it through the coordinator
+# REPL, poll the `epoch` verb until the new ring epoch commits, and
+# assert the handoff actually shipped write-log rows
+# (cluster.rebalance.rows_shipped > 0).  Then `decommission` the
+# original primary of shard 0, wait for the next epoch to commit
+# without it, kill -9 the retired process, and demand the final cover
+# is byte-identical to a single-process run that applied the same
+# writes — zero failed queries across both epoch transitions.
 set -euo pipefail
 
-CLI=${1:?usage: run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover] [--write-path]}
+CLI=${1:?usage: run_cluster.sh <path-to-hyperion_cli> [--kill-one] [--failover] [--write-path] [--rebalance]}
 shift || true
 KILL_ONE=0
 FAILOVER=0
 WRITE_PATH=0
+REBALANCE=0
 for arg in "$@"; do
   [[ "$arg" == "--kill-one" ]] && KILL_ONE=1
   [[ "$arg" == "--failover" ]] && FAILOVER=1
   [[ "$arg" == "--write-path" ]] && WRITE_PATH=1
+  [[ "$arg" == "--rebalance" ]] && REBALANCE=1
 done
-if (( KILL_ONE + FAILOVER + WRITE_PATH > 1 )); then
-  echo "run_cluster: --kill-one, --failover and --write-path are mutually exclusive" >&2
+if (( KILL_ONE + FAILOVER + WRITE_PATH + REBALANCE > 1 )); then
+  echo "run_cluster: --kill-one, --failover, --write-path and --rebalance are mutually exclusive" >&2
   exit 2
 fi
 
@@ -89,8 +102,37 @@ await() {
   fail "timed out waiting for '$pattern' in $file"
 }
 
+# State polling through the coordinator REPL: re-issues verb $1 (e.g.
+# `versions`, `epoch`) every 200ms until $2 appears in coord.out, up to
+# $3 seconds (default 30).  $4/$5 optionally name a node/pid whose death
+# fails the poll fast.  Drills use this instead of fixed sleeps — the
+# wait ends the moment the cluster reaches the state, not after a guess.
+poll_repl() {
+  local cmd=$1 pattern=$2 budget=${3:-30} node=${4:-} pid=${5:-} i
+  for ((i = 0; i < budget * 5; ++i)); do
+    echo "$cmd" >&3
+    sleep 0.2
+    grep -q "$pattern" "$WORK/coord.out" 2>/dev/null && return 0
+    if [[ -n "$pid" ]] && ! kill -0 "$pid" 2>/dev/null; then
+      fail "node '$node' (pid $pid) died while polling '$cmd' for '$pattern'"
+    fi
+    kill -0 "$COORD" 2>/dev/null \
+      || fail "coordinator died while polling '$cmd' for '$pattern'"
+  done
+  fail "timed out polling '$cmd' for '$pattern'"
+}
+
 # --- 1. storage nodes on ephemeral ports --------------------------------
+SHARDS=2
 if [[ "$FAILOVER" == 1 || "$WRITE_PATH" == 1 ]]; then
+  REPLICATION=2
+  STORES=(store1 store2 store3)
+elif [[ "$REBALANCE" == 1 ]]; then
+  # More shards than the other drills so the joining node lands a
+  # non-trivial slice of the ring to pull (with 64 vnodes the 4-node
+  # ring gives store4 six of sixteen shards — checked via `cluster
+  # plan`, deterministic).
+  SHARDS=16
   REPLICATION=2
   STORES=(store1 store2 store3)
 else
@@ -100,7 +142,7 @@ fi
 
 conf_body() {
   cat <<EOF
-shards 2
+shards $SHARDS
 replication $REPLICATION
 heartbeat_ms 100
 suspect_ms 500
@@ -121,6 +163,10 @@ write_attempts 3
 write_backoff_ms 50
 repair_interval_ms 200
 EOF
+  fi
+  if [[ "$REBALANCE" == 1 ]]; then
+    # A tight repair/handoff timer keeps the epoch transitions short.
+    echo "repair_interval_ms 200"
   fi
   echo "node coord coordinator 127.0.0.1 0"
 }
@@ -293,19 +339,8 @@ if [[ "$WRITE_PATH" == 1 ]]; then
   await "$WORK/$VICTIM.port2" "[0-9]" 20 "$VICTIM" "${STORE_PID[$VICTIM]}"
 
   echo "run_cluster: waiting for anti-entropy to repair $VICTIM to seq 2"
-  CONVERGED=0
-  for ((i = 0; i < 150; ++i)); do
-    echo "versions" >&3
-    sleep 0.2
-    if grep -q "^$VICTIM shards [0-9]*/[0-9]* min v2" "$WORK/coord.out"; then
-      CONVERGED=1
-      break
-    fi
-    kill -0 "${STORE_PID[$VICTIM]}" 2>/dev/null \
-      || fail "restarted node $VICTIM died during repair"
-  done
-  [[ "$CONVERGED" == 1 ]] \
-    || fail "$VICTIM never converged to write seq 2 (see 'versions' output)"
+  poll_repl versions "^$VICTIM shards [0-9]*/[0-9]* min v2" 30 \
+    "$VICTIM" "${STORE_PID[$VICTIM]}"
 
   # Final conformance: the cluster cover after (write, crash, write,
   # repair) must equal a single-process run that just applied both
@@ -324,6 +359,77 @@ if [[ "$WRITE_PATH" == 1 ]]; then
   grep -q "drillmim" "$WORK/write_cover.hmt" \
     || fail "replicated writes never reached the cover"
   echo "run_cluster: write path survived kill -9 of $VICTIM: repaired to seq 2, covers byte-identical"
+fi
+
+# --- 8. optional: live rebalance drill — join a node mid-workload, ------
+# ---    hand off its shards, then decommission the original primary -----
+if [[ "$REBALANCE" == 1 ]]; then
+  # Seed curator writes first: the handoff ships write-log state, so
+  # rows_shipped > 0 below proves the joiner pulled real rows, not just
+  # an empty ack.
+  echo "run_cluster: seeding writes before the join"
+  echo "write m5 drillhugo,drillswiss" >&3
+  await "$WORK/coord.out" "write ok m5 seq 1" 20 coord "$COORD"
+  echo "write m11 drillswiss,drillmim" >&3
+  await "$WORK/coord.out" "write ok m11 seq 2" 20 coord "$COORD"
+
+  # Start store4 — absent from every running node's boot config.  Its
+  # own config carries the fleet's RESOLVED addresses (it must dial out
+  # first; nobody heartbeats an unknown node) plus itself on port 0.
+  {
+    conf_body
+    for node in "${STORES[@]}"; do
+      echo "node $node storage 127.0.0.1 $(cat "$WORK/$node.port")"
+    done
+    echo "node store4 storage 127.0.0.1 0"
+  } | sed "s/node coord coordinator 127.0.0.1 0/node coord coordinator 127.0.0.1 $(cat "$WORK/coord.port")/" \
+    > "$WORK/join.conf"
+  "$CLI" node --config "$WORK/join.conf" --id store4 \
+    --entities "$ENTITIES" --port-file "$WORK/store4.port" \
+    > "$WORK/store4.log" 2>&1 &
+  STORE_PID[store4]=$!
+  NODE_PIDS+=($!)
+  await "$WORK/store4.port" "[0-9]" 20 store4 "${STORE_PID[store4]}"
+
+  echo "run_cluster: joining store4 mid-workload"
+  echo "join store4 127.0.0.1:$(cat "$WORK/store4.port")" >&3
+  await "$WORK/coord.out" "join of 'store4' started" 20 coord "$COORD"
+  # Queries keep flowing while the handoff runs — reads stay on the old
+  # owners until the epoch commits, so none of these may fail.
+  echo "query Hugo,GDB,MIM" >&3
+  poll_repl epoch "epoch 2 (stable): .*store4" 30 store4 "${STORE_PID[store4]}"
+  poll_repl "counters cluster.rebalance" \
+    "cluster.rebalance.rows_shipped [1-9]" 20
+  echo "run_cluster: store4 joined at epoch 2; handoff shipped rows"
+
+  echo "run_cluster: decommissioning $VICTIM"
+  echo "decommission $VICTIM" >&3
+  await "$WORK/coord.out" "decommission of '$VICTIM' started" 20 coord "$COORD"
+  poll_repl epoch "epoch 3 (stable)" 30
+  grep "epoch 3 (stable)" "$WORK/coord.out" | grep -q "$VICTIM" \
+    && fail "decommissioned node $VICTIM still in the committed ring"
+  # The retired node is out of the ring and roster; killing it must not
+  # cost a single query.
+  kill -9 "${STORE_PID[$VICTIM]}"
+  wait "${STORE_PID[$VICTIM]}" 2>/dev/null || true
+
+  echo "evict" >&3
+  await "$WORK/coord.out" "cache dropped" 20 coord "$COORD"
+  for p in Hugo,GDB,MIM Hugo,Locus,MIM Hugo,GDB,SwissProt,MIM; do
+    echo "query $p" >&3
+  done
+  echo "dump $WORK/rebalance_cover.hmt Hugo,SwissProt,MIM" >&3
+  await "$WORK/coord.out" "rebalance_cover.hmt" 40 coord "$COORD"
+  grep -q "^error" "$WORK/coord.out" \
+    && fail "query failed during rebalance drill: $(grep -m1 '^error' "$WORK/coord.out")"
+  "$CLI" query --entities "$ENTITIES" --path Hugo,SwissProt,MIM \
+    --write m5:drillhugo,drillswiss --write m11:drillswiss,drillmim \
+    --repeat 1 --dump "$WORK/sim_rebalance.hmt" > /dev/null 2>&1
+  cmp "$WORK/sim_rebalance.hmt" "$WORK/rebalance_cover.hmt" \
+    || fail "post-rebalance cover differs from single-process write replay"
+  grep -q "drillmim" "$WORK/rebalance_cover.hmt" \
+    || fail "seeded writes missing from the post-rebalance cover"
+  echo "run_cluster: rebalance drill survived join + decommission: covers byte-identical"
 fi
 
 echo "quit" >&3
